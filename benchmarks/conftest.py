@@ -1,0 +1,19 @@
+"""Shared configuration for the experiment benchmarks.
+
+Every bench regenerates one of the paper's tables/figures exactly once
+(``rounds=1``) - the interesting output is the table itself plus the
+shape assertions, not statistical timing of the harness.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment a single time under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

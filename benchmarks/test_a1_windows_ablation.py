@@ -1,0 +1,14 @@
+"""A1 - register windows vs flat register file."""
+
+from repro.evaluation import ablations
+from repro.evaluation.common import FAST_SUBSET
+
+
+def test_a1_windows_ablation(once):
+    table = once(ablations.a1_windows, FAST_SUBSET)
+    print("\n" + table.render())
+    for row in table.rows:
+        name, cyc_win, cyc_flat, __, refs_win, refs_flat = row
+        assert refs_flat > refs_win, name
+        if name == "towers":  # pure call/return: windows shine brightest
+            assert cyc_flat / cyc_win > 2.0

@@ -1,0 +1,14 @@
+"""A2 - delay-slot filling vs NOP-filled slots."""
+
+from repro.evaluation import ablations
+from repro.evaluation.common import FAST_SUBSET
+
+
+def test_a2_delay_slot_ablation(once):
+    table = once(ablations.a2_delay_slots, FAST_SUBSET)
+    print("\n" + table.render())
+    for row in table.rows:
+        name, cycles_filled, cycles_nops = row[0], row[1], row[2]
+        assert cycles_filled < cycles_nops, name
+        saving = (cycles_nops - cycles_filled) / cycles_nops
+        assert saving < 0.25, f"{name}: implausibly large saving"

@@ -1,0 +1,14 @@
+"""E1 (extension) - three-stage pipeline estimate over the suite."""
+
+from repro.evaluation import e1_three_stage
+
+
+def test_e1_three_stage(once):
+    table = once(e1_three_stage.run,
+                 ("towers", "e_string_search", "sed_batch", "k_bit_matrix"))
+    print("\n" + table.render())
+    for row in table.rows:
+        name, __, two_stage, three_stage, stalls, __ = row
+        # the third stage never loses, and only memory-free traces tie
+        assert three_stage <= two_stage, name
+        assert stalls >= 0

@@ -1,0 +1,18 @@
+"""F1 - instruction-format figure."""
+
+from repro.evaluation import f1_formats
+from repro.isa.formats import FORMAT_LAYOUTS
+from repro.isa.opcodes import Format
+
+
+def test_f1_formats(once):
+    text = once(f1_formats.run)
+    print("\n" + text)
+    assert "opcode" in text and "imm19" in text
+    # Both formats must tile exactly 32 bits with no gaps or overlaps.
+    for layout in FORMAT_LAYOUTS.values():
+        covered = sorted((f.lo, f.hi) for f in layout)
+        assert covered[0][0] == 0
+        assert covered[-1][1] == 31
+        for (___, prev_hi), (lo, __) in zip(covered, covered[1:]):
+            assert lo == prev_hi + 1

@@ -1,0 +1,15 @@
+"""F2 - overlapped register-window figure."""
+
+from repro.evaluation import f2_windows
+from repro.isa.registers import NUM_WINDOWS, physical_index
+
+
+def test_f2_windows(once):
+    text = once(f2_windows.run)
+    print("\n" + text)
+    assert "138" in text
+    # The rendered identity must hold for every window pair.
+    for window in range(NUM_WINDOWS):
+        caller = (window + 1) % NUM_WINDOWS
+        for k in range(6):
+            assert physical_index(caller, 10 + k) == physical_index(window, 26 + k)

@@ -1,0 +1,14 @@
+"""F3 - delayed-jump illustration and measured slot-fill rate."""
+
+from repro.evaluation import f3_delayed_branch
+
+
+def test_f3_delayed_branch(once):
+    text = once(f3_delayed_branch.run)
+    print("\n" + text)
+    table = f3_delayed_branch.fill_rate_table()
+    total = [row for row in table.rows if row[0] == "TOTAL"][0]
+    slots, filled = total[1], total[2]
+    # The paper's compilers filled a substantial fraction of delay slots.
+    assert slots > 0
+    assert 0.2 <= filled / slots <= 0.9

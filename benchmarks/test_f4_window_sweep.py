@@ -1,0 +1,19 @@
+"""F4 - spill traffic vs window-file size."""
+
+from repro.evaluation import f4_window_sweep
+
+
+def test_f4_window_sweep(once):
+    table = once(f4_window_sweep.run)
+    print("\n" + table.render())
+    for row in table.rows:
+        values = [float(cell) for cell in row[1:]]
+        # monotone non-increasing in the window count
+        assert all(a >= b for a, b in zip(values, values[1:])), row
+    # The knee: for non-pathological traces, 8 windows removes the vast
+    # majority of the 2-window traffic.
+    ordinary = [row for row in table.rows
+                if row[0] not in ("ackermann",) and not row[0].startswith("synthetic(loc=0.5")]
+    for row in ordinary:
+        two, eight = float(row[1]), float(row[5])
+        assert eight < 0.2 * two, row

@@ -1,0 +1,17 @@
+"""M1 - dynamic instruction mix over the suite."""
+
+from repro.evaluation import m1_instruction_mix
+
+
+def test_m1_instruction_mix(once):
+    table = once(m1_instruction_mix.run)
+    print("\n" + table.render())
+    for row in table.rows:
+        name = row[0]
+        alu, load, store, jump, misc = (float(cell) for cell in row[1:])
+        total = alu + load + store + jump + misc
+        assert abs(total - 100.0) < 0.5, name
+        # the paper's design point: windows keep memory traffic a minority
+        assert load + store < 45.0, name
+        # ALU (register-to-register) work dominates
+        assert alu > 35.0, name

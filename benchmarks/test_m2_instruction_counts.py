@@ -1,0 +1,26 @@
+"""M2 - executed instruction counts relative to VAX."""
+
+from repro.evaluation import m2_instruction_counts
+
+
+def test_m2_instruction_counts(once):
+    table = once(m2_instruction_counts.run)
+    print("\n" + table.render())
+    ratios = []
+    for row in table.rows:
+        name = row[0]
+        ratios.append(float(row[-3].rstrip("x")))
+        risc_cpi = float(row[-2])
+        vax_cpi = float(row[-1])
+        # RISC I retires roughly one instruction per cycle (traps and
+        # memory ops push it a bit past 1 on pathological recursion)...
+        assert risc_cpi < 3.0, (name, risc_cpi)
+        # ...while the microcoded VAX spends several cycles on each.
+        assert vax_cpi > 2.5, (name, vax_cpi)
+        assert vax_cpi > risc_cpi, name
+    # The instruction-count trade cuts both ways: compute-bound code runs
+    # more RISC instructions (simple ops compose complex ones), while
+    # call-heavy code can run FEWER (windows delete the save/restore
+    # sequences the CISC must execute).  Both regimes must be present.
+    assert any(ratio > 1.1 for ratio in ratios), ratios
+    assert any(ratio < 1.0 for ratio in ratios), ratios

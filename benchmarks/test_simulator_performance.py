@@ -1,0 +1,49 @@
+"""Host-side performance of the simulators themselves.
+
+Unlike the table/figure benches (one-shot experiment regeneration),
+these time the Python simulators with real statistics - useful for
+catching performance regressions in the hot interpreter loops.
+"""
+
+from repro.baselines import VaxTraits, CiscExecutor
+from repro.cc import compile_for_risc, compile_to_ir
+from repro.cc.ciscgen import compile_for_cisc
+from repro.hll import run_program
+from repro.workloads import benchmark
+
+SOURCE = benchmark("towers").source
+
+
+def test_risc_simulator_speed(benchmark):
+    compiled = compile_for_risc(SOURCE)
+
+    def run():
+        machine = compiled.make_machine()
+        machine.run(compiled.program.entry)
+        return machine.stats.instructions
+
+    instructions = benchmark(run)
+    assert instructions > 10_000
+
+
+def test_cisc_simulator_speed(benchmark):
+    traits = VaxTraits()
+    generated = compile_for_cisc(compile_to_ir(SOURCE), traits)
+
+    def run():
+        executor = CiscExecutor(generated.program, traits)
+        executor.run()
+        return executor.instructions_executed
+
+    instructions = benchmark(run)
+    assert instructions > 5_000
+
+
+def test_interpreter_speed(benchmark):
+    result = benchmark(lambda: run_program(SOURCE, max_ops=20_000_000).value)
+    assert result == 1023
+
+
+def test_compiler_speed(benchmark):
+    compiled = benchmark(lambda: compile_for_risc(SOURCE))
+    assert compiled.code_size_bytes > 0

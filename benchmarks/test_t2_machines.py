@@ -1,0 +1,15 @@
+"""T2 - machine characteristics comparison."""
+
+from repro.evaluation import t2_machines
+
+
+def test_t2_machines(once):
+    table = once(t2_machines.run)
+    print("\n" + table.render())
+    rows = {row[0]: row for row in table.rows}
+    risc = rows["RISC I"]
+    # RISC I: fewest instructions, zero microcode, single instruction size.
+    assert risc[2] == min(row[2] for row in table.rows)
+    assert risc[3] == 0
+    assert all(row[3] > 0 for name, row in rows.items() if name != "RISC I")
+    assert risc[4] == "32-32"

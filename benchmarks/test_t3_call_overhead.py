@@ -1,0 +1,18 @@
+"""T3 - procedure call/return overhead."""
+
+from repro.evaluation import t3_call_overhead
+
+
+def test_t3_call_overhead(once):
+    table = once(t3_call_overhead.run)
+    print("\n" + table.render())
+    rows = {row[0]: row for row in table.rows}
+    risc_instr, risc_refs = rows["RISC I"][1], rows["RISC I"][2]
+    # Windows make the call itself nearly free of memory traffic...
+    assert risc_refs < 2.0
+    # ...while every conventional machine moves many words per call.
+    for name, row in rows.items():
+        if name == "RISC I":
+            continue
+        assert row[2] >= 6.0, f"{name} call moved too little memory"
+        assert row[1] > risc_instr

@@ -1,0 +1,20 @@
+"""T4 - program size relative to VAX over the full suite."""
+
+from repro.evaluation import t4_code_size
+from repro.evaluation.common import run_benchmark_matrix, RISC_NAME, VAX_NAME
+
+
+def test_t4_code_size(once):
+    table = once(t4_code_size.run)
+    print("\n" + table.render())
+    records = run_benchmark_matrix(None)
+    benchmarks = sorted({bench for bench, __ in records})
+    ratios = [
+        records[(bench, RISC_NAME)].code_bytes / records[(bench, VAX_NAME)].code_bytes
+        for bench in benchmarks
+    ]
+    mean_ratio = sum(ratios) / len(ratios)
+    # Paper shape: RISC I code is modestly larger than VAX (roughly
+    # 1.2-1.5x on average), never dramatically smaller or >2.5x.
+    assert 1.1 <= mean_ratio <= 1.7, mean_ratio
+    assert all(0.8 <= ratio <= 2.5 for ratio in ratios), ratios

@@ -1,0 +1,31 @@
+"""T5 - simulated execution time over the full suite."""
+
+from repro.evaluation import t5_exec_time
+from repro.evaluation.common import run_benchmark_matrix, RISC_NAME
+
+
+def test_t5_exec_time(once):
+    table = once(t5_exec_time.run)
+    print("\n" + table.render())
+    records = run_benchmark_matrix(None)
+    benchmarks = sorted({bench for bench, __ in records})
+    machines = sorted({machine for __, machine in records})
+
+    def mean_slowdown(machine):
+        factors = [
+            records[(bench, machine)].time_ms / records[(bench, RISC_NAME)].time_ms
+            for bench in benchmarks
+        ]
+        return sum(factors) / len(factors)
+
+    # Paper shape: RISC I is faster on average than every baseline, with
+    # the microprocessors (68000/Z8002) trailing by roughly 2-4x.
+    for machine in machines:
+        if machine == RISC_NAME:
+            continue
+        assert mean_slowdown(machine) > 1.0, machine
+    assert mean_slowdown("MC68000") > 1.8
+    assert mean_slowdown("Z8002") > 2.2
+    # The call-intensive programs show the windows' largest wins.
+    towers = records[("towers", "MC68000")].time_ms / records[("towers", RISC_NAME)].time_ms
+    assert towers > 3.0

@@ -1,0 +1,16 @@
+"""T6 - register-window overflow rates across the suite."""
+
+from repro.evaluation import t6_window_overflow
+
+
+def test_t6_window_overflow(once):
+    table = once(t6_window_overflow.run)
+    print("\n" + table.render())
+    rates_8 = {}
+    for row in table.rows:
+        rates_8[row[0]] = float(row[4].rstrip("%"))
+    # With 8 windows, ordinary programs trap on only a few percent of
+    # calls; Ackermann is the acknowledged pathological exception.
+    ordinary = [name for name in rates_8 if name != "ackermann"]
+    assert all(rates_8[name] < 10.0 for name in ordinary), rates_8
+    assert rates_8["ackermann"] > 20.0

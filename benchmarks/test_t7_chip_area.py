@@ -1,0 +1,16 @@
+"""T7 - die-area decomposition."""
+
+from repro.evaluation import t7_chip_area
+
+
+def test_t7_chip_area(once):
+    table = once(t7_chip_area.run)
+    print("\n" + table.render())
+    control = {row[0]: row[1] for row in table.rows}
+    registers = {row[0]: row[2] for row in table.rows}
+    # Paper shape: hardwired RISC I control ~6%, microcoded ~35-65%.
+    assert control["RISC I"] < 10
+    for name in ("MC68000", "Z8002", "iAPX-432/43201"):
+        assert control[name] > 30
+    # The area freed goes into the register file.
+    assert registers["RISC I"] > 15

@@ -1,0 +1,97 @@
+"""Compile one Mini-C program for all five machines and race them.
+
+The end-to-end version of the paper's evaluation on a single program:
+code size, executed instructions, simulated time, and memory traffic on
+RISC I vs the VAX/PDP-11/68000/Z8002 models.
+
+Run with::
+
+    python examples/compile_and_race.py
+"""
+
+from repro.baselines import ALL_TRAITS, CiscExecutor
+from repro.cc import compile_for_risc, compile_to_ir
+from repro.cc.ciscgen import compile_for_cisc
+from repro.cpu.machine import CYCLE_TIME_NS
+
+SOURCE = """
+/* Sort 64 pseudo-random numbers with recursive quicksort, then
+   binary-search a few of them: calls, loops, and memory traffic. */
+
+int data[64];
+
+int qsort_range(int lo, int hi) {
+    int i; int j; int pivot; int tmp;
+    if (lo >= hi) return 0;
+    pivot = data[(lo + hi) / 2];
+    i = lo; j = hi;
+    while (i <= j) {
+        while (data[i] < pivot) i = i + 1;
+        while (data[j] > pivot) j = j - 1;
+        if (i <= j) {
+            tmp = data[i]; data[i] = data[j]; data[j] = tmp;
+            i = i + 1; j = j - 1;
+        }
+    }
+    qsort_range(lo, j);
+    qsort_range(i, hi);
+    return 0;
+}
+
+int bsearch(int key) {
+    int lo = 0; int hi = 63;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        if (data[mid] == key) return mid;
+        if (data[mid] < key) lo = mid + 1;
+        else hi = mid - 1;
+    }
+    return -1;
+}
+
+int main(void) {
+    int i;
+    int seed = 41;
+    int found = 0;
+    for (i = 0; i < 64; i = i + 1) {
+        seed = ((seed << 5) + seed + 7) & 4095;
+        data[i] = seed;
+    }
+    qsort_range(0, 63);
+    for (i = 0; i < 64; i = i + 8) {
+        if (bsearch(data[i]) >= 0) found = found + 1;
+    }
+    return found * 10000 + data[32];
+}
+"""
+
+
+def main() -> None:
+    print(f"{'machine':<12} {'result':>8} {'code B':>7} {'instrs':>8} "
+          f"{'cycles':>8} {'time ms':>8} {'mem refs':>9}")
+
+    risc = compile_for_risc(SOURCE)
+    value, machine = risc.run()
+    risc_ms = machine.stats.cycles * CYCLE_TIME_NS / 1e6
+    print(f"{'RISC I':<12} {value:>8} {risc.code_size_bytes:>7} "
+          f"{machine.stats.instructions:>8} {machine.stats.cycles:>8} "
+          f"{risc_ms:>8.3f} {machine.memory.stats.data_refs:>9}")
+
+    ir = compile_to_ir(SOURCE)
+    for traits in ALL_TRAITS:
+        generated = compile_for_cisc(ir, traits)
+        executor = CiscExecutor(generated.program, traits)
+        result = executor.run()
+        ms = executor.cycles * traits.cycle_time_ns / 1e6
+        print(f"{traits.name:<12} {result:>8} {generated.static_bytes:>7} "
+              f"{executor.instructions_executed:>8} {executor.cycles:>8} "
+              f"{ms:>8.3f} {executor.memory.stats.data_refs:>9}"
+              f"   ({ms / risc_ms:.1f}x RISC I)")
+
+    print("\nNote the paper's trade: RISC I executes MORE instructions from")
+    print("a LARGER binary, yet finishes first - one cycle per instruction")
+    print("and almost no call-related memory traffic.")
+
+
+if __name__ == "__main__":
+    main()

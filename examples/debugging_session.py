@@ -1,0 +1,84 @@
+"""A scripted debugging session on the RISC I simulator.
+
+Shows the debugger facilities a bring-up engineer would use:
+breakpoints, watchpoints, single-stepping, backtraces, register dumps,
+and the per-function profiler.
+
+Run with::
+
+    python examples/debugging_session.py
+"""
+
+from repro.cc import compile_for_risc
+from repro.cpu.debugger import Debugger
+from repro.cpu.profiler import Profiler, function_symbols
+
+SOURCE = """
+int scratch;
+
+int helper(int x) {
+    scratch = x * 3;
+    return scratch + 1;
+}
+
+int middle(int n) {
+    return helper(n) + helper(n + 1);
+}
+
+int main() {
+    int total = 0;
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        total = total + middle(i);
+    }
+    return total;
+}
+"""
+
+
+def main() -> None:
+    compiled = compile_for_risc(SOURCE)
+    machine = compiled.make_machine()
+    machine.reset(compiled.program.entry)
+    debugger = Debugger(machine, symbols=dict(compiled.program.symbols))
+
+    print("== break at _helper, then inspect ==")
+    debugger.add_breakpoint("_helper")
+    event = debugger.cont()
+    print(f"stopped: {event.reason.value} at {debugger.describe_address(event.pc)}")
+    print("\nbacktrace:")
+    for frame in debugger.backtrace():
+        print("   ", frame)
+    print("\ndisassembly around PC:")
+    for line in debugger.disassemble_around(context=2):
+        print("   ", line)
+    regs = debugger.registers()
+    print(f"\nincoming argument r26 = {regs['r26']}, window {regs['cwp']}")
+
+    print("\n== watchpoint on the global 'scratch' ==")
+    scratch_addr = 16  # first global in the data section
+    debugger.add_watchpoint(scratch_addr)
+    event = debugger.cont()
+    print(f"stopped: {event.reason.value} - {event.detail}")
+
+    print("\n== finish the frame, then run to completion ==")
+    event = debugger.finish()
+    print(f"stopped: {event.reason.value} at {debugger.describe_address(event.pc)}")
+    debugger.breakpoints.clear()
+    debugger.watchpoints.clear()
+    event = debugger.cont()
+    print(f"stopped: {event.reason.value}; main returned {machine.result}")
+
+    print("\n== last instructions executed (trace ring) ==")
+    for line in debugger.trace_listing()[-5:]:
+        print("   ", line)
+
+    print("\n== profile of a fresh run ==")
+    machine2 = compiled.make_machine()
+    profiler = Profiler(machine2, function_symbols(compiled.program.symbols))
+    profiler.run(compiled.program.entry)
+    print(profiler.report())
+
+
+if __name__ == "__main__":
+    main()

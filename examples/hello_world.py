@@ -1,0 +1,55 @@
+"""Hello world, compiled from Mini-C to RISC I and executed.
+
+Output goes through the memory-mapped console device at 0xF0000: each
+byte stored there appears on the simulated terminal (the `putchar`
+builtin compiles to exactly that one-byte store).
+
+Run with::
+
+    python examples/hello_world.py
+"""
+
+from repro.cc import compile_for_risc
+
+SOURCE = r"""
+char message[32] = "Hello from RISC I (1981)!";
+
+int print_string(char *s) {
+    int i;
+    for (i = 0; s[i] != 0; i++) putchar(s[i]);
+    return i;
+}
+
+int print_number(int n) {
+    /* recursive decimal print: a call-per-digit, windows at work */
+    if (n < 0) { putchar('-'); return print_number(-n); }
+    if (n >= 10) print_number(n / 10);
+    putchar('0' + n % 10);
+    return n;
+}
+
+int main() {
+    int chars = print_string(message);
+    putchar('\n');
+    print_string("chars printed: ");
+    print_number(chars);
+    putchar('\n');
+    return chars;
+}
+"""
+
+
+def main() -> None:
+    compiled = compile_for_risc(SOURCE)
+    value, machine = compiled.run()
+    print("--- simulated console ---")
+    print(machine.memory.console_output, end="")
+    print("--- end of console ---")
+    print(f"main returned {value}; "
+          f"{machine.stats.instructions} instructions, "
+          f"{machine.stats.cycles} cycles "
+          f"({machine.stats.time_ns() / 1000:.0f} us at 400 ns)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: assemble and run a hand-written RISC I program.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import RiscMachine, assemble, disassemble_program
+
+SOURCE = """
+; Sum the integers 1..10 and return the total.
+; Convention: a procedure's result goes in r26 (the caller sees it as
+; r10 through the register-window overlap); `ret` is `ret r31, 8`.
+
+main:
+    li    r16, 0          ; sum
+    li    r17, 1          ; i
+loop:
+    add   r16, r16, r17
+    add   r17, r17, #1
+    cmp   r17, #11
+    bne   loop
+    nop                   ; delay slot of the branch
+    mov   r26, r16        ; return value
+    ret
+    nop                   ; delay slot of the return
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE)
+    print("Assembled image:")
+    for line in disassemble_program(program.to_words()):
+        print("   ", line)
+
+    machine = RiscMachine()
+    program.load_into(machine.memory)
+    stats = machine.run(program.entry)
+
+    print(f"\nResult: {machine.result} (expected 55)")
+    print(f"Instructions executed: {stats.instructions}")
+    print(f"Cycles: {stats.cycles}  (= {stats.time_ns() / 1000:.1f} us at 400 ns/cycle)")
+    print(f"Taken jumps: {stats.taken_jumps}, delay slots executed: {stats.delay_slots}")
+    print(f"By category: {dict(stats.by_category)}")
+
+
+if __name__ == "__main__":
+    main()

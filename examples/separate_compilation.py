@@ -1,0 +1,101 @@
+"""Separate assembly and linking: build a program from three modules.
+
+Demonstrates the relocatable-object toolchain: a math library, a data
+module, and a main module assembled independently, then linked into one
+runnable image with cross-module calls, data references, and an
+address-table relocation.
+
+Run with::
+
+    python examples/separate_compilation.py
+"""
+
+from repro import RiscMachine
+from repro.asm.linker import assemble_module, link
+
+MATH_MODULE = """
+; math.s - leaf routines (windowed convention: args r26.., result r26)
+square:                     ; shift-and-add n*n
+    mov   r16, r26          ; multiplicand
+    mov   r17, r26          ; multiplier
+    li    r18, 0
+square_loop:
+    cmp   r17, #0
+    beq   square_done
+    nop
+    and   r19, r17, #1
+    cmp   r19, #0
+    beq   square_skip
+    nop
+    add   r18, r18, r16
+square_skip:
+    sll   r16, r16, #1
+    srl   r17, r17, #1
+    b     square_loop
+    nop
+square_done:
+    mov   r26, r18
+    ret
+    nop
+
+cube_via_table:             ; reads a coefficient from another module
+    ldl   r16, r0, coefficient
+    mov   r26, r16
+    ret
+    nop
+"""
+
+DATA_MODULE = """
+; data.s - constants shared across modules
+coefficient:
+    .word 7
+table:
+    .word square            ; function address resolved at link time
+    .word cube_via_table
+"""
+
+MAIN_MODULE = """
+; main.s
+main:
+    li    r10, 9
+    callr r31, square       ; external call
+    nop
+    mov   r16, r10          ; 81
+    callr r31, cube_via_table
+    nop
+    add   r26, r16, r10     ; 81 + 7
+    ret
+    nop
+"""
+
+
+def main() -> None:
+    modules = [
+        assemble_module(MAIN_MODULE, name="main"),
+        assemble_module(MATH_MODULE, name="math"),
+        assemble_module(DATA_MODULE, name="data"),
+    ]
+    for module in modules:
+        print(f"module {module.name:>5}: {module.size:>3} bytes, "
+              f"exports {sorted(module.symbols)}, "
+              f"needs {sorted(module.undefined_symbols()) or '-'}")
+
+    program = link(modules, base=0)
+    print(f"\nlinked image: {program.size} bytes, entry {program.entry:#x}")
+    print("symbol map:")
+    for name, address in sorted(program.symbols.items(), key=lambda kv: kv[1]):
+        print(f"    {address:#06x}  {name}")
+
+    machine = RiscMachine()
+    program.load_into(machine.memory)
+    machine.run(program.entry)
+    print(f"\nresult: {machine.result} (expected 88 = 9*9 + 7)")
+
+    table_addr = program.symbols["table"]
+    entry0 = machine.memory.load_word(table_addr, count=False)
+    print(f"table[0] = {entry0:#x} == address of 'square' "
+          f"({program.symbols['square']:#x})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim so editable installs work without the `wheel` package installed."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Reproduction of *RISC I: A Reduced Instruction Set VLSI Computer*
+(Patterson & Sequin, ISCA 1981).
+
+Top-level convenience API::
+
+    from repro import assemble, RiscMachine, Memory
+
+    program = assemble('''
+    main:
+        li    r16, 6
+        li    r17, 7
+        add   r16, r16, r17
+        ret
+    ''')
+    machine = RiscMachine()
+    program.load_into(machine.memory)
+    machine.run(program.entry)
+
+See :mod:`repro.hll` for the Mini-C front end, :mod:`repro.cc` for the
+compiler, :mod:`repro.baselines` for the CISC comparison machines, and
+:mod:`repro.evaluation` for the paper's tables and figures.
+"""
+
+from repro.asm import assemble, disassemble, disassemble_program
+from repro.common.memory import Memory
+from repro.cpu.machine import CYCLE_TIME_NS, ExecutionStats, HaltReason, RiscMachine
+from repro.isa import Instruction, Opcode, decode, encode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CYCLE_TIME_NS",
+    "ExecutionStats",
+    "HaltReason",
+    "Instruction",
+    "Memory",
+    "Opcode",
+    "RiscMachine",
+    "assemble",
+    "decode",
+    "disassemble",
+    "disassemble_program",
+    "encode",
+    "__version__",
+]

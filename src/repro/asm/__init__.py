@@ -1,0 +1,23 @@
+"""RISC I assembler and disassembler.
+
+The assembler is two-pass: pass one sizes statements and collects the
+symbol table, pass two encodes.  It supports the 31 machine instructions,
+a handful of pseudo-instructions (``nop``, ``mov``, ``li``, ``cmp``,
+``ret``/``call`` shorthand), and the usual data directives (``.org``,
+``.word``, ``.space``, ``.ascii``/``.asciiz``, ``.align``).
+"""
+
+from repro.asm.assembler import Assembler, Program, assemble
+from repro.asm.disassembler import disassemble, disassemble_program
+from repro.asm.lexer import Token, TokenKind, tokenize_line
+
+__all__ = [
+    "Assembler",
+    "Program",
+    "Token",
+    "TokenKind",
+    "assemble",
+    "disassemble",
+    "disassemble_program",
+    "tokenize_line",
+]

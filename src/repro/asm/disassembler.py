@@ -1,0 +1,57 @@
+"""Disassembler: 32-bit words back to assembler-compatible text.
+
+Round-trip property: ``assemble(disassemble_program(p))`` reproduces the
+original words (modulo PC-relative targets, which are printed as absolute
+addresses using a location counter).
+"""
+
+from __future__ import annotations
+
+from repro.isa.decode import decode
+from repro.isa.formats import Instruction
+from repro.isa.opcodes import ALL_SPECS, Category, Format, Opcode
+
+
+def disassemble(word: int, address: int = 0) -> str:
+    """Disassemble one instruction word located at *address*."""
+    return render(decode(word), address)
+
+
+def render(inst: Instruction, address: int = 0) -> str:
+    """Render a decoded instruction in assembler syntax."""
+    spec = ALL_SPECS[inst.opcode]
+    mnemonic = inst.opcode.name.lower()
+    if inst.scc and spec.category is Category.ALU:
+        mnemonic += "s"
+
+    if spec.fmt is Format.LONG:
+        if inst.opcode is Opcode.LDHI:
+            return f"ldhi r{inst.dest}, {inst.imm19}"
+        target = address + inst.imm19
+        if spec.uses_cond:
+            return f"jmpr {inst.cond.name.lower()}, {target:#x}"
+        return f"{mnemonic} r{inst.dest}, {target:#x}"
+
+    s2 = f"#{inst.s2}" if inst.imm else f"r{inst.s2}"
+    if spec.uses_cond:
+        return f"jmp {inst.cond.name.lower()}, r{inst.rs1}, {s2}"
+    if inst.opcode in (Opcode.RET, Opcode.RETINT):
+        return f"{mnemonic} r{inst.rs1}, {s2}"
+    if inst.opcode is Opcode.PUTPSW:
+        return f"putpsw r{inst.rs1}, {s2}"
+    if inst.opcode in (Opcode.GETPSW, Opcode.GTLPC, Opcode.CALLINT):
+        return f"{mnemonic} r{inst.dest}"
+    return f"{mnemonic} r{inst.dest}, r{inst.rs1}, {s2}"
+
+
+def disassemble_program(words: list[int], base: int = 0) -> list[str]:
+    """Disassemble a word list; lines are ``address: text``."""
+    lines = []
+    for index, word in enumerate(words):
+        address = base + 4 * index
+        try:
+            text = disassemble(word, address)
+        except Exception:
+            text = f".word {word:#010x}"
+        lines.append(f"{address:#06x}: {text}")
+    return lines

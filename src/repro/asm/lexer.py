@@ -1,0 +1,120 @@
+"""Line-oriented lexer for RISC I assembly source."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"  # mnemonics, labels, register names, condition names
+    NUMBER = "number"
+    STRING = "string"
+    HASH = "#"
+    COMMA = ","
+    COLON = ":"
+    LPAREN = "("
+    RPAREN = ")"
+    PLUS = "+"
+    MINUS = "-"
+    EQUALS = "="
+    DOT_DIRECTIVE = "directive"  # .word, .org, ...
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: int = 0  # numeric value for NUMBER tokens
+
+
+_PUNCT = {
+    "#": TokenKind.HASH,
+    ",": TokenKind.COMMA,
+    ":": TokenKind.COLON,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "=": TokenKind.EQUALS,
+}
+
+
+def tokenize_line(line: str, lineno: int | None = None) -> list[Token]:
+    """Tokenize one source line; comments start with ``;`` or ``//``."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == ";" or line.startswith("//", i):
+            break
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch))
+            i += 1
+            continue
+        if ch == '"':
+            end = i + 1
+            chars: list[str] = []
+            while end < n and line[end] != '"':
+                if line[end] == "\\" and end + 1 < n:
+                    chars.append(_unescape(line[end + 1]))
+                    end += 2
+                else:
+                    chars.append(line[end])
+                    end += 1
+            if end >= n:
+                raise AssemblerError("unterminated string literal", lineno)
+            tokens.append(Token(TokenKind.STRING, "".join(chars)))
+            i = end + 1
+            continue
+        if ch == "'":
+            if i + 2 < n and line[i + 1] == "\\" and line[i + 3] == "'":
+                tokens.append(Token(TokenKind.NUMBER, line[i : i + 4], ord(_unescape(line[i + 2]))))
+                i += 4
+                continue
+            if i + 2 < n and line[i + 2] == "'":
+                tokens.append(Token(TokenKind.NUMBER, line[i : i + 3], ord(line[i + 1])))
+                i += 3
+                continue
+            raise AssemblerError("bad character literal", lineno)
+        if ch == ".":
+            end = i + 1
+            while end < n and (line[end].isalnum() or line[end] == "_"):
+                end += 1
+            tokens.append(Token(TokenKind.DOT_DIRECTIVE, line[i:end].lower()))
+            i = end
+            continue
+        if ch.isdigit():
+            end = i
+            if line.startswith("0x", i) or line.startswith("0X", i):
+                end = i + 2
+                while end < n and line[end] in "0123456789abcdefABCDEF":
+                    end += 1
+                text = line[i:end]
+                tokens.append(Token(TokenKind.NUMBER, text, int(text, 16)))
+            else:
+                while end < n and line[end].isdigit():
+                    end += 1
+                text = line[i:end]
+                tokens.append(Token(TokenKind.NUMBER, text, int(text)))
+            i = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = i
+            while end < n and (line[end].isalnum() or line[end] == "_"):
+                end += 1
+            tokens.append(Token(TokenKind.IDENT, line[i:end]))
+            i = end
+            continue
+        raise AssemblerError(f"unexpected character {ch!r}", lineno)
+    return tokens
+
+
+def _unescape(ch: str) -> str:
+    return {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", '"': '"', "'": "'"}.get(ch, ch)

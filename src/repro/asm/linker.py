@@ -1,0 +1,183 @@
+"""Module assembler and linker: separate assembly for RISC I.
+
+``assemble_module`` assembles one source file into a relocatable
+:class:`~repro.asm.objfile.ObjectFile`; ``link`` concatenates modules,
+resolves cross-module references, and produces a runnable
+:class:`~repro.asm.assembler.Program`.
+
+External references are recognised where the instruction set can encode
+them:
+
+* branch/call targets (``jmpr``/``callr`` and the ``b<cond>`` sugar) -
+  PC-relative 19-bit relocations;
+* ``li rd, symbol`` - an LDHI/ADD pair relocation;
+* ``.word symbol`` - a 32-bit data relocation;
+* 13-bit immediate fields (``ldl r1, r0, symbol``) - absolute-13
+  relocations, valid for symbols that land in low memory.
+
+One external symbol per statement (split ``.word a, b`` into two lines
+when both are external).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+from repro.asm.assembler import Assembler, Program, WORD
+from repro.asm.objfile import ObjectFile, Relocation, RelocKind, apply_relocation
+
+
+class ModuleAssembler(Assembler):
+    """Assembler variant that records undefined symbols as relocations."""
+
+    def __init__(self, name: str):
+        super().__init__(base=0)
+        self.module_name = name
+        self.object_file = ObjectFile(name=name)
+        self._emitting = False
+        self._pending: str | None = None
+
+    def assemble_module(self, source: str) -> ObjectFile:
+        statements = self._parse(source)
+        self._layout(statements)
+        self._emitting = True
+        program = self._emit(statements)
+        self._emitting = False
+        self.object_file.image = program.image
+        self.object_file.symbols = dict(program.symbols)
+        self._collect_relocations(statements, program)
+        return self.object_file
+
+    # -- hook ------------------------------------------------------------
+
+    def _undefined_symbol(self, name: str, lineno: int | None) -> int:
+        if not self._emitting:
+            raise AssemblerError(
+                f"undefined symbol {name!r} in a size-determining context", lineno
+            )
+        if self._pending is not None and self._pending != name:
+            raise AssemblerError(
+                f"more than one external symbol in a statement ({self._pending!r}, "
+                f"{name!r})", lineno
+            )
+        self._pending = name
+        return 0
+
+    # -- relocation extraction ----------------------------------------------
+
+    def _emit(self, statements) -> Program:
+        # Track which statement produced each pending external reference.
+        self._statement_refs: list[tuple[object, str]] = []
+        original_expand = self._expand
+
+        program = Program(base=self.base, image=bytearray(), symbols=dict(self.symbols))
+        for stmt in statements:
+            self._pad_to(program, stmt.address)
+            if stmt.kind == "equate" or stmt.mnemonic == ":label":
+                continue
+            self._pending = None
+            if stmt.kind == "directive":
+                self._emit_directive(program, stmt)
+            else:
+                for inst in original_expand(stmt):
+                    from repro.isa.encode import encode
+
+                    program.source_map[self.base + len(program.image)] = stmt.lineno
+                    program.image += encode(inst).to_bytes(WORD, "big")
+            if self._pending is not None:
+                self._statement_refs.append((stmt, self._pending))
+        main = self.symbols.get("main")
+        program.entry = main if main is not None else self.base
+        return program
+
+    def _collect_relocations(self, statements, program: Program) -> None:
+        image = self.object_file.image
+        for stmt, symbol in self._statement_refs:
+            offset = stmt.address
+            mnemonic = stmt.mnemonic
+            if mnemonic in ("jmpr", "callr") or mnemonic.startswith("b"):
+                word = int.from_bytes(image[offset : offset + 4], "big")
+                stored = _signed_field(word, 19)
+                addend = stored + stmt.address  # undo the PC-relative bias
+                image[offset : offset + 4] = (word & ~0x7FFFF).to_bytes(4, "big")
+                self.object_file.relocations.append(
+                    Relocation(RelocKind.REL19, offset, symbol, addend)
+                )
+            elif mnemonic == "li":
+                first = int.from_bytes(image[offset : offset + 4], "big")
+                second = int.from_bytes(image[offset + 4 : offset + 8], "big")
+                high = _signed_field(first, 19)
+                low = _signed_field(second, 13)
+                addend = (high << 13) + low
+                image[offset : offset + 4] = (first & ~0x7FFFF).to_bytes(4, "big")
+                image[offset + 4 : offset + 8] = (second & ~0x1FFF).to_bytes(4, "big")
+                self.object_file.relocations.append(
+                    Relocation(RelocKind.HI19LO13, offset, symbol, addend)
+                )
+            elif mnemonic == ".word":
+                addend = int.from_bytes(image[offset : offset + 4], "big")
+                self.object_file.relocations.append(
+                    Relocation(RelocKind.WORD32, offset, symbol, addend)
+                )
+            else:
+                word = int.from_bytes(image[offset : offset + 4], "big")
+                addend = _signed_field(word, 13)
+                image[offset : offset + 4] = (word & ~0x1FFF).to_bytes(4, "big")
+                self.object_file.relocations.append(
+                    Relocation(RelocKind.ABS13, offset, symbol, addend)
+                )
+
+
+def _signed_field(word: int, bits: int) -> int:
+    value = word & ((1 << bits) - 1)
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def assemble_module(source: str, name: str = "module") -> ObjectFile:
+    """Assemble one source file into a relocatable object."""
+    return ModuleAssembler(name).assemble_module(source)
+
+
+@dataclass
+class LinkError(AssemblerError):
+    pass
+
+
+def link(modules: list[ObjectFile], base: int = 0, entry: str = "main") -> Program:
+    """Concatenate *modules*, resolve symbols, and apply relocations."""
+    placements: dict[str, int] = {}
+    cursor = base
+    global_symbols: dict[str, int] = {}
+    for module in modules:
+        cursor = (cursor + WORD - 1) // WORD * WORD
+        placements[module.name] = cursor
+        for symbol, offset in module.symbols.items():
+            if symbol in global_symbols:
+                raise AssemblerError(
+                    f"duplicate symbol {symbol!r} (module {module.name})"
+                )
+            global_symbols[symbol] = cursor + offset
+        cursor += module.size
+
+    image = bytearray(cursor - base)
+    for module in modules:
+        module_base = placements[module.name]
+        patched = bytearray(module.image)
+        for reloc in module.relocations:
+            target = global_symbols.get(reloc.symbol)
+            if target is None:
+                raise AssemblerError(
+                    f"undefined symbol {reloc.symbol!r} referenced by {module.name}"
+                )
+            apply_relocation(patched, reloc, module_base, target)
+        start = module_base - base
+        image[start : start + module.size] = patched
+
+    program = Program(base=base, image=image, symbols=global_symbols)
+    if entry not in global_symbols:
+        raise AssemblerError(f"entry symbol {entry!r} not defined by any module")
+    program.entry = global_symbols[entry]
+    return program

@@ -1,0 +1,36 @@
+"""Listing renderer for generic-CISC programs.
+
+Parity with the RISC side's ``Program.listing()``: a human-readable dump
+of a :class:`~repro.baselines.framework.CiscProgram` with per-machine
+encoded sizes, so the code-size tables can be inspected instruction by
+instruction.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.framework import CiscProgram, MachineTraits
+
+
+def render_listing(program: CiscProgram, traits: MachineTraits) -> str:
+    """One line per instruction: index, encoded bytes, text."""
+    by_index: dict[int, list[str]] = {}
+    for label, index in program.labels.items():
+        by_index.setdefault(index, []).append(label)
+    lines = [f"; {traits.name} encoding ({program.static_bytes(traits)} bytes total)"]
+    offset = 0
+    for index, inst in enumerate(program.instructions):
+        for label in sorted(by_index.get(index, [])):
+            lines.append(f"{label}:")
+        size = traits.bytes(inst)
+        lines.append(f"  {offset:#06x} [{size:>2}B] {inst}")
+        offset += size
+    return "\n".join(lines)
+
+
+def size_histogram(program: CiscProgram, traits: MachineTraits) -> dict[int, int]:
+    """Distribution of encoded instruction sizes (bytes -> count)."""
+    histogram: dict[int, int] = {}
+    for inst in program.instructions:
+        size = traits.bytes(inst)
+        histogram[size] = histogram.get(size, 0) + 1
+    return histogram

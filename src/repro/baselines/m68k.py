@@ -1,0 +1,70 @@
+"""Motorola MC68000 machine model.
+
+16-bit opcodes with extension words; the 16-bit external bus makes every
+32-bit datum two bus transactions, which dominates the published timings
+(ADD.L Dn,Dn = 8 cycles; memory operands add ~8; MULS ~70; DIVS ~158).
+Clock modelled at 8 MHz (125 ns).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.framework import (
+    Abs,
+    AutoDec,
+    AutoInc,
+    CInst,
+    CiscOp,
+    Imm,
+    Ind,
+    MachineTraits,
+    Reg,
+)
+
+
+class M68KTraits(MachineTraits):
+    name = "MC68000"
+    cycle_time_ns = 125.0
+    pool = tuple(range(1, 12))  # model: 11 allocatable of D0-D7/A0-A5
+    year = 1979
+    instruction_count = 61
+    microcode_bits = 54 * 1024
+    instruction_size_range = (16, 80)
+    registers = 16
+
+    def base_bytes(self, inst: CInst) -> int:
+        return 2
+
+    def operand_bytes(self, operand) -> int:
+        if isinstance(operand, Reg):
+            return 0
+        if isinstance(operand, Imm):
+            return 2 if -32768 <= operand.value < 32768 else 4
+        if isinstance(operand, Abs):
+            return 4
+        if isinstance(operand, Ind):
+            return 0 if operand.disp == 0 else 2
+        if isinstance(operand, (AutoInc, AutoDec)):
+            return 0
+        return 0
+
+    def branch_target_bytes(self) -> int:
+        return 2
+
+    def cycles(self, inst: CInst) -> int:
+        # ~4 cycles per 16-bit instruction word fetched (2 per byte)...
+        cycles = 2 * self.bytes(inst)
+        # ...plus 8 per 32-bit memory datum moved
+        cycles += 8 * self.memory_operand_count(inst)
+        if inst.op is CiscOp.MUL:
+            cycles += 62
+        elif inst.op in (CiscOp.DIV, CiscOp.MOD):
+            cycles += 140
+        elif inst.op is CiscOp.JSR:
+            cycles += 10
+        elif inst.op is CiscOp.RTS:
+            cycles += 10
+        elif inst.op in (CiscOp.SAVE, CiscOp.RESTORE):
+            cycles += 8 + 8 * len(inst.regs)
+        elif inst.op in (CiscOp.PUSH, CiscOp.POP):
+            cycles += 6
+        return cycles

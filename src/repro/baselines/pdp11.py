@@ -1,0 +1,68 @@
+"""PDP-11/70 machine model.
+
+16-bit instruction words; register and autoincrement modes are free,
+immediates and displacements add one extension word (two for 32-bit
+immediates, since the real machine would pair instructions).  Timed at
+an effective 300 ns per cycle (the 11/70 ran ~1 MIPS on register code),
+and every memory operand pays extra.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.framework import (
+    Abs,
+    AutoDec,
+    AutoInc,
+    CInst,
+    CiscOp,
+    Imm,
+    Ind,
+    MachineTraits,
+    Reg,
+)
+
+
+class Pdp11Traits(MachineTraits):
+    name = "PDP-11/70"
+    cycle_time_ns = 300.0
+    pool = tuple(range(1, 6))  # r1-r5; r6=SP r7=PC on the real machine
+    year = 1975
+    instruction_count = 65
+    microcode_bits = 24 * 1024
+    instruction_size_range = (16, 48)
+    registers = 8
+
+    def base_bytes(self, inst: CInst) -> int:
+        return 2
+
+    def operand_bytes(self, operand) -> int:
+        if isinstance(operand, Reg):
+            return 0
+        if isinstance(operand, Imm):
+            return 2 if -32768 <= operand.value < 32768 else 4
+        if isinstance(operand, Abs):
+            return 2
+        if isinstance(operand, Ind):
+            return 0 if operand.disp == 0 else 2
+        if isinstance(operand, (AutoInc, AutoDec)):
+            return 0
+        return 0
+
+    def branch_target_bytes(self) -> int:
+        return 0  # branch offset lives in the instruction word
+
+    def cycles(self, inst: CInst) -> int:
+        cycles = 2
+        cycles += 2 * self.memory_operand_count(inst)
+        cycles += sum(1 for op in inst.operands if isinstance(op, Imm))
+        if inst.op is CiscOp.MUL:
+            cycles += 20
+        elif inst.op in (CiscOp.DIV, CiscOp.MOD):
+            cycles += 30
+        elif inst.op in (CiscOp.JSR, CiscOp.RTS):
+            cycles += 4
+        elif inst.op in (CiscOp.SAVE, CiscOp.RESTORE):
+            cycles += 1 + 3 * len(inst.regs)
+        elif inst.op in (CiscOp.PUSH, CiscOp.POP):
+            cycles += 2
+        return cycles

@@ -1,0 +1,76 @@
+"""VAX-11/780 machine model.
+
+Encoding: 1-byte opcodes followed by compact per-operand specifiers -
+a register costs one byte, a short literal (0..63) one byte, a
+displacement-deferred operand 1-5 bytes.  This is why VAX code is the
+densest of the baselines and the paper's code-size reference (1.0).
+
+Timing: microcoded, ~200 ns cycle, a few cycles per operand plus large
+costs for multiply/divide and the (in)famous general CALLS sequence -
+modelled here as JSR plus explicit register SAVE/RESTORE so the call
+traffic is visible to the memory counters.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.framework import (
+    Abs,
+    AutoDec,
+    AutoInc,
+    CInst,
+    CiscOp,
+    Imm,
+    Ind,
+    MachineTraits,
+    Reg,
+)
+
+
+class VaxTraits(MachineTraits):
+    name = "VAX-11/780"
+    cycle_time_ns = 200.0
+    pool = tuple(range(1, 12))  # r1-r11 allocatable; r0 result, r12/13 reserved
+    year = 1978
+    instruction_count = 303
+    microcode_bits = 480 * 1024
+    instruction_size_range = (16, 456)
+    registers = 16
+
+    def base_bytes(self, inst: CInst) -> int:
+        return 1
+
+    def operand_bytes(self, operand) -> int:
+        if isinstance(operand, Reg):
+            return 1
+        if isinstance(operand, Imm):
+            return 1 if 0 <= operand.value <= 63 else 5
+        if isinstance(operand, Abs):
+            return 5
+        if isinstance(operand, Ind):
+            if operand.disp == 0:
+                return 1
+            return 2 if -128 <= operand.disp < 128 else 5
+        if isinstance(operand, (AutoInc, AutoDec)):
+            return 1
+        return 0
+
+    def branch_target_bytes(self) -> int:
+        return 2
+
+    def cycles(self, inst: CInst) -> int:
+        cycles = 3
+        cycles += 2 * self.memory_operand_count(inst)
+        cycles += sum(1 for op in inst.operands if isinstance(op, Imm))
+        if inst.op is CiscOp.MUL:
+            cycles += 12
+        elif inst.op in (CiscOp.DIV, CiscOp.MOD):
+            cycles += 22
+        elif inst.op is CiscOp.JSR:
+            cycles += 6
+        elif inst.op is CiscOp.RTS:
+            cycles += 6
+        elif inst.op in (CiscOp.SAVE, CiscOp.RESTORE):
+            cycles += 2 + 3 * len(inst.regs)
+        elif inst.op in (CiscOp.PUSH, CiscOp.POP):
+            cycles += 2
+        return cycles

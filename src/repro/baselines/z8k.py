@@ -1,0 +1,66 @@
+"""Zilog Z8002 machine model.
+
+16-bit words at 4 MHz (250 ns); register-to-register operations are
+quick (~4 cycles) but memory operands, multiply (~70) and divide (~95)
+are costly.  The slowest baseline per clock, as in the paper's tables.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.framework import (
+    Abs,
+    AutoDec,
+    AutoInc,
+    CInst,
+    CiscOp,
+    Imm,
+    Ind,
+    MachineTraits,
+    Reg,
+)
+
+
+class Z8002Traits(MachineTraits):
+    name = "Z8002"
+    cycle_time_ns = 250.0
+    pool = tuple(range(1, 12))
+    year = 1979
+    instruction_count = 110
+    microcode_bits = 18 * 1024
+    instruction_size_range = (16, 48)
+    registers = 16
+
+    def base_bytes(self, inst: CInst) -> int:
+        return 2
+
+    def operand_bytes(self, operand) -> int:
+        if isinstance(operand, Reg):
+            return 0
+        if isinstance(operand, Imm):
+            return 2 if -32768 <= operand.value < 32768 else 4
+        if isinstance(operand, Abs):
+            return 2
+        if isinstance(operand, Ind):
+            return 0 if operand.disp == 0 else 2
+        if isinstance(operand, (AutoInc, AutoDec)):
+            return 0
+        return 0
+
+    def branch_target_bytes(self) -> int:
+        return 2
+
+    def cycles(self, inst: CInst) -> int:
+        cycles = 4
+        cycles += 6 * self.memory_operand_count(inst)
+        cycles += sum(2 for op in inst.operands if isinstance(op, Imm))
+        if inst.op is CiscOp.MUL:
+            cycles += 66
+        elif inst.op in (CiscOp.DIV, CiscOp.MOD):
+            cycles += 91
+        elif inst.op in (CiscOp.JSR, CiscOp.RTS):
+            cycles += 8
+        elif inst.op in (CiscOp.SAVE, CiscOp.RESTORE):
+            cycles += 4 + 5 * len(inst.regs)
+        elif inst.op in (CiscOp.PUSH, CiscOp.POP):
+            cycles += 5
+        return cycles

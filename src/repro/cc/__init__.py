@@ -1,0 +1,37 @@
+"""The Mini-C compiler.
+
+Pipeline::
+
+    Mini-C source
+      -> repro.hll.parser / sema      (checked AST)
+      -> repro.cc.frontend            (three-address IR, virtual registers)
+      -> repro.cc.riscgen             (RISC I assembly; register windows,
+                                       delayed-jump slot filling)
+         or repro.cc.ciscgen          (generic CISC instructions for the
+                                       baseline machine models)
+
+The RISC I path produces assembler source that is assembled by
+:mod:`repro.asm` and runs on :class:`repro.cpu.machine.RiscMachine`.
+RISC I has no multiply/divide instructions, so ``*``, ``/`` and ``%``
+compile to calls into a shift-and-add runtime library
+(:mod:`repro.cc.runtime`) - exactly the trade the paper made.
+"""
+
+from repro.cc.ciscgen import CiscCodegenResult, compile_for_cisc
+from repro.cc.compiler import CompiledRisc, compile_for_risc, compile_to_ir
+from repro.cc.frontend import lower_program
+from repro.cc.ir import IrFunction, IrProgram
+from repro.cc.optimize import optimize_function, optimize_program
+
+__all__ = [
+    "CiscCodegenResult",
+    "CompiledRisc",
+    "IrFunction",
+    "IrProgram",
+    "compile_for_cisc",
+    "compile_for_risc",
+    "compile_to_ir",
+    "lower_program",
+    "optimize_function",
+    "optimize_program",
+]

@@ -1,0 +1,411 @@
+"""Generic CISC code generator for the baseline machine models.
+
+Conventional 1980-vintage compilation, deliberately contrasting with
+:mod:`repro.cc.riscgen`:
+
+* stack-frame calling convention: arguments pushed on the memory stack,
+  ``JSR``/``RTS`` through memory, callee saves/restores the registers it
+  uses (MOVEM-style SAVE/RESTORE) - every call costs memory traffic;
+* two-address instructions with memory operands: spilled temps are
+  addressed directly as ``disp(FP)`` operands, and single-use loads are
+  folded into the consuming instruction (up to the target's addressing
+  limit), which is what makes CISC code dense;
+* hardware multiply/divide (RISC I compiles those to library calls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+
+from repro.baselines.framework import (
+    FP,
+    RESULT_REG,
+    SP,
+    Abs,
+    CInst,
+    CiscOp,
+    CiscProgram,
+    Imm,
+    Ind,
+    MachineTraits,
+    Reg,
+)
+from repro.cc.ir import (
+    Bin,
+    BoolCmp,
+    Call,
+    CJump,
+    Const,
+    IrFunction,
+    IrProgram,
+    Jump,
+    Label,
+    Load,
+    Move,
+    Operand,
+    Ret,
+    Store,
+    SymRef,
+    Temp,
+)
+from repro.cc.regalloc import linear_scan
+
+_BIN_TO_OP = {
+    "+": CiscOp.ADD, "-": CiscOp.SUB, "*": CiscOp.MUL, "/": CiscOp.DIV,
+    "%": CiscOp.MOD, "&": CiscOp.AND, "|": CiscOp.OR, "^": CiscOp.XOR,
+    "<<": CiscOp.ASL, ">>": CiscOp.ASR, ">>>": CiscOp.LSR,
+}
+
+_COMMUTATIVE = {"+", "*", "&", "|", "^"}
+
+DATA_BASE = 0x400
+
+
+@dataclass
+class CiscCodegenResult:
+    program: CiscProgram
+    static_bytes: int
+    instruction_count: int
+    folded_loads: int = 0
+
+
+class _FunctionContext:
+    def __init__(self, func: IrFunction, traits: MachineTraits,
+                 global_addresses: dict[int, int]):
+        self.func = func
+        self.traits = traits
+        self.global_addresses = global_addresses
+        pool = list(traits.pool)
+        if len(pool) < 4:
+            raise CompileError(f"{traits.name}: register pool too small")
+        self.scratch = (pool[-1], pool[-2])
+        self.alloc = linear_scan(func, pool[:-2])
+        self.frame_offsets: dict[int, int] = {}
+        self.spill_offsets: dict[int, int] = {}
+        self.param_homes: dict[int, int] = {}  # temp index -> FP+disp
+        self.frame_size = 0
+        self._layout()
+
+    def _layout(self) -> None:
+        for index, temp in enumerate(self.func.params):
+            self.param_homes[temp.index] = 8 + 4 * index
+        offset = 0
+        for slot in self.func.frame_slots:
+            offset += slot.size
+            self.frame_offsets[slot.uid] = -offset
+        for temp_index in sorted(self.alloc.spills):
+            if temp_index in self.param_homes:
+                continue  # spilled parameters live in their stack homes
+            offset += 4
+            self.spill_offsets[temp_index] = -offset
+        self.frame_size = offset
+
+    def used_registers(self) -> list[int]:
+        return sorted(set(self.alloc.registers.values()))
+
+
+class CiscCodegen:
+    """Lower an :class:`IrProgram` for one baseline machine."""
+
+    def __init__(self, ir: IrProgram, traits: MachineTraits):
+        self.ir = ir
+        self.traits = traits
+        self.out: list[CInst] = []
+        self.labels: dict[str, int] = {}
+        self.pending_label: str | None = None
+        self.global_addresses: dict[int, int] = {}
+        self.data: list[tuple[int, bytes]] = []
+        self.folded = 0
+        self.max_mem_operands = getattr(traits, "max_mem_operands", 2)
+        self._label_seq = 0
+        self._layout_globals()
+
+    # -- emission plumbing ---------------------------------------------------
+
+    def emit(self, op: CiscOp, *operands, target=None, relop=None, regs=()) -> None:
+        inst = CInst(op, tuple(operands), target=target, relop=relop, regs=tuple(regs))
+        if self.pending_label is not None:
+            inst.label = self.pending_label
+            self.labels[self.pending_label] = len(self.out)
+            self.pending_label = None
+        self.out.append(inst)
+
+    def place_label(self, name: str) -> None:
+        if self.pending_label is not None:
+            # two labels on the same spot: emit a no-op join point
+            self.emit(CiscOp.TST, Reg(RESULT_REG))
+        self.pending_label = name
+
+    def new_label(self, hint: str) -> str:
+        self._label_seq += 1
+        return f"__c_{hint}_{self._label_seq}"
+
+    # -- globals ------------------------------------------------------------------
+
+    def _layout_globals(self) -> None:
+        cursor = DATA_BASE
+        for data in self.ir.globals:
+            self.global_addresses[data.uid] = cursor
+            if data.init_bytes is not None:
+                payload = data.init_bytes
+            else:
+                words = list(data.init_words or [])
+                words += [0] * ((data.size + 3) // 4 - len(words))
+                payload = b"".join(word.to_bytes(4, "big") for word in words)
+            self.data.append((cursor, payload))
+            cursor += (len(payload) + 3) // 4 * 4
+
+    # -- program ---------------------------------------------------------------------
+
+    def generate(self) -> CiscCodegenResult:
+        self._bootstrap()
+        for func in self.ir.functions.values():
+            self._function(func)
+        if self.pending_label is not None:
+            self.emit(CiscOp.TST, Reg(RESULT_REG))
+        program = CiscProgram(
+            instructions=self.out, labels=self.labels, data=self.data, entry="main"
+        )
+        return CiscCodegenResult(
+            program=program,
+            static_bytes=program.static_bytes(self.traits),
+            instruction_count=len(self.out),
+            folded_loads=self.folded,
+        )
+
+    def _bootstrap(self) -> None:
+        self.place_label("main")
+        self.emit(CiscOp.JSR, target="_main")
+        self.emit(CiscOp.RTS)
+
+    def _function(self, func: IrFunction) -> None:
+        ctx = _FunctionContext(func, self.traits, self.global_addresses)
+        self.ctx = ctx
+        epilogue = f"__epi_{func.name}"
+        self.place_label(f"_{func.name}")
+        # prologue
+        self.emit(CiscOp.PUSH, Reg(FP))
+        self.emit(CiscOp.MOV, Reg(FP), Reg(SP))
+        if ctx.frame_size:
+            self.emit(CiscOp.SUB, Reg(SP), Imm(ctx.frame_size))
+        saved = ctx.used_registers()
+        if saved:
+            self.emit(CiscOp.SAVE, regs=saved)
+        # bind register-allocated parameters (spilled ones stay in their
+        # stack homes and are addressed there directly)
+        for index, temp in enumerate(func.params):
+            reg = ctx.alloc.registers.get(temp.index)
+            if reg is not None:
+                self.emit(CiscOp.MOV, Reg(reg), Ind(FP, 8 + 4 * index))
+        body = _fold_single_use_loads(func.body, self)
+        for ins in body:
+            self._instruction(ins, epilogue)
+        # epilogue
+        self.place_label(epilogue)
+        if saved:
+            self.emit(CiscOp.RESTORE, regs=saved)
+        self.emit(CiscOp.MOV, Reg(SP), Reg(FP))
+        self.emit(CiscOp.POP, Reg(FP))
+        self.emit(CiscOp.RTS)
+
+    # -- operand mapping ---------------------------------------------------------------
+
+    def value_operand(self, operand: Operand, scratch_index: int = 0):
+        """Machine operand holding the *value* of an IR operand."""
+        ctx = self.ctx
+        if isinstance(operand, Temp):
+            reg = ctx.alloc.registers.get(operand.index)
+            if reg is not None:
+                return Reg(reg)
+            if operand.index in ctx.param_homes:
+                return Ind(FP, ctx.param_homes[operand.index])
+            if operand.index in ctx.spill_offsets:
+                return Ind(FP, ctx.spill_offsets[operand.index])
+            # defined-but-unallocated (dead) temp: scratch
+            return Reg(ctx.scratch[scratch_index])
+        if isinstance(operand, Const):
+            return Imm(operand.value)
+        if isinstance(operand, SymRef):
+            if operand.scope == "global":
+                return Imm(self.global_addresses[operand.uid])
+            # frame address: LEA into scratch
+            scratch = Reg(ctx.scratch[scratch_index])
+            self.emit(CiscOp.LEA, scratch, Ind(FP, ctx.frame_offsets[operand.uid]))
+            return scratch
+        raise CompileError(f"bad operand {operand!r}")
+
+    def memory_operand(self, addr: Operand, size: int, scratch_index: int = 0):
+        """Machine memory operand for an IR Load/Store address."""
+        ctx = self.ctx
+        if isinstance(addr, SymRef) and addr.scope == "global":
+            return Abs(self.global_addresses[addr.uid], size)
+        if isinstance(addr, SymRef):
+            return Ind(FP, ctx.frame_offsets[addr.uid], size)
+        if isinstance(addr, Const):
+            return Abs(addr.value, size)
+        if isinstance(addr, Temp):
+            reg = ctx.alloc.registers.get(addr.index)
+            if reg is not None:
+                return Ind(reg, 0, size)
+            scratch = Reg(ctx.scratch[scratch_index])
+            self.emit(CiscOp.MOV, scratch, self.value_operand(addr, scratch_index))
+            return Ind(scratch.n, 0, size)
+        raise CompileError(f"bad address {addr!r}")
+
+    # -- IR dispatch --------------------------------------------------------------------
+
+    def _instruction(self, ins, epilogue: str) -> None:
+        if isinstance(ins, Label):
+            self.place_label(ins.name)
+        elif isinstance(ins, Move):
+            src = self._use(ins.src, 0)
+            dst = self.value_operand(ins.dst, 1)
+            if src != dst:
+                self.emit(CiscOp.MOV, dst, src)
+        elif isinstance(ins, Bin):
+            self._bin(ins)
+        elif isinstance(ins, BoolCmp):
+            self._boolcmp(ins)
+        elif isinstance(ins, Load):
+            memop = self.memory_operand(ins.addr, ins.size, 0)
+            dst = self.value_operand(ins.dst, 1)
+            self.emit(CiscOp.MOV, dst, memop)
+        elif isinstance(ins, Store):
+            src = self._use(ins.src, 0)
+            memop = self.memory_operand(ins.addr, ins.size, 1)
+            if self._mem_count(memop, src) > self.max_mem_operands:
+                scratch = Reg(self.ctx.scratch[0])
+                self.emit(CiscOp.MOV, scratch, src)
+                src = scratch
+            self.emit(CiscOp.MOV, memop, src)
+        elif isinstance(ins, Jump):
+            self.emit(CiscOp.BRA, target=ins.target)
+        elif isinstance(ins, CJump):
+            self.emit(CiscOp.CMP, self._use(ins.a, 0), self._use(ins.b, 1))
+            self.emit(CiscOp.BCC, target=ins.target, relop=ins.relop)
+        elif isinstance(ins, Call):
+            self._call(ins)
+        elif isinstance(ins, Ret):
+            value = self._use(ins.value if ins.value is not None else Const(0), 0)
+            if value != Reg(RESULT_REG):
+                self.emit(CiscOp.MOV, Reg(RESULT_REG), value)
+            self.emit(CiscOp.BRA, target=epilogue)
+        else:  # pragma: no cover
+            raise CompileError(f"cannot emit {type(ins).__name__}")
+
+    def _use(self, operand: Operand, scratch_index: int):
+        """Value operand, honouring any folded-load replacement."""
+        if isinstance(operand, Temp):
+            replacement = self._fold_map.get(operand.index)
+            if replacement is not None:
+                return replacement
+        return self.value_operand(operand, scratch_index)
+
+    _fold_map: dict = {}
+
+    @staticmethod
+    def _mem_count(*operands) -> int:
+        return sum(1 for op in operands if isinstance(op, (Abs, Ind)))
+
+    def _bin(self, ins: Bin) -> None:
+        op = _BIN_TO_OP[ins.op]
+        dst = self.value_operand(ins.dst, 1)
+        a = self._use(ins.a, 0)
+        b = self._use(ins.b, 0)
+        if b == dst and a != dst:
+            if ins.op in _COMMUTATIVE:
+                a, b = b, a
+            else:
+                scratch = Reg(self.ctx.scratch[0])
+                self.emit(CiscOp.MOV, scratch, a)
+                self.emit(op, scratch, b)
+                self.emit(CiscOp.MOV, dst, scratch)
+                return
+        if a != dst:
+            if self._mem_count(dst, a) > self.max_mem_operands:
+                scratch = Reg(self.ctx.scratch[0])
+                self.emit(CiscOp.MOV, scratch, a)
+                a = scratch
+            self.emit(CiscOp.MOV, dst, a)
+        if self._mem_count(dst, b) > self.max_mem_operands:
+            scratch = Reg(self.ctx.scratch[0])
+            self.emit(CiscOp.MOV, scratch, b)
+            b = scratch
+        self.emit(op, dst, b)
+
+    def _boolcmp(self, ins: BoolCmp) -> None:
+        dst = self.value_operand(ins.dst, 1)
+        done = self.new_label("bc")
+        self.emit(CiscOp.CMP, self._use(ins.a, 0), self._use(ins.b, 1))
+        self.emit(CiscOp.MOV, dst, Imm(1))
+        self.emit(CiscOp.BCC, target=done, relop=ins.relop)
+        self.emit(CiscOp.CLR, dst)
+        self.place_label(done)
+
+    def _call(self, ins: Call) -> None:
+        for arg in reversed(ins.args):
+            self.emit(CiscOp.PUSH, self._use(arg, 0))
+        self.emit(CiscOp.JSR, target=f"_{ins.func}")
+        if ins.args:
+            self.emit(CiscOp.ADD, Reg(SP), Imm(4 * len(ins.args)))
+        if ins.dst is not None:
+            dst = self.value_operand(ins.dst, 1)
+            if dst != Reg(RESULT_REG):
+                self.emit(CiscOp.MOV, dst, Reg(RESULT_REG))
+
+
+def _fold_single_use_loads(body: list, codegen: CiscCodegen) -> list:
+    """Fold ``Load t, M; use t`` pairs into memory operands.
+
+    A load is folded when its destination temp is used exactly once, in
+    the *immediately following* instruction, the temp was not register
+    allocated elsewhere... (conservative: also requires the temp to be
+    otherwise dead and the address to be static or register-resident).
+    """
+    use_counts: dict[int, int] = {}
+    def_counts: dict[int, int] = {}
+    for ins in body:
+        for temp in ins.uses():
+            use_counts[temp.index] = use_counts.get(temp.index, 0) + 1
+        for temp in ins.defs():
+            def_counts[temp.index] = def_counts.get(temp.index, 0) + 1
+    result = []
+    fold_map: dict[int, object] = {}
+    index = 0
+    while index < len(body):
+        ins = body[index]
+        nxt = body[index + 1] if index + 1 < len(body) else None
+        next_is_value_use = (
+            nxt is not None
+            and not isinstance(nxt, (Label, Call, Load))
+            and any(temp.index == ins.dst.index for temp in nxt.uses())
+            and not (isinstance(nxt, Store)
+                     and isinstance(nxt.addr, Temp)
+                     and nxt.addr.index == ins.dst.index)
+            if isinstance(ins, Load)
+            else False
+        )
+        if (
+            isinstance(ins, Load)
+            and next_is_value_use
+            and use_counts.get(ins.dst.index, 0) == 1
+            and def_counts.get(ins.dst.index, 0) == 1
+            and isinstance(ins.addr, (SymRef, Const))
+        ):
+            memop = codegen.memory_operand(ins.addr, ins.size)
+            if not isinstance(memop, Reg):
+                fold_map[ins.dst.index] = memop
+                codegen.folded += 1
+                index += 1
+                continue
+        result.append(ins)
+        index += 1
+    codegen._fold_map = fold_map
+    return result
+
+
+def compile_for_cisc(ir: IrProgram, traits: MachineTraits) -> CiscCodegenResult:
+    """Generate a :class:`CiscProgram` for *ir* priced by *traits*."""
+    return CiscCodegen(ir, traits).generate()

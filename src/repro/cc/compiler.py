@@ -1,0 +1,96 @@
+"""Compiler driver: Mini-C source -> runnable RISC I machine.
+
+`compile_for_risc` returns a :class:`CompiledRisc` bundling the generated
+assembly, the assembled image, and helpers to execute it on a fresh
+:class:`~repro.cpu.machine.RiscMachine` - the path every benchmark and
+differential test goes through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm import Program, assemble
+from repro.common.bitops import to_signed
+from repro.cpu.machine import RiscMachine
+from repro.hll.parser import parse_program
+from repro.hll.sema import CheckedProgram, analyze
+
+from repro.cc.frontend import lower_program
+from repro.cc.ir import IrProgram
+from repro.cc.riscgen import CodegenResult, generate_program
+
+
+def compile_to_ir(source: str, optimize: bool = True) -> IrProgram:
+    """Front half of the pipeline: source -> checked AST -> IR.
+
+    With ``optimize`` (the default) the IR is cleaned by copy
+    propagation and dead-code elimination before code generation.
+    """
+    from repro.cc.optimize import optimize_program
+
+    ir = lower_program(analyze(parse_program(source)))
+    if optimize:
+        optimize_program(ir)
+    return ir
+
+
+@dataclass
+class CompiledRisc:
+    """A Mini-C program compiled for RISC I."""
+
+    asm_source: str
+    program: Program
+    codegen: CodegenResult
+    use_windows: bool
+
+    @property
+    def code_size_bytes(self) -> int:
+        """Text size: bootstrap + compiled functions + needed runtime."""
+        return self.program.symbols["__text_end"] - self.program.symbols["__text_start"]
+
+    def make_machine(self, *, num_windows: int = 8,
+                     memory_size: int = 1 << 20) -> RiscMachine:
+        from repro.common.memory import Memory
+
+        machine = RiscMachine(
+            Memory(size=memory_size),
+            num_windows=num_windows,
+            use_windows=self.use_windows,
+        )
+        self.program.load_into(machine.memory)
+        return machine
+
+    def run(self, *, num_windows: int = 8, max_steps: int = 50_000_000,
+            memory_size: int = 1 << 20) -> tuple[int, RiscMachine]:
+        """Execute; returns (main's return value as signed int, machine)."""
+        machine = self.make_machine(num_windows=num_windows, memory_size=memory_size)
+        machine.run(self.program.entry, max_steps=max_steps)
+        return to_signed(machine.result), machine
+
+
+
+def compile_for_risc(
+    source: str,
+    *,
+    use_windows: bool = True,
+    optimize_delay_slots: bool = True,
+    optimize_ir: bool = True,
+    checked: CheckedProgram | None = None,
+) -> CompiledRisc:
+    """Compile Mini-C *source* to an executable RISC I image."""
+    from repro.cc.optimize import optimize_program
+
+    if checked is None:
+        checked = analyze(parse_program(source))
+    ir = lower_program(checked)
+    if optimize_ir:
+        optimize_program(ir)
+    codegen = generate_program(
+        ir, use_windows=use_windows, optimize_delay_slots=optimize_delay_slots
+    )
+    program = assemble(codegen.source)
+    return CompiledRisc(
+        asm_source=codegen.source, program=program,
+        codegen=codegen, use_windows=use_windows,
+    )

@@ -1,0 +1,577 @@
+"""Lowering: checked Mini-C AST -> three-address IR.
+
+Conventions:
+
+* Non-escaping scalar locals and parameters live in dedicated virtual
+  registers; arrays and address-taken scalars get frame slots and are
+  accessed through explicit Load/Store.
+* Globals always live in memory.
+* ``&&`` and ``||`` lower to short-circuit control flow.
+* Pointer arithmetic scales by the element size (a shift for words).
+* ``char`` memory accesses are 1-byte (unsigned); register-resident
+  ``char`` scalars behave as full ints, matching the reference
+  interpreter.
+* Local arrays are zero-filled at their declaration point (matching the
+  reference interpreter's deterministic stacks), then any initialisers
+  are stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bitops import to_signed, to_unsigned
+from repro.errors import CompileError
+from repro.hll import ast
+from repro.hll.sema import CheckedProgram, Symbol
+
+from repro.cc.ir import (
+    Bin,
+    BoolCmp,
+    Call,
+    CJump,
+    Const,
+    FrameSlot,
+    GlobalData,
+    IrFunction,
+    IrProgram,
+    Jump,
+    Label,
+    Load,
+    Move,
+    Operand,
+    Ret,
+    Store,
+    SymRef,
+    Temp,
+    negate_relop,
+)
+
+_RELOPS = {"==", "!=", "<", "<=", ">", ">="}
+WORD = 4
+
+
+def _wrap(value: int) -> int:
+    return to_signed(to_unsigned(value))
+
+
+@dataclass
+class _LoopContext:
+    break_label: str
+    continue_label: str
+
+
+class FunctionLowerer:
+    def __init__(self, checked: CheckedProgram, func_info, label_prefix: str):
+        self.checked = checked
+        self.info = func_info
+        self.ir = IrFunction(name=func_info.node.name)
+        self.label_prefix = label_prefix
+        self.label_count = 0
+        self.symbol_temps: dict[int, Temp] = {}
+        self.loops: list[_LoopContext] = []
+
+    # -- small helpers ------------------------------------------------------
+
+    def new_temp(self) -> Temp:
+        temp = Temp(self.ir.temp_count)
+        self.ir.temp_count += 1
+        return temp
+
+    def new_label(self, hint: str) -> str:
+        self.label_count += 1
+        return f"{self.label_prefix}_{hint}_{self.label_count}"
+
+    def emit(self, ins) -> None:
+        self.ir.body.append(ins)
+
+    def _temp_for(self, symbol: Symbol) -> Temp:
+        temp = self.symbol_temps.get(symbol.uid)
+        if temp is None:
+            temp = self.new_temp()
+            self.symbol_temps[symbol.uid] = temp
+        return temp
+
+    def _slot_for(self, symbol: Symbol) -> FrameSlot:
+        for slot in self.ir.frame_slots:
+            if slot.uid == symbol.uid:
+                return slot
+        size = (symbol.type.size + WORD - 1) // WORD * WORD
+        slot = FrameSlot(uid=symbol.uid, name=symbol.name, size=size)
+        self.ir.frame_slots.append(slot)
+        return slot
+
+    def _symbol_ref(self, symbol: Symbol) -> SymRef:
+        if symbol.kind == "global":
+            return SymRef(symbol.uid, symbol.name, "global")
+        self._slot_for(symbol)
+        return SymRef(symbol.uid, symbol.name, "frame")
+
+    # -- top level ------------------------------------------------------------
+
+    def lower(self) -> IrFunction:
+        node = self.info.node
+        for symbol in self.info.params:
+            temp = self._temp_for(symbol)
+            self.ir.params.append(temp)
+            if symbol.in_memory:
+                # Escaped parameter: copy incoming value to its memory home.
+                ref = self._symbol_ref(symbol)
+                self.emit(Store(addr=ref, src=temp, size=symbol.type.size))
+        self.stmt(node.body)
+        self.emit(Ret(Const(0)))  # fall-off-the-end returns 0
+        return self.ir
+
+    # -- statements ---------------------------------------------------------------
+
+    def stmt(self, node: ast.Stmt) -> None:
+        if isinstance(node, ast.Block):
+            for inner in node.body:
+                self.stmt(inner)
+        elif isinstance(node, ast.Declaration):
+            self._declaration(node)
+        elif isinstance(node, ast.Assign):
+            self._assign(node)
+        elif isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, ast.While):
+            self._while(node)
+        elif isinstance(node, ast.DoWhile):
+            self._do_while(node)
+        elif isinstance(node, ast.For):
+            self._for(node)
+        elif isinstance(node, ast.Return):
+            value = self.rvalue(node.value) if node.value is not None else Const(0)
+            self.emit(Ret(value))
+        elif isinstance(node, ast.Break):
+            self.emit(Jump(self.loops[-1].break_label))
+        elif isinstance(node, ast.Continue):
+            self.emit(Jump(self.loops[-1].continue_label))
+        elif isinstance(node, ast.ExprStmt):
+            self._expr_stmt(node.expr)
+        else:  # pragma: no cover
+            raise CompileError(f"cannot lower {type(node).__name__}")
+
+    def _expr_stmt(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Call):
+            if self._is_builtin_putchar(expr.func):
+                self._emit_putchar(self.rvalue(expr.args[0]))
+                return
+            args = [self.rvalue(arg) for arg in expr.args]
+            self.emit(Call(dst=None, func=expr.func, args=args))
+        else:
+            self.rvalue(expr)  # evaluated for side effects (there are none)
+
+    def _is_builtin_putchar(self, name: str) -> bool:
+        return name == "putchar" and name not in self.checked.functions
+
+    def _emit_putchar(self, value: Operand) -> Operand:
+        """Lower the putchar builtin to a byte store at the console device."""
+        from repro.common.memory import CONSOLE_ADDRESS
+
+        self.emit(Store(addr=Const(CONSOLE_ADDRESS), src=value, size=1))
+        result = self.new_temp()
+        self.emit(Bin("&", result, value, Const(0xFF)))
+        return result
+
+    def _declaration(self, node: ast.Declaration) -> None:
+        symbol = node.symbol
+        if symbol.type.is_array:
+            ref = self._symbol_ref(symbol)
+            self._zero_fill(ref, symbol.type.size)
+            if node.init_list is not None:
+                elem = symbol.type.element_size
+                for index, value in enumerate(node.init_list):
+                    self._store_at_offset(ref, index * elem, elem, Const(_wrap(value)))
+            if node.init_string is not None:
+                for index, char in enumerate(node.init_string):
+                    self._store_at_offset(ref, index, 1, Const(ord(char)))
+                self._store_at_offset(ref, len(node.init_string), 1, Const(0))
+            return
+        value = self.rvalue(node.init) if node.init is not None else Const(0)
+        if symbol.in_memory:
+            ref = self._symbol_ref(symbol)
+            self.emit(Store(addr=ref, src=value, size=symbol.type.size))
+        else:
+            self.emit(Move(self._temp_for(symbol), value))
+
+    def _zero_fill(self, ref: SymRef, size: int) -> None:
+        for offset in range(0, size, WORD):
+            self._store_at_offset(ref, offset, WORD, Const(0))
+
+    def _store_at_offset(self, ref: SymRef, offset: int, size: int, value: Operand) -> None:
+        if offset == 0:
+            self.emit(Store(addr=ref, src=value, size=size))
+            return
+        addr = self.new_temp()
+        self.emit(Bin("+", addr, ref, Const(offset)))
+        self.emit(Store(addr=addr, src=value, size=size))
+
+    def _assign(self, node: ast.Assign) -> None:
+        target = node.target
+        if isinstance(target, ast.Name) and not target.symbol.in_memory:
+            value = self.rvalue(node.value)
+            self.emit(Move(self._temp_for(target.symbol), value))
+            return
+        addr, size = self.lvalue_address(target)
+        value = self.rvalue(node.value)
+        self.emit(Store(addr=addr, src=value, size=size))
+
+    def _if(self, node: ast.If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        target = else_label if node.otherwise is not None else end_label
+        self.cond(node.cond, target, jump_when=False)
+        self.stmt(node.then)
+        if node.otherwise is not None:
+            self.emit(Jump(end_label))
+            self.emit(Label(else_label))
+            self.stmt(node.otherwise)
+        self.emit(Label(end_label))
+
+    def _while(self, node: ast.While) -> None:
+        head = self.new_label("while")
+        end = self.new_label("endwhile")
+        self.emit(Label(head))
+        self.cond(node.cond, end, jump_when=False)
+        self.loops.append(_LoopContext(end, head))
+        self.stmt(node.body)
+        self.loops.pop()
+        self.emit(Jump(head))
+        self.emit(Label(end))
+
+    def _do_while(self, node: ast.DoWhile) -> None:
+        head = self.new_label("do")
+        check = self.new_label("docheck")
+        end = self.new_label("enddo")
+        self.emit(Label(head))
+        self.loops.append(_LoopContext(end, check))
+        self.stmt(node.body)
+        self.loops.pop()
+        self.emit(Label(check))
+        self.cond(node.cond, head, jump_when=True)
+        self.emit(Label(end))
+
+    def _for(self, node: ast.For) -> None:
+        head = self.new_label("for")
+        step_label = self.new_label("forstep")
+        end = self.new_label("endfor")
+        if node.init is not None:
+            self.stmt(node.init)
+        self.emit(Label(head))
+        if node.cond is not None:
+            self.cond(node.cond, end, jump_when=False)
+        self.loops.append(_LoopContext(end, step_label))
+        self.stmt(node.body)
+        self.loops.pop()
+        self.emit(Label(step_label))
+        if node.step is not None:
+            self.stmt(node.step)
+        self.emit(Jump(head))
+        self.emit(Label(end))
+
+    # -- conditions (short-circuit lowering) --------------------------------------
+
+    def cond(self, expr: ast.Expr, target: str, jump_when: bool) -> None:
+        """Emit a jump to *target* taken iff bool(expr) == jump_when."""
+        if isinstance(expr, ast.Binary) and expr.op in _RELOPS:
+            relop = expr.op if jump_when else negate_relop(expr.op)
+            a = self.operand_value(expr.left)
+            b = self.operand_value(expr.right)
+            self.emit(CJump(relop, a, b, target))
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.cond(expr.operand, target, not jump_when)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            if jump_when:
+                skip = self.new_label("and")
+                self.cond(expr.left, skip, jump_when=False)
+                self.cond(expr.right, target, jump_when=True)
+                self.emit(Label(skip))
+            else:
+                self.cond(expr.left, target, jump_when=False)
+                self.cond(expr.right, target, jump_when=False)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            if jump_when:
+                self.cond(expr.left, target, jump_when=True)
+                self.cond(expr.right, target, jump_when=True)
+            else:
+                skip = self.new_label("or")
+                self.cond(expr.left, skip, jump_when=True)
+                self.cond(expr.right, target, jump_when=False)
+                self.emit(Label(skip))
+            return
+        if isinstance(expr, ast.IntLit):
+            truthy = expr.value != 0
+            if truthy == jump_when:
+                self.emit(Jump(target))
+            return
+        value = self.rvalue(expr)
+        relop = "!=" if jump_when else "=="
+        self.emit(CJump(relop, value, Const(0), target))
+
+    # -- lvalues --------------------------------------------------------------------
+
+    def lvalue_address(self, expr: ast.Expr) -> tuple[Operand, int]:
+        """Operand holding the address of *expr*, plus access size."""
+        if isinstance(expr, ast.Name):
+            symbol = expr.symbol
+            if not symbol.in_memory:
+                raise CompileError(f"{symbol.name} has no address (register-resident)")
+            return self._symbol_ref(symbol), symbol.type.size
+        if isinstance(expr, ast.Index):
+            base_type = expr.array.type
+            elem = base_type.element_size
+            base = self.operand_value(expr.array)  # decays arrays to addresses
+            index = self.rvalue(expr.index)
+            scaled = self._scale(index, elem)
+            addr = self.new_temp()
+            self.emit(Bin("+", addr, base, scaled))
+            return addr, elem
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            size = expr.operand.type.decay().element().size
+            return self.rvalue(expr.operand), size
+        raise CompileError(f"not an lvalue: {type(expr).__name__}")
+
+    def _scale(self, index: Operand, elem: int) -> Operand:
+        if elem == 1:
+            return index
+        if isinstance(index, Const):
+            return Const(_wrap(index.value * elem))
+        scaled = self.new_temp()
+        shift = {2: 1, 4: 2}.get(elem)
+        if shift is None:
+            self.emit(Bin("*", scaled, index, Const(elem)))
+        else:
+            self.emit(Bin("<<", scaled, index, Const(shift)))
+        return scaled
+
+    # -- rvalues --------------------------------------------------------------------
+
+    def operand_value(self, expr: ast.Expr) -> Operand:
+        """Like :meth:`rvalue` but decays arrays to their address."""
+        if expr.type is not None and expr.type.is_array:
+            if isinstance(expr, ast.Name):
+                return self._symbol_ref(expr.symbol)
+            if isinstance(expr, ast.StrLit):
+                return self._symbol_ref(expr.symbol)
+            addr, __ = self.lvalue_address(expr)
+            return addr
+        return self.rvalue(expr)
+
+    def rvalue(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.IntLit):
+            return Const(_wrap(expr.value))
+        if isinstance(expr, ast.StrLit):
+            return self._symbol_ref(expr.symbol)
+        if isinstance(expr, ast.Name):
+            symbol = expr.symbol
+            if symbol.type.is_array:
+                return self._symbol_ref(symbol)
+            if symbol.in_memory:
+                dst = self.new_temp()
+                self.emit(Load(dst, self._symbol_ref(symbol), size=symbol.type.size))
+                return dst
+            return self._temp_for(symbol)
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Index):
+            addr, size = self.lvalue_address(expr)
+            dst = self.new_temp()
+            self.emit(Load(dst, addr, size=size))
+            return dst
+        if isinstance(expr, ast.Call):
+            if self._is_builtin_putchar(expr.func):
+                return self._emit_putchar(self.rvalue(expr.args[0]))
+            args = [self.operand_value(arg) for arg in expr.args]
+            dst = self.new_temp()
+            self.emit(Call(dst=dst, func=expr.func, args=args))
+            return dst
+        raise CompileError(f"cannot lower expression {type(expr).__name__}")
+
+    def _unary(self, expr: ast.Unary) -> Operand:
+        if expr.op == "&":
+            addr, __ = self.lvalue_address(expr.operand)
+            return addr
+        if expr.op == "*":
+            addr, size = self.lvalue_address(expr)
+            dst = self.new_temp()
+            self.emit(Load(dst, addr, size=size))
+            return dst
+        value = self.rvalue(expr.operand)
+        dst = self.new_temp()
+        if expr.op == "-":
+            self.emit(Bin("-", dst, Const(0), value))
+        elif expr.op == "~":
+            self.emit(Bin("^", dst, value, Const(-1)))
+        elif expr.op == "!":
+            self.emit(BoolCmp("==", dst, value, Const(0)))
+        else:  # pragma: no cover
+            raise CompileError(f"unknown unary {expr.op!r}")
+        return dst
+
+    def _binary(self, expr: ast.Binary) -> Operand:
+        op = expr.op
+        if op in _RELOPS:
+            dst = self.new_temp()
+            self.emit(BoolCmp(op, dst, self.operand_value(expr.left),
+                              self.operand_value(expr.right)))
+            return dst
+        if op in ("&&", "||"):
+            # value context: materialise via short-circuit control flow
+            dst = self.new_temp()
+            false_label = self.new_label("bfalse")
+            end_label = self.new_label("bend")
+            self.cond(expr, false_label, jump_when=False)
+            self.emit(Move(dst, Const(1)))
+            self.emit(Jump(end_label))
+            self.emit(Label(false_label))
+            self.emit(Move(dst, Const(0)))
+            self.emit(Label(end_label))
+            return dst
+        left_type = expr.left.type.decay() if expr.left.type else ast.INT
+        right_type = expr.right.type.decay() if expr.right.type else ast.INT
+        left = self.operand_value(expr.left)
+        right = self.operand_value(expr.right)
+        dst = self.new_temp()
+        if op == "+" and left_type.pointer > 0:
+            right = self._scale(right, left_type.element_size)
+        elif op == "+" and right_type.pointer > 0:
+            left = self._scale(left, right_type.element_size)
+        elif op == "-" and left_type.pointer > 0 and right_type.pointer == 0:
+            right = self._scale(right, left_type.element_size)
+        elif op == "-" and left_type.pointer > 0 and right_type.pointer > 0:
+            diff = self.new_temp()
+            self.emit(Bin("-", diff, left, right))
+            elem = left_type.element_size
+            if elem == 1:
+                return diff
+            shift = {2: 1, 4: 2}[elem]
+            self.emit(Bin(">>", dst, diff, Const(shift)))
+            return dst
+        folded = _const_fold(op, left, right)
+        if folded is not None:
+            return folded
+        if op in ("*", "/", "%") and self._strength_reduce(op, dst, left, right):
+            return dst
+        self.emit(Bin(op, dst, left, right))
+        return dst
+
+    def _strength_reduce(self, op: str, dst: Temp, left: Operand,
+                         right: Operand) -> bool:
+        """Rewrite multiply/divide/remainder by powers of two as shifts.
+
+        Division keeps C truncate-toward-zero semantics by adding
+        ``2^k - 1`` to negative dividends before the arithmetic shift
+        (exact for the whole int32 range, including INT_MIN).
+        """
+        if op == "*" and isinstance(left, Const) and not isinstance(right, Const):
+            left, right = right, left
+        if not isinstance(right, Const):
+            return False
+        value = right.value
+        if value <= 0 or value & (value - 1):
+            return False  # not a positive power of two
+        shift = value.bit_length() - 1
+        if op == "*":
+            if shift == 0:
+                self.emit(Move(dst, left))
+            else:
+                self.emit(Bin("<<", dst, left, Const(shift)))
+            return True
+        if shift == 0:  # x / 1, x % 1
+            if op == "/":
+                self.emit(Move(dst, left))
+            else:
+                self.emit(Move(dst, Const(0)))
+            return True
+        sign = self.new_temp()
+        bias = self.new_temp()
+        adjusted = self.new_temp()
+        self.emit(Bin(">>", sign, left, Const(31)))  # all-ones when negative
+        self.emit(Bin(">>>", bias, sign, Const(32 - shift)))  # 2^k-1 when negative
+        self.emit(Bin("+", adjusted, left, bias))
+        if op == "/":
+            self.emit(Bin(">>", dst, adjusted, Const(shift)))
+            return True
+        quotient = self.new_temp()
+        scaled = self.new_temp()
+        self.emit(Bin(">>", quotient, adjusted, Const(shift)))
+        self.emit(Bin("<<", scaled, quotient, Const(shift)))
+        self.emit(Bin("-", dst, left, scaled))
+        return True
+
+
+def _const_fold(op: str, left: Operand, right: Operand) -> Const | None:
+    """Fold integer arithmetic on two constants (32-bit C semantics)."""
+    if not (isinstance(left, Const) and isinstance(right, Const)):
+        return None
+    a, b = left.value, right.value
+    if op in ("/", "%") and b == 0:
+        return None  # leave the runtime behaviour (a trap) intact
+    if op == "+":
+        return Const(_wrap(a + b))
+    if op == "-":
+        return Const(_wrap(a - b))
+    if op == "*":
+        return Const(_wrap(a * b))
+    if op == "/":
+        quotient = abs(a) // abs(b)
+        return Const(_wrap(-quotient if (a < 0) != (b < 0) else quotient))
+    if op == "%":
+        quotient = abs(a) // abs(b)
+        quotient = -quotient if (a < 0) != (b < 0) else quotient
+        return Const(_wrap(a - quotient * b))
+    if op == "<<":
+        return Const(_wrap(a << (b & 31)))
+    if op == ">>":
+        return Const(_wrap(a >> (b & 31)))
+    if op == "&":
+        return Const(_wrap(a & b))
+    if op == "|":
+        return Const(_wrap(a | b))
+    if op == "^":
+        return Const(_wrap(a ^ b))
+    return None
+
+
+def lower_program(checked: CheckedProgram) -> IrProgram:
+    """Lower a checked translation unit to IR."""
+    program = IrProgram()
+    for index, (name, info) in enumerate(checked.functions.items()):
+        lowerer = FunctionLowerer(checked, info, label_prefix=f"L{index}")
+        program.functions[name] = lowerer.lower()
+    for gvar in checked.node.globals:
+        program.globals.append(_global_data(gvar))
+    return program
+
+
+def _global_data(gvar: ast.GlobalVar) -> GlobalData:
+    symbol = gvar.symbol
+    gtype = symbol.type
+    if gtype.is_array and gtype.element_size == 1:
+        payload = bytearray(gtype.size)
+        if gvar.init_string is not None:
+            for index, char in enumerate(gvar.init_string):
+                payload[index] = ord(char)
+        elif gvar.init_list is not None:
+            for index, value in enumerate(gvar.init_list):
+                payload[index] = value & 0xFF
+        return GlobalData(symbol.uid, symbol.name, gtype.size, align=1,
+                          init_bytes=bytes(payload), elem_size=1)
+    if gtype.is_array:
+        words = [0] * gtype.array_size
+        if gvar.init_list is not None:
+            for index, value in enumerate(gvar.init_list):
+                words[index] = to_unsigned(value)
+        return GlobalData(symbol.uid, symbol.name, gtype.size, align=4,
+                          init_words=words, elem_size=4)
+    if gtype.size == 1:  # scalar char: a single byte cell
+        return GlobalData(symbol.uid, symbol.name, 1, align=1,
+                          init_bytes=bytes([gvar.init & 0xFF]), elem_size=1)
+    return GlobalData(symbol.uid, symbol.name, 4, align=4,
+                      init_words=[to_unsigned(gvar.init)], elem_size=4)

@@ -1,0 +1,292 @@
+"""Three-address intermediate representation.
+
+One :class:`IrFunction` is a flat list of instructions over an unbounded
+set of virtual registers (:class:`Temp`).  Control flow uses labels and
+conditional jumps with explicit relational operators, so each backend can
+map them onto its own condition-code idiom.
+
+Operand kinds:
+
+* :class:`Temp` - virtual register.
+* :class:`Const` - 32-bit integer constant.
+* :class:`SymRef` - address of a memory-resident symbol (global variable,
+  stack array, or escaped scalar); resolved to a concrete address by the
+  backend's layout pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Temp:
+    index: int
+
+    def __str__(self) -> str:
+        return f"t{self.index}"
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class SymRef:
+    """Address of symbol *uid* (+byte offset); scope 'global' or 'frame'."""
+
+    uid: int
+    name: str
+    scope: str  # 'global' | 'frame'
+
+    def __str__(self) -> str:
+        return f"&{self.name}"
+
+
+Operand = Union[Temp, Const, SymRef]
+
+
+# -- instructions -------------------------------------------------------------
+
+
+@dataclass
+class Ins:
+    """Base class for IR instructions."""
+
+    def defs(self) -> list[Temp]:
+        return []
+
+    def uses(self) -> list[Temp]:
+        return []
+
+
+def _temps(*operands: Operand | None) -> list[Temp]:
+    return [op for op in operands if isinstance(op, Temp)]
+
+
+@dataclass
+class Label(Ins):
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclass
+class Move(Ins):
+    dst: Temp
+    src: Operand
+
+    def defs(self):
+        return [self.dst]
+
+    def uses(self):
+        return _temps(self.src)
+
+    def __str__(self) -> str:
+        return f"  {self.dst} = {self.src}"
+
+
+@dataclass
+class Bin(Ins):
+    """dst = a <op> b, op in + - * / % << >> & | ^"""
+
+    op: str
+    dst: Temp
+    a: Operand
+    b: Operand
+
+    def defs(self):
+        return [self.dst]
+
+    def uses(self):
+        return _temps(self.a, self.b)
+
+    def __str__(self) -> str:
+        return f"  {self.dst} = {self.a} {self.op} {self.b}"
+
+
+@dataclass
+class BoolCmp(Ins):
+    """dst = (a <relop> b) ? 1 : 0; relop includes unsigned variants."""
+
+    relop: str  # == != < <= > >= ltu geu ...
+    dst: Temp
+    a: Operand
+    b: Operand
+
+    def defs(self):
+        return [self.dst]
+
+    def uses(self):
+        return _temps(self.a, self.b)
+
+    def __str__(self) -> str:
+        return f"  {self.dst} = {self.a} {self.relop} {self.b}"
+
+
+@dataclass
+class Load(Ins):
+    """dst = memory[addr], size bytes (1 or 4, unsigned byte loads)."""
+
+    dst: Temp
+    addr: Operand
+    size: int = 4
+
+    def defs(self):
+        return [self.dst]
+
+    def uses(self):
+        return _temps(self.addr)
+
+    def __str__(self) -> str:
+        return f"  {self.dst} = M{self.size}[{self.addr}]"
+
+
+@dataclass
+class Store(Ins):
+    """memory[addr] = src, size bytes."""
+
+    addr: Operand
+    src: Operand
+    size: int = 4
+
+    def uses(self):
+        return _temps(self.addr, self.src)
+
+    def __str__(self) -> str:
+        return f"  M{self.size}[{self.addr}] = {self.src}"
+
+
+@dataclass
+class Jump(Ins):
+    target: str
+
+    def __str__(self) -> str:
+        return f"  goto {self.target}"
+
+
+@dataclass
+class CJump(Ins):
+    """if (a <relop> b) goto target;  falls through otherwise."""
+
+    relop: str
+    a: Operand
+    b: Operand
+    target: str
+
+    def uses(self):
+        return _temps(self.a, self.b)
+
+    def __str__(self) -> str:
+        return f"  if {self.a} {self.relop} {self.b} goto {self.target}"
+
+
+@dataclass
+class Call(Ins):
+    """dst = func(args...); dst may be None for discarded results."""
+
+    dst: Temp | None
+    func: str
+    args: list[Operand] = field(default_factory=list)
+
+    def defs(self):
+        return [self.dst] if self.dst is not None else []
+
+    def uses(self):
+        return _temps(*self.args)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        prefix = f"{self.dst} = " if self.dst else ""
+        return f"  {prefix}{self.func}({args})"
+
+
+@dataclass
+class Ret(Ins):
+    value: Operand | None = None
+
+    def uses(self):
+        return _temps(self.value)
+
+    def __str__(self) -> str:
+        return f"  return {self.value if self.value is not None else ''}"
+
+
+# -- containers ---------------------------------------------------------------
+
+
+@dataclass
+class FrameSlot:
+    """A memory-resident local (array or escaped scalar) in a frame."""
+
+    uid: int
+    name: str
+    size: int  # bytes, word-aligned
+    offset: int = 0  # assigned by the backend
+
+
+@dataclass
+class IrFunction:
+    name: str
+    params: list[Temp] = field(default_factory=list)
+    body: list[Ins] = field(default_factory=list)
+    frame_slots: list[FrameSlot] = field(default_factory=list)
+    temp_count: int = 0
+    #: initialisation code for local arrays: (slot uid, byte offset, size, value)
+    local_inits: list[tuple[int, int, int, int]] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"func {self.name}({', '.join(map(str, self.params))}):"]
+        lines += [str(ins) for ins in self.body]
+        return "\n".join(lines)
+
+
+@dataclass
+class GlobalData:
+    """Layout/initialiser record for one global variable."""
+
+    uid: int
+    name: str
+    size: int  # bytes
+    align: int
+    init_words: list[int] | None = None  # word initialisers
+    init_bytes: bytes | None = None  # byte initialisers (char arrays)
+    elem_size: int = 4
+
+
+@dataclass
+class IrProgram:
+    functions: dict[str, IrFunction] = field(default_factory=dict)
+    globals: list[GlobalData] = field(default_factory=list)
+
+    def render(self) -> str:
+        return "\n\n".join(func.render() for func in self.functions.values())
+
+    #: relops understood by CJump/BoolCmp
+    RELOPS = ("==", "!=", "<", "<=", ">", ">=", "ltu", "leu", "gtu", "geu")
+
+
+def negate_relop(relop: str) -> str:
+    """The relop that holds exactly when *relop* does not."""
+    table = {
+        "==": "!=", "!=": "==",
+        "<": ">=", ">=": "<", "<=": ">", ">": "<=",
+        "ltu": "geu", "geu": "ltu", "leu": "gtu", "gtu": "leu",
+    }
+    return table[relop]
+
+
+def swap_relop(relop: str) -> str:
+    """The relop r' with (a r b) == (b r' a)."""
+    table = {
+        "==": "==", "!=": "!=",
+        "<": ">", ">": "<", "<=": ">=", ">=": "<=",
+        "ltu": "gtu", "gtu": "ltu", "leu": "geu", "geu": "leu",
+    }
+    return table[relop]

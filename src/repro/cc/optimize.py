@@ -1,0 +1,137 @@
+"""IR-level optimizations: copy propagation and dead-code elimination.
+
+Small but real passes of the kind 1980s compilers ran:
+
+* **copy propagation** - within a basic block, a use of ``t2`` after
+  ``t2 = t1`` reads ``t1`` directly (and constants propagate the same
+  way), which unpins the register allocator and exposes dead moves;
+* **dead-code elimination** - instructions that only define temps nobody
+  reads are dropped (loads included: Mini-C loads have no side effects).
+
+Both passes iterate to a fixed point.  Control-flow safety: propagation
+resets at labels and after calls' clobber points are irrelevant (temps
+are virtual), but a copy is only propagated while *neither* side is
+redefined, within one block.
+"""
+
+from __future__ import annotations
+
+from repro.cc.ir import (
+    Bin,
+    BoolCmp,
+    Call,
+    CJump,
+    Const,
+    IrFunction,
+    IrProgram,
+    Jump,
+    Label,
+    Load,
+    Move,
+    Operand,
+    Ret,
+    Store,
+    Temp,
+)
+
+
+def optimize_function(func: IrFunction) -> IrFunction:
+    """Run the pass pipeline to a fixed point (in place); returns *func*."""
+    changed = True
+    while changed:
+        changed = copy_propagate(func)
+        changed |= eliminate_dead_code(func)
+    return func
+
+
+def optimize_program(program: IrProgram) -> IrProgram:
+    for func in program.functions.values():
+        optimize_function(func)
+    return program
+
+
+# -- copy propagation --------------------------------------------------------
+
+
+def copy_propagate(func: IrFunction) -> bool:
+    """Replace uses of copied temps with their sources inside blocks."""
+    changed = False
+    copies: dict[int, Operand] = {}  # temp index -> replacement operand
+
+    def invalidate(defined: Temp) -> None:
+        copies.pop(defined.index, None)
+        stale = [key for key, value in copies.items()
+                 if isinstance(value, Temp) and value.index == defined.index]
+        for key in stale:
+            del copies[key]
+
+    def substitute(operand: Operand) -> Operand:
+        nonlocal changed
+        if isinstance(operand, Temp) and operand.index in copies:
+            changed = True
+            return copies[operand.index]
+        return operand
+
+    for ins in func.body:
+        if isinstance(ins, Label):
+            copies.clear()
+            continue
+        # rewrite uses first
+        if isinstance(ins, Move):
+            ins.src = substitute(ins.src)
+        elif isinstance(ins, Bin):
+            ins.a = substitute(ins.a)
+            ins.b = substitute(ins.b)
+        elif isinstance(ins, BoolCmp):
+            ins.a = substitute(ins.a)
+            ins.b = substitute(ins.b)
+        elif isinstance(ins, Load):
+            ins.addr = substitute(ins.addr)
+        elif isinstance(ins, Store):
+            ins.addr = substitute(ins.addr)
+            ins.src = substitute(ins.src)
+        elif isinstance(ins, CJump):
+            ins.a = substitute(ins.a)
+            ins.b = substitute(ins.b)
+        elif isinstance(ins, Call):
+            ins.args = [substitute(arg) for arg in ins.args]
+        elif isinstance(ins, Ret):
+            if ins.value is not None:
+                ins.value = substitute(ins.value)
+        # then update the copy environment with this instruction's defs
+        for defined in ins.defs():
+            invalidate(defined)
+        if isinstance(ins, Move) and isinstance(ins.src, (Temp, Const)):
+            if not (isinstance(ins.src, Temp) and ins.src.index == ins.dst.index):
+                copies[ins.dst.index] = ins.src
+        if isinstance(ins, Jump):
+            copies.clear()
+    return changed
+
+
+# -- dead-code elimination ------------------------------------------------------
+
+
+_SIDE_EFFECT_FREE = (Move, Bin, BoolCmp, Load)
+
+
+def eliminate_dead_code(func: IrFunction) -> bool:
+    """Drop side-effect-free instructions whose results are never used."""
+    used: set[int] = set()
+    for ins in func.body:
+        for temp in ins.uses():
+            used.add(temp.index)
+    kept = []
+    changed = False
+    for ins in func.body:
+        if isinstance(ins, _SIDE_EFFECT_FREE):
+            if isinstance(ins, Bin) and ins.op in ("/", "%"):
+                kept.append(ins)  # may trap on zero: observable, keep it
+                continue
+            defs = ins.defs()
+            if defs and all(temp.index not in used for temp in defs):
+                changed = True
+                continue
+        kept.append(ins)
+    func.body[:] = kept
+    return changed

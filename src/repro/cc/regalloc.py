@@ -1,0 +1,128 @@
+"""Linear-scan register allocation over the flat IR.
+
+Live intervals are computed from linear instruction indices, then
+conservatively widened across loops: any temp touched inside a backward
+branch's span is treated as live across the whole span, which makes the
+linear order a sound approximation of real liveness.
+
+Temps that don't fit in the register pool get frame spill slots; the
+backend materialises their uses/defs through reserved scratch registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cc.ir import CJump, Ins, IrFunction, Jump, Label
+
+
+@dataclass
+class Interval:
+    temp_index: int
+    start: int
+    end: int
+    weight: int = 0  # number of events; denser temps keep registers
+
+
+@dataclass
+class Allocation:
+    """Result of allocation: per-temp register or spill slot."""
+
+    registers: dict[int, int] = field(default_factory=dict)  # temp -> reg
+    spills: dict[int, int] = field(default_factory=dict)  # temp -> slot index
+
+    def spill_count(self) -> int:
+        return len(self.spills)
+
+
+def _loop_spans(body: list[Ins]) -> list[tuple[int, int]]:
+    positions = {ins.name: index for index, ins in enumerate(body) if isinstance(ins, Label)}
+    spans = []
+    for index, ins in enumerate(body):
+        target = None
+        if isinstance(ins, Jump):
+            target = ins.target
+        elif isinstance(ins, CJump):
+            target = ins.target
+        if target is not None:
+            target_index = positions.get(target)
+            if target_index is not None and target_index < index:
+                spans.append((target_index, index))
+    return spans
+
+
+def compute_intervals(func: IrFunction) -> list[Interval]:
+    """Live intervals (loop-widened) for every temp in *func*."""
+    first: dict[int, int] = {}
+    last: dict[int, int] = {}
+    weight: dict[int, int] = {}
+    for temp in func.params:
+        first[temp.index] = -1
+        last[temp.index] = -1
+        weight[temp.index] = 1
+    for index, ins in enumerate(func.body):
+        for temp in ins.defs() + ins.uses():
+            first.setdefault(temp.index, index)
+            last[temp.index] = max(last.get(temp.index, index), index)
+            weight[temp.index] = weight.get(temp.index, 0) + 1
+    spans = _loop_spans(func.body)
+    changed = True
+    while changed:
+        changed = False
+        for temp_index in first:
+            for lo, hi in spans:
+                # overlap with the loop span => live across the whole span
+                if first[temp_index] <= hi and last[temp_index] >= lo:
+                    if first[temp_index] > lo:
+                        first[temp_index] = lo
+                        changed = True
+                    if last[temp_index] < hi:
+                        last[temp_index] = hi
+                        changed = True
+    return [
+        Interval(temp_index, first[temp_index], last[temp_index], weight[temp_index])
+        for temp_index in first
+    ]
+
+
+def linear_scan(func: IrFunction, pool: list[int]) -> Allocation:
+    """Allocate temps of *func* to the registers in *pool* (Poletto style).
+
+    On pressure, the active interval with the furthest end point (ties
+    broken toward lighter usage) is spilled.
+    """
+    intervals = sorted(compute_intervals(func), key=lambda iv: (iv.start, iv.temp_index))
+    allocation = Allocation()
+    free = list(pool)
+    active: list[Interval] = []
+    next_slot = 0
+
+    def expire(current_start: int) -> None:
+        nonlocal free
+        keep = []
+        for interval in active:
+            if interval.end < current_start:
+                free.append(allocation.registers[interval.temp_index])
+            else:
+                keep.append(interval)
+        active[:] = keep
+
+    for interval in intervals:
+        expire(interval.start)
+        if free:
+            allocation.registers[interval.temp_index] = free.pop()
+            active.append(interval)
+            continue
+        # Spill the active interval that ends last (prefer lighter weight).
+        victim = max(active + [interval], key=lambda iv: (iv.end, -iv.weight))
+        if victim is interval:
+            allocation.spills[interval.temp_index] = next_slot
+            next_slot += 1
+        else:
+            allocation.spills[victim.temp_index] = next_slot
+            next_slot += 1
+            reg = allocation.registers.pop(victim.temp_index)
+            active.remove(victim)
+            allocation.registers[interval.temp_index] = reg
+            active.append(interval)
+    return allocation

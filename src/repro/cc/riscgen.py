@@ -1,0 +1,647 @@
+"""RISC I code generator.
+
+Calling convention (windowed, the paper's design):
+
+* arguments 0..4 go in the caller's r10..r14, arriving in the callee's
+  r26..r30 through the window overlap - no memory traffic;
+* ``callr r31, f`` deposits the return PC in the callee's r31
+  (physically the caller's r15); ``ret`` is ``ret r31, 8``;
+* the return value travels back through the overlap: the callee writes
+  its r26, which the caller reads as r10;
+* locals and temporaries live in r16..r25 (r24/r25 reserved as spill
+  scratch); the window switch preserves them across calls for free.
+
+Flat-file convention (A1 ablation, ``use_windows=False``): same argument
+registers, but the callee must save and restore every local register it
+uses plus the link register on the software stack - the save/restore
+traffic that register windows exist to remove.
+
+Multiply/divide/remainder compile to calls into
+:mod:`repro.cc.runtime`.
+
+Delayed jumps: every control transfer is emitted with a NOP in its delay
+slot, then :func:`fill_delay_slots` moves an independent preceding
+instruction into the slot where legal (disable via
+``optimize_delay_slots=False`` for the A2 ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.bitops import fits_signed
+from repro.errors import CompileError
+
+from repro.cc.ir import (
+    Bin,
+    BoolCmp,
+    Call,
+    CJump,
+    Const,
+    IrFunction,
+    IrProgram,
+    Jump,
+    Label,
+    Load,
+    Move,
+    Operand,
+    Ret,
+    Store,
+    SymRef,
+    Temp,
+)
+from repro.cc.regalloc import linear_scan
+from repro.cc.runtime import runtime_library
+
+POOL = list(range(16, 24))  # allocatable local registers
+SCRATCH = (24, 25)  # reserved for spill traffic and constants
+ARG_REGS = [10, 11, 12, 13, 14]  # caller view
+PARAM_REGS = [26, 27, 28, 29, 30]  # callee view (windowed)
+MAX_ARGS = len(ARG_REGS)
+
+_RELOP_TO_COND = {
+    "==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+    "ltu": "ltu", "leu": "leu", "gtu": "gtu", "geu": "geu",
+}
+
+_BIN_TO_MNEMONIC = {
+    "+": "add", "-": "sub", "&": "and", "|": "or", "^": "xor",
+    "<<": "sll", ">>": "sra", ">>>": "srl",
+}
+
+_RUNTIME_CALLS = {"*": "__mul", "/": "__div", "%": "__mod"}
+
+
+@dataclass(eq=False)
+class AsmLine:
+    """One emitted assembly line with scheduling metadata.
+
+    Identity equality (``eq=False``) matters: the delay-slot scheduler
+    locates lines by position, and textually identical lines are common.
+    """
+
+    text: str
+    kind: str = "op"  # op | label | branch | call | ret | nop | data
+    defs: frozenset = frozenset()
+    uses: frozenset = frozenset()
+    sets_flags: bool = False
+    is_memory: bool = False
+
+    def touches_only_globals(self) -> bool:
+        return all(reg < 10 for reg in self.defs | self.uses)
+
+
+@dataclass
+class CodegenResult:
+    """Assembly text plus code-quality statistics."""
+
+    source: str
+    text_lines: list[AsmLine]
+    data_size: int
+    delay_slots: int = 0
+    delay_slots_filled: int = 0
+    spills: int = 0
+    peephole_removed: int = 0
+
+    @property
+    def instruction_count(self) -> int:
+        """Emitted assembly statements (``li`` pseudos may expand to two
+        machine words; the authoritative size comes from the assembler)."""
+        return sum(1 for line in self.text_lines if line.kind not in ("label", "data"))
+
+
+class _Emitter:
+    def __init__(self):
+        self.lines: list[AsmLine] = []
+
+    def label(self, name: str) -> None:
+        self.lines.append(AsmLine(f"{name}:", kind="label"))
+
+    def op(self, text: str, *, defs=(), uses=(), flags=False, memory=False,
+           kind: str = "op") -> None:
+        self.lines.append(
+            AsmLine(f"    {text}", kind=kind, defs=frozenset(defs),
+                    uses=frozenset(uses), sets_flags=flags, is_memory=memory)
+        )
+
+    def nop(self) -> None:
+        self.lines.append(AsmLine("    nop", kind="nop"))
+
+
+class FunctionCodegen:
+    """Generate assembly for one IR function."""
+
+    def __init__(self, func: IrFunction, global_addresses: dict[int, int],
+                 use_windows: bool = True):
+        self.func = func
+        self.global_addresses = global_addresses
+        self.use_windows = use_windows
+        self.emit = _Emitter()
+        self.alloc = linear_scan(func, POOL)
+        self.frame_offsets: dict[int, int] = {}  # slot uid -> offset
+        self.spill_offsets: dict[int, int] = {}  # temp index -> offset
+        self.save_offsets: dict[int, int] = {}  # saved reg -> offset (flat)
+        self.frame_size = 0
+        self._layout_frame()
+        self.epilogue = f"__epi_{func.name.lstrip('_')}"
+
+    # -- frame ------------------------------------------------------------
+
+    def _used_pool_registers(self) -> list[int]:
+        return sorted(set(self.alloc.registers.values()))
+
+    def _layout_frame(self) -> None:
+        offset = 0
+        for slot in self.func.frame_slots:
+            self.frame_offsets[slot.uid] = offset
+            slot.offset = offset
+            offset += slot.size
+        for temp_index, __ in sorted(self.alloc.spills.items()):
+            self.spill_offsets[temp_index] = offset
+            offset += 4
+        if not self.use_windows:
+            # callee-save area: every pool register in use, plus the link
+            for reg in self._used_pool_registers() + list(SCRATCH) + [31]:
+                self.save_offsets[reg] = offset
+                offset += 4
+        self.frame_size = offset
+
+    # -- operand plumbing -----------------------------------------------------
+
+    def _reg_of(self, temp: Temp) -> int | None:
+        return self.alloc.registers.get(temp.index)
+
+    def _read(self, operand: Operand, scratch: int) -> str:
+        """Ensure *operand*'s value is in a register; return its name."""
+        if isinstance(operand, Temp):
+            reg = self._reg_of(operand)
+            if reg is not None:
+                return f"r{reg}"
+            offset = self.spill_offsets[operand.index]
+            self.emit.op(f"ldl r{scratch}, r9, {offset}",
+                         defs=[scratch], uses=[9], memory=True)
+            return f"r{scratch}"
+        if isinstance(operand, Const):
+            if operand.value == 0:
+                return "r0"
+            self._load_const(scratch, operand.value)
+            return f"r{scratch}"
+        if isinstance(operand, SymRef):
+            if operand.scope == "global":
+                self._load_const(scratch, self.global_addresses[operand.uid])
+                return f"r{scratch}"
+            offset = self.frame_offsets[operand.uid]
+            self.emit.op(f"add r{scratch}, r9, #{offset}", defs=[scratch], uses=[9])
+            return f"r{scratch}"
+        raise CompileError(f"unreadable operand {operand!r}")
+
+    def _read_s2(self, operand: Operand, scratch: int) -> tuple[str, frozenset]:
+        """Second ALU operand: immediate text if it fits, else a register."""
+        if isinstance(operand, Const) and fits_signed(operand.value, 13):
+            return f"#{operand.value}", frozenset()
+        name = self._read(operand, scratch)
+        return name, frozenset([int(name[1:])])
+
+    def _load_const(self, reg: int, value: int) -> None:
+        self.emit.op(f"li r{reg}, {value}", defs=[reg])
+
+    def _write(self, temp: Temp) -> tuple[str, int | None]:
+        """Destination register for *temp*: (name, spill_offset_or_None)."""
+        reg = self._reg_of(temp)
+        if reg is not None:
+            return f"r{reg}", None
+        return f"r{SCRATCH[0]}", self.spill_offsets[temp.index]
+
+    def _finish_write(self, spill_offset: int | None, reg_name: str) -> None:
+        if spill_offset is not None:
+            reg = int(reg_name[1:])
+            self.emit.op(f"stl {reg_name}, r9, {spill_offset}",
+                         uses=[reg, 9], memory=True)
+
+    # -- function body ------------------------------------------------------------
+
+    def generate(self) -> None:
+        emit = self.emit
+        emit.label(self.func.name)
+        if self.frame_size:
+            emit.op(f"sub r9, r9, #{self.frame_size}", defs=[9], uses=[9])
+        if not self.use_windows:
+            for reg, offset in self.save_offsets.items():
+                emit.op(f"stl r{reg}, r9, {offset}", uses=[reg, 9], memory=True)
+        self._bind_params()
+        for ins in self.func.body:
+            self._instruction(ins)
+        self._emit_epilogue()
+
+    def _bind_params(self) -> None:
+        incoming = PARAM_REGS if self.use_windows else ARG_REGS
+        if len(self.func.params) > MAX_ARGS:
+            raise CompileError(
+                f"{self.func.name}: more than {MAX_ARGS} parameters unsupported"
+            )
+        for index, temp in enumerate(self.func.params):
+            source = incoming[index]
+            reg = self._reg_of(temp)
+            if reg is not None:
+                self.emit.op(f"mov r{reg}, r{source}", defs=[reg], uses=[source])
+            elif temp.index in self.spill_offsets:
+                offset = self.spill_offsets[temp.index]
+                self.emit.op(f"stl r{source}, r9, {offset}",
+                             uses=[source, 9], memory=True)
+            # else: parameter never used; drop it
+
+    def _emit_epilogue(self) -> None:
+        emit = self.emit
+        emit.label(self.epilogue)
+        if not self.use_windows:
+            for reg, offset in self.save_offsets.items():
+                emit.op(f"ldl r{reg}, r9, {offset}", defs=[reg], uses=[9], memory=True)
+        if self.use_windows:
+            emit.op("ret", kind="ret", uses=[31])
+        else:
+            emit.op("ret r31, 8", kind="ret", uses=[31])
+        if self.frame_size:
+            emit.op(f"add r9, r9, #{self.frame_size}", defs=[9], uses=[9])
+        else:
+            emit.nop()
+
+    # -- IR dispatch ----------------------------------------------------------------
+
+    def _instruction(self, ins) -> None:
+        if isinstance(ins, Label):
+            self.emit.label(ins.name)
+        elif isinstance(ins, Move):
+            self._move(ins)
+        elif isinstance(ins, Bin):
+            self._bin(ins)
+        elif isinstance(ins, BoolCmp):
+            self._boolcmp(ins)
+        elif isinstance(ins, Load):
+            self._load(ins)
+        elif isinstance(ins, Store):
+            self._store(ins)
+        elif isinstance(ins, Jump):
+            self._branch("b", ins.target)
+        elif isinstance(ins, CJump):
+            self._cjump(ins)
+        elif isinstance(ins, Call):
+            self._call(ins)
+        elif isinstance(ins, Ret):
+            self._ret(ins)
+        else:  # pragma: no cover
+            raise CompileError(f"cannot emit {type(ins).__name__}")
+
+    def _branch(self, mnemonic: str, target: str) -> None:
+        self.emit.op(f"{mnemonic} {target}", kind="branch")
+        self.emit.nop()
+
+    def _move(self, ins: Move) -> None:
+        dst, spill = self._write(ins.dst)
+        if isinstance(ins.src, Const) and fits_signed(ins.src.value, 13):
+            self.emit.op(f"mov {dst}, #{ins.src.value}", defs=[int(dst[1:])])
+        elif isinstance(ins.src, Const):
+            self._load_const(int(dst[1:]), ins.src.value)
+        else:
+            src = self._read(ins.src, SCRATCH[1])
+            self.emit.op(f"mov {dst}, {src}",
+                         defs=[int(dst[1:])], uses=[int(src[1:])])
+        self._finish_write(spill, dst)
+
+    def _bin(self, ins: Bin) -> None:
+        if ins.op in _RUNTIME_CALLS:
+            self._call(Call(dst=ins.dst, func=_RUNTIME_CALLS[ins.op],
+                            args=[ins.a, ins.b]))
+            return
+        dst, spill = self._write(ins.dst)
+        dst_reg = int(dst[1:])
+        mnemonic = _BIN_TO_MNEMONIC[ins.op]
+        if ins.op == "-" and isinstance(ins.a, Const) and fits_signed(ins.a.value, 13):
+            # dst = const - b  ->  reversed subtract
+            b = self._read(ins.b, SCRATCH[1])
+            self.emit.op(f"subr {dst}, {b}, #{ins.a.value}",
+                         defs=[dst_reg], uses=[int(b[1:])])
+            self._finish_write(spill, dst)
+            return
+        a_op, b_op = ins.a, ins.b
+        if ins.op in ("+", "&", "|", "^") and isinstance(a_op, Const):
+            a_op, b_op = b_op, a_op  # commutative: constant second
+        a = self._read(a_op, SCRATCH[1])
+        # b may share the scratch that a spilled dst will use: safe, because
+        # the ALU reads both operands before the destination is written.
+        s2, s2_uses = self._read_s2(b_op, SCRATCH[0])
+        self.emit.op(f"{mnemonic} {dst}, {a}, {s2}",
+                     defs=[dst_reg], uses=set([int(a[1:])]) | set(s2_uses))
+        self._finish_write(spill, dst)
+
+    def _compare(self, a_op: Operand, b_op: Operand) -> None:
+        a = self._read(a_op, SCRATCH[1])
+        s2, s2_uses = self._read_s2(b_op, SCRATCH[0])
+        self.emit.op(f"cmp {a}, {s2}", uses=set([int(a[1:])]) | set(s2_uses),
+                     flags=True)
+
+    def _boolcmp(self, ins: BoolCmp) -> None:
+        dst, spill = self._write(ins.dst)
+        dst_reg = int(dst[1:])
+        label = f"__bc_{self.func.name.lstrip('_')}_{len(self.emit.lines)}"
+        self._compare(ins.a, ins.b)
+        self.emit.op(f"b{_RELOP_TO_COND[ins.relop]} {label}", kind="branch")
+        self.emit.op(f"mov {dst}, #1", defs=[dst_reg])  # delay slot: runs always
+        self.emit.op(f"mov {dst}, #0", defs=[dst_reg])  # fallthrough: predicate false
+        self.emit.label(label)
+        self._finish_write(spill, dst)
+
+    def _cjump(self, ins: CJump) -> None:
+        self._compare(ins.a, ins.b)
+        self._branch(f"b{_RELOP_TO_COND[ins.relop]}", ins.target)
+
+    def _address(self, operand: Operand, scratch: int) -> tuple[str, str, frozenset]:
+        """(base_register, offset_text, uses) for a memory access."""
+        if isinstance(operand, Temp):
+            base = self._read(operand, scratch)
+            return base, "0", frozenset([int(base[1:])])
+        if isinstance(operand, SymRef) and operand.scope == "frame":
+            offset = self.frame_offsets[operand.uid]
+            return "r9", str(offset), frozenset([9])
+        if isinstance(operand, SymRef):
+            address = self.global_addresses[operand.uid]
+            if fits_signed(address, 13):
+                return "r0", str(address), frozenset()
+            self._load_const(scratch, address)
+            return f"r{scratch}", "0", frozenset([scratch])
+        if isinstance(operand, Const):
+            if fits_signed(operand.value, 13):
+                return "r0", str(operand.value), frozenset()
+            self._load_const(scratch, operand.value)
+            return f"r{scratch}", "0", frozenset([scratch])
+        raise CompileError(f"bad address operand {operand!r}")
+
+    def _load(self, ins: Load) -> None:
+        dst, spill = self._write(ins.dst)
+        base, offset, uses = self._address(ins.addr, SCRATCH[1])
+        mnemonic = "ldl" if ins.size == 4 else "ldbu"
+        self.emit.op(f"{mnemonic} {dst}, {base}, {offset}",
+                     defs=[int(dst[1:])], uses=uses, memory=True)
+        self._finish_write(spill, dst)
+
+    def _store(self, ins: Store) -> None:
+        value = self._read(ins.src, SCRATCH[0])
+        base, offset, uses = self._address(ins.addr, SCRATCH[1])
+        mnemonic = "stl" if ins.size == 4 else "stb"
+        self.emit.op(f"{mnemonic} {value}, {base}, {offset}",
+                     uses=set(uses) | {int(value[1:])}, memory=True)
+
+    def _call(self, ins: Call) -> None:
+        if len(ins.args) > MAX_ARGS:
+            raise CompileError(f"call to {ins.func}: more than {MAX_ARGS} arguments")
+        for index, arg in enumerate(ins.args):
+            target = ARG_REGS[index]
+            if isinstance(arg, Const) and fits_signed(arg.value, 13):
+                self.emit.op(f"mov r{target}, #{arg.value}", defs=[target])
+            elif isinstance(arg, Const):
+                self._load_const(target, arg.value)
+            elif isinstance(arg, Temp) and self._reg_of(arg) is None:
+                offset = self.spill_offsets[arg.index]
+                self.emit.op(f"ldl r{target}, r9, {offset}",
+                             defs=[target], uses=[9], memory=True)
+            else:
+                source = self._read(arg, target)
+                if source != f"r{target}":
+                    self.emit.op(f"mov r{target}, {source}",
+                                 defs=[target], uses=[int(source[1:])])
+        name = ins.func if ins.func.startswith("__") else f"_{ins.func}"
+        self.emit.op(f"callr r31, {name}", kind="call", defs=[31])
+        self.emit.nop()
+        if ins.dst is not None:
+            dst, spill = self._write(ins.dst)
+            self.emit.op(f"mov {dst}, r10", defs=[int(dst[1:])], uses=[10])
+            self._finish_write(spill, dst)
+
+    def _ret(self, ins: Ret) -> None:
+        result_reg = 26 if self.use_windows else 10
+        value = ins.value if ins.value is not None else Const(0)
+        if isinstance(value, Const) and fits_signed(value.value, 13):
+            self.emit.op(f"mov r{result_reg}, #{value.value}", defs=[result_reg])
+        elif isinstance(value, Const):
+            self._load_const(result_reg, value.value)
+        else:
+            source = self._read(value, result_reg)
+            if source != f"r{result_reg}":
+                self.emit.op(f"mov r{result_reg}, {source}",
+                             defs=[result_reg], uses=[int(source[1:])])
+        self._branch("b", self.epilogue)
+
+
+# -- peephole cleanups ----------------------------------------------------------------
+
+
+def peephole_cleanup(lines: list[AsmLine]) -> tuple[list[AsmLine], int]:
+    """Remove trivially dead code: self-moves and jumps to the next line.
+
+    ``mov rX, rX`` arises when a value already sits in its target
+    register (argument binding, call results); ``b L / nop / L:`` arises
+    when a function's final return falls straight into its epilogue.
+    Returns (cleaned lines, number of instructions removed).
+    """
+    removed = 0
+    result: list[AsmLine] = []
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        text = line.text.strip()
+        if line.kind == "op" and text.startswith("mov "):
+            operands = [part.strip() for part in text[4:].split(",")]
+            if len(operands) == 2 and operands[0] == operands[1]:
+                removed += 1
+                index += 1
+                continue
+        if (
+            line.kind == "branch"
+            and text.startswith("b ")
+            and index + 2 < len(lines)
+            and lines[index + 1].kind == "nop"
+            and lines[index + 2].kind == "label"
+            and lines[index + 2].text.rstrip(":") == text[2:].strip()
+        ):
+            removed += 2
+            index += 2  # keep the label, drop branch + slot
+            continue
+        result.append(line)
+        index += 1
+    return result, removed
+
+
+# -- delay-slot scheduling ----------------------------------------------------------
+
+
+def fill_delay_slots(lines: list[AsmLine]) -> tuple[list[AsmLine], int, int]:
+    """Move independent instructions into delay slots.
+
+    Returns (new_lines, total_slots, filled_slots).  A slot after a plain
+    branch may take any preceding independent non-memory-flag-setting op;
+    a slot after a call/ret may only take an instruction touching global
+    registers exclusively (the window switches with the transfer, so
+    window-relative registers would read the wrong frame).
+    """
+    total = 0
+    filled = 0
+    result = list(lines)
+    index = 0
+    while index < len(result):
+        line = result[index]
+        if line.kind != "nop":
+            index += 1
+            continue
+        jump_index = index - 1
+        if jump_index < 0 or result[jump_index].kind not in ("branch", "call", "ret"):
+            index += 1
+            continue
+        total += 1
+        jump = result[jump_index]
+        candidate_index = jump_index - 1
+        if jump.sets_flags:
+            index += 1
+            continue
+        # Skip back over the comparison feeding a conditional branch.
+        if candidate_index >= 0 and result[candidate_index].sets_flags:
+            candidate_index -= 1
+        if candidate_index < 0:
+            index += 1
+            continue
+        candidate = result[candidate_index]
+        if not _can_fill(candidate, result, candidate_index, jump):
+            index += 1
+            continue
+        if jump.kind in ("call", "ret") and not candidate.touches_only_globals():
+            index += 1
+            continue
+        # Move candidate into the slot.
+        del result[candidate_index]
+        result[index - 1] = candidate  # slot position shifted left by the del
+        filled += 1
+        index += 1
+    return result, total, filled
+
+
+def _can_fill(candidate: AsmLine, lines: list[AsmLine], position: int,
+              jump: AsmLine) -> bool:
+    if candidate.kind != "op" or candidate.sets_flags:
+        return False
+    if position == 0:
+        return False
+    if lines[position - 1].kind == "label":
+        return False  # candidate is a jump target
+    if lines[position - 1].kind in ("branch", "call", "ret"):
+        # the candidate already sits in another transfer's delay slot;
+        # stealing it would skip it on that transfer's taken path
+        return False
+    # The jump (and any comparison between) must not read what it writes.
+    between = lines[position + 1 : lines.index(jump, position) + 1]
+    for other in between:
+        if candidate.defs & (other.uses | other.defs):
+            return False
+        if other.defs & (candidate.uses | candidate.defs):
+            return False
+    return True
+
+
+# -- whole-program assembly -----------------------------------------------------------
+
+
+DATA_BASE = 16
+STACK_TOP = 0xC0000
+
+
+def generate_program(
+    ir: IrProgram,
+    *,
+    use_windows: bool = True,
+    optimize_delay_slots: bool = True,
+    stack_top: int = STACK_TOP,
+) -> CodegenResult:
+    """Generate a complete assembly module for *ir*.
+
+    Layout: global data at :data:`DATA_BASE`, then the bootstrap stub
+    (labelled ``main`` for the assembler's entry convention), compiled
+    functions (prefixed ``_``), and the arithmetic runtime.
+    """
+    addresses, data_lines, data_size = _layout_data(ir)
+    text = _Emitter()
+    _emit_bootstrap(text, use_windows, stack_top)
+    spills = 0
+    for func in ir.functions.values():
+        mangled = IrFunction(
+            name=f"_{func.name}", params=func.params, body=func.body,
+            frame_slots=func.frame_slots, temp_count=func.temp_count,
+        )
+        codegen = FunctionCodegen(mangled, addresses, use_windows=use_windows)
+        codegen.generate()
+        spills += codegen.alloc.spill_count()
+        text.lines.extend(codegen.emit.lines)
+
+    lines, removed = peephole_cleanup(text.lines)
+    total_slots = filled = 0
+    if optimize_delay_slots:
+        lines, total_slots, filled = fill_delay_slots(lines)
+
+    needed = {
+        name for name in ("__mul", "__div", "__mod")
+        if any(f"callr r31, {name}" in line.text for line in lines)
+    }
+    source_parts = [f".org {DATA_BASE}"]
+    source_parts += data_lines
+    source_parts.append(".align")
+    source_parts.append("__text_start:")
+    source_parts += [line.text for line in lines]
+    if needed:
+        source_parts.append(runtime_library(use_windows, needed))
+    source_parts.append("__text_end:")
+    source = "\n".join(source_parts) + "\n"
+    return CodegenResult(
+        source=source, text_lines=lines, data_size=data_size,
+        delay_slots=total_slots, delay_slots_filled=filled, spills=spills,
+        peephole_removed=removed,
+    )
+
+
+def _emit_bootstrap(text: _Emitter, use_windows: bool, stack_top: int) -> None:
+    text.label("main")
+    text.op(f"li r9, {stack_top}", defs=[9])
+    if use_windows:
+        text.op("callr r31, _main", kind="call", defs=[31])
+        text.nop()
+        text.op("mov r26, r10", defs=[26], uses=[10])
+        text.op("ret", kind="ret", uses=[31])
+        text.nop()
+    else:
+        text.op("sub r9, r9, #4", defs=[9], uses=[9])
+        text.op("stl r31, r9, 0", uses=[31, 9], memory=True)
+        text.op("callr r31, _main", kind="call", defs=[31])
+        text.nop()
+        text.op("ldl r31, r9, 0", defs=[31], uses=[9], memory=True)
+        text.op("add r9, r9, #4", defs=[9], uses=[9])
+        text.op("ret r31, 8", kind="ret", uses=[31])
+        text.nop()
+
+
+def _layout_data(ir: IrProgram) -> tuple[dict[int, int], list[str], int]:
+    """Assign addresses to globals and render the data section."""
+    addresses: dict[int, int] = {}
+    lines: list[str] = []
+    cursor = DATA_BASE
+    for data in ir.globals:
+        addresses[data.uid] = cursor
+        words = _data_words(data)
+        lines.append(f"; {data.name} @ {cursor}")
+        lines.append(".word " + ", ".join(str(word) for word in words))
+        cursor += 4 * len(words)
+    return addresses, lines, cursor - DATA_BASE
+
+
+def _data_words(data) -> list[int]:
+    if data.init_bytes is not None:
+        payload = data.init_bytes + b"\0" * (-len(data.init_bytes) % 4)
+        return [int.from_bytes(payload[i : i + 4], "big") for i in range(0, len(payload), 4)]
+    words = list(data.init_words or [])
+    needed = (data.size + 3) // 4
+    words += [0] * (needed - len(words))
+    return words

@@ -1,0 +1,332 @@
+"""RISC I runtime library: multiply, divide, remainder.
+
+RISC I deliberately has no multiply or divide instructions - the paper
+trades them for register windows and a simpler datapath, compiling ``*``,
+``/`` and ``%`` into calls to shift-and-add routines.  These are those
+routines, written in RISC I assembly.
+
+Two variants are generated:
+
+* the windowed convention (default): arguments arrive in r26/r27, the
+  result leaves in r26, locals are free because the routine owns a fresh
+  window;
+* the flat-register-file convention (A1 ablation): arguments in r10/r11,
+  result in r10, and every scratch register (plus the link) must be
+  saved to and restored from the software stack - the traffic the
+  windows eliminate.
+"""
+
+from __future__ import annotations
+
+
+def runtime_library(use_windows: bool = True,
+                    needed: set[str] | None = None) -> str:
+    """Assembly text for the runtime routines in *needed*.
+
+    *needed* is a subset of ``{"__mul", "__div", "__mod"}``; None means
+    all of them.  Shared helpers (``__udivmod`` and, in the flat variant,
+    ``__divmod_common``) are included automatically when required, so
+    programs that never divide don't pay for the divider.
+    """
+    if needed is None:
+        needed = set(RUNTIME_FUNCTIONS)
+    chunks = _WINDOWED_CHUNKS if use_windows else _FLAT_CHUNKS
+    selected: list[str] = []
+    if "__mul" in needed:
+        selected.append(chunks["__mul"])
+    if needed & {"__div", "__mod"}:
+        selected.append(chunks["__udivmod"])
+        if "__divmod_common" in chunks:
+            selected.append(chunks["__divmod_common"])
+        if "__div" in needed:
+            selected.append(chunks["__div"])
+        if "__mod" in needed:
+            selected.append(chunks["__mod"])
+    return "\n".join(selected)
+
+
+def _split_chunks(text: str) -> dict[str, str]:
+    """Split the runtime text into per-routine chunks keyed by entry label."""
+    chunks: dict[str, str] = {}
+    current_name: str | None = None
+    current_lines: list[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        is_entry = (
+            stripped.startswith("__")
+            and stripped.split(";")[0].strip().endswith(":")
+            and not stripped.split(":")[0].strip().startswith(("__mul_", "__udm",
+                                                               "__div_", "__mod_",
+                                                               "__dm_"))
+        )
+        if is_entry:
+            if current_name is not None:
+                chunks[current_name] = "\n".join(current_lines)
+            current_name = stripped.split(":")[0].strip()
+            current_lines = [line]
+        elif current_name is not None:
+            current_lines.append(line)
+    if current_name is not None:
+        chunks[current_name] = "\n".join(current_lines)
+    return chunks
+
+
+# In both variants the divide helper computes |a| / |b| by 32-step
+# restoring division, then fixes the signs:  quotient is negative when
+# the operand signs differ; the remainder takes the dividend's sign
+# (C truncation semantics, matching the Mini-C reference interpreter).
+
+_WINDOWED = """
+; ---- runtime: windowed convention (args r26/r27, result r26) ----
+
+__mul:                          ; r26 = r26 * r27 (low 32 bits)
+    mov   r16, r26              ; multiplicand
+    mov   r17, r27              ; multiplier
+    li    r26, 0
+__mul_loop:
+    cmp   r17, #0
+    beq   __mul_done
+    nop
+    and   r18, r17, #1
+    cmp   r18, #0
+    beq   __mul_skip
+    nop
+    add   r26, r26, r16
+__mul_skip:
+    sll   r16, r16, #1
+    srl   r17, r17, #1
+    b     __mul_loop
+    nop
+__mul_done:
+    ret
+    nop
+
+__udivmod:                      ; args r26=|a| r27=|b|
+    ; results pass back through the overlap: our r28/r29 are the
+    ; caller's r12/r13 (quotient / remainder).
+    mov   r16, r26
+    mov   r17, r27
+    li    r18, 0
+    li    r19, 0
+    li    r20, 32
+__udm_loop:
+    sll   r19, r19, #1
+    srl   r21, r16, #31
+    or    r19, r19, r21
+    sll   r16, r16, #1
+    sll   r18, r18, #1
+    cmp   r19, r17
+    bltu  __udm_skip
+    nop
+    sub   r19, r19, r17
+    or    r18, r18, #1
+__udm_skip:
+    subs  r20, r20, #1
+    bne   __udm_loop
+    nop
+    mov   r28, r18
+    mov   r29, r19
+    ret
+    nop
+
+__div:                          ; r26 = r26 / r27 (C truncation)
+    li    r22, 0                ; sign flag
+    mov   r16, r26
+    cmp   r16, #0
+    bge   __div_pa
+    nop
+    sub   r16, r0, r16
+    xor   r22, r22, #1
+__div_pa:
+    mov   r17, r27
+    cmp   r17, #0
+    bge   __div_pb
+    nop
+    sub   r17, r0, r17
+    xor   r22, r22, #1
+__div_pb:
+    mov   r10, r16
+    mov   r11, r17
+    callr r31, __udivmod
+    nop
+    mov   r26, r12              ; quotient handed back in caller r12
+    cmp   r22, #0
+    beq   __div_done
+    nop
+    sub   r26, r0, r26
+__div_done:
+    ret
+    nop
+
+__mod:                          ; r26 = r26 % r27 (sign of dividend)
+    li    r22, 0
+    mov   r16, r26
+    cmp   r16, #0
+    bge   __mod_pa
+    nop
+    sub   r16, r0, r16
+    li    r22, 1                ; remainder sign = dividend sign
+__mod_pa:
+    mov   r17, r27
+    cmp   r17, #0
+    bge   __mod_pb
+    nop
+    sub   r17, r0, r17
+__mod_pb:
+    mov   r10, r16
+    mov   r11, r17
+    callr r31, __udivmod
+    nop
+    mov   r26, r13              ; remainder handed back in caller r13
+    cmp   r22, #0
+    beq   __mod_done
+    nop
+    sub   r26, r0, r26
+__mod_done:
+    ret
+    nop
+"""
+
+_FLAT = """
+; ---- runtime: flat-file convention (args r10/r11, result r10) ----
+; Every routine must spill the scratch registers it uses: the cost the
+; register windows are designed to remove.
+
+__mul:                          ; r10 = r10 * r11
+    sub   r9, r9, #16
+    stl   r16, r9, 0
+    stl   r17, r9, 4
+    stl   r18, r9, 8
+    mov   r16, r10              ; multiplicand
+    mov   r17, r11              ; multiplier
+    li    r10, 0
+__mul_loop:
+    cmp   r17, #0
+    beq   __mul_done
+    nop
+    and   r18, r17, #1
+    cmp   r18, #0
+    beq   __mul_skip
+    nop
+    add   r10, r10, r16
+__mul_skip:
+    sll   r16, r16, #1
+    srl   r17, r17, #1
+    b     __mul_loop
+    nop
+__mul_done:
+    ldl   r16, r9, 0
+    ldl   r17, r9, 4
+    ldl   r18, r9, 8
+    ret   r31, 8
+    add   r9, r9, #16
+__udivmod:                      ; r16=|a| r17=|b| -> r18=quot r19=rem
+    li    r18, 0
+    li    r19, 0
+    li    r20, 32
+__udm_loop:
+    sll   r19, r19, #1
+    srl   r21, r16, #31
+    or    r19, r19, r21
+    sll   r16, r16, #1
+    sll   r18, r18, #1
+    cmp   r19, r17
+    bltu  __udm_skip
+    nop
+    sub   r19, r19, r17
+    or    r18, r18, #1
+__udm_skip:
+    subs  r20, r20, #1
+    bne   __udm_loop
+    nop
+    ret   r31, 8
+    nop
+
+__divmod_common:                ; shared prologue/loop for div+mod
+    ; inputs r10=a r11=b; outputs r12=|a|/|b|, r13=|a|%|b|, r14=sign bits
+    ;   r14 bit0: quotient negative, bit1: remainder negative
+    li    r14, 0
+    mov   r16, r10
+    cmp   r16, #0
+    bge   __dm_pa
+    nop
+    sub   r16, r0, r16
+    xor   r14, r14, #3          ; flips quotient + remainder signs
+__dm_pa:
+    mov   r17, r11
+    cmp   r17, #0
+    bge   __dm_pb
+    nop
+    sub   r17, r0, r17
+    xor   r14, r14, #1          ; flips only the quotient sign
+__dm_pb:
+    stl   r31, r9, 0            ; save link around the inner call
+    callr r31, __udivmod
+    nop
+    ldl   r31, r9, 0
+    mov   r12, r18
+    mov   r13, r19
+    ret   r31, 8
+    nop
+
+__div:                          ; r10 = r10 / r11
+    sub   r9, r9, #32
+    stl   r16, r9, 4
+    stl   r17, r9, 8
+    stl   r18, r9, 12
+    stl   r19, r9, 16
+    stl   r20, r9, 20
+    stl   r21, r9, 24
+    stl   r31, r9, 28
+    callr r31, __divmod_common
+    nop
+    mov   r10, r12
+    and   r16, r14, #1
+    cmp   r16, #0
+    beq   __div_done
+    nop
+    sub   r10, r0, r10
+__div_done:
+    ldl   r16, r9, 4
+    ldl   r17, r9, 8
+    ldl   r18, r9, 12
+    ldl   r19, r9, 16
+    ldl   r20, r9, 20
+    ldl   r21, r9, 24
+    ldl   r31, r9, 28
+    ret   r31, 8
+    add   r9, r9, #32
+
+__mod:                          ; r10 = r10 % r11
+    sub   r9, r9, #32
+    stl   r16, r9, 4
+    stl   r17, r9, 8
+    stl   r18, r9, 12
+    stl   r19, r9, 16
+    stl   r20, r9, 20
+    stl   r21, r9, 24
+    stl   r31, r9, 28
+    callr r31, __divmod_common
+    nop
+    mov   r10, r13
+    and   r16, r14, #2
+    cmp   r16, #0
+    beq   __mod_done
+    nop
+    sub   r10, r0, r10
+__mod_done:
+    ldl   r16, r9, 4
+    ldl   r17, r9, 8
+    ldl   r18, r9, 12
+    ldl   r19, r9, 16
+    ldl   r20, r9, 20
+    ldl   r21, r9, 24
+    ldl   r31, r9, 28
+    ret   r31, 8
+    add   r9, r9, #32
+"""
+
+RUNTIME_FUNCTIONS = ("__mul", "__div", "__mod")
+
+_WINDOWED_CHUNKS = _split_chunks(_WINDOWED)
+_FLAT_CHUNKS = _split_chunks(_FLAT)

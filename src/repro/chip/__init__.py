@@ -1,0 +1,5 @@
+"""Chip area / transistor budget model (the paper's VLSI argument)."""
+
+from repro.chip.area import AreaBudget, CHIP_BUDGETS, area_budget_for, risc_floorplan
+
+__all__ = ["AreaBudget", "CHIP_BUDGETS", "area_budget_for", "risc_floorplan"]

@@ -1,0 +1,87 @@
+"""Parametric chip-area model.
+
+The paper's VLSI argument: a microcoded control unit eats roughly half of
+a contemporary CISC die, while RISC I's hardwired control takes ~6%,
+freeing area for the 138-register window file.  This module reproduces
+that comparison with a simple component model:
+
+* control area ~ microcode bits (ROM cells) + decode PLA terms;
+* register file area ~ registers x bits x cell size;
+* datapath (ALU/shifter/buses) roughly constant per 32-bit machine.
+
+Units are "lambda^2 kilocells" - arbitrary but consistent, since the
+paper's table reports *percentages*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: area of one ROM/register cell, relative units
+ROM_CELL = 0.06
+REGISTER_CELL = 0.3
+PLA_TERM = 3.0
+DATAPATH_32BIT = 4200.0
+
+
+@dataclass(frozen=True)
+class AreaBudget:
+    """Area decomposition for one processor."""
+
+    name: str
+    control_area: float
+    register_area: float
+    datapath_area: float
+
+    @property
+    def total(self) -> float:
+        return self.control_area + self.register_area + self.datapath_area
+
+    @property
+    def control_percent(self) -> float:
+        return 100.0 * self.control_area / self.total
+
+    @property
+    def register_percent(self) -> float:
+        return 100.0 * self.register_area / self.total
+
+
+def budget(name: str, *, microcode_bits: int, instructions: int,
+           registers: int, register_bits: int = 32) -> AreaBudget:
+    """Estimate the area decomposition from architecture parameters."""
+    control = microcode_bits * ROM_CELL + instructions * 4 * PLA_TERM
+    register_file = registers * register_bits * REGISTER_CELL
+    return AreaBudget(
+        name=name,
+        control_area=control,
+        register_area=register_file,
+        datapath_area=DATAPATH_32BIT,
+    )
+
+
+#: Architecture parameters for the machines in the paper's comparison.
+CHIP_BUDGETS: dict[str, AreaBudget] = {
+    "RISC I": budget("RISC I", microcode_bits=0, instructions=31, registers=138),
+    "MC68000": budget("MC68000", microcode_bits=54 * 1024, instructions=61, registers=16),
+    "Z8002": budget("Z8002", microcode_bits=18 * 1024, instructions=110, registers=16),
+    "iAPX-432/43201": budget(
+        "iAPX-432/43201", microcode_bits=64 * 1024, instructions=222, registers=8
+    ),
+}
+
+
+def area_budget_for(name: str) -> AreaBudget:
+    return CHIP_BUDGETS[name]
+
+
+def risc_floorplan() -> list[tuple[str, float]]:
+    """RISC I block areas for the floorplan figure (fractions of die)."""
+    risc = CHIP_BUDGETS["RISC I"]
+    total = risc.total
+    return [
+        ("register file (138 x 32)", risc.register_area / total),
+        ("ALU + shifter + buses", 0.7 * risc.datapath_area / total),
+        ("PC / pipeline latches", 0.18 * risc.datapath_area / total),
+        ("pads + routing", 0.12 * risc.datapath_area / total),
+        ("control (hardwired)", risc.control_area / total),
+    ]

@@ -1,0 +1,24 @@
+"""Shared low-level substrates: bit manipulation, memory, trace events."""
+
+from repro.common.bitops import (
+    MASK32,
+    WORD_BITS,
+    bit_field,
+    rotate_left,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+from repro.common.memory import Memory, MemoryStats
+
+__all__ = [
+    "MASK32",
+    "WORD_BITS",
+    "bit_field",
+    "rotate_left",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "Memory",
+    "MemoryStats",
+]

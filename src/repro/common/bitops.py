@@ -1,0 +1,83 @@
+"""Two's-complement bit manipulation helpers for a 32-bit machine.
+
+All simulator arithmetic is done on Python integers constrained to the
+range ``[0, 2**32)``; these helpers convert between signed and unsigned
+views and extract/insert bit fields exactly as the hardware would.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 32
+MASK32 = (1 << WORD_BITS) - 1
+MASK16 = (1 << 16) - 1
+MASK8 = (1 << 8) - 1
+
+SIGN_BIT32 = 1 << (WORD_BITS - 1)
+
+
+def to_unsigned(value: int, bits: int = WORD_BITS) -> int:
+    """Reduce *value* to its *bits*-wide unsigned representation."""
+    return value & ((1 << bits) - 1)
+
+
+def to_signed(value: int, bits: int = WORD_BITS) -> int:
+    """Interpret the low *bits* of *value* as a two's-complement integer."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def sign_extend(value: int, from_bits: int, to_bits: int = WORD_BITS) -> int:
+    """Sign-extend the low *from_bits* of *value* to *to_bits* (unsigned view)."""
+    return to_unsigned(to_signed(value, from_bits), to_bits)
+
+
+def bit_field(word: int, lo: int, width: int) -> int:
+    """Extract *width* bits of *word* starting at bit *lo* (bit 0 = LSB)."""
+    return (word >> lo) & ((1 << width) - 1)
+
+
+def set_bit_field(word: int, lo: int, width: int, value: int) -> int:
+    """Return *word* with bits [lo, lo+width) replaced by *value*."""
+    mask = ((1 << width) - 1) << lo
+    return (word & ~mask) | ((value << lo) & mask)
+
+
+def rotate_left(value: int, amount: int, bits: int = WORD_BITS) -> int:
+    """Rotate the *bits*-wide *value* left by *amount* positions."""
+    amount %= bits
+    value = to_unsigned(value, bits)
+    return to_unsigned((value << amount) | (value >> (bits - amount)), bits)
+
+
+def fits_signed(value: int, bits: int) -> bool:
+    """True when *value* is representable as a *bits*-wide signed integer."""
+    return -(1 << (bits - 1)) <= value < (1 << (bits - 1))
+
+
+def fits_unsigned(value: int, bits: int) -> bool:
+    """True when *value* is representable as a *bits*-wide unsigned integer."""
+    return 0 <= value < (1 << bits)
+
+
+def add32(a: int, b: int, carry_in: int = 0) -> tuple[int, bool, bool]:
+    """32-bit add; return ``(result, carry_out, overflow)``.
+
+    Overflow is the signed-overflow flag: both operands share a sign that
+    differs from the result's sign.
+    """
+    total = (a & MASK32) + (b & MASK32) + carry_in
+    result = total & MASK32
+    carry = total > MASK32
+    overflow = bool(~(a ^ b) & (a ^ result) & SIGN_BIT32)
+    return result, carry, overflow
+
+
+def sub32(a: int, b: int, borrow_in: int = 0) -> tuple[int, bool, bool]:
+    """32-bit subtract ``a - b - borrow_in``; return ``(result, borrow, overflow)``."""
+    total = (a & MASK32) - (b & MASK32) - borrow_in
+    result = total & MASK32
+    borrow = total < 0
+    overflow = bool((a ^ b) & (a ^ result) & SIGN_BIT32)
+    return result, borrow, overflow

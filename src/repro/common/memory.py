@@ -1,0 +1,177 @@
+"""Byte-addressable big-endian memory with access accounting.
+
+The RISC I evaluation hinges on *memory traffic* (the paper weights HLL
+operations by the memory references they cost), so every read and write is
+counted.  Instruction fetches and data accesses are tracked separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryError_
+
+WORD_BYTES = 4
+HALF_BYTES = 2
+
+#: Memory-mapped console: bytes stored here appear on the simulated
+#: terminal instead of in RAM (reads return 0 = "ready").  Below the
+#: window-save region, above the software stack.
+CONSOLE_ADDRESS = 0xF0000
+
+
+@dataclass
+class MemoryStats:
+    """Counters for one memory instance.
+
+    Attributes:
+        inst_reads: instruction-fetch word reads.
+        data_reads: data-side reads (any width).
+        data_writes: data-side writes (any width).
+    """
+
+    inst_reads: int = 0
+    data_reads: int = 0
+    data_writes: int = 0
+
+    @property
+    def data_refs(self) -> int:
+        """Total data-side references (reads + writes)."""
+        return self.data_reads + self.data_writes
+
+    @property
+    def total_refs(self) -> int:
+        """All references including instruction fetches."""
+        return self.inst_reads + self.data_refs
+
+    def reset(self) -> None:
+        self.inst_reads = 0
+        self.data_reads = 0
+        self.data_writes = 0
+
+
+@dataclass
+class Memory:
+    """A flat big-endian byte-addressable memory.
+
+    Backed by a ``bytearray``; all accesses are bounds-checked, and word /
+    halfword accesses must be naturally aligned (RISC I requires alignment;
+    misalignment is an addressing trap, modelled here as an exception).
+    """
+
+    size: int = 1 << 20
+    stats: MemoryStats = field(default_factory=MemoryStats)
+
+    def __post_init__(self) -> None:
+        self._bytes = bytearray(self.size)
+        self.console: list[str] = []
+
+    @property
+    def console_output(self) -> str:
+        """Everything the program printed through the console device."""
+        return "".join(self.console)
+
+    # -- raw access -------------------------------------------------------
+
+    def _check(self, address: int, width: int, aligned: int) -> None:
+        if address < 0 or address + width > self.size:
+            raise MemoryError_(f"address {address:#x} out of range (size {self.size:#x})")
+        if aligned > 1 and address % aligned:
+            raise MemoryError_(f"misaligned {aligned}-byte access at {address:#x}")
+
+    def load_byte(self, address: int, *, signed: bool = False, count: bool = True) -> int:
+        if address == CONSOLE_ADDRESS:
+            if count:
+                self.stats.data_reads += 1
+            return 0  # console status: always ready
+        self._check(address, 1, 1)
+        if count:
+            self.stats.data_reads += 1
+        value = self._bytes[address]
+        if signed and value & 0x80:
+            value -= 0x100
+        return value
+
+    def load_half(self, address: int, *, signed: bool = False, count: bool = True) -> int:
+        self._check(address, HALF_BYTES, HALF_BYTES)
+        if count:
+            self.stats.data_reads += 1
+        value = int.from_bytes(self._bytes[address : address + HALF_BYTES], "big")
+        if signed and value & 0x8000:
+            value -= 0x10000
+        return value
+
+    def load_word(self, address: int, *, count: bool = True) -> int:
+        """Read an aligned 32-bit word (unsigned view)."""
+        if address == CONSOLE_ADDRESS:
+            if count:
+                self.stats.data_reads += 1
+            return 0
+        self._check(address, WORD_BYTES, WORD_BYTES)
+        if count:
+            self.stats.data_reads += 1
+        return int.from_bytes(self._bytes[address : address + WORD_BYTES], "big")
+
+    def fetch_word(self, address: int) -> int:
+        """Read a word on the instruction-fetch path (counted separately)."""
+        self._check(address, WORD_BYTES, WORD_BYTES)
+        self.stats.inst_reads += 1
+        return int.from_bytes(self._bytes[address : address + WORD_BYTES], "big")
+
+    def store_byte(self, address: int, value: int, *, count: bool = True) -> None:
+        if address == CONSOLE_ADDRESS:
+            if count:
+                self.stats.data_writes += 1
+            self.console.append(chr(value & 0xFF))
+            return
+        self._check(address, 1, 1)
+        if count:
+            self.stats.data_writes += 1
+        self._bytes[address] = value & 0xFF
+
+    def store_half(self, address: int, value: int, *, count: bool = True) -> None:
+        self._check(address, HALF_BYTES, HALF_BYTES)
+        if count:
+            self.stats.data_writes += 1
+        self._bytes[address : address + HALF_BYTES] = (value & 0xFFFF).to_bytes(2, "big")
+
+    def store_word(self, address: int, value: int, *, count: bool = True) -> None:
+        if address == CONSOLE_ADDRESS:
+            if count:
+                self.stats.data_writes += 1
+            self.console.append(chr(value & 0xFF))
+            return
+        self._check(address, WORD_BYTES, WORD_BYTES)
+        if count:
+            self.stats.data_writes += 1
+        self._bytes[address : address + WORD_BYTES] = (value & 0xFFFFFFFF).to_bytes(4, "big")
+
+    # -- bulk helpers -------------------------------------------------------
+
+    def load_words(self, address: int, count: int) -> list[int]:
+        """Read *count* consecutive words without touching the counters."""
+        return [self.load_word(address + 4 * i, count=False) for i in range(count)]
+
+    def store_words(self, address: int, values: list[int]) -> None:
+        """Write consecutive words without touching the counters."""
+        for i, value in enumerate(values):
+            self.store_word(address + 4 * i, value, count=False)
+
+    def load_program(self, words: list[int], base: int = 0) -> None:
+        """Copy an encoded program image into memory starting at *base*."""
+        self.store_words(base, words)
+
+    def read_cstring(self, address: int, limit: int = 4096) -> str:
+        """Read a NUL-terminated byte string (for the sed-style workloads)."""
+        chars = []
+        for offset in range(limit):
+            byte = self.load_byte(address + offset, count=False)
+            if byte == 0:
+                break
+            chars.append(chr(byte))
+        return "".join(chars)
+
+    def write_cstring(self, address: int, text: str) -> None:
+        for offset, char in enumerate(text):
+            self.store_byte(address + offset, ord(char), count=False)
+        self.store_byte(address + len(text), 0, count=False)

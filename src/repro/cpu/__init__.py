@@ -1,0 +1,27 @@
+"""The RISC I processor model.
+
+Submodules:
+
+* :mod:`repro.cpu.regfile` - the 138-register windowed register file.
+* :mod:`repro.cpu.psw` - processor status word (flags, CWP, SWP).
+* :mod:`repro.cpu.alu` - 32-bit ALU and shifter semantics.
+* :mod:`repro.cpu.machine` - the instruction-level executor with delayed
+  jumps, register-window overflow/underflow traps and cycle accounting.
+* :mod:`repro.cpu.pipeline` - the two-stage pipeline timing model used by
+  the delayed-jump figure.
+"""
+
+from repro.cpu.alu import Alu, AluResult
+from repro.cpu.machine import ExecutionStats, HaltReason, RiscMachine
+from repro.cpu.psw import Psw
+from repro.cpu.regfile import WindowedRegisterFile
+
+__all__ = [
+    "Alu",
+    "AluResult",
+    "ExecutionStats",
+    "HaltReason",
+    "Psw",
+    "RiscMachine",
+    "WindowedRegisterFile",
+]

@@ -1,0 +1,82 @@
+"""32-bit ALU and shifter semantics for the twelve RISC I ALU instructions.
+
+All operations produce a 32-bit result plus the four condition flags; the
+machine applies the flags only when the instruction's ``scc`` bit is set.
+Flag conventions:
+
+* N, Z from the result for every operation.
+* C, V meaningful for add/subtract; C is *borrow* after a subtract
+  (set when the unsigned minuend was smaller).
+* Logical operations and shifts clear C and V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bitops import MASK32, SIGN_BIT32, add32, sub32, to_unsigned
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class AluResult:
+    """Result word plus the flags the operation would set."""
+
+    value: int
+    z: bool
+    n: bool
+    c: bool
+    v: bool
+
+
+def _flags_nz(value: int) -> tuple[bool, bool]:
+    return value == 0, bool(value & SIGN_BIT32)
+
+
+class Alu:
+    """Stateless ALU: ``execute(opcode, a, b, carry_in)`` -> :class:`AluResult`.
+
+    *a* is the rs1 operand, *b* the s2 operand, both as 32-bit unsigned
+    views.  ``carry_in`` is the current PSW carry, used by the
+    with-carry/borrow variants.
+    """
+
+    def execute(self, opcode: Opcode, a: int, b: int, carry_in: bool = False) -> AluResult:
+        a &= MASK32
+        b &= MASK32
+        if opcode is Opcode.ADD:
+            return self._arith(*add32(a, b))
+        if opcode is Opcode.ADDC:
+            return self._arith(*add32(a, b, int(carry_in)))
+        if opcode is Opcode.SUB:
+            return self._arith(*sub32(a, b))
+        if opcode is Opcode.SUBC:
+            return self._arith(*sub32(a, b, int(carry_in)))
+        if opcode is Opcode.SUBR:
+            return self._arith(*sub32(b, a))
+        if opcode is Opcode.SUBCR:
+            return self._arith(*sub32(b, a, int(carry_in)))
+        if opcode is Opcode.AND:
+            return self._logic(a & b)
+        if opcode is Opcode.OR:
+            return self._logic(a | b)
+        if opcode is Opcode.XOR:
+            return self._logic(a ^ b)
+        if opcode is Opcode.SLL:
+            return self._logic((a << (b & 31)) & MASK32)
+        if opcode is Opcode.SRL:
+            return self._logic(a >> (b & 31))
+        if opcode is Opcode.SRA:
+            signed = a - (1 << 32) if a & SIGN_BIT32 else a
+            return self._logic(to_unsigned(signed >> (b & 31)))
+        raise ValueError(f"{opcode!r} is not an ALU opcode")
+
+    @staticmethod
+    def _arith(value: int, carry: bool, overflow: bool) -> AluResult:
+        z, n = _flags_nz(value)
+        return AluResult(value, z, n, carry, overflow)
+
+    @staticmethod
+    def _logic(value: int) -> AluResult:
+        z, n = _flags_nz(value)
+        return AluResult(value, z, n, False, False)

@@ -1,0 +1,202 @@
+"""Machine-level debugger for the RISC I simulator.
+
+Wraps a :class:`~repro.cpu.machine.RiscMachine` with the facilities a
+person bringing up code on the simulator actually needs:
+
+* address and symbol breakpoints;
+* memory watchpoints (break when a watched word changes);
+* single-step / continue / finish (run to the current frame's return);
+* a reconstructed call stack (shadow stack maintained from executed
+  CALL/RET instructions);
+* disassembly around the PC and a window-aware register dump;
+* a bounded execution-trace ring buffer.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.asm.disassembler import render
+from repro.cpu.machine import RiscMachine
+from repro.isa.formats import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class StopReason(enum.Enum):
+    BREAKPOINT = "breakpoint"
+    WATCHPOINT = "watchpoint"
+    STEP = "step"
+    HALTED = "machine halted"
+    FINISHED = "frame returned"
+    LIMIT = "step limit"
+
+
+@dataclass
+class StackFrame:
+    """One reconstructed call-stack entry."""
+
+    call_site: int
+    target: int
+    depth: int
+
+
+@dataclass
+class StopEvent:
+    reason: StopReason
+    pc: int
+    detail: str = ""
+
+
+@dataclass
+class Debugger:
+    """Interactive-style control over a machine.
+
+    The machine must be loaded and ``reset`` (or constructed fresh and
+    reset by the caller) before stepping.
+    """
+
+    machine: RiscMachine
+    symbols: dict[str, int] = field(default_factory=dict)
+    trace_depth: int = 64
+
+    def __post_init__(self) -> None:
+        self.breakpoints: set[int] = set()
+        self.watchpoints: dict[int, int] = {}  # address -> last seen value
+        self.call_stack: list[StackFrame] = []
+        self.trace: deque = deque(maxlen=self.trace_depth)
+        self._address_to_symbol = {
+            address: name for name, address in self.symbols.items()
+        }
+
+    # -- breakpoints / watchpoints ------------------------------------------
+
+    def resolve(self, location: int | str) -> int:
+        """Address for a location given as an int or a symbol name."""
+        if isinstance(location, str):
+            if location not in self.symbols:
+                raise KeyError(f"unknown symbol {location!r}")
+            return self.symbols[location]
+        return location
+
+    def add_breakpoint(self, location: int | str) -> int:
+        address = self.resolve(location)
+        self.breakpoints.add(address)
+        return address
+
+    def remove_breakpoint(self, location: int | str) -> None:
+        self.breakpoints.discard(self.resolve(location))
+
+    def add_watchpoint(self, location: int | str) -> int:
+        address = self.resolve(location)
+        self.watchpoints[address] = self.machine.memory.load_word(address, count=False)
+        return address
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> StopEvent:
+        """Execute exactly one instruction."""
+        if self.machine.halted is not None:
+            return StopEvent(StopReason.HALTED, self.machine.pc)
+        pc = self.machine.pc
+        inst = self.machine.step()
+        self.trace.append((pc, inst))
+        self._track_calls(pc, inst)
+        changed = self._changed_watchpoint()
+        if changed is not None:
+            address, old, new = changed
+            return StopEvent(
+                StopReason.WATCHPOINT, self.machine.pc,
+                f"M[{address:#x}]: {old:#x} -> {new:#x}",
+            )
+        return StopEvent(StopReason.STEP, self.machine.pc)
+
+    def cont(self, max_steps: int = 1_000_000) -> StopEvent:
+        """Run until a breakpoint, watchpoint, halt, or step limit."""
+        for __ in range(max_steps):
+            event = self.step()
+            if event.reason in (StopReason.WATCHPOINT, StopReason.HALTED):
+                return event
+            if self.machine.halted is not None:
+                return StopEvent(StopReason.HALTED, self.machine.pc)
+            if self.machine.pc in self.breakpoints:
+                return StopEvent(
+                    StopReason.BREAKPOINT, self.machine.pc,
+                    self.describe_address(self.machine.pc),
+                )
+        return StopEvent(StopReason.LIMIT, self.machine.pc)
+
+    def finish(self, max_steps: int = 1_000_000) -> StopEvent:
+        """Run until the current procedure frame returns."""
+        target_depth = self.machine.call_depth - 1
+        for __ in range(max_steps):
+            event = self.step()
+            if event.reason in (StopReason.WATCHPOINT, StopReason.HALTED):
+                return event
+            if self.machine.halted is not None:
+                return StopEvent(StopReason.HALTED, self.machine.pc)
+            if self.machine.call_depth <= target_depth:
+                return StopEvent(StopReason.FINISHED, self.machine.pc)
+        return StopEvent(StopReason.LIMIT, self.machine.pc)
+
+    # -- introspection ------------------------------------------------------------
+
+    def _track_calls(self, pc: int, inst: Instruction) -> None:
+        if inst.opcode in (Opcode.CALL, Opcode.CALLR, Opcode.CALLINT):
+            self.call_stack.append(
+                StackFrame(call_site=pc, target=self.machine.npc,
+                           depth=self.machine.call_depth)
+            )
+        elif inst.opcode in (Opcode.RET, Opcode.RETINT) and self.call_stack:
+            self.call_stack.pop()
+
+    def _changed_watchpoint(self) -> tuple[int, int, int] | None:
+        for address, old in self.watchpoints.items():
+            new = self.machine.memory.load_word(address, count=False)
+            if new != old:
+                self.watchpoints[address] = new
+                return address, old, new
+        return None
+
+    def describe_address(self, address: int) -> str:
+        symbol = self._address_to_symbol.get(address)
+        return f"{address:#x} <{symbol}>" if symbol else f"{address:#x}"
+
+    def backtrace(self) -> list[str]:
+        """Human-readable call stack, innermost frame last."""
+        lines = []
+        for frame in self.call_stack:
+            lines.append(
+                f"call from {self.describe_address(frame.call_site)} "
+                f"-> {self.describe_address(frame.target)} (depth {frame.depth})"
+            )
+        return lines
+
+    def disassemble_around(self, context: int = 3) -> list[str]:
+        """Disassembly of the instructions around the current PC."""
+        lines = []
+        start = max(0, self.machine.pc - 4 * context)
+        for address in range(start, self.machine.pc + 4 * (context + 1), 4):
+            try:
+                word = self.machine.memory.load_word(address, count=False)
+                from repro.isa.decode import decode
+
+                text = render(decode(word), address)
+            except Exception:
+                text = "???"
+            marker = "=>" if address == self.machine.pc else "  "
+            lines.append(f"{marker} {address:#06x}: {text}")
+        return lines
+
+    def registers(self) -> dict[str, int]:
+        """Visible register view for the current window (plus PSW/PC)."""
+        view = self.machine.regs.snapshot(self.machine.psw.cwp)
+        view["pc"] = self.machine.pc
+        view["psw"] = self.machine.psw.pack()
+        view["cwp"] = self.machine.psw.cwp
+        return view
+
+    def trace_listing(self) -> list[str]:
+        """The last executed instructions, oldest first."""
+        return [f"{pc:#06x}: {render(inst, pc)}" for pc, inst in self.trace]

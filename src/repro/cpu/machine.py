@@ -1,0 +1,433 @@
+"""Instruction-level RISC I executor with cycle accounting.
+
+Models exactly what the paper's own evaluation simulator modelled:
+
+* one machine cycle per instruction, two for loads/stores (the memory
+  port steals the second pipeline stage);
+* **delayed jumps**: every control transfer executes the following
+  instruction (the delay slot) before the transfer takes effect;
+* **register windows**: CALL decrements the current-window pointer, RET
+  increments it; when the circular file of 8 windows fills up, an
+  overflow trap spills the oldest window's 16 unique registers to a save
+  stack in memory (and an underflow trap refills on the way back);
+* full memory-traffic accounting, since the paper's argument rests on the
+  data references saved by the windows.
+
+The executor keeps a SPARC-style ``(pc, npc)`` pair: each step executes
+the instruction at ``pc``; a taken jump replaces ``npc`` *after* the
+current ``npc`` (the delay slot) has been promoted, which yields exactly
+one delay slot per transfer.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.common.bitops import MASK32
+from repro.common.memory import Memory
+from repro.cpu.alu import Alu
+from repro.cpu.psw import Psw
+from repro.cpu.regfile import WindowedRegisterFile
+from repro.errors import SimulationError, TrapError
+from repro.isa.conditions import Cond, cond_holds
+from repro.isa.decode import decode
+from repro.isa.formats import Instruction
+from repro.isa.opcodes import Category, Format, Opcode
+from repro.isa.registers import NUM_WINDOWS, REGS_PER_WINDOW_UNIQUE
+
+#: PC value that means "the initial procedure returned" - outside memory.
+HALT_PC = 0x7FFF_FF00
+#: Default cycle time from the paper's NMOS design estimate.
+CYCLE_TIME_NS = 400
+
+#: Trap overhead beyond the 16 register stores/loads themselves.
+TRAP_OVERHEAD_CYCLES = 4
+
+
+@lru_cache(maxsize=65536)
+def _decode_cached(word: int) -> Instruction:
+    return decode(word)
+
+
+class HaltReason(enum.Enum):
+    RETURNED = "initial procedure returned"
+    STEP_LIMIT = "step limit reached"
+    EXPLICIT = "halt address reached"
+
+
+@dataclass
+class ExecutionStats:
+    """Dynamic counters for one run."""
+
+    instructions: int = 0
+    cycles: int = 0
+    calls: int = 0
+    returns: int = 0
+    taken_jumps: int = 0
+    delay_slots: int = 0
+    delay_slot_nops: int = 0
+    window_overflows: int = 0
+    window_underflows: int = 0
+    max_call_depth: int = 0
+    by_category: Counter = field(default_factory=Counter)
+    by_opcode: Counter = field(default_factory=Counter)
+
+    @property
+    def spill_words(self) -> int:
+        """Words moved by window overflow+underflow traps."""
+        return (self.window_overflows + self.window_underflows) * REGS_PER_WINDOW_UNIQUE
+
+    def time_ns(self, cycle_time_ns: float = CYCLE_TIME_NS) -> float:
+        return self.cycles * cycle_time_ns
+
+
+class RiscMachine:
+    """A complete RISC I processor attached to a :class:`Memory`.
+
+    Args:
+        memory: backing store (code + data + window-save stack).
+        num_windows: size of the circular window file (paper: 8).
+        use_windows: False selects the A1 ablation - a flat register file
+            where CALL/RET do not switch windows (software must save).
+        record_call_trace: keep a +1/-1 call-depth trace for the window
+            sweep analysis (cheap; on by default).
+    """
+
+    def __init__(
+        self,
+        memory: Memory | None = None,
+        *,
+        num_windows: int = NUM_WINDOWS,
+        use_windows: bool = True,
+        record_call_trace: bool = True,
+    ):
+        self.memory = memory if memory is not None else Memory()
+        self.regs = WindowedRegisterFile(num_windows=num_windows, use_windows=use_windows)
+        self.num_windows = num_windows
+        self.use_windows = use_windows
+        self.psw = Psw()
+        self.alu = Alu()
+        self.stats = ExecutionStats()
+        self.record_call_trace = record_call_trace
+        self.call_trace: list[int] = []
+
+        self.pc = 0
+        self.npc = 4
+        self.lpc = 0  # PC of the previously executed instruction (GTLPC)
+        self.halted: HaltReason | None = None
+        self.halt_address: int | None = None
+
+        # Window bookkeeping: number of frames resident in the file and
+        # the memory save stack for spilled windows.
+        self.resident_windows = 1
+        self.call_depth = 0
+        self.window_save_pointer = self.memory.size  # grows downward
+        self._pending_jump = False  # the *previous* instruction was a taken transfer
+
+        # Interrupts: a handler address is latched by request_interrupt()
+        # and taken at the next step boundary that is not a delay slot.
+        self.pending_interrupt: int | None = None
+        self.interrupts_taken = 0
+
+    # -- program setup ------------------------------------------------------
+
+    def load_program(self, words: list[int], base: int = 0) -> None:
+        self.memory.load_program(words, base)
+
+    def reset(self, entry: int = 0) -> None:
+        """Point the machine at *entry* with a fresh halt linkage.
+
+        The initial window's r31 (the link register) is loaded so that the
+        conventional ``ret r31, 8`` from the entry procedure lands on
+        :data:`HALT_PC`.
+        """
+        self.pc = entry
+        self.npc = entry + 4
+        self.halted = None
+        self.psw.cwp = 0
+        self.regs.write(0, 31, HALT_PC - 8)
+        self.resident_windows = 1
+        self.call_depth = 1  # the entry procedure is frame 1
+        # Record the entry activation so the trace balances its final return.
+        self.call_trace = [1] if self.record_call_trace else []
+        self.window_save_pointer = self.memory.size
+
+    # -- register access in the current window -------------------------------
+
+    def read_reg(self, reg: int) -> int:
+        return self.regs.read(self.psw.cwp, reg)
+
+    def write_reg(self, reg: int, value: int) -> None:
+        self.regs.write(self.psw.cwp, reg, value)
+
+    # -- window traps ---------------------------------------------------------
+
+    #: lowest address the window-save stack may reach before trapping
+    window_stack_limit: int = 0
+
+    def _spill_window(self, window: int) -> None:
+        """Overflow trap body: push the frame-at-*window*'s LOCAL+HIGH unit."""
+        self.window_save_pointer -= 4 * REGS_PER_WINDOW_UNIQUE
+        if self.window_save_pointer < self.window_stack_limit:
+            raise TrapError(
+                f"window-save stack exhausted (limit {self.window_stack_limit:#x})"
+            )
+        unit = self.regs.spill_unit(window)
+        for i, value in enumerate(unit):
+            self.memory.store_word(self.window_save_pointer + 4 * i, value)
+        self.stats.window_overflows += 1
+        self.stats.cycles += TRAP_OVERHEAD_CYCLES + 2 * REGS_PER_WINDOW_UNIQUE
+
+    def _refill_window(self, window: int) -> None:
+        """Underflow trap body: pop the LOCAL+HIGH unit back into *window*."""
+        if self.window_save_pointer >= self.memory.size:
+            raise TrapError("window underflow with empty save stack")
+        values = [
+            self.memory.load_word(self.window_save_pointer + 4 * i)
+            for i in range(REGS_PER_WINDOW_UNIQUE)
+        ]
+        self.regs.set_spill_unit(window, values)
+        self.window_save_pointer += 4 * REGS_PER_WINDOW_UNIQUE
+        self.stats.window_underflows += 1
+        self.stats.cycles += TRAP_OVERHEAD_CYCLES + 2 * REGS_PER_WINDOW_UNIQUE
+
+    def _enter_window(self) -> None:
+        """CALL path: allocate a new window, spilling the oldest if full."""
+        self.call_depth += 1
+        self.stats.max_call_depth = max(self.stats.max_call_depth, self.call_depth)
+        if self.record_call_trace:
+            self.call_trace.append(1)
+        if not self.use_windows:
+            return
+        new_cwp = (self.psw.cwp - 1) % self.num_windows
+        if self.resident_windows == self.num_windows - 1:
+            oldest = (new_cwp + self.resident_windows) % self.num_windows
+            self._spill_window(oldest)
+        else:
+            self.resident_windows += 1
+        self.psw.cwp = new_cwp
+        # SWP mirrors the oldest resident frame's window (the paper's
+        # saved-window pointer; GETPSW exposes it to software).
+        self.psw.swp = (new_cwp + self.resident_windows - 1) % self.num_windows
+
+    def _exit_window(self) -> None:
+        """RET path: release the window, refilling the caller's if spilled."""
+        if self.call_depth <= 0:
+            raise TrapError("RET with no active procedure frame")
+        self.call_depth -= 1
+        if self.record_call_trace:
+            self.call_trace.append(-1)
+        if not self.use_windows:
+            return
+        new_cwp = (self.psw.cwp + 1) % self.num_windows
+        if self.call_depth == 0:
+            # Final return from the entry procedure: nothing to restore.
+            self.resident_windows = 1
+        elif self.resident_windows == 1:
+            self._refill_window(new_cwp)
+        else:
+            self.resident_windows -= 1
+        self.psw.cwp = new_cwp
+        self.psw.swp = (new_cwp + self.resident_windows - 1) % self.num_windows
+
+    # -- execution ------------------------------------------------------------
+
+    def _operand_s2(self, inst: Instruction) -> int:
+        if inst.imm:
+            return inst.s2 & MASK32
+        return self.read_reg(inst.s2 & 0x1F)
+
+    # -- interrupts -------------------------------------------------------------
+
+    def request_interrupt(self, handler: int) -> None:
+        """Latch an external interrupt; taken when enabled and safe.
+
+        The paper's interrupt scheme: the hardware forces a CALL to a
+        fixed location in a fresh window, and the handler recovers the
+        interrupted PC with GTLPC and resumes with RETINT.
+        """
+        self.pending_interrupt = handler
+
+    def _take_interrupt(self) -> None:
+        handler = self.pending_interrupt
+        self.pending_interrupt = None
+        self.interrupts_taken += 1
+        self._enter_window()
+        self.stats.calls += 1
+        # GTLPC must return the interrupted instruction's address.
+        self.lpc = self.pc
+        self.psw.interrupts_enabled = False
+        self.pc = handler
+        self.npc = handler + 4
+
+    def step(self) -> Instruction:
+        """Execute one instruction; returns the decoded instruction."""
+        if self.halted is not None:
+            raise SimulationError(f"machine is halted ({self.halted.value})")
+        if (
+            self.pending_interrupt is not None
+            and self.psw.interrupts_enabled
+            and not self._pending_jump  # never split a jump from its delay slot
+        ):
+            self._take_interrupt()
+        pc = self.pc
+        word = self.memory.fetch_word(pc)
+        inst = _decode_cached(word)
+        spec = inst.spec
+
+        in_delay_slot = self._pending_jump
+        self._pending_jump = False
+        if in_delay_slot:
+            self.stats.delay_slots += 1
+            if _is_nop(inst):
+                self.stats.delay_slot_nops += 1
+
+        # Default sequencing; a taken transfer overwrites new_npc.
+        new_pc = self.npc
+        new_npc = self.npc + 4
+
+        category = spec.category
+        if category is Category.ALU:
+            a = self.read_reg(inst.rs1)
+            b = self._operand_s2(inst)
+            result = self.alu.execute(inst.opcode, a, b, self.psw.c)
+            self.write_reg(inst.dest, result.value)
+            if inst.scc:
+                self.psw.set_flags(z=result.z, n=result.n, c=result.c, v=result.v)
+        elif category is Category.LOAD:
+            address = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
+            self.write_reg(inst.dest, self._load(inst.opcode, address))
+        elif category is Category.STORE:
+            address = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
+            self._store(inst.opcode, address, self.read_reg(inst.dest))
+        elif category is Category.JUMP:
+            target = self._execute_jump(inst, pc)
+            if target is not None:
+                new_npc = target
+                self._pending_jump = True
+                self.stats.taken_jumps += 1
+        elif inst.opcode is Opcode.LDHI:
+            self.write_reg(inst.dest, (inst.imm19 << 13) & MASK32)
+        elif inst.opcode is Opcode.GTLPC:
+            self.write_reg(inst.dest, self.lpc)
+        elif inst.opcode is Opcode.GETPSW:
+            self.write_reg(inst.dest, self.psw.pack())
+        elif inst.opcode is Opcode.PUTPSW:
+            value = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
+            self.psw.unpack(value)
+        else:  # pragma: no cover - every opcode is handled above
+            raise SimulationError(f"unimplemented opcode {inst.opcode!r}")
+
+        self.stats.instructions += 1
+        self.stats.cycles += spec.cycles
+        self.stats.by_category[category.name] += 1
+        self.stats.by_opcode[inst.opcode.name] += 1
+
+        self.lpc = pc
+        self.pc = new_pc
+        self.npc = new_npc
+        if self.pc == HALT_PC:
+            self.halted = HaltReason.RETURNED
+        elif self.halt_address is not None and self.pc == self.halt_address:
+            self.halted = HaltReason.EXPLICIT
+        return inst
+
+    def _execute_jump(self, inst: Instruction, pc: int) -> int | None:
+        """Execute a control-transfer; returns the target or None if not taken."""
+        opcode = inst.opcode
+        if opcode is Opcode.JMP:
+            if cond_holds(inst.cond, *self.psw.flags()):
+                return (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
+            return None
+        if opcode is Opcode.JMPR:
+            if cond_holds(inst.cond, *self.psw.flags()):
+                return (pc + inst.imm19) & MASK32
+            return None
+        if opcode is Opcode.CALL:
+            target = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
+            self._enter_window()
+            self.write_reg(inst.dest, pc)  # written in the NEW window
+            self.stats.calls += 1
+            return target
+        if opcode is Opcode.CALLR:
+            target = (pc + inst.imm19) & MASK32
+            self._enter_window()
+            self.write_reg(inst.dest, pc)
+            self.stats.calls += 1
+            return target
+        if opcode is Opcode.RET:
+            target = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
+            self._exit_window()
+            self.stats.returns += 1
+            return target
+        if opcode is Opcode.CALLINT:
+            self._enter_window()
+            self.write_reg(inst.dest, self.lpc)
+            self.stats.calls += 1
+            return None
+        if opcode is Opcode.RETINT:
+            target = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
+            self._exit_window()
+            self.stats.returns += 1
+            self.psw.interrupts_enabled = True  # interrupt return re-enables
+            return target
+        raise SimulationError(f"not a jump opcode: {opcode!r}")  # pragma: no cover
+
+    def _load(self, opcode: Opcode, address: int) -> int:
+        if opcode is Opcode.LDL:
+            return self.memory.load_word(address)
+        if opcode is Opcode.LDSU:
+            return self.memory.load_half(address)
+        if opcode is Opcode.LDSS:
+            return self.memory.load_half(address, signed=True) & MASK32
+        if opcode is Opcode.LDBU:
+            return self.memory.load_byte(address)
+        if opcode is Opcode.LDBS:
+            return self.memory.load_byte(address, signed=True) & MASK32
+        raise SimulationError(f"not a load opcode: {opcode!r}")  # pragma: no cover
+
+    def _store(self, opcode: Opcode, address: int, value: int) -> None:
+        if opcode is Opcode.STL:
+            self.memory.store_word(address, value)
+        elif opcode is Opcode.STS:
+            self.memory.store_half(address, value)
+        elif opcode is Opcode.STB:
+            self.memory.store_byte(address, value)
+        else:  # pragma: no cover
+            raise SimulationError(f"not a store opcode: {opcode!r}")
+
+    @property
+    def result(self) -> int:
+        """Value returned by the entry procedure.
+
+        Convention: a procedure leaves its return value in its r26 (HIGH),
+        which the caller sees as r10 (LOW).  After the final ``ret`` the
+        window pointer has moved back to the caller, so the entry
+        procedure's result is the current window's r10.
+        """
+        return self.read_reg(10)
+
+    def run(self, entry: int = 0, max_steps: int = 20_000_000) -> ExecutionStats:
+        """Reset to *entry* and run until the entry procedure returns."""
+        self.reset(entry)
+        steps = 0
+        while self.halted is None:
+            self.step()
+            steps += 1
+            if steps >= max_steps:
+                self.halted = HaltReason.STEP_LIMIT
+        return self.stats
+
+
+def _is_nop(inst: Instruction) -> bool:
+    """The canonical NOP is ``add r0, r0, #0``."""
+    return (
+        inst.opcode is Opcode.ADD
+        and inst.dest == 0
+        and inst.rs1 == 0
+        and inst.imm
+        and inst.s2 == 0
+    )

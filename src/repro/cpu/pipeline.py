@@ -1,0 +1,111 @@
+"""Two-stage pipeline timing model (fetch | execute).
+
+RISC I overlaps the fetch of the next instruction with the execution of
+the current one.  A control transfer normally wastes the fetch already in
+flight; the *delayed jump* instead defines that instruction (the delay
+slot) to execute anyway, and the compiler tries to move useful work into
+it.  This module produces cycle-by-cycle timelines of that behaviour for
+the F3 figure, and computes pipeline cycle counts for arbitrary traces.
+
+Loads and stores occupy the memory port for an extra cycle, stalling the
+next fetch (the paper's reason loads/stores cost two cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed instruction, as the timing model sees it.
+
+    Attributes:
+        label: display text for timeline rendering.
+        is_memory: load or store (occupies the memory port twice).
+        takes_jump: a control transfer that redirects the PC.
+        is_squashed: only used by the *non*-delayed model: a fetched
+            instruction that must be thrown away.
+    """
+
+    label: str
+    is_memory: bool = False
+    takes_jump: bool = False
+    is_squashed: bool = False
+
+
+@dataclass
+class PipelineTimeline:
+    """Cycle-indexed occupancy of the two stages."""
+
+    fetch: list[str] = field(default_factory=list)
+    execute: list[str] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return max(len(self.fetch), len(self.execute))
+
+    def render(self) -> str:
+        """ASCII timeline, one row per stage."""
+        width = max([len(x) for x in self.fetch + self.execute] + [6])
+        rows = []
+        header = "cycle   " + " ".join(f"{i:>{width}}" for i in range(self.cycles))
+        rows.append(header)
+        for name, stage in (("fetch", self.fetch), ("execute", self.execute)):
+            padded = stage + [""] * (self.cycles - len(stage))
+            rows.append(f"{name:7} " + " ".join(f"{cell:>{width}}" for cell in padded))
+        return "\n".join(rows)
+
+
+def schedule(trace: list[TraceEntry], *, delayed_jumps: bool = True) -> PipelineTimeline:
+    """Produce the two-stage timeline for an executed-instruction *trace*.
+
+    With ``delayed_jumps=False`` the model refetches after every taken
+    jump (one bubble per transfer), which is the "normal jump" column of
+    the paper's delayed-jump illustration.
+    """
+    timeline = PipelineTimeline()
+    cycle = 0
+    index = 0
+    while index < len(trace):
+        entry = trace[index]
+        # Fetch happened the cycle before execution (cycle-1), except the
+        # very first instruction which is fetched in cycle 0.
+        if cycle == 0:
+            _put(timeline.fetch, 0, entry.label)
+            cycle = 1
+        _put(timeline.execute, cycle, entry.label)
+        if index + 1 < len(trace):
+            next_label = trace[index + 1].label
+            fetch_cycle = cycle
+            if entry.is_memory:
+                # Memory port busy: the next fetch slips one cycle.
+                _put(timeline.fetch, fetch_cycle, "(mem)")
+                fetch_cycle += 1
+                cycle += 1
+            if entry.takes_jump and not delayed_jumps:
+                # The in-flight fetch is squashed; refetch from target.
+                _put(timeline.fetch, fetch_cycle, "(squash)")
+                fetch_cycle += 1
+                cycle += 1
+            _put(timeline.fetch, fetch_cycle, next_label)
+        cycle += 1
+        index += 1
+    return timeline
+
+
+def cycle_count(trace: list[TraceEntry], *, delayed_jumps: bool = True) -> int:
+    """Total cycles the trace occupies the execute stage."""
+    cycles = 0
+    for entry in trace:
+        cycles += 2 if entry.is_memory else 1
+        if entry.takes_jump and not delayed_jumps:
+            cycles += 1  # squashed fetch bubble
+    return cycles
+
+
+def _put(stage: list[str], cycle: int, label: str) -> None:
+    while len(stage) <= cycle:
+        stage.append("")
+    if not stage[cycle]:
+        stage[cycle] = label

@@ -1,0 +1,66 @@
+"""Three-stage pipeline timing estimator (the RISC II direction).
+
+The paper's closing discussion (and the Berkeley follow-on, RISC II)
+moves from the two-stage fetch/execute pipeline to three stages -
+fetch / execute / write - with operand forwarding.  The win: a memory
+access no longer blocks the fetch of the *next* instruction, so loads
+and stores stop costing a blanket second cycle.  The new hazards:
+
+* **load-use interlock** - an instruction reading the destination of the
+  immediately preceding load stalls one cycle (forwarding can't beat the
+  memory port);
+* taken jumps still expose one delay slot (unchanged).
+
+``estimate_cycles`` replays a recorded execution trace under this model,
+letting the E1 extension experiment quantify how much of RISC I's
+two-cycle memory penalty the third stage recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.tracing import TraceRecord
+
+
+@dataclass(frozen=True)
+class PipelineEstimate:
+    """Cycle totals under the two models, for the same trace."""
+
+    instructions: int
+    two_stage_cycles: int
+    three_stage_cycles: int
+    load_use_stalls: int
+
+    @property
+    def speedup(self) -> float:
+        if self.three_stage_cycles == 0:
+            return 1.0
+        return self.two_stage_cycles / self.three_stage_cycles
+
+
+def estimate_cycles(trace: list[TraceRecord]) -> PipelineEstimate:
+    """Replay *trace* under the 2-stage and 3-stage timing models."""
+    two_stage = 0
+    three_stage = 0
+    stalls = 0
+    previous: TraceRecord | None = None
+    for record in trace:
+        # RISC I (two-stage): memory instructions monopolise the single
+        # memory port for an extra cycle.
+        two_stage += 2 if record.is_memory else 1
+        # RISC II-style (three-stage): everything is one cycle, except a
+        # use immediately after a load.
+        three_stage += 1
+        if previous is not None and previous.is_load and not previous.taken_jump:
+            loaded = previous.inst.dest
+            if loaded != 0 and loaded in record.inst.operand_registers():
+                three_stage += 1
+                stalls += 1
+        previous = record
+    return PipelineEstimate(
+        instructions=len(trace),
+        two_stage_cycles=two_stage,
+        three_stage_cycles=three_stage,
+        load_use_stalls=stalls,
+    )

@@ -1,0 +1,107 @@
+"""Per-function execution profiler.
+
+Attributes executed instructions, cycles, and memory references to the
+function whose text range the PC falls in - the tool you reach for when
+a benchmark's RISC/CISC ratio looks odd and you want to know *which*
+procedure is paying (e.g. how much of a program's time goes to the
+multiply/divide runtime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.machine import RiscMachine
+
+
+@dataclass
+class FunctionProfile:
+    name: str
+    start: int
+    end: int  # exclusive
+    instructions: int = 0
+    cycles: int = 0
+    calls: int = 0
+
+
+#: internal-label prefixes emitted by the compiler that are not functions
+_INTERNAL_PREFIXES = ("__epi_", "__bc_", "__text_", "__mul_", "__udm_",
+                      "__div_", "__mod_", "__dm_")
+
+
+def function_symbols(symbols: dict[str, int]) -> dict[str, int]:
+    """Filter a full symbol table down to function entry points.
+
+    Drops the compiler's internal control-flow labels (``L0_for_1``,
+    ``__epi_*``, ``__bc_*``) and runtime-internal loop labels, keeping
+    ``main``, mangled ``_name`` functions, and runtime entry points.
+    """
+    kept: dict[str, int] = {}
+    for name, address in symbols.items():
+        if any(name.startswith(prefix) for prefix in _INTERNAL_PREFIXES):
+            continue
+        if len(name) > 1 and name[0] == "L" and name[1].isdigit():
+            continue
+        kept[name] = address
+    return kept
+
+
+@dataclass
+class Profiler:
+    """Profile a machine run against a symbol table.
+
+    Symbols are treated as function entry points; each function's text
+    extends to the next symbol.  Symbols that aren't code (data labels)
+    simply show zero counts.
+    """
+
+    machine: RiscMachine
+    symbols: dict[str, int]
+    profiles: list[FunctionProfile] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ordered = sorted(self.symbols.items(), key=lambda item: item[1])
+        for (name, start), (__, next_start) in zip(ordered, ordered[1:] + [("", 1 << 62)]):
+            self.profiles.append(FunctionProfile(name=name, start=start, end=next_start))
+
+    def _owner(self, pc: int) -> FunctionProfile | None:
+        for profile in self.profiles:
+            if profile.start <= pc < profile.end:
+                return profile
+        return None
+
+    def run(self, entry: int, max_steps: int = 5_000_000) -> list[FunctionProfile]:
+        machine = self.machine
+        machine.reset(entry)
+        steps = 0
+        previous_owner: FunctionProfile | None = None
+        while machine.halted is None and steps < max_steps:
+            pc = machine.pc
+            cycles_before = machine.stats.cycles
+            machine.step()
+            steps += 1
+            owner = self._owner(pc)
+            if owner is not None:
+                owner.instructions += 1
+                owner.cycles += machine.stats.cycles - cycles_before
+                if owner is not previous_owner and pc == owner.start:
+                    owner.calls += 1
+            previous_owner = owner
+        return self.hotspots()
+
+    def hotspots(self) -> list[FunctionProfile]:
+        """Profiles sorted by cycles, busiest first, zero rows dropped."""
+        return sorted(
+            (profile for profile in self.profiles if profile.instructions),
+            key=lambda profile: -profile.cycles,
+        )
+
+    def report(self) -> str:
+        total = sum(profile.cycles for profile in self.profiles) or 1
+        lines = [f"{'function':<20} {'calls':>7} {'instrs':>9} {'cycles':>9} {'%':>6}"]
+        for profile in self.hotspots():
+            lines.append(
+                f"{profile.name:<20} {profile.calls:>7} {profile.instructions:>9} "
+                f"{profile.cycles:>9} {100.0 * profile.cycles / total:>5.1f}%"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Processor status word: condition flags and window pointers.
+
+Layout used by GETPSW/PUTPSW (this reproduction's own packing; the paper
+only specifies that the PSW holds the flags and window pointers)::
+
+    bit 0  Z   zero
+    bit 1  N   negative
+    bit 2  C   carry / borrow
+    bit 3  V   signed overflow
+    bit 4  I   interrupts enabled
+    bits 5..7   CWP (current window pointer)
+    bits 8..10  SWP (saved window pointer)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Psw:
+    """Mutable processor status word."""
+
+    z: bool = False
+    n: bool = False
+    c: bool = False
+    v: bool = False
+    interrupts_enabled: bool = False
+    cwp: int = 0
+    swp: int = 0
+
+    def pack(self) -> int:
+        """Serialise to the integer view GETPSW returns."""
+        word = int(self.z)
+        word |= int(self.n) << 1
+        word |= int(self.c) << 2
+        word |= int(self.v) << 3
+        word |= int(self.interrupts_enabled) << 4
+        word |= (self.cwp & 0x7) << 5
+        word |= (self.swp & 0x7) << 8
+        return word
+
+    def unpack(self, word: int) -> None:
+        """Load flags/pointers from the integer view PUTPSW supplies."""
+        self.z = bool(word & 1)
+        self.n = bool(word & 2)
+        self.c = bool(word & 4)
+        self.v = bool(word & 8)
+        self.interrupts_enabled = bool(word & 16)
+        self.cwp = (word >> 5) & 0x7
+        self.swp = (word >> 8) & 0x7
+
+    def set_flags(self, *, z: bool, n: bool, c: bool, v: bool) -> None:
+        self.z = z
+        self.n = n
+        self.c = c
+        self.v = v
+
+    def flags(self) -> tuple[bool, bool, bool, bool]:
+        """Return (n, z, v, c) in the order :func:`cond_holds` expects."""
+        return self.n, self.z, self.v, self.c

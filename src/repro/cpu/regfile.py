@@ -1,0 +1,83 @@
+"""The windowed register file: 138 physical registers, 8 windows.
+
+Reads and writes go through the overlap mapping in
+:func:`repro.isa.registers.physical_index`.  ``r0`` is hardwired to zero:
+writes are discarded, reads always return 0, exactly as in the paper
+("register 0 always contains zero").
+
+The file can also be instantiated flat (``use_windows=False``) for the A1
+ablation, in which case every window number maps to window 0.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import MASK32
+from repro.isa.registers import (
+    NUM_GLOBALS,
+    NUM_WINDOWS,
+    REGS_PER_WINDOW_UNIQUE,
+    VISIBLE_REGISTERS,
+    physical_index,
+)
+
+
+class WindowedRegisterFile:
+    """Physical register storage plus the window-relative access paths."""
+
+    def __init__(self, num_windows: int = NUM_WINDOWS, use_windows: bool = True):
+        if num_windows < 2:
+            raise ValueError("need at least 2 windows (one buffer window)")
+        self.num_windows = num_windows
+        self.use_windows = use_windows
+        size = NUM_GLOBALS + num_windows * REGS_PER_WINDOW_UNIQUE
+        self._regs = [0] * size
+
+    @property
+    def physical_count(self) -> int:
+        return len(self._regs)
+
+    def _phys(self, window: int, reg: int) -> int:
+        if not self.use_windows:
+            window = 0
+        return physical_index(window, reg, self.num_windows)
+
+    def read(self, window: int, reg: int) -> int:
+        """Window-relative read; r0 is always 0."""
+        if reg == 0:
+            return 0
+        return self._regs[self._phys(window, reg)]
+
+    def write(self, window: int, reg: int, value: int) -> None:
+        """Window-relative write; writes to r0 are discarded."""
+        if reg == 0:
+            return
+        self._regs[self._phys(window, reg)] = value & MASK32
+
+    def read_physical(self, index: int) -> int:
+        return self._regs[index]
+
+    def write_physical(self, index: int, value: int) -> None:
+        self._regs[index] = value & MASK32
+
+    def spill_unit(self, window: int) -> list[int]:
+        """The 16 registers the overflow trap saves for the frame at *window*.
+
+        The unit is the frame's LOCAL block (r16-r25) plus its HIGH block
+        (r26-r31, physically the next window's LOW).  The frame's own LOW
+        is *not* part of the unit: it is the HIGH of the frame's callee and
+        is saved by the callee's own spill when its turn comes.  This is
+        the overlap-respecting save set (the same one SPARC's window
+        overflow handler uses: "locals + ins").
+        """
+        return [self.read(window, reg) for reg in range(16, 32)]
+
+    def set_spill_unit(self, window: int, values: list[int]) -> None:
+        """Restore a previously spilled LOCAL+HIGH unit for *window*."""
+        if len(values) != REGS_PER_WINDOW_UNIQUE:
+            raise ValueError(f"spill unit must have {REGS_PER_WINDOW_UNIQUE} values")
+        for reg, value in zip(range(16, 32), values):
+            self.write(window, reg, value)
+
+    def snapshot(self, window: int) -> dict[str, int]:
+        """Visible 32-register view for debugging and tests."""
+        return {f"r{reg}": self.read(window, reg) for reg in range(VISIBLE_REGISTERS)}

@@ -1,0 +1,56 @@
+"""Execution tracing: capture the dynamic instruction stream.
+
+Feeds timing models that need more than aggregate counters - notably
+the three-stage (RISC II-style) pipeline estimator, which must see
+register dependencies between adjacent instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.machine import RiscMachine
+from repro.isa.formats import Instruction
+from repro.isa.opcodes import Category
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One executed instruction with the facts timing models need."""
+
+    pc: int
+    inst: Instruction
+    taken_jump: bool
+
+    @property
+    def is_memory(self) -> bool:
+        return self.inst.spec.category in (Category.LOAD, Category.STORE)
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.spec.category is Category.LOAD
+
+
+@dataclass
+class ExecutionTracer:
+    """Run a machine while recording up to *limit* executed instructions."""
+
+    machine: RiscMachine
+    limit: int = 200_000
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def run(self, entry: int, max_steps: int = 5_000_000) -> list[TraceRecord]:
+        machine = self.machine
+        machine.reset(entry)
+        steps = 0
+        while machine.halted is None and steps < max_steps:
+            jumps_before = machine.stats.taken_jumps
+            pc = machine.pc
+            inst = machine.step()
+            steps += 1
+            if len(self.records) < self.limit:
+                self.records.append(TraceRecord(
+                    pc=pc, inst=inst,
+                    taken_jump=machine.stats.taken_jumps > jumps_before,
+                ))
+        return self.records

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the RISC I reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded (field out of range, bad opcode)."""
+
+
+class DecodingError(ReproError):
+    """A 32-bit word does not decode to a valid RISC I instruction."""
+
+
+class AssemblerError(ReproError):
+    """Assembly-source error (syntax, unknown mnemonic, bad operand).
+
+    Carries the source line number when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """The simulator reached an illegal state (bad PC, unaligned access)."""
+
+
+class MemoryError_(SimulationError):
+    """Out-of-range or misaligned memory access."""
+
+
+class TrapError(SimulationError):
+    """An unhandled trap terminated simulation."""
+
+
+class HLLError(ReproError):
+    """Base class for Mini-C front-end errors."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LexError(HLLError):
+    """Invalid character or token in Mini-C source."""
+
+
+class ParseError(HLLError):
+    """Mini-C syntax error."""
+
+
+class SemanticError(HLLError):
+    """Mini-C semantic error (undeclared name, arity mismatch, bad type)."""
+
+
+class InterpreterError(HLLError):
+    """Mini-C runtime error in the reference interpreter."""
+
+
+class CompileError(ReproError):
+    """Code-generation failure (unsupported construct, register pressure)."""
+
+
+class BaselineError(ReproError):
+    """Error in a baseline CISC machine model."""

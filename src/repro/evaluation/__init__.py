@@ -1,0 +1,27 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Stable experiment IDs (see DESIGN.md / EXPERIMENTS.md):
+
+========  =====================================================
+T1        weighted HLL operation frequency
+T2        machine-characteristics comparison
+T3        procedure call/return overhead
+T4        benchmark code size relative to VAX
+T5        benchmark execution time (ratios to RISC I)
+T6        register-window overflow rates
+T7        chip area: control vs datapath
+F1        instruction-format diagram
+F2        overlapped-register-window diagram
+F3        delayed-jump illustration + slot-fill measurement
+F4        execution overhead vs number of windows
+A1-A3     ablations (windows, delay slots, overlap size)
+========  =====================================================
+
+Each module exposes ``run(...)`` returning :class:`repro.evaluation.tables.Table`
+(or a list of them); ``run_all`` drives everything.
+"""
+
+from repro.evaluation.tables import Table
+from repro.evaluation.common import BenchmarkRecord, run_benchmark_matrix
+
+__all__ = ["BenchmarkRecord", "Table", "run_benchmark_matrix"]

@@ -1,0 +1,79 @@
+"""A1-A3 - Ablations of the paper's design choices.
+
+* A1: register windows vs flat file + software save/restore.
+* A2: compiler delay-slot filling vs NOP-filled slots.
+* A3: window overlap size vs call-related memory traffic.
+"""
+
+from __future__ import annotations
+
+from repro.cc import compile_for_risc
+from repro.evaluation.common import FAST_SUBSET, RISC_NAME, run_benchmark_matrix
+from repro.evaluation.tables import Table
+from repro.windows import sweep_overlap
+from repro.workloads import benchmark
+
+
+def a1_windows(names: tuple[str, ...] = FAST_SUBSET) -> Table:
+    table = Table(
+        title="A1: Register windows vs flat register file (software save/restore)",
+        headers=["benchmark", "cycles (windows)", "cycles (flat)", "slowdown",
+                 "data refs (windows)", "data refs (flat)"],
+        notes=["flat mode uses the same ISA with a callee-save convention"],
+    )
+    for name in names:
+        bench = benchmark(name)
+        windowed = compile_for_risc(bench.source, use_windows=True)
+        flat = compile_for_risc(bench.source, use_windows=False)
+        value_w, machine_w = windowed.run()
+        value_f, machine_f = flat.run()
+        if value_w != value_f:
+            raise AssertionError(f"{name}: ablation changed the result")
+        table.add_row(
+            name,
+            machine_w.stats.cycles,
+            machine_f.stats.cycles,
+            f"{machine_f.stats.cycles / machine_w.stats.cycles:.2f}x",
+            machine_w.memory.stats.data_refs,
+            machine_f.memory.stats.data_refs,
+        )
+    return table
+
+
+def a2_delay_slots(names: tuple[str, ...] = FAST_SUBSET) -> Table:
+    table = Table(
+        title="A2: Delay-slot filling vs NOP-filled slots",
+        headers=["benchmark", "cycles (filled)", "cycles (nops)", "saved %",
+                 "code bytes (filled)", "code bytes (nops)"],
+    )
+    for name in names:
+        bench = benchmark(name)
+        optimised = compile_for_risc(bench.source, optimize_delay_slots=True)
+        plain = compile_for_risc(bench.source, optimize_delay_slots=False)
+        value_o, machine_o = optimised.run()
+        value_p, machine_p = plain.run()
+        if value_o != value_p:
+            raise AssertionError(f"{name}: ablation changed the result")
+        saved = 100.0 * (machine_p.stats.cycles - machine_o.stats.cycles) / machine_p.stats.cycles
+        table.add_row(name, machine_o.stats.cycles, machine_p.stats.cycles,
+                      f"{saved:.1f}%", optimised.code_size_bytes, plain.code_size_bytes)
+    return table
+
+
+def a3_overlap(names: tuple[str, ...] | None = None) -> Table:
+    records = run_benchmark_matrix(names, include_baselines=False)
+    benchmarks = sorted({bench for bench, __ in records})
+    overlaps = [0, 2, 4, 6, 8]
+    table = Table(
+        title="A3: Call-related memory words per call vs window overlap size",
+        headers=["benchmark"] + [f"overlap={k}" for k in overlaps],
+        notes=["small overlaps force argument copies through memory;",
+               "large overlaps shrink per-window locals: 6 is the sweet spot"],
+    )
+    for bench in benchmarks:
+        trace = list(records[(bench, RISC_NAME)].call_trace)
+        if not trace:
+            continue
+        sweep = sweep_overlap(trace, overlaps)
+        table.add_row(bench, *[f"{sweep[k]:.2f}" for k in overlaps])
+    return table

@@ -1,0 +1,112 @@
+"""Shared benchmark-matrix runner with in-process caching.
+
+T4 (code size), T5 (execution time), T6 (window overflow) and the
+ablations all need the same expensive artifact: every benchmark compiled
+and executed on RISC I and on the four baseline models.  This module
+computes those records once per process and caches them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import ALL_TRAITS, CiscExecutor, MachineTraits
+from repro.cc import compile_for_risc, compile_to_ir
+from repro.cc.ciscgen import compile_for_cisc
+from repro.cpu.machine import CYCLE_TIME_NS
+from repro.workloads import BENCHMARKS, Benchmark, benchmark
+
+RISC_NAME = "RISC I"
+VAX_NAME = "VAX-11/780"
+
+#: benchmark subset used when callers ask for a fast run
+FAST_SUBSET = ("ackermann", "towers", "recursive_qsort", "f_bit_test")
+
+
+@dataclass(frozen=True)
+class BenchmarkRecord:
+    """Results of one (benchmark, machine) execution."""
+
+    benchmark: str
+    machine: str
+    cycle_time_ns: float
+    result: int
+    code_bytes: int
+    instructions: int
+    cycles: int
+    data_refs: int
+    window_overflows: int = 0
+    call_trace: tuple = ()
+
+    @property
+    def time_ms(self) -> float:
+        return self.cycles * self.cycle_time_ns / 1e6
+
+
+_CACHE: dict[tuple, dict[tuple[str, str], BenchmarkRecord]] = {}
+
+
+def run_benchmark_matrix(
+    names: tuple[str, ...] | None = None,
+    *,
+    include_baselines: bool = True,
+) -> dict[tuple[str, str], BenchmarkRecord]:
+    """Compile and execute benchmarks on every machine; cached per-process.
+
+    Returns records keyed by ``(benchmark_name, machine_name)``.
+    """
+    if names is None:
+        names = tuple(bench.name for bench in BENCHMARKS)
+    key = (names, include_baselines)
+    if key in _CACHE:
+        return _CACHE[key]
+    records: dict[tuple[str, str], BenchmarkRecord] = {}
+    for name in names:
+        bench = benchmark(name)
+        records[(name, RISC_NAME)] = _run_risc(bench)
+        if include_baselines:
+            ir = compile_to_ir(bench.source)
+            for traits in ALL_TRAITS:
+                records[(name, traits.name)] = _run_cisc(bench, ir, traits)
+    _CACHE[key] = records
+    return records
+
+
+def _run_risc(bench: Benchmark) -> BenchmarkRecord:
+    compiled = compile_for_risc(bench.source)
+    value, machine = compiled.run()
+    return BenchmarkRecord(
+        benchmark=bench.name,
+        machine=RISC_NAME,
+        cycle_time_ns=CYCLE_TIME_NS,
+        result=value,
+        code_bytes=compiled.code_size_bytes,
+        instructions=machine.stats.instructions,
+        cycles=machine.stats.cycles,
+        data_refs=machine.memory.stats.data_refs,
+        window_overflows=machine.stats.window_overflows,
+        call_trace=tuple(machine.call_trace),
+    )
+
+
+def _run_cisc(bench: Benchmark, ir, traits: MachineTraits) -> BenchmarkRecord:
+    generated = compile_for_cisc(ir, traits)
+    executor = CiscExecutor(generated.program, traits)
+    value = executor.run()
+    return BenchmarkRecord(
+        benchmark=bench.name,
+        machine=traits.name,
+        cycle_time_ns=traits.cycle_time_ns,
+        result=value,
+        code_bytes=generated.static_bytes,
+        instructions=executor.instructions_executed,
+        cycles=executor.cycles,
+        data_refs=executor.memory.stats.data_refs,
+    )
+
+
+def machine_names(include_baselines: bool = True) -> list[str]:
+    names = [RISC_NAME]
+    if include_baselines:
+        names += [traits.name for traits in ALL_TRAITS]
+    return names

@@ -1,0 +1,49 @@
+"""Export measured results as JSON for offline analysis or plotting.
+
+``python -m repro.evaluation.export out.json [--fast]`` writes the full
+benchmark matrix (per benchmark x machine: code bytes, instructions,
+cycles, simulated time, memory references, window overflows).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import asdict
+
+from repro.evaluation.common import FAST_SUBSET, run_benchmark_matrix
+
+
+def matrix_as_records(names: tuple[str, ...] | None = None) -> list[dict]:
+    """The benchmark matrix as a list of plain dictionaries."""
+    records = run_benchmark_matrix(names)
+    rows = []
+    for (__, ___), record in sorted(records.items()):
+        row = asdict(record)
+        row["time_ms"] = record.time_ms
+        row.pop("call_trace", None)  # large and derivable; omit from export
+        rows.append(row)
+    return rows
+
+
+def export_json(path: str, names: tuple[str, ...] | None = None) -> int:
+    """Write the matrix to *path*; returns the number of records."""
+    rows = matrix_as_records(names)
+    with open(path, "w") as handle:
+        json.dump({"schema": "risc1-repro/benchmark-matrix/v1", "records": rows},
+                  handle, indent=2)
+    return len(rows)
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = argv if argv is not None else sys.argv[1:]
+    if not args:
+        print("usage: python -m repro.evaluation.export OUT.json [--fast]")
+        raise SystemExit(2)
+    names = FAST_SUBSET if "--fast" in args else None
+    count = export_json(args[0], names)
+    print(f"wrote {count} records to {args[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""F1 - The two RISC I instruction formats, rendered from the bitfield
+specifications in :mod:`repro.isa.formats` (so the figure can never drift
+from the implementation)."""
+
+from __future__ import annotations
+
+from repro.isa.formats import FORMAT_LAYOUTS
+from repro.isa.opcodes import Format
+
+
+def render_format(fmt: Format) -> str:
+    """One format as a boxed bitfield diagram, MSB on the left."""
+    fields = sorted(FORMAT_LAYOUTS[fmt], key=lambda f: -f.hi)
+    cells = []
+    bit_rows = []
+    for field_spec in fields:
+        width = max(len(field_spec.name) + 2, 2 * field_spec.width, 6)
+        cells.append(field_spec.name.center(width))
+        bit_rows.append(f"{field_spec.hi}..{field_spec.lo}".center(width))
+    top = "+" + "+".join("-" * len(cell) for cell in cells) + "+"
+    return "\n".join([
+        f"{fmt.value} format (32 bits)",
+        top,
+        "|" + "|".join(cells) + "|",
+        top,
+        " " + " ".join(bit_rows),
+    ])
+
+
+def run() -> str:
+    parts = [render_format(Format.SHORT), "", render_format(Format.LONG), "",
+             "imm=0: s2<4:0> names rs2;  imm=1: s2 is a sign-extended",
+             "13-bit constant.  JMPR/CALLR/LDHI use the 19-bit form."]
+    return "\n".join(parts)

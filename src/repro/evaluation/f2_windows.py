@@ -1,0 +1,42 @@
+"""F2 - Overlapped register windows, rendered from the actual physical
+mapping function (:func:`repro.isa.registers.physical_index`)."""
+
+from __future__ import annotations
+
+from repro.isa.registers import (
+    NUM_PHYSICAL_REGISTERS,
+    NUM_WINDOWS,
+    physical_index,
+)
+
+
+def run(caller_window: int = 4) -> str:
+    callee = (caller_window - 1) % NUM_WINDOWS
+    lines = [
+        f"Overlapped windows: caller (window {caller_window}) calls "
+        f"callee (window {callee})",
+        "",
+        f"{'visible reg':>12} {'caller phys':>12} {'callee phys':>12}   block",
+    ]
+    for reg, block in [(0, "GLOBAL"), (9, "GLOBAL"), (10, "LOW/HIGH overlap"),
+                       (15, "LOW/HIGH overlap"), (16, "LOCAL"), (25, "LOCAL"),
+                       (26, "HIGH"), (31, "HIGH")]:
+        caller_phys = physical_index(caller_window, reg)
+        callee_phys = physical_index(callee, reg)
+        lines.append(f"{'r' + str(reg):>12} {caller_phys:>12} {callee_phys:>12}   {block}")
+    lines += [
+        "",
+        "caller r10-r15 (LOW)  ==  callee r26-r31 (HIGH):",
+    ]
+    for k in range(6):
+        caller_phys = physical_index(caller_window, 10 + k)
+        callee_phys = physical_index(callee, 26 + k)
+        marker = "==" if caller_phys == callee_phys else "!!"
+        lines.append(f"  caller r{10 + k} (phys {caller_phys}) {marker} "
+                     f"callee r{26 + k} (phys {callee_phys})")
+    lines += [
+        "",
+        f"total physical registers: {NUM_PHYSICAL_REGISTERS} "
+        f"({NUM_WINDOWS} windows x 16 unique + 10 globals)",
+    ]
+    return "\n".join(lines)

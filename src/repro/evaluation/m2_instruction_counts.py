@@ -1,0 +1,34 @@
+"""M2 - Executed instruction counts relative to VAX.
+
+The flip side of the code-size table: RISC I executes *more*
+instructions than a CISC (simple operations compose what one VAX
+instruction does), and wins anyway because each one takes a cycle or
+two instead of a microcoded handful.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.common import RISC_NAME, VAX_NAME, machine_names, run_benchmark_matrix
+from repro.evaluation.tables import Table
+
+
+def run(names: tuple[str, ...] | None = None) -> Table:
+    records = run_benchmark_matrix(names)
+    benchmarks = sorted({bench for bench, __ in records})
+    machines = machine_names()
+    table = Table(
+        title="M2: Executed instructions (ratio to VAX-11/780)",
+        headers=["benchmark"] + machines + ["RISC/VAX", "RISC CPI", "VAX CPI"],
+        notes=["more instructions, fewer cycles each: the paper's core trade"],
+    )
+    for bench in benchmarks:
+        vax = records[(bench, VAX_NAME)]
+        risc = records[(bench, RISC_NAME)]
+        row = [bench]
+        for machine in machines:
+            row.append(records[(bench, machine)].instructions)
+        row.append(f"{risc.instructions / vax.instructions:.2f}x")
+        row.append(f"{risc.cycles / risc.instructions:.2f}")
+        row.append(f"{vax.cycles / vax.instructions:.2f}")
+        table.add_row(*row)
+    return table

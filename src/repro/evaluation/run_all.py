@@ -1,0 +1,67 @@
+"""Run every experiment and print the full report.
+
+Usage::
+
+    python -m repro.evaluation.run_all [--fast] [--out FILE]
+
+``--fast`` restricts the expensive sweeps to a four-benchmark subset;
+``--out`` also writes the report to a file.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.evaluation import (
+    ablations,
+    e1_three_stage,
+    m1_instruction_mix,
+    m2_instruction_counts,
+    f1_formats,
+    f2_windows,
+    f3_delayed_branch,
+    f4_window_sweep,
+    t1_hll_frequency,
+    t2_machines,
+    t3_call_overhead,
+    t4_code_size,
+    t5_exec_time,
+    t6_window_overflow,
+    t7_chip_area,
+)
+from repro.evaluation.common import FAST_SUBSET
+
+
+def main(argv: list[str] | None = None) -> str:
+    args = argv if argv is not None else sys.argv[1:]
+    names = FAST_SUBSET if "--fast" in args else None
+    sections = [
+        t1_hll_frequency.run(names).render(),
+        t2_machines.run().render(),
+        t3_call_overhead.run().render(),
+        t4_code_size.run(names).render(),
+        t5_exec_time.run(names).render(),
+        t6_window_overflow.run(names).render(),
+        t7_chip_area.run().render(),
+        "F1: RISC I instruction formats\n" + "=" * 30 + "\n" + f1_formats.run(),
+        "F2: Overlapped register windows\n" + "=" * 31 + "\n" + f2_windows.run(),
+        "F3: Delayed jumps\n" + "=" * 17 + "\n" + f3_delayed_branch.run(names),
+        f4_window_sweep.run(names).render(),
+        ablations.a1_windows(FAST_SUBSET).render(),
+        ablations.a2_delay_slots(FAST_SUBSET).render(),
+        ablations.a3_overlap(names).render(),
+        e1_three_stage.run(names if names is not None else FAST_SUBSET).render(),
+        m1_instruction_mix.run(names).render(),
+        m2_instruction_counts.run(names).render(),
+    ]
+    report = "\n\n\n".join(sections)
+    print(report)
+    if "--out" in args:
+        path = args[args.index("--out") + 1]
+        with open(path, "w") as handle:
+            handle.write(report + "\n")
+    return report
+
+
+if __name__ == "__main__":
+    main()

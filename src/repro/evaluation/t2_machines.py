@@ -1,0 +1,39 @@
+"""T2 - Characteristics of contemporary machines vs RISC I.
+
+The paper's famous comparison: number of instructions, microcode store,
+and instruction-size variability.  Rows for machines we implement come
+from the implemented models; the purely historical rows (IBM 370/168,
+Xerox Dorado, iAPX-432) are published-record constants.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ALL_TRAITS
+from repro.evaluation.tables import Table
+from repro.isa import INSTRUCTION_COUNT
+from repro.isa.registers import NUM_PHYSICAL_REGISTERS
+
+#: (name, year, instructions, microcode bits, instruction size bits, regs)
+HISTORICAL = [
+    ("IBM 370/168", 1973, 208, 420 * 1024, "16-48", 16),
+    ("Xerox Dorado", 1978, 270, 136 * 1024, "8-24", 16),
+    ("iAPX-432", 1982, 222, 64 * 1024, "6-321", 8),
+]
+
+
+def run() -> Table:
+    table = Table(
+        title="T2: Characteristics of contemporary machines vs RISC I",
+        headers=["machine", "year", "instructions", "microcode bits",
+                 "instr size (bits)", "registers"],
+        notes=["implemented-model rows computed from the machine models themselves"],
+    )
+    for name, year, instructions, ucode, size, regs in HISTORICAL:
+        table.add_row(name, year, instructions, ucode, size, regs)
+    for traits in ALL_TRAITS:
+        lo, hi = traits.instruction_size_range
+        table.add_row(traits.name, traits.year, traits.instruction_count,
+                      traits.microcode_bits, f"{lo}-{hi}", traits.registers)
+    table.add_row("RISC I", 1981, INSTRUCTION_COUNT, 0, "32-32",
+                  NUM_PHYSICAL_REGISTERS)
+    return table

@@ -1,0 +1,47 @@
+"""T4 - Benchmark program size relative to VAX-11/780.
+
+The paper's honest negative result: fixed 32-bit instructions make RISC I
+programs modestly larger than the byte-variable VAX encodings (and in the
+same range as the 16-bit-word machines) - a price the execution-time
+table shows is worth paying.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.common import VAX_NAME, machine_names, run_benchmark_matrix
+from repro.evaluation.tables import Table
+
+
+def run(names: tuple[str, ...] | None = None) -> Table:
+    records = run_benchmark_matrix(names)
+    benchmarks = sorted({bench for bench, __ in records})
+    machines = machine_names()
+    table = Table(
+        title="T4: Program size in bytes (ratio to VAX-11/780 in parentheses column)",
+        headers=["benchmark"] + machines + ["RISC/VAX"],
+        notes=["RISC I text includes its multiply/divide library when used"],
+    )
+    ratio_sum = 0.0
+    for bench in benchmarks:
+        vax_bytes = records[(bench, VAX_NAME)].code_bytes
+        row = [bench]
+        for machine in machines:
+            row.append(records[(bench, machine)].code_bytes)
+        risc_ratio = records[(bench, "RISC I")].code_bytes / vax_bytes
+        ratio_sum += risc_ratio
+        row.append(f"{risc_ratio:.2f}x")
+        table.add_row(*row)
+    table.notes.append(f"geometric shape check: mean RISC/VAX ratio = "
+                       f"{ratio_sum / len(benchmarks):.2f}")
+    return table
+
+
+def mean_risc_to_vax_ratio(names: tuple[str, ...] | None = None) -> float:
+    """Mean RISC-to-VAX code size ratio (used by bench assertions)."""
+    records = run_benchmark_matrix(names)
+    benchmarks = sorted({bench for bench, __ in records})
+    ratios = [
+        records[(bench, "RISC I")].code_bytes / records[(bench, VAX_NAME)].code_bytes
+        for bench in benchmarks
+    ]
+    return sum(ratios) / len(ratios)

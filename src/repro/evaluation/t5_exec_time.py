@@ -1,0 +1,43 @@
+"""T5 - Benchmark execution time, normalised to RISC I.
+
+The headline table: despite the slowest clock (400 ns) and no hardware
+multiply/divide, simulated RISC I outruns the microcoded machines of its
+generation, most dramatically on call-intensive programs.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.common import RISC_NAME, machine_names, run_benchmark_matrix
+from repro.evaluation.tables import Table
+
+
+def run(names: tuple[str, ...] | None = None) -> Table:
+    records = run_benchmark_matrix(names)
+    benchmarks = sorted({bench for bench, __ in records})
+    machines = machine_names()
+    table = Table(
+        title="T5: Execution time in ms (ratio to RISC I per machine column)",
+        headers=["benchmark"] + [f"{m} (xRISC)" for m in machines],
+        notes=[
+            "RISC I cycle 400ns; VAX 200ns; PDP-11/70 300ns; 68000 125ns; Z8002 250ns",
+            "ratios > 1.0 mean slower than RISC I",
+        ],
+    )
+    for bench in benchmarks:
+        risc_ms = records[(bench, RISC_NAME)].time_ms
+        row = [bench]
+        for machine in machines:
+            ms = records[(bench, machine)].time_ms
+            row.append(f"{ms:.2f} ({ms / risc_ms:.1f}x)")
+        table.add_row(*row)
+    return table
+
+
+def speedup_over(machine: str, names: tuple[str, ...] | None = None) -> dict[str, float]:
+    """Per-benchmark slowdown factor of *machine* relative to RISC I."""
+    records = run_benchmark_matrix(names)
+    benchmarks = sorted({bench for bench, __ in records})
+    return {
+        bench: records[(bench, machine)].time_ms / records[(bench, RISC_NAME)].time_ms
+        for bench in benchmarks
+    }

@@ -1,0 +1,25 @@
+"""T7 - Chip area: control vs registers vs datapath.
+
+Reproduces the paper's VLSI argument: microcoded control consumes about
+half of a contemporary CISC die, while RISC I's hardwired control is a
+few percent, freeing area for 138 registers.
+"""
+
+from __future__ import annotations
+
+from repro.chip import CHIP_BUDGETS
+from repro.evaluation.tables import Table
+
+
+def run() -> Table:
+    table = Table(
+        title="T7: Estimated die-area decomposition (parametric model)",
+        headers=["machine", "control %", "register file %", "datapath+other %"],
+        notes=["model: ROM cells for microcode, PLA terms for decode, "
+               "RAM cells for registers (see repro.chip.area)"],
+    )
+    for budget in CHIP_BUDGETS.values():
+        other = 100.0 - budget.control_percent - budget.register_percent
+        table.add_row(budget.name, budget.control_percent,
+                      budget.register_percent, other)
+    return table

@@ -1,0 +1,58 @@
+"""Plain-text table and bar-chart rendering for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled table rendered as aligned monospaced text."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        cells = [self.headers] + [[_fmt(cell) for cell in row] for row in self.rows]
+        widths = [max(len(row[col]) for row in cells) for col in range(len(self.headers))]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(cell.rjust(w) if _numeric(cell) else cell.ljust(w)
+                                   for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> list[object]:
+        """Raw values of one column (for assertions in benches/tests)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _numeric(text: str) -> bool:
+    stripped = text.replace(".", "").replace("-", "").replace("x", "")
+    return stripped.isdigit()
+
+
+def bar_chart(title: str, points: list[tuple[str, float]], width: int = 40) -> str:
+    """Horizontal ASCII bar chart for the figure-style outputs."""
+    peak = max((value for __, value in points), default=1.0) or 1.0
+    label_width = max((len(label) for label, __ in points), default=4)
+    lines = [title, "-" * len(title)]
+    for label, value in points:
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Mini-C: the high-level-language substrate.
+
+The RISC I evaluation is about *compiled C programs*, so this package
+provides a small C-like language with:
+
+* :mod:`repro.hll.lexer` / :mod:`repro.hll.parser` - front end,
+* :mod:`repro.hll.ast` - the syntax tree,
+* :mod:`repro.hll.sema` - symbol resolution and type checking,
+* :mod:`repro.hll.interp` - a reference interpreter over a flat byte
+  memory (pointers are real addresses, arithmetic is 32-bit
+  two's-complement), used as ground truth for differential testing,
+* :mod:`repro.hll.stats` - the HLL operation-frequency analysis behind
+  the paper's Table 1.
+
+Language summary: ``int``/``char`` scalars, fixed-size arrays, pointers,
+functions, ``if``/``while``/``for``/``break``/``continue``/``return``,
+the usual C operators (with ``&&``/``||`` short-circuit), and string
+literals as ``char[]`` initializers.
+"""
+
+from repro.hll.interp import InterpResult, Interpreter, run_program
+from repro.hll.parser import parse_program
+from repro.hll.sema import analyze
+
+__all__ = [
+    "InterpResult",
+    "Interpreter",
+    "analyze",
+    "parse_program",
+    "run_program",
+]

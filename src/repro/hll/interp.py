@@ -1,0 +1,455 @@
+"""Reference interpreter for Mini-C over a flat byte memory.
+
+This is the semantic ground truth for the compiler: pointers are real
+byte addresses, ``int`` arithmetic wraps at 32 bits, ``>>`` is
+arithmetic, division truncates toward zero (C semantics), and ``char``
+accesses move single (unsigned) bytes.  Differential tests require every
+compiled target to produce exactly what this interpreter produces.
+
+It also counts executed HLL operations (assignments, calls, loop
+iterations, ifs, indexing) - the dynamic half of the paper's Table 1
+methodology.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.common.bitops import to_signed, to_unsigned
+from repro.common.memory import CONSOLE_ADDRESS, Memory
+from repro.errors import InterpreterError
+from repro.hll import ast
+from repro.hll.sema import CheckedProgram, Symbol, analyze
+from repro.hll.parser import parse_program
+
+GLOBALS_BASE = 0x1000
+WORD = 4
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: int):
+        self.value = value
+
+
+@dataclass
+class InterpResult:
+    """Outcome of running a Mini-C program."""
+
+    value: int
+    op_counts: Counter = field(default_factory=Counter)
+    memory: Memory | None = None
+
+
+def _wrap(value: int) -> int:
+    """Normalise to the signed 32-bit representative."""
+    return to_signed(to_unsigned(value))
+
+
+def _c_div(a: int, b: int) -> int:
+    """C division: truncate toward zero."""
+    if b == 0:
+        raise InterpreterError("division by zero")
+    quotient = abs(a) // abs(b)
+    return _wrap(-quotient if (a < 0) != (b < 0) else quotient)
+
+
+def _c_mod(a: int, b: int) -> int:
+    """C remainder: sign follows the dividend."""
+    return _wrap(a - _c_div(a, b) * b)
+
+
+class Interpreter:
+    """Evaluate a checked Mini-C program.
+
+    Args:
+        checked: output of :func:`repro.hll.sema.analyze`.
+        memory_size: flat memory for globals, arrays, and escaped locals.
+        max_ops: fuel limit (guards differential tests against
+            accidental infinite loops).
+    """
+
+    def __init__(self, checked: CheckedProgram, memory_size: int = 1 << 20,
+                 max_ops: int = 10_000_000, max_call_depth: int = 900):
+        import sys
+
+        self.checked = checked
+        self.memory = Memory(size=memory_size)
+        self.max_ops = max_ops
+        self.fuel = max_ops
+        self.max_call_depth = max_call_depth
+        self.call_depth = 0
+        # each Mini-C call costs ~10 Python frames; keep headroom
+        sys.setrecursionlimit(max(sys.getrecursionlimit(), 20 * max_call_depth))
+        self.op_counts: Counter = Counter()
+        self.global_addresses: dict[int, int] = {}  # symbol uid -> address
+        self.stack_pointer = memory_size
+        self._allocate_globals()
+
+    # -- layout -----------------------------------------------------------
+
+    def _allocate_globals(self) -> None:
+        address = GLOBALS_BASE
+        for gvar in self.checked.node.globals:
+            symbol = gvar.symbol
+            size = symbol.type.size
+            if size >= WORD or symbol.type.base == "int" or symbol.type.pointer:
+                address = (address + WORD - 1) // WORD * WORD
+            self.global_addresses[symbol.uid] = address
+            self._initialise(address, gvar.type, gvar.init, gvar.init_list, gvar.init_string)
+            address += size
+
+    def _initialise(self, address: int, var_type: ast.Type, scalar: int,
+                    init_list: list[int] | None, init_string: str | None) -> None:
+        if init_string is not None:
+            for offset, char in enumerate(init_string):
+                self.memory.store_byte(address + offset, ord(char), count=False)
+            self.memory.store_byte(address + len(init_string), 0, count=False)
+        elif init_list is not None:
+            elem = var_type.element_size
+            for offset, value in enumerate(init_list):
+                self._store(address + offset * elem, elem, value)
+        elif not var_type.is_array and scalar:
+            self._store(address, var_type.size, scalar)
+
+    def _store(self, address: int, size: int, value: int) -> None:
+        if size == 1:
+            self.memory.store_byte(address, to_unsigned(value) & 0xFF, count=False)
+        else:
+            self.memory.store_word(address, to_unsigned(value), count=False)
+
+    def _load(self, address: int, size: int) -> int:
+        if size == 1:
+            return self.memory.load_byte(address, count=False)
+        return to_signed(self.memory.load_word(address, count=False))
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: list[int] | None = None) -> InterpResult:
+        value = self.call(entry, args or [])
+        return InterpResult(value=value, op_counts=self.op_counts, memory=self.memory)
+
+    def call(self, name: str, args: list[int]) -> int:
+        info = self.checked.functions.get(name)
+        if info is None and name == "putchar":
+            value = args[0] & 0xFF
+            self.memory.store_byte(CONSOLE_ADDRESS, value, count=False)
+            return value
+        if info is None:
+            raise InterpreterError(f"no function {name!r}")
+        if len(args) != len(info.params):
+            raise InterpreterError(f"{name} expects {len(info.params)} args")
+        self.op_counts["call"] += 1
+        self._burn()
+        self.call_depth += 1
+        if self.call_depth > self.max_call_depth:
+            self.call_depth -= 1
+            raise InterpreterError(f"call depth exceeded ({self.max_call_depth})")
+        saved_sp = self.stack_pointer
+        env: dict[int, int] = {}
+        addresses: dict[int, int] = {}
+        for symbol, value in zip(info.params, args):
+            env[symbol.uid] = _wrap(value)
+        # Pre-allocate memory homes for arrays and escaped scalars.
+        for symbol in info.locals + info.params:
+            if symbol.in_memory:
+                size = (symbol.type.size + WORD - 1) // WORD * WORD
+                self.stack_pointer -= size
+                addresses[symbol.uid] = self.stack_pointer
+                if symbol.kind == "param":
+                    self._store(addresses[symbol.uid], symbol.type.size, env[symbol.uid])
+        frame = _Frame(env, addresses)
+        try:
+            self._exec_block(info.node.body, frame)
+            result = 0
+        except _ReturnSignal as signal:
+            result = signal.value
+        finally:
+            self.call_depth -= 1
+        self.stack_pointer = saved_sp
+        return _wrap(result)
+
+    def _burn(self, amount: int = 1) -> None:
+        self.fuel -= amount
+        if self.fuel <= 0:
+            raise InterpreterError(f"operation limit exceeded ({self.max_ops})")
+
+    # -- statements -------------------------------------------------------------
+
+    def _exec_block(self, block: ast.Block, frame: "_Frame") -> None:
+        for stmt in block.body:
+            self._exec(stmt, frame)
+
+    def _exec(self, stmt: ast.Stmt, frame: "_Frame") -> None:
+        self._burn()
+        if isinstance(stmt, ast.Block):
+            self._exec_block(stmt, frame)
+        elif isinstance(stmt, ast.Declaration):
+            self._exec_declaration(stmt, frame)
+        elif isinstance(stmt, ast.Assign):
+            self.op_counts["assign"] += 1
+            self._assign(stmt.target, self._eval(stmt.value, frame), frame)
+        elif isinstance(stmt, ast.If):
+            self.op_counts["if"] += 1
+            if self._eval(stmt.cond, frame):
+                self._exec(stmt.then, frame)
+            elif stmt.otherwise is not None:
+                self._exec(stmt.otherwise, frame)
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt, frame)
+        elif isinstance(stmt, ast.DoWhile):
+            self._exec_do_while(stmt, frame)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt, frame)
+        elif isinstance(stmt, ast.Return):
+            self.op_counts["return"] += 1
+            value = self._eval(stmt.value, frame) if stmt.value is not None else 0
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, frame)
+        else:  # pragma: no cover
+            raise InterpreterError(f"unknown statement {type(stmt).__name__}")
+
+    def _exec_declaration(self, decl: ast.Declaration, frame: "_Frame") -> None:
+        symbol = decl.symbol
+        if symbol.in_memory and symbol.uid not in frame.addresses:
+            raise InterpreterError(f"missing memory home for {symbol.name}", decl.line)
+        if decl.init_string is not None or decl.init_list is not None:
+            address = frame.addresses[symbol.uid]
+            self._initialise(address, symbol.type, 0, decl.init_list, decl.init_string)
+        elif decl.init is not None:
+            self.op_counts["assign"] += 1
+            value = self._eval(decl.init, frame)
+            self._write_symbol(symbol, value, frame)
+        elif not symbol.in_memory:
+            frame.env[symbol.uid] = 0
+        else:
+            # zero the memory home (arrays start zeroed like C statics here)
+            address = frame.addresses[symbol.uid]
+            for offset in range(0, symbol.type.size, 1):
+                self.memory.store_byte(address + offset, 0, count=False)
+
+    def _exec_while(self, stmt: ast.While, frame: "_Frame") -> None:
+        while self._eval(stmt.cond, frame):
+            self.op_counts["loop"] += 1
+            self._burn()
+            try:
+                self._exec(stmt.body, frame)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+
+    def _exec_do_while(self, stmt: ast.DoWhile, frame: "_Frame") -> None:
+        while True:
+            self.op_counts["loop"] += 1
+            self._burn()
+            try:
+                self._exec(stmt.body, frame)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            if not self._eval(stmt.cond, frame):
+                break
+
+    def _exec_for(self, stmt: ast.For, frame: "_Frame") -> None:
+        if stmt.init is not None:
+            self._exec(stmt.init, frame)
+        while stmt.cond is None or self._eval(stmt.cond, frame):
+            self.op_counts["loop"] += 1
+            self._burn()
+            try:
+                self._exec(stmt.body, frame)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            if stmt.step is not None:
+                self._exec(stmt.step, frame)
+
+    # -- lvalues --------------------------------------------------------------------
+
+    def _assign(self, target: ast.Expr, value: int, frame: "_Frame") -> None:
+        if isinstance(target, ast.Name):
+            self._write_symbol(target.symbol, value, frame)
+            return
+        address, size = self._lvalue_address(target, frame)
+        self._store(address, size, value)
+
+    def _write_symbol(self, symbol: Symbol, value: int, frame: "_Frame") -> None:
+        if symbol.in_memory:
+            address = self._symbol_address(symbol, frame)
+            self._store(address, symbol.type.size, value)
+        else:
+            frame.env[symbol.uid] = _wrap(value)
+
+    def _symbol_address(self, symbol: Symbol, frame: "_Frame") -> int:
+        if symbol.kind == "global":
+            return self.global_addresses[symbol.uid]
+        return frame.addresses[symbol.uid]
+
+    def _lvalue_address(self, expr: ast.Expr, frame: "_Frame") -> tuple[int, int]:
+        """Address and access size (bytes) of an lvalue expression."""
+        if isinstance(expr, ast.Name):
+            symbol = expr.symbol
+            return self._symbol_address(symbol, frame), symbol.type.size
+        if isinstance(expr, ast.Index):
+            self.op_counts["index"] += 1
+            base_type = expr.array.type
+            base = self._eval_address_or_pointer(expr.array, frame)
+            index = self._eval(expr.index, frame)
+            elem = base_type.element_size
+            return base + index * elem, elem
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            pointee = expr.operand.type.decay().element()
+            return self._eval(expr.operand, frame), pointee.size
+        raise InterpreterError("not an lvalue", expr.line)
+
+    def _eval_address_or_pointer(self, expr: ast.Expr, frame: "_Frame") -> int:
+        """Arrays evaluate to their address (decay); pointers to their value."""
+        if expr.type is not None and expr.type.is_array:
+            if isinstance(expr, ast.Name):
+                return self._symbol_address(expr.symbol, frame)
+            if isinstance(expr, ast.StrLit):
+                return self.global_addresses[expr.symbol.uid]
+            address, __ = self._lvalue_address(expr, frame)
+            return address
+        return self._eval(expr, frame)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, frame: "_Frame") -> int:
+        self._burn()
+        if isinstance(expr, ast.IntLit):
+            return _wrap(expr.value)
+        if isinstance(expr, ast.StrLit):
+            return self.global_addresses[expr.symbol.uid]
+        if isinstance(expr, ast.Name):
+            symbol = expr.symbol
+            if symbol.type.is_array:
+                return self._symbol_address(symbol, frame)
+            if symbol.in_memory:
+                return self._load(self._symbol_address(symbol, frame), symbol.type.size)
+            return frame.env[symbol.uid]
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, frame)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, frame)
+        if isinstance(expr, ast.Index):
+            address, size = self._lvalue_address(expr, frame)
+            return self._load(address, size)
+        if isinstance(expr, ast.Call):
+            args = [self._eval(arg, frame) for arg in expr.args]
+            # Arrays passed as arguments decay to addresses.
+            args = [
+                self._eval_address_or_pointer(arg_expr, frame)
+                if arg_expr.type is not None and arg_expr.type.is_array
+                else value
+                for arg_expr, value in zip(expr.args, args)
+            ]
+            return self.call(expr.func, args)
+        raise InterpreterError(f"unknown expression {type(expr).__name__}", expr.line)
+
+    def _eval_unary(self, expr: ast.Unary, frame: "_Frame") -> int:
+        if expr.op == "&":
+            address, __ = self._lvalue_address(expr.operand, frame)
+            return address
+        if expr.op == "*":
+            address, size = self._lvalue_address(expr, frame)
+            return self._load(address, size)
+        value = self._eval(expr.operand, frame)
+        if expr.op == "-":
+            return _wrap(-value)
+        if expr.op == "!":
+            return int(value == 0)
+        if expr.op == "~":
+            return _wrap(~value)
+        raise InterpreterError(f"unknown unary {expr.op!r}", expr.line)
+
+    def _eval_binary(self, expr: ast.Binary, frame: "_Frame") -> int:
+        op = expr.op
+        self.op_counts["binop"] += 1
+        if op == "&&":
+            return int(bool(self._eval_operand(expr.left, frame))
+                       and bool(self._eval_operand(expr.right, frame)))
+        if op == "||":
+            return int(bool(self._eval_operand(expr.left, frame))
+                       or bool(self._eval_operand(expr.right, frame)))
+        left = self._eval_operand(expr.left, frame)
+        right = self._eval_operand(expr.right, frame)
+        left_type = expr.left.type.decay() if expr.left.type else ast.INT
+        right_type = expr.right.type.decay() if expr.right.type else ast.INT
+        if op == "+":
+            if left_type.pointer > 0:
+                return _wrap(left + right * left_type.element_size)
+            if right_type.pointer > 0:
+                return _wrap(right + left * right_type.element_size)
+            return _wrap(left + right)
+        if op == "-":
+            if left_type.pointer > 0 and right_type.pointer > 0:
+                return _wrap((left - right) // left_type.element_size)
+            if left_type.pointer > 0:
+                return _wrap(left - right * left_type.element_size)
+            return _wrap(left - right)
+        if op == "*":
+            return _wrap(left * right)
+        if op == "/":
+            return _c_div(left, right)
+        if op == "%":
+            return _c_mod(left, right)
+        if op == "<<":
+            return _wrap(left << (right & 31))
+        if op == ">>":
+            return _wrap(left >> (right & 31))  # arithmetic: left is signed
+        if op == "&":
+            return _wrap(left & right)
+        if op == "|":
+            return _wrap(left | right)
+        if op == "^":
+            return _wrap(left ^ right)
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        # pointer comparisons compare addresses; both sides are plain ints here
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        if op == ">=":
+            return int(left >= right)
+        raise InterpreterError(f"unknown operator {op!r}", expr.line)
+
+    def _eval_operand(self, expr: ast.Expr, frame: "_Frame") -> int:
+        """Evaluate an operand with array decay."""
+        if expr.type is not None and expr.type.is_array:
+            return self._eval_address_or_pointer(expr, frame)
+        return self._eval(expr, frame)
+
+
+@dataclass
+class _Frame:
+    env: dict[int, int]
+    addresses: dict[int, int]
+
+
+def run_program(source: str, entry: str = "main", args: list[int] | None = None,
+                max_ops: int = 10_000_000) -> InterpResult:
+    """Parse, analyze, and interpret Mini-C *source* in one call."""
+    checked = analyze(parse_program(source))
+    return Interpreter(checked, max_ops=max_ops).run(entry, args)

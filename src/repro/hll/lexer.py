@@ -1,0 +1,128 @@
+"""Tokenizer for Mini-C source."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "int", "char", "void", "if", "else", "while", "for", "do",
+    "return", "break", "continue",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=", ">>=",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~",
+    "&", "|", "^", "(", ")", "[", "]", "{", "}", ",", ";",
+]
+
+
+class Kind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    OP = "operator"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Tok:
+    kind: Kind
+    text: str
+    line: int
+    value: int = 0
+
+
+def tokenize(source: str) -> list[Tok]:
+    """Tokenize Mini-C *source*; raises :class:`LexError` on bad input."""
+    tokens: list[Tok] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                tokens.append(Tok(Kind.NUMBER, source[start:i], line, int(source[start:i], 16)))
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                tokens.append(Tok(Kind.NUMBER, source[start:i], line, int(source[start:i])))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = Kind.KEYWORD if text in KEYWORDS else Kind.IDENT
+            tokens.append(Tok(kind, text, line))
+            continue
+        if ch == '"':
+            chars, i = _scan_quoted(source, i + 1, '"', line)
+            tokens.append(Tok(Kind.STRING, chars, line))
+            continue
+        if ch == "'":
+            chars, i = _scan_quoted(source, i + 1, "'", line)
+            if len(chars) != 1:
+                raise LexError(f"character literal must hold one char: {chars!r}", line)
+            tokens.append(Tok(Kind.CHAR, chars, line, ord(chars)))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Tok(Kind.OP, op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Tok(Kind.EOF, "", line))
+    return tokens
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "r": "\r", "\\": "\\", '"': '"', "'": "'"}
+
+
+def _scan_quoted(source: str, i: int, quote: str, line: int) -> tuple[str, int]:
+    chars: list[str] = []
+    n = len(source)
+    while i < n and source[i] != quote:
+        if source[i] == "\n":
+            raise LexError("unterminated literal", line)
+        if source[i] == "\\" and i + 1 < n:
+            escaped = source[i + 1]
+            chars.append(_ESCAPES.get(escaped, escaped))
+            i += 2
+        else:
+            chars.append(source[i])
+            i += 1
+    if i >= n:
+        raise LexError("unterminated literal", line)
+    return "".join(chars), i + 1

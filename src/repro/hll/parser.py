@@ -1,0 +1,402 @@
+"""Recursive-descent parser for Mini-C.
+
+Grammar (roughly)::
+
+    program     := (global | function)*
+    global      := type declarator ('=' init)? ';'
+    function    := type IDENT '(' params ')' block
+    type        := ('int' | 'char' | 'void') '*'*
+    declarator  := IDENT ('[' NUMBER ']')?
+    block       := '{' stmt* '}'
+    stmt        := block | decl ';' | 'if' ... | 'while' ... | 'for' ...
+                 | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+                 | simple ';'
+    simple      := lvalue '=' expr | expr          (assignment or call)
+    expr        := ternary-free C expression grammar with && / || / | /
+                   ^ / & / equality / relational / shift / additive /
+                   multiplicative / unary / postfix levels
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.hll import ast
+from repro.hll.lexer import Kind, Tok, tokenize
+
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Tok:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Tok:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def at_op(self, *ops: str) -> bool:
+        token = self.peek()
+        return token.kind is Kind.OP and token.text in ops
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind is Kind.KEYWORD and token.text in words
+
+    def expect_op(self, op: str) -> Tok:
+        token = self.next()
+        if token.kind is not Kind.OP or token.text != op:
+            raise ParseError(f"expected {op!r}, found {token.text!r}", token.line)
+        return token
+
+    def expect_ident(self) -> Tok:
+        token = self.next()
+        if token.kind is not Kind.IDENT:
+            raise ParseError(f"expected identifier, found {token.text!r}", token.line)
+        return token
+
+    # -- top level ----------------------------------------------------------
+
+    def parse(self) -> ast.ProgramAst:
+        program = ast.ProgramAst()
+        while self.peek().kind is not Kind.EOF:
+            if not self.at_keyword("int", "char", "void"):
+                raise ParseError(
+                    f"expected declaration, found {self.peek().text!r}", self.peek().line
+                )
+            base_type = self._type()
+            name = self.expect_ident()
+            if self.at_op("("):
+                program.functions.append(self._function(base_type, name))
+            else:
+                program.globals.append(self._global(base_type, name))
+        return program
+
+    def _type(self) -> ast.Type:
+        token = self.next()
+        base = "int" if token.text == "void" else token.text
+        pointer = 0
+        while self.at_op("*"):
+            self.next()
+            pointer += 1
+        return ast.Type(base, pointer)
+
+    def _array_suffix(self, base: ast.Type) -> ast.Type:
+        if self.at_op("["):
+            self.next()
+            size_tok = self.next()
+            if size_tok.kind is not Kind.NUMBER:
+                raise ParseError("array size must be a literal", size_tok.line)
+            self.expect_op("]")
+            return ast.Type(base.base, base.pointer, size_tok.value)
+        return base
+
+    def _global(self, base: ast.Type, name: Tok) -> ast.GlobalVar:
+        var_type = self._array_suffix(base)
+        init = 0
+        init_list = None
+        init_string = None
+        if self.at_op("="):
+            self.next()
+            token = self.peek()
+            if token.kind is Kind.STRING:
+                init_string = self.next().text
+            elif self.at_op("{"):
+                init_list = self._init_list()
+            else:
+                init = self._const_expr()
+        self.expect_op(";")
+        return ast.GlobalVar(
+            name.text, var_type, init=init, init_list=init_list,
+            init_string=init_string, line=name.line,
+        )
+
+    def _init_list(self) -> list[int]:
+        self.expect_op("{")
+        values: list[int] = []
+        if not self.at_op("}"):
+            values.append(self._const_expr())
+            while self.at_op(","):
+                self.next()
+                values.append(self._const_expr())
+        self.expect_op("}")
+        return values
+
+    def _const_expr(self) -> int:
+        sign = 1
+        while self.at_op("-"):
+            self.next()
+            sign = -sign
+        token = self.next()
+        if token.kind not in (Kind.NUMBER, Kind.CHAR):
+            raise ParseError("expected constant expression", token.line)
+        return sign * token.value
+
+    def _function(self, return_type: ast.Type, name: Tok) -> ast.Function:
+        self.expect_op("(")
+        params: list[ast.Param] = []
+        if not self.at_op(")"):
+            if self.at_keyword("void") and self.peek(1).kind is Kind.OP and self.peek(1).text == ")":
+                self.next()
+            else:
+                params.append(self._param())
+                while self.at_op(","):
+                    self.next()
+                    params.append(self._param())
+        self.expect_op(")")
+        body = self._block()
+        return ast.Function(name.text, params, return_type, body, line=name.line)
+
+    def _param(self) -> ast.Param:
+        if not self.at_keyword("int", "char"):
+            raise ParseError(f"expected parameter type, found {self.peek().text!r}",
+                             self.peek().line)
+        ptype = self._type()
+        name = self.expect_ident()
+        if self.at_op("["):  # array parameters decay to pointers
+            self.next()
+            self.expect_op("]")
+            ptype = ast.Type(ptype.base, ptype.pointer + 1)
+        return ast.Param(name.text, ptype, line=name.line)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        open_tok = self.expect_op("{")
+        body: list[ast.Stmt] = []
+        while not self.at_op("}"):
+            if self.peek().kind is Kind.EOF:
+                raise ParseError("unterminated block", open_tok.line)
+            body.append(self._statement())
+        self.expect_op("}")
+        return ast.Block(line=open_tok.line, body=body)
+
+    def _statement(self) -> ast.Stmt:
+        token = self.peek()
+        if self.at_op("{"):
+            return self._block()
+        if self.at_keyword("int", "char"):
+            decl = self._declaration()
+            self.expect_op(";")
+            return decl
+        if self.at_keyword("if"):
+            return self._if()
+        if self.at_keyword("while"):
+            return self._while()
+        if self.at_keyword("do"):
+            return self._do_while()
+        if self.at_keyword("for"):
+            return self._for()
+        if self.at_keyword("return"):
+            self.next()
+            value = None
+            if not self.at_op(";"):
+                value = self._expression()
+            self.expect_op(";")
+            return ast.Return(line=token.line, value=value)
+        if self.at_keyword("break"):
+            self.next()
+            self.expect_op(";")
+            return ast.Break(line=token.line)
+        if self.at_keyword("continue"):
+            self.next()
+            self.expect_op(";")
+            return ast.Continue(line=token.line)
+        stmt = self._simple_statement()
+        self.expect_op(";")
+        return stmt
+
+    def _declaration(self) -> ast.Declaration:
+        line = self.peek().line
+        base = self._type()
+        name = self.expect_ident()
+        decl_type = self._array_suffix(base)
+        init = None
+        init_list = None
+        init_string = None
+        if self.at_op("="):
+            self.next()
+            if self.peek().kind is Kind.STRING and decl_type.is_array:
+                init_string = self.next().text
+            elif self.at_op("{"):
+                init_list = self._init_list()
+            else:
+                # a string literal initializing a pointer is an ordinary
+                # expression (it evaluates to the pooled array's address)
+                init = self._expression()
+        return ast.Declaration(
+            line=line, name=name.text, decl_type=decl_type,
+            init=init, init_list=init_list, init_string=init_string,
+        )
+
+    def _if(self) -> ast.If:
+        token = self.next()
+        self.expect_op("(")
+        cond = self._expression()
+        self.expect_op(")")
+        then = self._statement()
+        otherwise = None
+        if self.at_keyword("else"):
+            self.next()
+            otherwise = self._statement()
+        return ast.If(line=token.line, cond=cond, then=then, otherwise=otherwise)
+
+    def _while(self) -> ast.While:
+        token = self.next()
+        self.expect_op("(")
+        cond = self._expression()
+        self.expect_op(")")
+        body = self._statement()
+        return ast.While(line=token.line, cond=cond, body=body)
+
+    def _do_while(self) -> ast.DoWhile:
+        token = self.next()
+        body = self._statement()
+        if not self.at_keyword("while"):
+            raise ParseError("expected 'while' after do-body", self.peek().line)
+        self.next()
+        self.expect_op("(")
+        cond = self._expression()
+        self.expect_op(")")
+        self.expect_op(";")
+        return ast.DoWhile(line=token.line, body=body, cond=cond)
+
+    def _for(self) -> ast.For:
+        token = self.next()
+        self.expect_op("(")
+        init = None
+        if not self.at_op(";"):
+            if self.at_keyword("int", "char"):
+                init = self._declaration()
+            else:
+                init = self._simple_statement()
+        self.expect_op(";")
+        cond = None
+        if not self.at_op(";"):
+            cond = self._expression()
+        self.expect_op(";")
+        step = None
+        if not self.at_op(")"):
+            step = self._simple_statement()
+        self.expect_op(")")
+        body = self._statement()
+        return ast.For(line=token.line, init=init, cond=cond, step=step, body=body)
+
+    _COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                     "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>"}
+
+    def _simple_statement(self) -> ast.Stmt:
+        """Assignment, compound assignment, ++/--, or expression statement.
+
+        Compound forms desugar at parse time (``x += e`` becomes
+        ``x = x + (e)``), so the lvalue expression appears twice - avoid
+        side-effecting subscripts in compound targets.
+        """
+        line = self.peek().line
+        if self.at_op("++", "--"):  # prefix form
+            op = self.next().text
+            target = self._expression()
+            return self._step_assign(target, op, line)
+        expr = self._expression()
+        if self.at_op("="):
+            self.next()
+            value = self._expression()
+            return ast.Assign(line=line, target=expr, value=value)
+        if self.at_op("++", "--"):
+            op = self.next().text
+            return self._step_assign(expr, op, line)
+        token = self.peek()
+        if token.kind is Kind.OP and token.text in self._COMPOUND_OPS:
+            self.next()
+            value = self._expression()
+            combined = ast.Binary(line=line, op=self._COMPOUND_OPS[token.text],
+                                  left=expr, right=value)
+            return ast.Assign(line=line, target=expr, value=combined)
+        return ast.ExprStmt(line=line, expr=expr)
+
+    @staticmethod
+    def _step_assign(target: ast.Expr, op: str, line: int) -> ast.Assign:
+        delta = ast.IntLit(line=line, value=1)
+        combined = ast.Binary(line=line, op="+" if op == "++" else "-",
+                              left=target, right=delta)
+        return ast.Assign(line=line, target=target, value=combined)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        ops = _BINARY_LEVELS[level]
+        left = self._binary(level + 1)
+        while self.at_op(*ops):
+            op = self.next()
+            right = self._binary(level + 1)
+            left = ast.Binary(line=op.line, op=op.text, left=left, right=right)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        if self.at_op("-", "!", "~", "*", "&"):
+            op = self.next()
+            operand = self._unary()
+            if op.text == "-" and isinstance(operand, ast.IntLit):
+                return ast.IntLit(line=op.line, value=-operand.value)
+            return ast.Unary(line=op.line, op=op.text, operand=operand)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while self.at_op("["):
+            bracket = self.next()
+            index = self._expression()
+            self.expect_op("]")
+            expr = ast.Index(line=bracket.line, array=expr, index=index)
+        return expr
+
+    def _primary(self) -> ast.Expr:
+        token = self.next()
+        if token.kind in (Kind.NUMBER, Kind.CHAR):
+            return ast.IntLit(line=token.line, value=token.value)
+        if token.kind is Kind.STRING:
+            return ast.StrLit(line=token.line, value=token.text)
+        if token.kind is Kind.IDENT:
+            if self.at_op("("):
+                self.next()
+                args: list[ast.Expr] = []
+                if not self.at_op(")"):
+                    args.append(self._expression())
+                    while self.at_op(","):
+                        self.next()
+                        args.append(self._expression())
+                self.expect_op(")")
+                return ast.Call(line=token.line, func=token.text, args=args)
+            return ast.Name(line=token.line, ident=token.text)
+        if token.kind is Kind.OP and token.text == "(":
+            expr = self._expression()
+            self.expect_op(")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse_program(source: str) -> ast.ProgramAst:
+    """Parse a Mini-C translation unit."""
+    return Parser(source).parse()

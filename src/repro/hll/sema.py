@@ -1,0 +1,375 @@
+"""Semantic analysis for Mini-C: name resolution and type checking.
+
+Annotates the AST in place:
+
+* every :class:`~repro.hll.ast.Name` and
+  :class:`~repro.hll.ast.Declaration` gets a ``symbol`` attribute
+  pointing at its :class:`Symbol`;
+* every expression gets its ``type`` filled in;
+* symbols that have their address taken are flagged ``escapes`` (the
+  compiler must keep them in memory, not a register).
+
+Returns a :class:`CheckedProgram` with per-function symbol inventories.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.hll import ast
+from repro.hll.ast import INT, Type
+
+_symbol_ids = itertools.count()
+
+
+@dataclass
+class Symbol:
+    """One declared variable (global, parameter, or local)."""
+
+    name: str
+    type: Type
+    kind: str  # 'global' | 'param' | 'local'
+    line: int = 0
+    escapes: bool = False
+    uid: int = field(default_factory=lambda: next(_symbol_ids))
+
+    @property
+    def in_memory(self) -> bool:
+        """Must live in memory: globals and arrays always, locals when
+        address-taken (registers have no address)."""
+        return self.kind == "global" or self.type.is_array or self.escapes
+
+
+@dataclass
+class FunctionInfo:
+    """Symbol inventory for one function."""
+
+    node: ast.Function
+    params: list[Symbol] = field(default_factory=list)
+    locals: list[Symbol] = field(default_factory=list)  # includes block-scoped
+
+
+@dataclass
+class CheckedProgram:
+    """A type-checked translation unit."""
+
+    node: ast.ProgramAst
+    globals: dict[str, Symbol] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.names: dict[str, Symbol] = {}
+
+    def declare(self, symbol: Symbol) -> None:
+        if symbol.name in self.names:
+            raise SemanticError(f"redeclaration of {symbol.name!r}", symbol.line)
+        self.names[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class Analyzer:
+    def __init__(self, program: ast.ProgramAst):
+        self.program = program
+        self.checked = CheckedProgram(program)
+        self.current: FunctionInfo | None = None
+        self.loop_depth = 0
+        self._string_pool: dict[str, Symbol] = {}
+
+    def run(self) -> CheckedProgram:
+        top = _Scope()
+        for gvar in self.program.globals:
+            symbol = Symbol(gvar.name, gvar.type, "global", gvar.line)
+            top.declare(symbol)
+            self.checked.globals[gvar.name] = symbol
+            gvar.symbol = symbol
+            self._check_initializer(gvar.type, gvar.init_list, gvar.init_string, gvar.line)
+        names = set(self.checked.globals)
+        for func in self.program.functions:
+            if func.name in names:
+                raise SemanticError(f"redeclaration of {func.name!r}", func.line)
+            names.add(func.name)
+            self.checked.functions[func.name] = FunctionInfo(func)
+        for func in self.program.functions:
+            self._check_function(func, top)
+        return self.checked
+
+    # -- functions ----------------------------------------------------------
+
+    def _check_function(self, func: ast.Function, top: _Scope) -> None:
+        info = self.checked.functions[func.name]
+        self.current = info
+        scope = _Scope(top)
+        for param in func.params:
+            if param.type.is_array:
+                raise SemanticError("array parameters must decay to pointers", param.line)
+            symbol = Symbol(param.name, param.type, "param", param.line)
+            scope.declare(symbol)
+            info.params.append(symbol)
+            param.symbol = symbol
+        # C scoping: parameters share the function body's top-level scope,
+        # so a top-level local may not redeclare a parameter name.
+        for stmt in func.body.body:
+            self._check_stmt(stmt, scope)
+        self.current = None
+
+    def _check_block(self, block: ast.Block, parent: _Scope) -> None:
+        scope = _Scope(parent)
+        for stmt in block.body:
+            self._check_stmt(stmt, scope)
+
+    # -- statements -----------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.Declaration):
+            self._check_declaration(stmt, scope)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign(stmt, scope)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.cond, scope)
+            self._check_stmt(stmt.then, scope)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.cond, scope)
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, scope)
+            self.loop_depth -= 1
+            self._expr(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, inner)
+            self.loop_depth += 1
+            self._check_stmt(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value, scope)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                kind = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise SemanticError(f"{kind} outside a loop", stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr, scope)
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _check_declaration(self, decl: ast.Declaration, scope: _Scope) -> None:
+        symbol = Symbol(decl.name, decl.decl_type, "local", decl.line)
+        scope.declare(symbol)
+        decl.symbol = symbol
+        assert self.current is not None
+        self.current.locals.append(symbol)
+        self._check_initializer(decl.decl_type, decl.init_list, decl.init_string, decl.line)
+        if decl.init is not None:
+            if decl.decl_type.is_array:
+                raise SemanticError("cannot initialize an array from a scalar", decl.line)
+            value_type = self._expr(decl.init, scope)
+            self._check_assignable(decl.decl_type, value_type, decl.line)
+
+    def _check_initializer(
+        self, decl_type: Type, init_list: list[int] | None,
+        init_string: str | None, line: int,
+    ) -> None:
+        if init_list is not None:
+            if not decl_type.is_array:
+                raise SemanticError("brace initializer on a non-array", line)
+            if len(init_list) > decl_type.array_size:
+                raise SemanticError("too many initializer values", line)
+        if init_string is not None:
+            if not (decl_type.is_array and decl_type.base == "char" and decl_type.pointer == 0):
+                raise SemanticError("string initializer requires a char array", line)
+            if len(init_string) + 1 > decl_type.array_size:
+                raise SemanticError("string initializer does not fit", line)
+
+    def _check_assign(self, stmt: ast.Assign, scope: _Scope) -> None:
+        target_type = self._expr(stmt.target, scope)
+        if not self._is_lvalue(stmt.target):
+            raise SemanticError("assignment target is not an lvalue", stmt.line)
+        if target_type.is_array:
+            raise SemanticError("cannot assign to an array", stmt.line)
+        value_type = self._expr(stmt.value, scope)
+        self._check_assignable(target_type, value_type, stmt.line)
+
+    def _check_assignable(self, target: Type, value: Type, line: int) -> None:
+        value = value.decay()
+        if target.pointer > 0:
+            if value.pointer == 0 and value.base in ("int", "char"):
+                return  # allow integer-to-pointer (0 and computed addresses)
+            if value.pointer == target.pointer and value.base == target.base:
+                return
+            raise SemanticError(f"cannot assign {value} to {target}", line)
+        if value.pointer > 0:
+            raise SemanticError(f"cannot assign pointer {value} to {target}", line)
+
+    @staticmethod
+    def _is_lvalue(expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return True
+        if isinstance(expr, ast.Index):
+            return True
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return True
+        return False
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr, scope: _Scope) -> Type:
+        expr_type = self._expr_inner(expr, scope)
+        expr.type = expr_type
+        return expr_type
+
+    def _expr_inner(self, expr: ast.Expr, scope: _Scope) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.StrLit):
+            return self._intern_string(expr)
+        if isinstance(expr, ast.Name):
+            symbol = scope.lookup(expr.ident)
+            if symbol is None:
+                raise SemanticError(f"undeclared identifier {expr.ident!r}", expr.line)
+            expr.symbol = symbol
+            return symbol.type
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr, scope)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, scope)
+        if isinstance(expr, ast.Index):
+            base_type = self._expr(expr.array, scope)
+            if not (base_type.is_array or base_type.pointer > 0):
+                raise SemanticError(f"cannot index a {base_type}", expr.line)
+            self._expr(expr.index, scope)
+            return base_type.element()
+        if isinstance(expr, ast.Call):
+            return self._call(expr, scope)
+        raise SemanticError(f"unknown expression {type(expr).__name__}", expr.line)
+
+    def _intern_string(self, expr: ast.StrLit) -> Type:
+        """A string literal in expression position becomes an anonymous
+        global ``char`` array (the classic rodata pool); its type is the
+        array type, which decays to ``char*`` at use sites."""
+        text = expr.value
+        symbol = self._string_pool.get(text)
+        if symbol is None:
+            name = f"__str_{len(self._string_pool)}"
+            str_type = Type("char", 0, len(text) + 1)
+            symbol = Symbol(name, str_type, "global")
+            self._string_pool[text] = symbol
+            self.checked.globals[name] = symbol
+            gvar = ast.GlobalVar(name, str_type, init_string=text, line=expr.line)
+            gvar.symbol = symbol
+            self.checked.node.globals.append(gvar)
+        expr.symbol = symbol
+        return symbol.type
+
+    def _unary(self, expr: ast.Unary, scope: _Scope) -> Type:
+        operand_type = self._expr(expr.operand, scope)
+        if expr.op == "*":
+            decayed = operand_type.decay()
+            if decayed.pointer == 0:
+                raise SemanticError(f"cannot dereference a {operand_type}", expr.line)
+            return decayed.element()
+        if expr.op == "&":
+            if not self._is_lvalue(expr.operand):
+                raise SemanticError("'&' needs an lvalue", expr.line)
+            self._mark_escape(expr.operand)
+            return Type(operand_type.base, operand_type.pointer + 1)
+        if operand_type.decay().pointer > 0 and expr.op != "!":
+            raise SemanticError(f"unary {expr.op!r} on a pointer", expr.line)
+        return INT
+
+    def _mark_escape(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Name):
+            expr.symbol.escapes = True
+        elif isinstance(expr, ast.Index):
+            # &a[i]: the array is already in memory, nothing extra escapes
+            pass
+        elif isinstance(expr, ast.Unary) and expr.op == "*":
+            pass
+
+    def _binary(self, expr: ast.Binary, scope: _Scope) -> Type:
+        left = self._expr(expr.left, scope).decay()
+        right = self._expr(expr.right, scope).decay()
+        op = expr.op
+        if op in ("&&", "||", "==", "!=", "<", "<=", ">", ">="):
+            return INT
+        if op == "+":
+            if left.pointer > 0 and right.pointer > 0:
+                raise SemanticError("cannot add two pointers", expr.line)
+            if left.pointer > 0:
+                return left
+            if right.pointer > 0:
+                return right
+            return INT
+        if op == "-":
+            if left.pointer > 0 and right.pointer > 0:
+                if left != right:
+                    raise SemanticError("pointer difference needs matching types", expr.line)
+                return INT
+            if left.pointer > 0:
+                return left
+            if right.pointer > 0:
+                raise SemanticError("cannot subtract a pointer from an integer", expr.line)
+            return INT
+        # * / % << >> & | ^ require integers
+        if left.pointer > 0 or right.pointer > 0:
+            raise SemanticError(f"operator {op!r} needs integer operands", expr.line)
+        return INT
+
+    def _call(self, expr: ast.Call, scope: _Scope) -> Type:
+        info = self.checked.functions.get(expr.func)
+        if info is None and expr.func == "putchar":
+            # builtin console output: putchar(int) -> int
+            if len(expr.args) != 1:
+                raise SemanticError("putchar expects one argument", expr.line)
+            arg_type = self._expr(expr.args[0], scope).decay()
+            if arg_type.pointer > 0:
+                raise SemanticError("putchar expects an integer", expr.line)
+            return INT
+        if info is None:
+            raise SemanticError(f"call to undefined function {expr.func!r}", expr.line)
+        params = info.node.params
+        if len(params) != len(expr.args):
+            raise SemanticError(
+                f"{expr.func} expects {len(params)} arguments, got {len(expr.args)}",
+                expr.line,
+            )
+        for param, arg in zip(params, expr.args):
+            arg_type = self._expr(arg, scope).decay()
+            if param.type.pointer > 0:
+                if arg_type.pointer == 0:
+                    raise SemanticError(
+                        f"argument {param.name!r} of {expr.func} needs a pointer", expr.line
+                    )
+            elif arg_type.pointer > 0:
+                raise SemanticError(
+                    f"argument {param.name!r} of {expr.func} needs an integer", expr.line
+                )
+        return info.node.return_type
+
+
+def analyze(program: ast.ProgramAst) -> CheckedProgram:
+    """Type-check and annotate *program*; raises :class:`SemanticError`."""
+    return Analyzer(program).run()

@@ -1,0 +1,92 @@
+"""HLL operation-frequency analysis (the paper's Table 1 method).
+
+The argument that opens the paper: measure how often high-level-language
+operations *occur* dynamically, then weight each occurrence by the
+machine instructions and memory references a conventional compiler
+spends on it.  Plain counts make assignment look dominant; the weighted
+view reveals procedure CALL/RETURN as the most expensive operation -
+the observation that motivates register windows.
+
+``dynamic_op_counts`` instruments the reference interpreter;
+``weighted_frequency`` applies per-operation cost weights derived from
+the conventional (VAX-style) compilation sequences this package's own
+CISC code generator emits.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.hll.interp import run_program
+
+
+@dataclass(frozen=True)
+class OpWeight:
+    """Cost of one dynamic occurrence on a conventional machine."""
+
+    instructions: float
+    memory_refs: float
+
+
+#: Machine-level cost per occurrence, measured from the sequences our
+#: VAX-style backend emits: an assignment is a move (often memory);
+#: a loop iteration is compare+branch+step; a call is argument pushes,
+#: JSR, register save/restore, frame setup, and RTS.
+VAX_STYLE_WEIGHTS: dict[str, OpWeight] = {
+    "assign": OpWeight(instructions=2.0, memory_refs=1.0),
+    "loop": OpWeight(instructions=4.0, memory_refs=1.5),
+    "call": OpWeight(instructions=22.0, memory_refs=14.0),
+    "if": OpWeight(instructions=2.0, memory_refs=0.6),
+    "index": OpWeight(instructions=2.0, memory_refs=1.0),
+    "binop": OpWeight(instructions=1.0, memory_refs=0.2),
+    "return": OpWeight(instructions=0.0, memory_refs=0.0),  # folded into call
+}
+
+#: The operations the paper's table reports (binop/index fold into the
+#: statements that contain them; return folds into call).
+REPORTED_OPS = ("assign", "loop", "call", "if")
+
+
+def dynamic_op_counts(sources: list[str], max_ops: int = 50_000_000) -> Counter:
+    """Aggregate dynamic HLL operation counts over Mini-C *sources*."""
+    totals: Counter = Counter()
+    for source in sources:
+        result = run_program(source, max_ops=max_ops)
+        totals.update(result.op_counts)
+    return totals
+
+
+@dataclass(frozen=True)
+class FrequencyRow:
+    """One line of the Table-1-style output."""
+
+    operation: str
+    occurrence_percent: float
+    instruction_percent: float
+    memory_ref_percent: float
+
+
+def weighted_frequency(
+    counts: Counter, weights: dict[str, OpWeight] | None = None
+) -> list[FrequencyRow]:
+    """The paper's three-column view: raw, instruction- and ref-weighted."""
+    if weights is None:
+        weights = VAX_STYLE_WEIGHTS
+    occurrences = {op: counts.get(op, 0) for op in REPORTED_OPS}
+    instr = {op: occurrences[op] * weights[op].instructions for op in REPORTED_OPS}
+    refs = {op: occurrences[op] * weights[op].memory_refs for op in REPORTED_OPS}
+    total_occ = sum(occurrences.values()) or 1
+    total_instr = sum(instr.values()) or 1
+    total_refs = sum(refs.values()) or 1
+    rows = [
+        FrequencyRow(
+            operation=op.upper(),
+            occurrence_percent=100.0 * occurrences[op] / total_occ,
+            instruction_percent=100.0 * instr[op] / total_instr,
+            memory_ref_percent=100.0 * refs[op] / total_refs,
+        )
+        for op in REPORTED_OPS
+    ]
+    rows.sort(key=lambda row: -row.memory_ref_percent)
+    return rows

@@ -1,0 +1,66 @@
+"""The RISC I instruction-set architecture.
+
+This package defines the 31 instructions of the Berkeley RISC I
+(Patterson & Sequin, ISCA 1981): their mnemonics, categories, 32-bit
+encodings (short-immediate and long-immediate formats), the condition-code
+predicates used by conditional jumps, and the register-window naming and
+physical mapping.
+"""
+
+from repro.isa.conditions import COND_BY_CODE, COND_BY_NAME, Cond, cond_holds
+from repro.isa.decode import decode
+from repro.isa.encode import encode
+from repro.isa.formats import Format, Instruction
+from repro.isa.opcodes import (
+    ALL_SPECS,
+    INSTRUCTION_COUNT,
+    Category,
+    Opcode,
+    Spec,
+    spec_for,
+)
+from repro.isa.registers import (
+    GLOBAL_REGS,
+    HIGH_REGS,
+    LOCAL_REGS,
+    LOW_REGS,
+    NUM_PHYSICAL_REGISTERS,
+    NUM_WINDOWS,
+    REGS_PER_WINDOW_UNIQUE,
+    VISIBLE_REGISTERS,
+    WINDOW_OVERLAP,
+    RegisterNamespace,
+    physical_index,
+    register_name,
+    register_number,
+)
+
+__all__ = [
+    "ALL_SPECS",
+    "COND_BY_CODE",
+    "COND_BY_NAME",
+    "Category",
+    "Cond",
+    "Format",
+    "GLOBAL_REGS",
+    "HIGH_REGS",
+    "INSTRUCTION_COUNT",
+    "Instruction",
+    "LOCAL_REGS",
+    "LOW_REGS",
+    "NUM_PHYSICAL_REGISTERS",
+    "NUM_WINDOWS",
+    "Opcode",
+    "REGS_PER_WINDOW_UNIQUE",
+    "RegisterNamespace",
+    "Spec",
+    "VISIBLE_REGISTERS",
+    "WINDOW_OVERLAP",
+    "cond_holds",
+    "decode",
+    "encode",
+    "physical_index",
+    "register_name",
+    "register_number",
+    "spec_for",
+]

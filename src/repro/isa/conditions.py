@@ -1,0 +1,99 @@
+"""Condition codes for RISC I conditional jumps.
+
+Conditional jumps (JMP, JMPR) reuse the 5-bit *dest* field to hold a
+condition predicate over the PSW flags N (negative), Z (zero), V
+(overflow) and C (carry/borrow).  The flag convention after a subtract is
+x86-style: C is set when an unsigned borrow occurred (``a < b`` unsigned).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Cond(enum.IntEnum):
+    """Jump predicates (encoded in the dest field of JMP/JMPR)."""
+
+    NEVER = 0
+    ALW = 1  # always
+    EQ = 2  # Z
+    NE = 3  # !Z
+    LT = 4  # signed less: N ^ V
+    LE = 5  # signed less-or-equal: Z | (N ^ V)
+    GT = 6  # signed greater
+    GE = 7  # signed greater-or-equal
+    LTU = 8  # unsigned less: C (borrow)
+    LEU = 9  # unsigned less-or-equal: C | Z
+    GTU = 10  # unsigned greater
+    GEU = 11  # unsigned greater-or-equal
+    MI = 12  # minus: N
+    PL = 13  # plus: !N
+    V = 14  # overflow
+    NV = 15  # no overflow
+
+
+COND_BY_NAME: dict[str, Cond] = {c.name: c for c in Cond}
+COND_BY_CODE: dict[int, Cond] = {int(c): c for c in Cond}
+
+
+def cond_holds(cond: Cond, n: bool, z: bool, v: bool, c: bool) -> bool:
+    """Evaluate predicate *cond* over the four PSW flags."""
+    if cond is Cond.NEVER:
+        return False
+    if cond is Cond.ALW:
+        return True
+    if cond is Cond.EQ:
+        return z
+    if cond is Cond.NE:
+        return not z
+    if cond is Cond.LT:
+        return n != v
+    if cond is Cond.LE:
+        return z or (n != v)
+    if cond is Cond.GT:
+        return not (z or (n != v))
+    if cond is Cond.GE:
+        return n == v
+    if cond is Cond.LTU:
+        return c
+    if cond is Cond.LEU:
+        return c or z
+    if cond is Cond.GTU:
+        return not (c or z)
+    if cond is Cond.GEU:
+        return not c
+    if cond is Cond.MI:
+        return n
+    if cond is Cond.PL:
+        return not n
+    if cond is Cond.V:
+        return v
+    if cond is Cond.NV:
+        return not v
+    raise ValueError(f"unknown condition {cond!r}")
+
+
+#: The condition that tests the logically opposite predicate.
+NEGATION: dict[Cond, Cond] = {
+    Cond.NEVER: Cond.ALW,
+    Cond.ALW: Cond.NEVER,
+    Cond.EQ: Cond.NE,
+    Cond.NE: Cond.EQ,
+    Cond.LT: Cond.GE,
+    Cond.GE: Cond.LT,
+    Cond.LE: Cond.GT,
+    Cond.GT: Cond.LE,
+    Cond.LTU: Cond.GEU,
+    Cond.GEU: Cond.LTU,
+    Cond.LEU: Cond.GTU,
+    Cond.GTU: Cond.LEU,
+    Cond.MI: Cond.PL,
+    Cond.PL: Cond.MI,
+    Cond.V: Cond.NV,
+    Cond.NV: Cond.V,
+}
+
+
+def negate(cond: Cond) -> Cond:
+    """Return the predicate that holds exactly when *cond* does not."""
+    return NEGATION[cond]

@@ -1,0 +1,49 @@
+"""Decode 32-bit words back into :class:`~repro.isa.formats.Instruction`."""
+
+from __future__ import annotations
+
+from repro.common.bitops import bit_field, to_signed
+from repro.errors import DecodingError
+from repro.isa.formats import (
+    FIELD_DEST,
+    FIELD_IMM19,
+    FIELD_IMMFLAG,
+    FIELD_OPCODE,
+    FIELD_RS1,
+    FIELD_S2,
+    FIELD_SCC,
+    LONG_IMM_BITS,
+    SHORT_IMM_BITS,
+    Instruction,
+)
+from repro.isa.opcodes import ALL_SPECS, Format, Opcode
+
+
+def decode(word: int) -> Instruction:
+    """Decode *word*; raises :class:`DecodingError` for invalid opcodes."""
+    if not 0 <= word < (1 << 32):
+        raise DecodingError(f"instruction word {word:#x} is not 32 bits")
+    code = bit_field(word, *FIELD_OPCODE)
+    try:
+        opcode = Opcode(code)
+    except ValueError as exc:
+        raise DecodingError(f"invalid opcode {code:#x} in word {word:#010x}") from exc
+    spec = ALL_SPECS[opcode]
+    scc = bool(bit_field(word, *FIELD_SCC))
+    dest = bit_field(word, *FIELD_DEST)
+    if spec.fmt is Format.LONG:
+        imm19 = to_signed(bit_field(word, *FIELD_IMM19), LONG_IMM_BITS)
+        return Instruction(opcode, dest=dest, scc=scc, imm19=imm19)
+    rs1 = bit_field(word, *FIELD_RS1)
+    imm = bool(bit_field(word, *FIELD_IMMFLAG))
+    raw_s2 = bit_field(word, *FIELD_S2)
+    if imm:
+        s2 = to_signed(raw_s2, SHORT_IMM_BITS)
+    else:
+        s2 = raw_s2 & 0x1F
+    return Instruction(opcode, dest=dest, rs1=rs1, s2=s2, imm=imm, scc=scc)
+
+
+def decode_program(words: list[int]) -> list[Instruction]:
+    """Decode a whole program image."""
+    return [decode(word) for word in words]

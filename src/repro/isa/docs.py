@@ -1,0 +1,131 @@
+"""ISA reference generator.
+
+Renders the complete RISC I programmer's reference - instruction table,
+register map, condition codes, formats - directly from the metadata in
+this package, so the documentation can never drift from the
+implementation.  ``python -m repro.isa.docs`` prints the Markdown.
+"""
+
+from __future__ import annotations
+
+from repro.isa.conditions import Cond
+from repro.isa.opcodes import ALL_SPECS, Category
+from repro.isa.registers import (
+    GLOBAL_REGS,
+    HIGH_REGS,
+    LOCAL_REGS,
+    LOW_REGS,
+    NUM_PHYSICAL_REGISTERS,
+    NUM_WINDOWS,
+    RegisterNamespace,
+)
+
+_COND_MEANINGS = {
+    Cond.NEVER: "never taken",
+    Cond.ALW: "always taken",
+    Cond.EQ: "equal (Z)",
+    Cond.NE: "not equal (!Z)",
+    Cond.LT: "signed less (N xor V)",
+    Cond.LE: "signed less-or-equal",
+    Cond.GT: "signed greater",
+    Cond.GE: "signed greater-or-equal",
+    Cond.LTU: "unsigned less (borrow)",
+    Cond.LEU: "unsigned less-or-equal",
+    Cond.GTU: "unsigned greater",
+    Cond.GEU: "unsigned greater-or-equal",
+    Cond.MI: "negative (N)",
+    Cond.PL: "non-negative (!N)",
+    Cond.V: "overflow",
+    Cond.NV: "no overflow",
+}
+
+
+def instruction_table() -> str:
+    """Markdown table of all 31 instructions, grouped by category."""
+    lines = ["| mnemonic | category | format | cycles | operation |",
+             "|---|---|---|---|---|"]
+    for category in Category:
+        for opcode, spec in ALL_SPECS.items():
+            if spec.category is not category:
+                continue
+            lines.append(
+                f"| `{opcode.name.lower()}` | {category.value} | "
+                f"{spec.fmt.value} | {spec.cycles} | {spec.description} |"
+            )
+    return "\n".join(lines)
+
+
+def register_map() -> str:
+    """Markdown description of the visible register file."""
+    rows = [
+        ("r0", "GLOBAL", "always reads 0; writes discarded"),
+        (f"r1-r{GLOBAL_REGS[-1]}", "GLOBAL", "shared by every window (r8=fp, r9=sp)"),
+        (f"r{LOW_REGS[0]}-r{LOW_REGS[-1]}", "LOW",
+         "outgoing arguments; physically the callee's HIGH block"),
+        (f"r{LOCAL_REGS[0]}-r{LOCAL_REGS[-1]}", "LOCAL", "private scratch"),
+        (f"r{HIGH_REGS[0]}-r{HIGH_REGS[-1]}", "HIGH",
+         "incoming arguments; r31 holds the return PC (alias `ra`)"),
+    ]
+    lines = ["| registers | block | role |", "|---|---|---|"]
+    lines += [f"| {regs} | {block} | {role} |" for regs, block, role in rows]
+    lines.append("")
+    lines.append(
+        f"{NUM_PHYSICAL_REGISTERS} physical registers = 10 globals + "
+        f"{NUM_WINDOWS} windows x 16 unique, 6-register overlap."
+    )
+    return "\n".join(lines)
+
+
+def condition_table() -> str:
+    lines = ["| code | name | meaning |", "|---|---|---|"]
+    for cond in Cond:
+        lines.append(f"| {int(cond)} | `{cond.name.lower()}` | {_COND_MEANINGS[cond]} |")
+    return "\n".join(lines)
+
+
+def aliases_table() -> str:
+    lines = ["| alias | register |", "|---|---|"]
+    for alias, number in sorted(RegisterNamespace.ALIASES.items()):
+        lines.append(f"| `{alias}` | r{number} |")
+    return "\n".join(lines)
+
+
+def render_reference() -> str:
+    """The complete Markdown ISA reference."""
+    parts = [
+        "# RISC I instruction-set reference",
+        "",
+        "*Generated from `repro.isa` metadata - do not edit by hand.*",
+        "",
+        "## Instructions (31)",
+        "",
+        instruction_table(),
+        "",
+        "## Registers",
+        "",
+        register_map(),
+        "",
+        "### Assembler aliases",
+        "",
+        aliases_table(),
+        "",
+        "## Jump conditions",
+        "",
+        condition_table(),
+        "",
+        "## Notes",
+        "",
+        "* Every instruction is exactly 32 bits; see the F1 figure for the",
+        "  two field layouts.",
+        "* All control transfers are delayed: the following instruction",
+        "  (the delay slot) executes before the transfer takes effect.",
+        "* Loads and stores are the only memory instructions and take two",
+        "  cycles; everything else takes one.",
+        "* ALU mnemonics accept an `s` suffix (`adds`, `subs`, ...) to set",
+        "  the condition codes.",
+    ]
+    return "\n".join(parts) + "\n"
+
+
+if __name__ == "__main__":
+    print(render_reference())

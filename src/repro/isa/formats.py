@@ -1,0 +1,141 @@
+"""Decoded instruction representation and the two 32-bit bitfield layouts.
+
+Both RISC I formats are exactly 32 bits (the paper's key simplification
+over variable-length CISC encodings):
+
+``SHORT``  (register / 13-bit immediate operand)::
+
+    | opcode:7 | scc:1 | dest:5 | rs1:5 | imm:1 | s2:13 |
+      31..25     24      23..19   18..14  13      12..0
+
+    imm = 0: s2's low 5 bits name register rs2.
+    imm = 1: s2 is a sign-extended 13-bit immediate.
+
+``LONG``  (19-bit immediate, used by JMPR / CALLR / LDHI)::
+
+    | opcode:7 | scc:1 | dest:5 | imm19:19 |
+      31..25     24      23..19   18..0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.conditions import Cond
+from repro.isa.opcodes import ALL_SPECS, Format, Opcode, Spec
+
+# Bitfield positions (lo, width), LSB = bit 0.
+FIELD_OPCODE = (25, 7)
+FIELD_SCC = (24, 1)
+FIELD_DEST = (19, 5)
+FIELD_RS1 = (14, 5)
+FIELD_IMMFLAG = (13, 1)
+FIELD_S2 = (0, 13)
+FIELD_IMM19 = (0, 19)
+
+SHORT_IMM_BITS = 13
+LONG_IMM_BITS = 19
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded (or to-be-encoded) RISC I instruction.
+
+    Attributes:
+        opcode: which of the 31 instructions.
+        dest: destination register (or condition code for JMP/JMPR).
+        rs1: first source register (SHORT format only).
+        s2: second operand - register number if ``imm`` is False,
+            signed immediate if True.
+        imm: whether ``s2`` is an immediate.
+        scc: set-condition-codes bit.
+        imm19: signed 19-bit immediate (LONG format only).
+    """
+
+    opcode: Opcode
+    dest: int = 0
+    rs1: int = 0
+    s2: int = 0
+    imm: bool = False
+    scc: bool = False
+    imm19: int = 0
+
+    @property
+    def spec(self) -> Spec:
+        return ALL_SPECS[self.opcode]
+
+    @property
+    def fmt(self) -> Format:
+        return self.spec.fmt
+
+    @property
+    def cond(self) -> Cond:
+        """For conditional jumps the dest field holds the predicate."""
+        return Cond(self.dest & 0xF)
+
+    def operand_registers(self) -> list[int]:
+        """Registers this instruction reads (for hazard / slot-fill analysis)."""
+        spec = self.spec
+        regs: list[int] = []
+        if spec.fmt is Format.SHORT:
+            if spec.reads_rs1:
+                regs.append(self.rs1)
+            if spec.reads_rs2 and not self.imm:
+                regs.append(self.s2 & 0x1F)
+        if spec.category.name == "STORE":
+            regs.append(self.dest)  # stores read the dest field as data
+        return regs
+
+    def written_register(self) -> int | None:
+        """The register written, or None (r0 writes are discarded but reported)."""
+        if self.spec.writes_dest and not self.spec.uses_cond:
+            return self.dest
+        return None
+
+    def render(self) -> str:
+        """Human-readable assembly-ish text (canonical disassembly lives in
+        :mod:`repro.asm.disassembler`; this is a compact debugging view)."""
+        spec = self.spec
+        parts = [self.opcode.name.lower()]
+        if self.scc:
+            parts[0] += "s"
+        if spec.fmt is Format.LONG:
+            if spec.uses_cond:
+                return f"{parts[0]} {self.cond.name.lower()}, {self.imm19}"
+            return f"{parts[0]} r{self.dest}, {self.imm19}"
+        s2_text = f"#{self.s2}" if self.imm else f"r{self.s2 & 0x1F}"
+        if spec.uses_cond:
+            return f"{parts[0]} {self.cond.name.lower()}, r{self.rs1}, {s2_text}"
+        return f"{parts[0]} r{self.dest}, r{self.rs1}, {s2_text}"
+
+
+@dataclass
+class FieldSpec:
+    """One named bitfield, used by the F1 instruction-format figure."""
+
+    name: str
+    lo: int
+    width: int
+
+    @property
+    def hi(self) -> int:
+        return self.lo + self.width - 1
+
+
+#: Figure-ready layout descriptions for the two formats.
+FORMAT_LAYOUTS: dict[Format, list[FieldSpec]] = {
+    Format.SHORT: [
+        FieldSpec("opcode", *FIELD_OPCODE),
+        FieldSpec("scc", *FIELD_SCC),
+        FieldSpec("dest", *FIELD_DEST),
+        FieldSpec("rs1", *FIELD_RS1),
+        FieldSpec("imm", *FIELD_IMMFLAG),
+        FieldSpec("s2", *FIELD_S2),
+    ],
+    Format.LONG: [
+        FieldSpec("opcode", *FIELD_OPCODE),
+        FieldSpec("scc", *FIELD_SCC),
+        FieldSpec("dest", *FIELD_DEST),
+        FieldSpec("imm19", *FIELD_IMM19),
+    ],
+}

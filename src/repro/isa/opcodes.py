@@ -1,0 +1,179 @@
+"""The 31 RISC I instructions and their static metadata.
+
+The paper's Table of instructions groups them into four categories:
+arithmetic/logical (register-to-register only), load/store (the *only*
+memory instructions), control transfer, and miscellaneous.  Every
+instruction executes in one machine cycle except memory accesses, which
+take two (the paper's "suspended pipeline" cycle).
+
+Opcode numbers are this reproduction's own assignment; the paper does not
+publish a binary opcode map, only the two 32-bit formats.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Category(enum.Enum):
+    """Instruction groups as presented in the paper."""
+
+    ALU = "arithmetic/logical"
+    LOAD = "load"
+    STORE = "store"
+    JUMP = "control transfer"
+    MISC = "miscellaneous"
+
+
+class Format(enum.Enum):
+    """The two RISC I instruction formats (both exactly 32 bits)."""
+
+    SHORT = "short-immediate"  # opcode:7 scc:1 dest:5 rs1:5 imm:1 s2:13
+    LONG = "long-immediate"  # opcode:7 scc:1 dest:5 imm19:19
+
+
+class Opcode(enum.IntEnum):
+    """7-bit opcodes for the 31 RISC I instructions."""
+
+    # arithmetic / logical (12)
+    ADD = 0x01
+    ADDC = 0x02
+    SUB = 0x03
+    SUBC = 0x04
+    SUBR = 0x05  # reversed subtract: dest = s2 - rs1
+    SUBCR = 0x06
+    AND = 0x07
+    OR = 0x08
+    XOR = 0x09
+    SLL = 0x0A
+    SRL = 0x0B
+    SRA = 0x0C
+    # loads (5)
+    LDL = 0x10  # load long (32-bit word)
+    LDSU = 0x11  # load short unsigned
+    LDSS = 0x12  # load short signed
+    LDBU = 0x13  # load byte unsigned
+    LDBS = 0x14  # load byte signed
+    # stores (3)
+    STL = 0x18
+    STS = 0x19
+    STB = 0x1A
+    # control transfer (7)
+    JMP = 0x20  # conditional jump, indexed address rs1+s2
+    JMPR = 0x21  # conditional jump, PC-relative imm19
+    CALL = 0x22  # call indexed; new window
+    CALLR = 0x23  # call PC-relative; new window
+    RET = 0x24  # return; restore window
+    CALLINT = 0x25  # interrupt entry: new window, no jump
+    RETINT = 0x26  # interrupt return
+    # miscellaneous (4)
+    LDHI = 0x30  # dest<31:13> = imm19; dest<12:0> = 0
+    GTLPC = 0x31  # dest = last PC (used by interrupt handlers)
+    GETPSW = 0x32  # dest = PSW
+    PUTPSW = 0x33  # PSW = rs1 op s2
+
+
+@dataclass(frozen=True)
+class Spec:
+    """Static description of one instruction.
+
+    Attributes:
+        opcode: the :class:`Opcode`.
+        category: paper grouping.
+        fmt: encoding format.
+        cycles: machine cycles on the RISC I datapath (loads/stores = 2).
+        reads_rs1: whether the rs1 field is a source register.
+        reads_rs2: whether a register s2 operand is a source.
+        writes_dest: whether the dest field is written.
+        uses_cond: the dest field holds a condition code, not a register.
+        is_delayed: control transfer with one delay slot.
+        description: one-line summary from the paper's instruction table.
+    """
+
+    opcode: Opcode
+    category: Category
+    fmt: Format
+    cycles: int
+    reads_rs1: bool
+    reads_rs2: bool
+    writes_dest: bool
+    uses_cond: bool
+    is_delayed: bool
+    description: str
+
+    @property
+    def mnemonic(self) -> str:
+        return self.opcode.name
+
+
+def _alu(op: Opcode, desc: str) -> Spec:
+    return Spec(op, Category.ALU, Format.SHORT, 1, True, True, True, False, False, desc)
+
+
+def _load(op: Opcode, desc: str) -> Spec:
+    return Spec(op, Category.LOAD, Format.SHORT, 2, True, True, True, False, False, desc)
+
+
+def _store(op: Opcode, desc: str) -> Spec:
+    # stores read dest (the value) and rs1+s2 (the address)
+    return Spec(op, Category.STORE, Format.SHORT, 2, True, True, False, False, False, desc)
+
+
+ALL_SPECS: dict[Opcode, Spec] = {
+    spec.opcode: spec
+    for spec in [
+        _alu(Opcode.ADD, "dest = rs1 + s2 (integer add)"),
+        _alu(Opcode.ADDC, "dest = rs1 + s2 + carry"),
+        _alu(Opcode.SUB, "dest = rs1 - s2"),
+        _alu(Opcode.SUBC, "dest = rs1 - s2 - borrow"),
+        _alu(Opcode.SUBR, "dest = s2 - rs1 (reversed subtract)"),
+        _alu(Opcode.SUBCR, "dest = s2 - rs1 - borrow"),
+        _alu(Opcode.AND, "dest = rs1 & s2"),
+        _alu(Opcode.OR, "dest = rs1 | s2"),
+        _alu(Opcode.XOR, "dest = rs1 ^ s2"),
+        _alu(Opcode.SLL, "dest = rs1 << s2 (shift left logical)"),
+        _alu(Opcode.SRL, "dest = rs1 >> s2 (shift right logical)"),
+        _alu(Opcode.SRA, "dest = rs1 >> s2 (shift right arithmetic)"),
+        _load(Opcode.LDL, "dest = M[rs1 + s2] (32-bit word)"),
+        _load(Opcode.LDSU, "dest = M[rs1 + s2] (16-bit, zero-extended)"),
+        _load(Opcode.LDSS, "dest = M[rs1 + s2] (16-bit, sign-extended)"),
+        _load(Opcode.LDBU, "dest = M[rs1 + s2] (8-bit, zero-extended)"),
+        _load(Opcode.LDBS, "dest = M[rs1 + s2] (8-bit, sign-extended)"),
+        _store(Opcode.STL, "M[rs1 + s2] = dest (32-bit word)"),
+        _store(Opcode.STS, "M[rs1 + s2] = dest (16-bit)"),
+        _store(Opcode.STB, "M[rs1 + s2] = dest (8-bit)"),
+        Spec(Opcode.JMP, Category.JUMP, Format.SHORT, 1, True, True, False, True, True,
+             "if cond: PC = rs1 + s2 (delayed)"),
+        Spec(Opcode.JMPR, Category.JUMP, Format.LONG, 1, False, False, False, True, True,
+             "if cond: PC += imm19 (delayed)"),
+        Spec(Opcode.CALL, Category.JUMP, Format.SHORT, 1, True, True, True, False, True,
+             "dest = PC, CWP--; PC = rs1 + s2 (delayed)"),
+        Spec(Opcode.CALLR, Category.JUMP, Format.LONG, 1, False, False, True, False, True,
+             "dest = PC, CWP--; PC += imm19 (delayed)"),
+        Spec(Opcode.RET, Category.JUMP, Format.SHORT, 1, True, True, False, False, True,
+             "PC = rs1 + s2; CWP++ (delayed)"),
+        Spec(Opcode.CALLINT, Category.JUMP, Format.SHORT, 1, False, False, True, False, False,
+             "interrupt entry: dest = last PC, CWP--"),
+        Spec(Opcode.RETINT, Category.JUMP, Format.SHORT, 1, True, True, False, False, True,
+             "interrupt return: PC = rs1 + s2; CWP++"),
+        Spec(Opcode.LDHI, Category.MISC, Format.LONG, 1, False, False, True, False, False,
+             "dest<31:13> = imm19; dest<12:0> = 0"),
+        Spec(Opcode.GTLPC, Category.MISC, Format.SHORT, 1, False, False, True, False, False,
+             "dest = last PC (restart pipeline after interrupt)"),
+        Spec(Opcode.GETPSW, Category.MISC, Format.SHORT, 1, False, False, True, False, False,
+             "dest = PSW"),
+        Spec(Opcode.PUTPSW, Category.MISC, Format.SHORT, 1, True, True, False, False, False,
+             "PSW = rs1 + s2"),
+    ]
+}
+
+INSTRUCTION_COUNT = len(ALL_SPECS)
+assert INSTRUCTION_COUNT == 31, "RISC I defines exactly 31 instructions"
+
+MNEMONIC_TO_OPCODE: dict[str, Opcode] = {op.name: op for op in ALL_SPECS}
+
+
+def spec_for(opcode: Opcode) -> Spec:
+    """Return the :class:`Spec` for *opcode* (KeyError for invalid codes)."""
+    return ALL_SPECS[opcode]

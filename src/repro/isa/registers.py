@@ -1,0 +1,111 @@
+"""Register naming and the overlapped-window physical mapping.
+
+RISC I gives every procedure a 32-register view:
+
+* ``r0``-``r9``   GLOBAL - shared by all procedures; ``r0`` always reads 0.
+* ``r10``-``r15`` LOW    - outgoing parameters to callees.
+* ``r16``-``r25`` LOCAL  - scratch local to the procedure.
+* ``r26``-``r31`` HIGH   - incoming parameters from the caller.
+
+The register file holds 8 windows.  A window owns 16 unique registers
+(its LOW + LOCAL blocks); its HIGH block *is* the caller's LOW block, a
+6-register overlap through which parameters pass without being copied.
+Total physical registers: ``10 globals + 8 x 16 = 138``, the number the
+paper reports.
+"""
+
+from __future__ import annotations
+
+NUM_WINDOWS = 8
+NUM_GLOBALS = 10
+WINDOW_OVERLAP = 6
+NUM_LOCALS = 10
+VISIBLE_REGISTERS = 32
+REGS_PER_WINDOW_UNIQUE = WINDOW_OVERLAP + NUM_LOCALS  # LOW + LOCAL = 16
+NUM_PHYSICAL_REGISTERS = NUM_GLOBALS + NUM_WINDOWS * REGS_PER_WINDOW_UNIQUE  # 138
+
+GLOBAL_REGS = range(0, NUM_GLOBALS)  # r0-r9
+LOW_REGS = range(NUM_GLOBALS, NUM_GLOBALS + WINDOW_OVERLAP)  # r10-r15
+LOCAL_REGS = range(16, 16 + NUM_LOCALS)  # r16-r25
+HIGH_REGS = range(26, 26 + WINDOW_OVERLAP)  # r26-r31
+
+#: Register that CALL writes the return PC into (caller's view).
+RETURN_ADDRESS_CALLER = 15
+#: Same physical register seen from the callee (HIGH block).
+RETURN_ADDRESS_CALLEE = 31
+#: Conventional stack pointer for spilled data (a global).
+STACK_POINTER = 9
+#: Conventional frame pointer (a global, used by the CISC-style ablation).
+FRAME_POINTER = 8
+
+
+class RegisterNamespace:
+    """Symbolic names accepted by the assembler (``r0``..``r31`` + aliases)."""
+
+    ALIASES = {
+        "sp": STACK_POINTER,
+        "fp": FRAME_POINTER,
+        "ra": RETURN_ADDRESS_CALLEE,
+        "zero": 0,
+    }
+
+    @classmethod
+    def lookup(cls, name: str) -> int | None:
+        """Resolve a register name to its number, or None if not a register."""
+        lowered = name.lower()
+        if lowered in cls.ALIASES:
+            return cls.ALIASES[lowered]
+        if lowered.startswith("r") and lowered[1:].isdigit():
+            number = int(lowered[1:])
+            if 0 <= number < VISIBLE_REGISTERS:
+                return number
+        return None
+
+
+def register_name(number: int) -> str:
+    """Canonical assembly name for visible register *number*."""
+    if not 0 <= number < VISIBLE_REGISTERS:
+        raise ValueError(f"register number {number} out of range")
+    return f"r{number}"
+
+
+def register_number(name: str) -> int:
+    """Parse a register name; raises ValueError for non-registers."""
+    number = RegisterNamespace.lookup(name)
+    if number is None:
+        raise ValueError(f"{name!r} is not a register")
+    return number
+
+
+def physical_index(window: int, reg: int, num_windows: int = NUM_WINDOWS) -> int:
+    """Map (window, visible register) to a physical register index.
+
+    Globals map identically for every window.  A window's LOW+LOCAL block
+    (r10-r25) is its own 16-register slice; its HIGH block (r26-r31) is an
+    alias for the *caller's* (window+1's) LOW block.  Windows are arranged
+    circularly, so CALL decrements the window pointer modulo
+    *num_windows*.
+    """
+    if not 0 <= reg < VISIBLE_REGISTERS:
+        raise ValueError(f"register number {reg} out of range")
+    window %= num_windows
+    if reg < NUM_GLOBALS:
+        return reg
+    if reg < 26:  # LOW (r10-r15) + LOCAL (r16-r25): this window's unique block
+        return NUM_GLOBALS + REGS_PER_WINDOW_UNIQUE * window + (reg - NUM_GLOBALS)
+    # HIGH (r26-r31): the caller's LOW block
+    caller = (window + 1) % num_windows
+    return NUM_GLOBALS + REGS_PER_WINDOW_UNIQUE * caller + (reg - 26)
+
+
+def block_of(reg: int) -> str:
+    """Name of the block (GLOBAL/LOW/LOCAL/HIGH) containing visible *reg*."""
+    if reg in GLOBAL_REGS:
+        return "GLOBAL"
+    if reg in LOW_REGS:
+        return "LOW"
+    if reg in LOCAL_REGS:
+        return "LOCAL"
+    if reg in HIGH_REGS:
+        return "HIGH"
+    raise ValueError(f"register number {reg} out of range")

@@ -1,0 +1,24 @@
+"""Register-window behaviour analysis.
+
+Feeds the paper's window-overflow table (T6) and the window-count
+sensitivity figure (F4): given a +1/-1 call-depth trace - measured from
+a simulated benchmark or synthesized - simulate a circular file of N
+windows and count overflow/underflow traps, spill traffic, and the
+saved-vs-spilled balance, across N and across overlap sizes (A3).
+"""
+
+from repro.windows.analysis import (
+    WindowSimResult,
+    overlap_traffic,
+    simulate_windows,
+    sweep_overlap,
+    sweep_window_counts,
+)
+
+__all__ = [
+    "WindowSimResult",
+    "overlap_traffic",
+    "simulate_windows",
+    "sweep_overlap",
+    "sweep_window_counts",
+]

@@ -1,0 +1,139 @@
+"""Trace-driven register-window simulation.
+
+The model matches :class:`repro.cpu.machine.RiscMachine`'s trap rules: a
+circular file of N windows holds at most N-1 frames; a CALL when full
+spills one 16-register unit, a RET into a spilled frame refills one.
+Running it over a call-depth trace answers the paper's sizing questions
+without re-running the full processor simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import NUM_LOCALS, WINDOW_OVERLAP
+
+
+@dataclass(frozen=True)
+class WindowSimResult:
+    """Outcome of one windowed run over a call trace."""
+
+    num_windows: int
+    calls: int
+    returns: int
+    overflows: int
+    underflows: int
+    max_depth: int
+    registers_per_trap: int = 16
+
+    @property
+    def overflow_rate(self) -> float:
+        """Fraction of calls that trapped (the paper's headline metric)."""
+        if self.calls == 0:
+            return 0.0
+        return self.overflows / self.calls
+
+    @property
+    def spill_words(self) -> int:
+        """Words moved to/from memory by window traps."""
+        return (self.overflows + self.underflows) * self.registers_per_trap
+
+    @property
+    def data_refs_with_windows(self) -> int:
+        """Data memory references attributable to call/return."""
+        return self.spill_words
+
+    @property
+    def data_refs_without_windows(self) -> int:
+        """Same trace on a conventional machine saving ~8 registers/call."""
+        return (self.calls + self.returns) * 8
+
+
+def simulate_windows(
+    trace: list[int],
+    num_windows: int,
+    *,
+    registers_per_trap: int = WINDOW_OVERLAP + NUM_LOCALS,
+) -> WindowSimResult:
+    """Run the +1/-1 *trace* through an N-window circular file."""
+    if num_windows < 2:
+        raise ValueError("need at least 2 windows")
+    calls = returns = overflows = underflows = 0
+    depth = 0
+    max_depth = 0
+    resident = 1  # the running procedure's frame
+    capacity = num_windows - 1
+    for event in trace:
+        if event == 1:
+            calls += 1
+            depth += 1
+            max_depth = max(max_depth, depth)
+            if resident == capacity:
+                overflows += 1
+            else:
+                resident += 1
+        elif event == -1:
+            returns += 1
+            if depth == 0:
+                raise ValueError("trace returns below depth 0")
+            depth -= 1
+            if resident == 1:
+                underflows += 1
+            else:
+                resident -= 1
+        else:
+            raise ValueError(f"trace events must be +1/-1, got {event!r}")
+    return WindowSimResult(
+        num_windows=num_windows,
+        calls=calls,
+        returns=returns,
+        overflows=overflows,
+        underflows=underflows,
+        max_depth=max_depth,
+        registers_per_trap=registers_per_trap,
+    )
+
+
+def sweep_window_counts(
+    trace: list[int], counts: list[int] | None = None
+) -> dict[int, WindowSimResult]:
+    """Overflow behaviour of *trace* across window-file sizes (F4)."""
+    if counts is None:
+        counts = [2, 3, 4, 6, 8, 12, 16]
+    return {count: simulate_windows(trace, count) for count in counts}
+
+
+def overlap_traffic(
+    trace: list[int],
+    overlap: int,
+    *,
+    args_per_call: float = 2.5,
+    num_windows: int = 8,
+    locals_per_window: int = NUM_LOCALS,
+) -> float:
+    """Memory words moved per call for a given window *overlap* (A3).
+
+    With an overlap of K registers, up to K arguments pass without
+    memory traffic; beyond-K arguments cost a store+load each.  Larger
+    overlaps also shrink the unique area per window, so the spill unit
+    stays ``locals + overlap``, and with zero overlap the machine must
+    additionally copy arguments between windows through memory.
+    """
+    if not 0 <= overlap <= 10:
+        raise ValueError("overlap must be within 0..10")
+    result = simulate_windows(
+        trace, num_windows, registers_per_trap=locals_per_window + overlap
+    )
+    overflow_words = result.spill_words
+    spilled_args = max(0.0, args_per_call - overlap)
+    arg_words = 2.0 * spilled_args * result.calls  # store by caller + load by callee
+    total = overflow_words + arg_words
+    return total / max(result.calls, 1)
+
+
+def sweep_overlap(trace: list[int], overlaps: list[int] | None = None,
+                  **kwargs) -> dict[int, float]:
+    """Words of call-related memory traffic per call, by overlap size."""
+    if overlaps is None:
+        overlaps = [0, 2, 4, 6, 8]
+    return {overlap: overlap_traffic(trace, overlap, **kwargs) for overlap in overlaps}

@@ -1,0 +1,19 @@
+"""The paper's benchmark programs, re-implemented in Mini-C.
+
+The RISC I evaluation used a suite of eleven C programs.  Each entry in
+:data:`BENCHMARKS` carries Mini-C source, a human description, and the
+input scaling applied so a Python-hosted instruction-level simulator can
+execute the suite in seconds (documented per program; the measured
+quantities are ratios, which are robust to these kernels' input sizes).
+"""
+
+from repro.workloads.programs import BENCHMARKS, Benchmark, benchmark, expected_results
+from repro.workloads.traces import synthetic_call_trace
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "benchmark",
+    "expected_results",
+    "synthetic_call_trace",
+]

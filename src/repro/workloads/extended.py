@@ -1,0 +1,175 @@
+"""Extended workload suite beyond the paper's eleven programs.
+
+The paper's assessment continued with more C programs in the companion
+technical report; this module adds era-typical kernels in the same
+spirit.  They are used by the differential tests and available to the
+benchmark matrix for wider sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.programs import Benchmark
+
+SIEVE = Benchmark(
+    name="sieve",
+    label="Sieve",
+    description="sieve of Eratosthenes (the classic BYTE benchmark)",
+    scaling_note="primes below 1000, 3 repetitions",
+    source="""
+char flags[1001];
+
+int sieve_pass(int limit) {
+    int i;
+    int k;
+    int count = 0;
+    for (i = 2; i <= limit; i = i + 1) flags[i] = 1;
+    for (i = 2; i <= limit; i = i + 1) {
+        if (flags[i]) {
+            count = count + 1;
+            for (k = i + i; k <= limit; k = k + i) flags[k] = 0;
+        }
+    }
+    return count;
+}
+
+int main(void) {
+    int rep;
+    int count = 0;
+    for (rep = 0; rep < 3; rep = rep + 1) count = sieve_pass(1000);
+    return count;
+}
+""",
+)
+
+MATMUL = Benchmark(
+    name="matmul",
+    label="MatMul",
+    description="dense integer matrix multiply",
+    scaling_note="12x12 matrices",
+    source="""
+int a[144];
+int b[144];
+int c[144];
+
+int fill(void) {
+    int i;
+    for (i = 0; i < 144; i = i + 1) {
+        a[i] = (i * 7 + 3) & 63;
+        b[i] = (i * 5 + 1) & 63;
+    }
+    return 0;
+}
+
+int multiply(int n) {
+    int i; int j; int k;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            int sum = 0;
+            for (k = 0; k < n; k = k + 1) {
+                sum = sum + a[i * 12 + k] * b[k * 12 + j];
+            }
+            c[i * 12 + j] = sum;
+        }
+    }
+    return 0;
+}
+
+int main(void) {
+    int i;
+    int checksum = 0;
+    fill();
+    multiply(12);
+    for (i = 0; i < 144; i = i + 13) checksum = checksum ^ c[i];
+    return checksum;
+}
+""",
+)
+
+CRC = Benchmark(
+    name="crc",
+    label="CRC",
+    description="bitwise CRC-16 over a message buffer",
+    scaling_note="256-byte message",
+    source="""
+char message[256];
+
+int crc16(int length) {
+    int crc = 0xFFFF;
+    int i;
+    int bit;
+    for (i = 0; i < length; i = i + 1) {
+        crc = crc ^ message[i];
+        for (bit = 0; bit < 8; bit = bit + 1) {
+            if (crc & 1) {
+                crc = (crc >> 1) & 32767;
+                crc = crc ^ 0xA001;
+            } else {
+                crc = (crc >> 1) & 32767;
+            }
+        }
+    }
+    return crc;
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 256; i = i + 1) message[i] = (i * 31 + 7) & 255;
+    return crc16(256);
+}
+""",
+)
+
+FIB_ITER = Benchmark(
+    name="fib_iter",
+    label="FibIter",
+    description="iterative Fibonacci (loop-only control profile)",
+    scaling_note="fib(40) mod 2^32",
+    source="""
+int main(void) {
+    int a = 0;
+    int b = 1;
+    int i;
+    for (i = 0; i < 40; i = i + 1) {
+        int t = a + b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+""",
+)
+
+BINSEARCH = Benchmark(
+    name="binsearch",
+    label="BinSearch",
+    description="repeated binary search over a sorted table",
+    scaling_note="512-entry table, 200 probes",
+    source="""
+int table[512];
+
+int lookup(int key) {
+    int lo = 0;
+    int hi = 511;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        if (table[mid] == key) return mid;
+        if (table[mid] < key) lo = mid + 1;
+        else hi = mid - 1;
+    }
+    return -1;
+}
+
+int main(void) {
+    int i;
+    int hits = 0;
+    for (i = 0; i < 512; i = i + 1) table[i] = i * 3;
+    for (i = 0; i < 200; i = i + 1) {
+        if (lookup(i * 7) >= 0) hits = hits + 1;
+    }
+    return hits;
+}
+""",
+    call_intensive=True,
+)
+
+EXTENDED_BENCHMARKS = [SIEVE, MATMUL, CRC, FIB_ITER, BINSEARCH]

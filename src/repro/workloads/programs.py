@@ -1,0 +1,527 @@
+"""Mini-C sources for the eleven RISC I benchmark programs.
+
+Names follow the paper's labels where it used letters (E string search,
+F bit test, H linked list, K bit matrix, I quicksort) plus the named
+programs (Ackermann, recursive qsort, Puzzle in subscript and pointer
+form, a batch editor, Towers of Hanoi).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark program."""
+
+    name: str
+    label: str  # the paper's tag
+    source: str
+    description: str
+    scaling_note: str
+    call_intensive: bool = False
+
+
+E_STRING_SEARCH = Benchmark(
+    name="e_string_search",
+    label="E",
+    description="naive substring search over a synthesized text buffer",
+    scaling_note="text of 600 chars, 40 searches (paper used longer texts)",
+    source="""
+char text[640];
+char pattern[8];
+
+int build(void) {
+    int i;
+    int c = 0;
+    for (i = 0; i < 600; i = i + 1) {
+        text[i] = 'a' + c;
+        c = c + 1;
+        if (c == 23) c = 0;
+    }
+    text[600] = 0;
+    pattern[0] = 'a' + 17; pattern[1] = 'a' + 18; pattern[2] = 'a' + 19;
+    pattern[3] = 0;
+    return 600;
+}
+
+int search(int n, int from) {
+    int i;
+    int j;
+    int ok;
+    for (i = from; i < n; i = i + 1) {
+        ok = 1;
+        for (j = 0; pattern[j] != 0; j = j + 1) {
+            if (text[i + j] != pattern[j]) { ok = 0; break; }
+        }
+        if (ok) return i;
+    }
+    return 0 - 1;
+}
+
+int main(void) {
+    int n = build();
+    int hits = 0;
+    int pos = 0;
+    int k;
+    for (k = 0; k < 40; k = k + 1) {
+        pos = search(n - 4, pos);
+        if (pos < 0) { pos = 0; } else { hits = hits + 1; pos = pos + 1; }
+    }
+    return hits * 1000 + search(n - 4, 0);
+}
+""",
+)
+
+F_BIT_TEST = Benchmark(
+    name="f_bit_test",
+    label="F",
+    description="set/test/count bits across a word range",
+    scaling_note="800 words tested (paper used larger ranges)",
+    source="""
+int popcount(int x) {
+    int count = 0;
+    while (x != 0) {
+        count = count + (x & 1);
+        x = (x >> 1) & 2147483647;
+    }
+    return count;
+}
+
+int main(void) {
+    int total = 0;
+    int value;
+    int word = 12345;
+    for (value = 1; value <= 800; value = value + 1) {
+        word = (word << 5) + word + value;   /* cheap mix, no multiply */
+        total = total + popcount(word);
+    }
+    return total;
+}
+""",
+    call_intensive=True,
+)
+
+H_LINKED_LIST = Benchmark(
+    name="h_linked_list",
+    label="H",
+    description="linked-list insertion keeping a sorted list",
+    scaling_note="200 insertions into an index-linked pool",
+    source="""
+int values[210];
+int next[210];
+int head;
+int free_slot;
+
+int insert(int value) {
+    int node = free_slot;
+    int cur;
+    int prev;
+    free_slot = free_slot + 1;
+    values[node] = value;
+    if (head == 0 - 1 || values[head] >= value) {
+        next[node] = head;
+        head = node;
+        return node;
+    }
+    prev = head;
+    cur = next[head];
+    while (cur != 0 - 1 && values[cur] < value) {
+        prev = cur;
+        cur = next[cur];
+    }
+    next[node] = cur;
+    next[prev] = node;
+    return node;
+}
+
+int main(void) {
+    int i;
+    int seed = 7;
+    int checksum = 0;
+    int walk;
+    int rank = 0;
+    head = 0 - 1;
+    free_slot = 0;
+    for (i = 0; i < 200; i = i + 1) {
+        seed = ((seed << 7) + seed + 9) % 1009;
+        insert(seed);
+    }
+    walk = head;
+    while (walk != 0 - 1) {
+        checksum = checksum + values[walk] * (rank + 1);
+        rank = rank + 1;
+        if (rank == 7) rank = 0;
+        walk = next[walk];
+    }
+    return checksum;
+}
+""",
+)
+
+K_BIT_MATRIX = Benchmark(
+    name="k_bit_matrix",
+    label="K",
+    description="bit-matrix set/test/transpose on packed 32x32 matrices",
+    scaling_note="32x32 matrix, 12 transpose rounds",
+    source="""
+int matrix[32];
+int transposed[32];
+
+int getbit(int *m, int row, int col) {
+    return (m[row] >> col) & 1;
+}
+
+int setbit(int *m, int row, int col) {
+    m[row] = m[row] | (1 << col);
+    return 0;
+}
+
+int transpose(void) {
+    int r;
+    int c;
+    for (r = 0; r < 32; r = r + 1) transposed[r] = 0;
+    for (r = 0; r < 32; r = r + 1) {
+        for (c = 0; c < 32; c = c + 1) {
+            if (getbit(matrix, r, c)) setbit(transposed, c, r);
+        }
+    }
+    return 0;
+}
+
+int main(void) {
+    int r;
+    int round;
+    int checksum = 0;
+    for (r = 0; r < 32; r = r + 1) {
+        matrix[r] = r * 2654435 + 40503;
+    }
+    for (round = 0; round < 12; round = round + 1) {
+        transpose();
+        for (r = 0; r < 32; r = r + 1) matrix[r] = transposed[r] ^ r;
+    }
+    for (r = 0; r < 32; r = r + 1) checksum = checksum ^ matrix[r];
+    return checksum;
+}
+""",
+)
+
+I_QUICKSORT = Benchmark(
+    name="i_quicksort",
+    label="I",
+    description="iterative quicksort with an explicit segment stack",
+    scaling_note="400 elements (paper sorted larger arrays)",
+    source="""
+int data[400];
+int stack_lo[32];
+int stack_hi[32];
+
+int sort(int n) {
+    int top = 0;
+    int lo; int hi; int i; int j; int pivot; int tmp;
+    stack_lo[0] = 0;
+    stack_hi[0] = n - 1;
+    top = 1;
+    while (top > 0) {
+        top = top - 1;
+        lo = stack_lo[top];
+        hi = stack_hi[top];
+        while (lo < hi) {
+            pivot = data[(lo + hi) / 2];
+            i = lo;
+            j = hi;
+            while (i <= j) {
+                while (data[i] < pivot) i = i + 1;
+                while (data[j] > pivot) j = j - 1;
+                if (i <= j) {
+                    tmp = data[i]; data[i] = data[j]; data[j] = tmp;
+                    i = i + 1;
+                    j = j - 1;
+                }
+            }
+            if (j - lo < hi - i) {
+                if (i < hi) { stack_lo[top] = i; stack_hi[top] = hi; top = top + 1; }
+                hi = j;
+            } else {
+                if (lo < j) { stack_lo[top] = lo; stack_hi[top] = j; top = top + 1; }
+                lo = i;
+            }
+        }
+    }
+    return 0;
+}
+
+int main(void) {
+    int i;
+    int seed = 1234;
+    int checksum = 0;
+    for (i = 0; i < 400; i = i + 1) {
+        seed = (seed * 3125 + 49) % 65536;
+        data[i] = seed;
+    }
+    sort(400);
+    for (i = 1; i < 400; i = i + 1) {
+        if (data[i - 1] > data[i]) return 0 - 1;
+    }
+    for (i = 0; i < 400; i = i + 7) checksum = checksum + data[i] * ((i & 3) + 1);
+    return checksum;
+}
+""",
+)
+
+ACKERMANN = Benchmark(
+    name="ackermann",
+    label="Ackermann(3,3)",
+    description="Ackermann's function - the call-intensity stress test",
+    scaling_note="Ackermann(3,3)=61 (paper ran (3,6); same call structure)",
+    call_intensive=True,
+    source="""
+int ack(int m, int n) {
+    if (m == 0) return n + 1;
+    if (n == 0) return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+}
+
+int main(void) {
+    return ack(3, 3);
+}
+""",
+)
+
+RECURSIVE_QSORT = Benchmark(
+    name="recursive_qsort",
+    label="Qsort",
+    description="recursive quicksort - deep call nesting over real data",
+    scaling_note="250 elements",
+    call_intensive=True,
+    source="""
+int data[250];
+
+int qsort_range(int lo, int hi) {
+    int i; int j; int pivot; int tmp;
+    if (lo >= hi) return 0;
+    pivot = data[(lo + hi) / 2];
+    i = lo;
+    j = hi;
+    while (i <= j) {
+        while (data[i] < pivot) i = i + 1;
+        while (data[j] > pivot) j = j - 1;
+        if (i <= j) {
+            tmp = data[i]; data[i] = data[j]; data[j] = tmp;
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    qsort_range(lo, j);
+    qsort_range(i, hi);
+    return 0;
+}
+
+int main(void) {
+    int i;
+    int seed = 99;
+    int checksum = 0;
+    for (i = 0; i < 250; i = i + 1) {
+        seed = (seed * 421 + 17) % 30011;
+        data[i] = seed;
+    }
+    qsort_range(0, 249);
+    for (i = 1; i < 250; i = i + 1) {
+        if (data[i - 1] > data[i]) return 0 - 1;
+    }
+    for (i = 0; i < 250; i = i + 11) checksum = checksum + data[i];
+    return checksum;
+}
+""",
+)
+
+_PUZZLE_CORE = """
+int pieces[8];
+int used[8];
+int best;
+int nodes;
+
+int solve{suffix}(int remaining, int depth) {{
+    int i;
+    nodes = nodes + 1;
+    if (remaining == 0) return 1;
+    if (depth > 7) return 0;
+    for (i = 0; i < 8; i = i + 1) {{
+        if ({used_read} == 0 && {piece_read} <= remaining) {{
+            {used_write_1}
+            if (solve{suffix}(remaining - {piece_read}, depth + 1)) return 1;
+            {used_write_0}
+        }}
+    }}
+    return 0;
+}}
+
+int main(void) {{
+    int target;
+    int solved = 0;
+    int i;
+    pieces[0] = 23; pieces[1] = 19; pieces[2] = 17; pieces[3] = 13;
+    pieces[4] = 11; pieces[5] = 7;  pieces[6] = 5;  pieces[7] = 3;
+    nodes = 0;
+    for (target = 20; target < 70; target = target + 1) {{
+        for (i = 0; i < 8; i = i + 1) used[i] = 0;
+        if (solve{suffix}(target, 0)) solved = solved + 1;
+    }}
+    return solved * 100000 + nodes;
+}}
+"""
+
+PUZZLE_SUBSCRIPT = Benchmark(
+    name="puzzle_subscript",
+    label="Puzzle(sub)",
+    description="Baskett-style piece-fitting search, array subscript form",
+    scaling_note="8 pieces, 50 targets (paper's Puzzle fills a 3D box)",
+    call_intensive=True,
+    source=_PUZZLE_CORE.format(
+        suffix="_s",
+        used_read="used[i]",
+        piece_read="pieces[i]",
+        used_write_1="used[i] = 1;",
+        used_write_0="used[i] = 0;",
+    ),
+)
+
+PUZZLE_POINTER = Benchmark(
+    name="puzzle_pointer",
+    label="Puzzle(ptr)",
+    description="the same search in pointer-arithmetic form",
+    scaling_note="8 pieces, 50 targets",
+    call_intensive=True,
+    source=_PUZZLE_CORE.format(
+        suffix="_p",
+        used_read="*(used + i)",
+        piece_read="*(pieces + i)",
+        used_write_1="*(used + i) = 1;",
+        used_write_0="*(used + i) = 0;",
+    ),
+)
+
+SED_BATCH = Benchmark(
+    name="sed_batch",
+    label="SED",
+    description="batch editor: repeated find-and-replace over a buffer",
+    scaling_note="360-char buffer, 3 substitution passes (mini-sed)",
+    source="""
+char buffer[420];
+char output[520];
+
+int fill(void) {
+    int i;
+    int c = 0;
+    int half = 0;
+    for (i = 0; i < 360; i = i + 1) {
+        if (i == 90 || i == 180 || i == 270) half = 1 - half;
+        buffer[i] = 'a' + c + half;
+        c = c + 1;
+        if (c == 4) c = 0;
+    }
+    buffer[360] = 0;
+    return 360;
+}
+
+int match(char *s, int at, char *pat) {
+    int j;
+    for (j = 0; pat[j] != 0; j = j + 1) {
+        if (s[at + j] != pat[j]) return 0;
+    }
+    return 1;
+}
+
+int substitute(char *pat, char *rep) {
+    int i = 0;
+    int o = 0;
+    int j;
+    int count = 0;
+    while (buffer[i] != 0) {
+        if (match(buffer, i, pat)) {
+            for (j = 0; rep[j] != 0; j = j + 1) { output[o] = rep[j]; o = o + 1; }
+            for (j = 0; pat[j] != 0; j = j + 1) i = i + 1;
+            count = count + 1;
+        } else {
+            output[o] = buffer[i];
+            o = o + 1;
+            i = i + 1;
+        }
+    }
+    output[o] = 0;
+    for (j = 0; j <= o; j = j + 1) buffer[j] = output[j];
+    return count;
+}
+
+char pat1[4] = "ab";
+char rep1[4] = "XY";
+char pat2[4] = "cd";
+char rep2[4] = "Z";
+char pat3[4] = "XY";
+char rep3[4] = "w";
+
+int main(void) {
+    int n = fill();
+    int total = 0;
+    total = total + substitute(pat1, rep1) * 10000;
+    total = total + substitute(pat2, rep2) * 100;
+    total = total + substitute(pat3, rep3);
+    return total;
+}
+""",
+)
+
+TOWERS = Benchmark(
+    name="towers",
+    label="Towers(10)",
+    description="Towers of Hanoi - pure call/return exercise",
+    scaling_note="10 discs = 1023 moves (paper ran 18 discs)",
+    call_intensive=True,
+    source="""
+int moves;
+
+int hanoi(int n, int from, int to, int via) {
+    if (n == 0) return 0;
+    hanoi(n - 1, from, via, to);
+    moves = moves + 1;
+    hanoi(n - 1, via, to, from);
+    return 0;
+}
+
+int main(void) {
+    moves = 0;
+    hanoi(10, 1, 3, 2);
+    return moves;
+}
+""",
+)
+
+BENCHMARKS: list[Benchmark] = [
+    E_STRING_SEARCH,
+    F_BIT_TEST,
+    H_LINKED_LIST,
+    K_BIT_MATRIX,
+    I_QUICKSORT,
+    ACKERMANN,
+    RECURSIVE_QSORT,
+    PUZZLE_SUBSCRIPT,
+    PUZZLE_POINTER,
+    SED_BATCH,
+    TOWERS,
+]
+
+_BY_NAME = {bench.name: bench for bench in BENCHMARKS}
+
+
+def benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by its ``name`` field."""
+    return _BY_NAME[name]
+
+
+def expected_results() -> dict[str, int]:
+    """Ground-truth result of every benchmark via the reference interpreter."""
+    from repro.hll import run_program
+
+    return {bench.name: run_program(bench.source, max_ops=50_000_000).value
+            for bench in BENCHMARKS}

@@ -1,0 +1,122 @@
+"""ALU semantics tests against Python big-int references."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitops import MASK32, to_signed, to_unsigned
+from repro.cpu.alu import Alu
+from repro.isa.opcodes import Opcode
+
+alu = Alu()
+u32 = st.integers(0, MASK32)
+shift = st.integers(0, 31)
+
+
+class TestAdd:
+    def test_simple(self):
+        assert alu.execute(Opcode.ADD, 2, 3).value == 5
+
+    def test_wraps(self):
+        assert alu.execute(Opcode.ADD, MASK32, 1).value == 0
+
+    def test_carry_in_ignored_by_add(self):
+        assert alu.execute(Opcode.ADD, 1, 1, carry_in=True).value == 2
+
+    def test_addc_uses_carry(self):
+        assert alu.execute(Opcode.ADDC, 1, 1, carry_in=True).value == 3
+
+    @given(u32, u32)
+    def test_add_matches_reference(self, a, b):
+        assert alu.execute(Opcode.ADD, a, b).value == (a + b) & MASK32
+
+
+class TestSub:
+    def test_simple(self):
+        assert alu.execute(Opcode.SUB, 5, 3).value == 2
+
+    def test_reversed(self):
+        assert alu.execute(Opcode.SUBR, 3, 5).value == 2
+
+    def test_subc_uses_borrow(self):
+        assert alu.execute(Opcode.SUBC, 5, 3, carry_in=True).value == 1
+
+    def test_subcr_uses_borrow(self):
+        assert alu.execute(Opcode.SUBCR, 3, 5, carry_in=True).value == 1
+
+    def test_zero_flag(self):
+        result = alu.execute(Opcode.SUB, 7, 7)
+        assert result.z and not result.n
+
+    def test_borrow_flag_signals_unsigned_less(self):
+        assert alu.execute(Opcode.SUB, 3, 5).c
+        assert not alu.execute(Opcode.SUB, 5, 3).c
+
+    @given(u32, u32)
+    def test_sub_matches_reference(self, a, b):
+        assert alu.execute(Opcode.SUB, a, b).value == (a - b) & MASK32
+
+    @given(u32, u32)
+    def test_subr_is_swapped_sub(self, a, b):
+        assert alu.execute(Opcode.SUBR, a, b).value == alu.execute(Opcode.SUB, b, a).value
+
+
+class TestLogical:
+    @given(u32, u32)
+    def test_and(self, a, b):
+        assert alu.execute(Opcode.AND, a, b).value == a & b
+
+    @given(u32, u32)
+    def test_or(self, a, b):
+        assert alu.execute(Opcode.OR, a, b).value == a | b
+
+    @given(u32, u32)
+    def test_xor(self, a, b):
+        assert alu.execute(Opcode.XOR, a, b).value == a ^ b
+
+    def test_logical_clears_carry_overflow(self):
+        result = alu.execute(Opcode.AND, MASK32, MASK32)
+        assert not result.c and not result.v
+        assert result.n  # top bit set
+
+
+class TestShifts:
+    @given(u32, shift)
+    def test_sll(self, a, n):
+        assert alu.execute(Opcode.SLL, a, n).value == (a << n) & MASK32
+
+    @given(u32, shift)
+    def test_srl(self, a, n):
+        assert alu.execute(Opcode.SRL, a, n).value == a >> n
+
+    @given(u32, shift)
+    def test_sra(self, a, n):
+        expected = to_unsigned(to_signed(a) >> n)
+        assert alu.execute(Opcode.SRA, a, n).value == expected
+
+    def test_sra_keeps_sign(self):
+        assert alu.execute(Opcode.SRA, 0x80000000, 4).value == 0xF8000000
+
+    def test_shift_amount_masked_to_5_bits(self):
+        assert alu.execute(Opcode.SLL, 1, 33).value == 2
+
+
+class TestFlags:
+    @given(st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.XOR]), u32, u32)
+    def test_nz_always_from_result(self, op, a, b):
+        result = alu.execute(op, a, b)
+        assert result.z == (result.value == 0)
+        assert result.n == bool(result.value >> 31)
+
+    def test_signed_overflow_add(self):
+        assert alu.execute(Opcode.ADD, 0x7FFFFFFF, 1).v
+
+    def test_signed_overflow_sub(self):
+        assert alu.execute(Opcode.SUB, 0x80000000, 1).v
+
+
+class TestErrors:
+    def test_non_alu_opcode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            alu.execute(Opcode.LDL, 1, 2)

@@ -1,0 +1,142 @@
+"""Edge-case tests for the assembler and disassembler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import RiscMachine, assemble
+from repro.asm.assembler import Assembler
+from repro.asm.disassembler import disassemble, render
+from repro.errors import AssemblerError
+from repro.isa import Instruction, Opcode, decode, encode
+from repro.isa.opcodes import ALL_SPECS, Format
+
+
+class TestImmediateBoundaries:
+    def test_imm13_extremes(self):
+        for value in (-4096, 4095):
+            word = assemble(f"add r1, r0, #{value}").to_words()[0]
+            assert decode(word).s2 == value
+
+    def test_imm13_just_out_of_range(self):
+        for value in (-4097, 4096):
+            with pytest.raises(AssemblerError):
+                assemble(f"add r1, r0, #{value}")
+
+    def test_li_boundary_values(self):
+        for value in (-4096, 4095):
+            assert len(assemble(f"li r1, {value}").to_words()) == 1
+        for value in (-4097, 4096, 2**31 - 1, -(2**31)):
+            assert len(assemble(f"li r1, {value}").to_words()) == 2
+
+    @given(st.integers(-(2**31), 2**31 - 1))
+    def test_li_loads_any_32bit_value(self, value):
+        source = f"main:\n li r26, {value}\n ret\n nop"
+        program = assemble(source)
+        machine = RiscMachine()
+        program.load_into(machine.memory)
+        machine.run(program.entry)
+        assert machine.result == value & 0xFFFFFFFF
+
+    def test_ldhi_wraps_high_bits(self):
+        word = assemble("ldhi r1, 0x7FFFF").to_words()[0]
+        assert decode(word).imm19 == -1  # 19-bit all-ones pattern
+
+
+class TestLayoutEdges:
+    def test_consecutive_labels(self):
+        program = assemble("a:\nb:\nc: nop")
+        assert program.symbols["a"] == program.symbols["b"] == program.symbols["c"]
+
+    def test_label_then_org(self):
+        program = assemble("start:\n .org 0x20\nlater: nop")
+        assert program.symbols["start"] == 0
+        assert program.symbols["later"] == 0x20
+
+    def test_empty_source(self):
+        program = assemble("")
+        assert program.size == 0
+        assert program.to_words() == []
+
+    def test_comment_only_source(self):
+        assert assemble("; nothing\n// here either").size == 0
+
+    def test_base_offsets_symbols(self):
+        program = assemble("main: nop", base=0x100)
+        assert program.symbols["main"] == 0x100
+        assert program.entry == 0x100
+
+    def test_equate_chains(self):
+        program = assemble("a = 4\nb = a + 4\n.org b\nx: nop")
+        assert program.symbols["x"] == 8
+
+    def test_expression_with_subtraction(self):
+        word = assemble("k = 10\nadd r1, r0, #k - 3 + 1").to_words()[0]
+        assert decode(word).s2 == 8
+
+    def test_negative_char_escape(self):
+        word = assemble("add r1, r0, #'\\0'").to_words()[0]
+        assert decode(word).s2 == 0
+
+
+class TestAssemblerReuse:
+    def test_assembler_instance_reusable(self):
+        assembler = Assembler()
+        first = assembler.assemble("main: nop")
+        second = assembler.assemble("main: nop\n nop")
+        assert first.size == 4
+        assert second.size == 8
+
+
+class TestDisassemblerCoverage:
+    @pytest.mark.parametrize("opcode", sorted(ALL_SPECS, key=int),
+                             ids=lambda op: op.name)
+    def test_every_opcode_renders(self, opcode):
+        spec = ALL_SPECS[opcode]
+        if spec.fmt is Format.LONG:
+            inst = Instruction(opcode, dest=3, imm19=16)
+        else:
+            inst = Instruction(opcode, dest=3, rs1=4, s2=5)
+        text = render(inst, address=0x100)
+        assert text  # non-empty, no crash
+
+    def test_invalid_word_formats_as_data(self):
+        from repro.asm import disassemble_program
+
+        lines = disassemble_program([0x00000000])
+        assert ".word" in lines[0]
+
+    @given(
+        opcode=st.sampled_from([op for op in ALL_SPECS
+                                if ALL_SPECS[op].fmt is Format.SHORT]),
+        dest=st.integers(0, 31),
+        cond=st.integers(1, 15),
+        rs1=st.integers(0, 31),
+        imm=st.integers(-4096, 4095),
+    )
+    def test_disassemble_reassemble_roundtrip(self, opcode, dest, cond, rs1, imm):
+        from repro.isa.opcodes import Category
+
+        from repro.isa.opcodes import Category
+
+        spec = ALL_SPECS[opcode]
+        # Round-tripping is guaranteed for *canonical* encodings: fields an
+        # instruction ignores (RET's dest, GETPSW's operands) are zeroed.
+        if spec.uses_cond:
+            dest_field = cond  # only 4 bits of dest are meaningful
+        elif spec.writes_dest or spec.category is Category.STORE:
+            dest_field = dest
+        else:
+            dest_field = 0
+        inst = Instruction(
+            opcode,
+            dest=dest_field,
+            rs1=rs1 if spec.reads_rs1 else 0,
+            s2=imm if spec.reads_rs2 else 0,
+            imm=spec.reads_rs2,
+            scc=spec.category is Category.ALU,
+        )
+        word = encode(inst)
+        text = disassemble(word, address=0)
+        rebuilt = assemble(text).to_words()[0]
+        assert rebuilt == word

@@ -1,0 +1,146 @@
+"""Unit and property tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitops import (
+    MASK32,
+    add32,
+    bit_field,
+    fits_signed,
+    fits_unsigned,
+    rotate_left,
+    set_bit_field,
+    sign_extend,
+    sub32,
+    to_signed,
+    to_unsigned,
+)
+
+u32 = st.integers(min_value=0, max_value=MASK32)
+s32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+class TestConversions:
+    def test_to_unsigned_wraps_negative(self):
+        assert to_unsigned(-1) == MASK32
+
+    def test_to_signed_high_bit(self):
+        assert to_signed(0x80000000) == -(1 << 31)
+
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_small_widths(self):
+        assert to_signed(0x1FFF, 13) == -1
+        assert to_signed(0x0FFF, 13) == 0x0FFF
+
+    @given(s32)
+    def test_roundtrip_signed(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+    @given(u32)
+    def test_roundtrip_unsigned(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+
+class TestSignExtend:
+    def test_extends_negative_13(self):
+        assert sign_extend(0x1000, 13) == to_unsigned(-4096)
+
+    def test_keeps_positive(self):
+        assert sign_extend(0x0FFF, 13) == 0x0FFF
+
+    @given(st.integers(min_value=-(1 << 12), max_value=(1 << 12) - 1))
+    def test_sign_extend_13_preserves_value(self, value):
+        assert to_signed(sign_extend(to_unsigned(value, 13), 13)) == value
+
+
+class TestBitFields:
+    def test_extract(self):
+        assert bit_field(0b1011_0000, 4, 4) == 0b1011
+
+    def test_insert(self):
+        assert set_bit_field(0, 4, 4, 0b1011) == 0b1011_0000
+
+    @given(u32, st.integers(0, 27), st.integers(1, 5))
+    def test_roundtrip_field(self, word, lo, width):
+        value = bit_field(word, lo, width)
+        assert bit_field(set_bit_field(word, lo, width, value), lo, width) == value
+
+
+class TestRotate:
+    def test_simple(self):
+        assert rotate_left(0x80000001, 1) == 0x00000003
+
+    @given(u32, st.integers(0, 64))
+    def test_rotate_full_circle(self, value, amount):
+        assert rotate_left(rotate_left(value, amount), 32 - (amount % 32)) == value
+
+
+class TestFits:
+    def test_signed_13(self):
+        assert fits_signed(4095, 13)
+        assert fits_signed(-4096, 13)
+        assert not fits_signed(4096, 13)
+        assert not fits_signed(-4097, 13)
+
+    def test_unsigned(self):
+        assert fits_unsigned(8191, 13)
+        assert not fits_unsigned(8192, 13)
+        assert not fits_unsigned(-1, 13)
+
+
+class TestAdd32:
+    def test_plain(self):
+        assert add32(2, 3) == (5, False, False)
+
+    def test_carry_out(self):
+        result, carry, overflow = add32(MASK32, 1)
+        assert result == 0
+        assert carry
+        assert not overflow
+
+    def test_signed_overflow(self):
+        result, carry, overflow = add32(0x7FFFFFFF, 1)
+        assert result == 0x80000000
+        assert overflow
+        assert not carry
+
+    @given(u32, u32, st.booleans())
+    def test_matches_python_arithmetic(self, a, b, cin):
+        result, carry, overflow = add32(a, b, int(cin))
+        total = a + b + int(cin)
+        assert result == total & MASK32
+        assert carry == (total > MASK32)
+        expected_overflow = not (
+            -(1 << 31) <= to_signed(a) + to_signed(b) + int(cin) <= (1 << 31) - 1
+        )
+        assert overflow == expected_overflow
+
+
+class TestSub32:
+    def test_plain(self):
+        assert sub32(5, 3) == (2, False, False)
+
+    def test_borrow(self):
+        result, borrow, overflow = sub32(3, 5)
+        assert result == to_unsigned(-2)
+        assert borrow
+        assert not overflow
+
+    def test_signed_overflow(self):
+        _, _, overflow = sub32(0x80000000, 1)
+        assert overflow
+
+    @given(u32, u32, st.booleans())
+    def test_matches_python_arithmetic(self, a, b, bin_):
+        result, borrow, overflow = sub32(a, b, int(bin_))
+        total = a - b - int(bin_)
+        assert result == total & MASK32
+        assert borrow == (total < 0)
+        expected_overflow = not (
+            -(1 << 31) <= to_signed(a) - to_signed(b) - int(bin_) <= (1 << 31) - 1
+        )
+        assert overflow == expected_overflow

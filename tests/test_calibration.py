@@ -1,0 +1,69 @@
+"""Calibration sanity: the machine models land in historical ranges.
+
+These tests keep the cost models honest: if someone retunes a trait
+table into implausibility (a 20-MIPS VAX-11/780, a 0.01-MIPS 68000),
+the suite fails even though all the relative-shape tests might still
+pass.
+"""
+
+import pytest
+
+from repro.baselines import ALL_TRAITS, CiscExecutor
+from repro.cc import compile_for_risc, compile_to_ir
+from repro.cc.ciscgen import compile_for_cisc
+from repro.cpu.machine import CYCLE_TIME_NS
+from repro.workloads import benchmark
+
+#: plausible sustained MIPS windows for each model on integer C code
+MIPS_RANGES = {
+    "VAX-11/780": (0.3, 2.5),
+    "PDP-11/70": (0.3, 2.0),
+    "MC68000": (0.2, 1.5),
+    "Z8002": (0.2, 1.2),
+}
+
+BENCH = "towers"  # call-mix workload, quick to simulate
+
+
+@pytest.fixture(scope="module")
+def workload_source():
+    return benchmark(BENCH).source
+
+
+class TestMips:
+    def test_risc_i_sustains_one_instruction_per_cycle_or_so(self, workload_source):
+        compiled = compile_for_risc(workload_source)
+        __, machine = compiled.run()
+        cpi = machine.stats.cycles / machine.stats.instructions
+        assert 1.0 <= cpi <= 1.6  # loads/stores and traps push CPI past 1
+        mips = 1e3 / (cpi * CYCLE_TIME_NS)
+        assert 1.5 <= mips <= 2.5
+
+    @pytest.mark.parametrize("traits", ALL_TRAITS, ids=lambda t: t.name)
+    def test_baseline_mips_in_historical_window(self, traits, workload_source):
+        generated = compile_for_cisc(compile_to_ir(workload_source), traits)
+        executor = CiscExecutor(generated.program, traits)
+        executor.run()
+        seconds = executor.cycles * traits.cycle_time_ns * 1e-9
+        mips = executor.instructions_executed / seconds / 1e6
+        low, high = MIPS_RANGES[traits.name]
+        assert low <= mips <= high, f"{traits.name}: {mips:.2f} MIPS"
+
+
+class TestCyclePerInstruction:
+    @pytest.mark.parametrize("traits", ALL_TRAITS, ids=lambda t: t.name)
+    def test_microcoded_cpi_is_well_above_one(self, traits, workload_source):
+        generated = compile_for_cisc(compile_to_ir(workload_source), traits)
+        executor = CiscExecutor(generated.program, traits)
+        executor.run()
+        cpi = executor.cycles / executor.instructions_executed
+        assert cpi >= 2.5, f"{traits.name}: CPI {cpi:.2f} implausibly low"
+
+    def test_instruction_fetch_traffic_tracks_code_bytes(self, workload_source):
+        ir = compile_to_ir(workload_source)
+        for traits in ALL_TRAITS:
+            generated = compile_for_cisc(ir, traits)
+            executor = CiscExecutor(generated.program, traits)
+            executor.run()
+            average = executor.fetch_bytes / executor.instructions_executed
+            assert 1.0 <= average <= 8.0, traits.name

@@ -1,0 +1,177 @@
+"""Tests for AST -> IR lowering and the linear-scan register allocator."""
+
+import pytest
+
+from repro.cc import compile_to_ir
+from repro.cc.ir import (
+    Bin,
+    BoolCmp,
+    Call,
+    CJump,
+    Const,
+    Jump,
+    Label,
+    Load,
+    Move,
+    Ret,
+    Store,
+    SymRef,
+    Temp,
+    negate_relop,
+    swap_relop,
+)
+from repro.cc.regalloc import compute_intervals, linear_scan
+
+
+def ir_for(source: str, func: str = "main"):
+    # optimize=False: these tests inspect the *lowering* output; the
+    # optimizer's own behaviour is covered by test_cc_optimize.
+    return compile_to_ir(source, optimize=False).functions[func]
+
+
+def ops_of(func, kind):
+    return [ins for ins in func.body if isinstance(ins, kind)]
+
+
+class TestLoweringBasics:
+    def test_constant_fold(self):
+        func = ir_for("int main() { return 2 + 3 * 4; }")
+        rets = ops_of(func, Ret)
+        assert rets[0].value == Const(14)
+
+    def test_locals_become_temps(self):
+        func = ir_for("int main() { int x = 5; return x; }")
+        moves = ops_of(func, Move)
+        assert any(move.src == Const(5) for move in moves)
+        assert not func.frame_slots
+
+    def test_arrays_get_frame_slots(self):
+        func = ir_for("int main() { int a[4]; return a[0]; }")
+        assert len(func.frame_slots) == 1
+        assert func.frame_slots[0].size == 16
+
+    def test_escaped_scalar_gets_slot(self):
+        func = ir_for("int main() { int x = 1; int *p = &x; return *p; }")
+        assert len(func.frame_slots) == 1
+
+    def test_globals_are_symrefs(self):
+        program = compile_to_ir("int g = 3; int main() { return g; }")
+        loads = ops_of(program.functions["main"], Load)
+        assert isinstance(loads[0].addr, SymRef)
+        assert loads[0].addr.scope == "global"
+
+    def test_word_indexing_scales_by_shift(self):
+        func = ir_for("int a[8]; int main() { int i = 2; return a[i]; }")
+        shifts = [ins for ins in ops_of(func, Bin) if ins.op == "<<"]
+        assert shifts and shifts[0].b == Const(2)
+
+    def test_char_indexing_not_scaled(self):
+        func = ir_for("char s[8]; int main() { int i = 2; return s[i]; }")
+        assert not any(ins.op == "<<" for ins in ops_of(func, Bin))
+        loads = ops_of(func, Load)
+        assert loads[-1].size == 1
+
+    def test_call_lowering(self):
+        func = ir_for("int f(int a) { return a; } int main() { return f(7); }")
+        calls = ops_of(func, Call)
+        assert calls[0].func == "f"
+        assert calls[0].args == [Const(7)]
+
+    def test_fall_off_end_returns_zero(self):
+        func = ir_for("int main() { int x = 1; }")
+        assert ops_of(func, Ret)[-1].value == Const(0)
+
+
+class TestStrengthReduction:
+    def test_multiply_by_power_of_two(self):
+        func = ir_for("int main() { int x = 3; return x * 8; }")
+        assert any(ins.op == "<<" for ins in ops_of(func, Bin))
+        assert not any(ins.op == "*" for ins in ops_of(func, Bin))
+
+    def test_divide_by_power_of_two(self):
+        func = ir_for("int main() { int x = 100; return x / 4; }")
+        assert not any(ins.op == "/" for ins in ops_of(func, Bin))
+        assert any(ins.op == ">>>" for ins in ops_of(func, Bin))
+
+    def test_modulo_by_power_of_two(self):
+        func = ir_for("int main() { int x = 100; return x % 8; }")
+        assert not any(ins.op == "%" for ins in ops_of(func, Bin))
+
+    def test_general_divide_survives(self):
+        func = ir_for("int main() { int x = 100; return x / 3; }")
+        assert any(ins.op == "/" for ins in ops_of(func, Bin))
+
+    def test_multiply_by_one_is_move(self):
+        func = ir_for("int main() { int x = 9; return x * 1; }")
+        assert not any(ins.op in ("*", "<<") for ins in ops_of(func, Bin))
+
+
+class TestControlFlowLowering:
+    def test_if_produces_cjump(self):
+        func = ir_for("int main() { int x = 1; if (x < 2) return 1; return 0; }")
+        cjumps = ops_of(func, CJump)
+        assert cjumps[0].relop == ">="  # negated to jump around the then-branch
+
+    def test_while_produces_back_edge(self):
+        func = ir_for("int main() { int i = 0; while (i < 3) i = i + 1; return i; }")
+        labels = {ins.name: idx for idx, ins in enumerate(func.body)
+                  if isinstance(ins, Label)}
+        jumps = ops_of(func, Jump)
+        assert any(labels.get(j.target, 1 << 30) < func.body.index(j) for j in jumps)
+
+    def test_short_circuit_produces_no_boolcmp_in_condition(self):
+        func = ir_for(
+            "int main() { int a = 1; int b = 2; if (a < 2 && b > 1) return 3; return 4; }"
+        )
+        assert len(ops_of(func, CJump)) == 2
+        assert not ops_of(func, BoolCmp)
+
+    def test_comparison_as_value_uses_boolcmp(self):
+        func = ir_for("int main() { int a = 1; int x = a < 2; return x; }")
+        assert len(ops_of(func, BoolCmp)) == 1
+
+
+class TestRelopHelpers:
+    def test_negate_is_involution(self):
+        for relop in ("==", "!=", "<", "<=", ">", ">=", "ltu", "leu", "gtu", "geu"):
+            assert negate_relop(negate_relop(relop)) == relop
+
+    def test_swap_is_involution(self):
+        for relop in ("==", "!=", "<", "<=", ">", ">=", "ltu", "leu", "gtu", "geu"):
+            assert swap_relop(swap_relop(relop)) == relop
+
+
+class TestRegalloc:
+    def test_small_function_fits_in_registers(self):
+        func = ir_for("int main() { int a = 1; int b = 2; return a + b; }")
+        alloc = linear_scan(func, list(range(16, 24)))
+        assert not alloc.spills
+
+    def test_pressure_causes_spills(self):
+        decls = "".join(f"int v{i} = {i};" for i in range(12))
+        total = " + ".join(f"v{i}" for i in range(12))
+        func = ir_for(f"int main() {{ {decls} return {total}; }}")
+        alloc = linear_scan(func, [16, 17, 18])
+        assert alloc.spills
+
+    def test_intervals_cover_loop_bodies(self):
+        func = ir_for(
+            "int main() { int s = 0; int i; for (i = 0; i < 9; i = i + 1)"
+            " s = s + i; return s; }"
+        )
+        intervals = {iv.temp_index: iv for iv in compute_intervals(func)}
+        # every temp used inside the loop must live across the back edge
+        back_edges = [idx for idx, ins in enumerate(func.body)
+                      if isinstance(ins, Jump)]
+        assert back_edges
+        loop_end = max(back_edges)
+        loop_temps = [iv for iv in intervals.values()
+                      if iv.start < loop_end <= iv.end]
+        assert loop_temps
+
+    def test_distinct_registers_for_overlapping_lives(self):
+        func = ir_for("int main() { int a = 1; int b = 2; int c = a + b; return c + a + b; }")
+        alloc = linear_scan(func, list(range(16, 24)))
+        # a and b are simultaneously live; they must not share a register
+        regs = list(alloc.registers.values())
+        assert len(regs) == len(set(regs)) or not alloc.spills

@@ -1,0 +1,134 @@
+"""Tests for the IR optimizer (copy propagation + dead-code elimination)."""
+
+from repro.cc import compile_for_risc
+from repro.cc.compiler import compile_to_ir
+from repro.cc.ir import Bin, Call, Const, Load, Move, Ret, Store, Temp
+from repro.cc.optimize import copy_propagate, eliminate_dead_code, optimize_function
+from repro.hll import run_program
+
+
+def ir_for(source, optimize=True):
+    return compile_to_ir(source, optimize=optimize).functions["main"]
+
+
+class TestCopyPropagation:
+    def test_constant_copies_reach_uses(self):
+        func = ir_for("int main() { int x = 7; int y = x; return y; }")
+        rets = [ins for ins in func.body if isinstance(ins, Ret)]
+        assert rets[0].value == Const(7)
+
+    def test_propagation_stops_at_redefinition(self):
+        source = """
+        int main() {
+            int x = 1;
+            int y = x;
+            x = 2;
+            return y + x;
+        }
+        """
+        expected = run_program(source).value
+        value, __ = compile_for_risc(source).run()
+        assert value == expected == 3
+
+    def test_propagation_resets_at_labels(self):
+        source = """
+        int main() {
+            int x = 1;
+            int y = 0;
+            int i;
+            for (i = 0; i < 3; i = i + 1) { y = y + x; x = y; }
+            return x;
+        }
+        """
+        expected = run_program(source).value
+        value, __ = compile_for_risc(source).run()
+        assert value == expected
+
+    def test_manual_block(self):
+        t0, t1, t2 = Temp(0), Temp(1), Temp(2)
+        func_body = [
+            Move(t0, Const(5)),
+            Move(t1, t0),
+            Bin("+", t2, t1, t1),
+            Ret(t2),
+        ]
+        from repro.cc.ir import IrFunction
+
+        func = IrFunction(name="f", body=func_body, temp_count=3)
+        assert copy_propagate(func)
+        add = [ins for ins in func.body if isinstance(ins, Bin)][0]
+        assert add.a == Const(5) and add.b == Const(5)
+
+
+class TestDeadCodeElimination:
+    def test_unused_move_removed(self):
+        from repro.cc.ir import IrFunction
+
+        func = IrFunction(name="f", body=[
+            Move(Temp(0), Const(1)),  # dead
+            Ret(Const(0)),
+        ], temp_count=1)
+        assert eliminate_dead_code(func)
+        assert len(func.body) == 1
+
+    def test_store_never_removed(self):
+        from repro.cc.ir import IrFunction, SymRef
+
+        func = IrFunction(name="f", body=[
+            Store(addr=SymRef(1, "g", "global"), src=Const(1)),
+            Ret(Const(0)),
+        ], temp_count=0)
+        assert not eliminate_dead_code(func)
+
+    def test_call_never_removed(self):
+        from repro.cc.ir import IrFunction
+
+        func = IrFunction(name="f", body=[
+            Call(dst=Temp(0), func="g", args=[]),  # result unused, call stays
+            Ret(Const(0)),
+        ], temp_count=1)
+        assert not eliminate_dead_code(func)
+
+    def test_chain_collapses_to_fixed_point(self):
+        from repro.cc.ir import IrFunction
+
+        func = IrFunction(name="f", body=[
+            Move(Temp(0), Const(1)),
+            Move(Temp(1), Temp(0)),
+            Move(Temp(2), Temp(1)),  # nothing uses t2
+            Ret(Const(9)),
+        ], temp_count=3)
+        optimize_function(func)
+        assert [type(ins) for ins in func.body] == [Ret]
+
+    def test_loads_are_side_effect_free(self):
+        func = ir_for("int g; int main() { int x = g; return 4; }")
+        assert not any(isinstance(ins, Load) for ins in func.body)
+
+
+class TestEndToEnd:
+    def test_optimizer_never_changes_results(self):
+        sources = [
+            "int main() { int a = 1; int b = a; int c = b; return c + a; }",
+            "int f(int x) { int unused = x * 99; return x + 1; }"
+            " int main() { return f(4); }",
+            "int g[4]; int main() { int i; for (i=0;i<4;i=i+1) g[i]=i;"
+            " int t = g[2]; int u = t; return u; }",
+        ]
+        for source in sources:
+            expected = run_program(source).value
+            for optimize in (True, False):
+                value, __ = compile_for_risc(source, optimize_ir=optimize).run()
+                assert value == expected, source
+
+    def test_optimizer_reduces_or_preserves_code_size(self):
+        source = """
+        int main() {
+            int a = 3; int b = a; int c = b; int d = c;
+            int waste1 = a * 2; int waste2 = b * 3;
+            return d;
+        }
+        """
+        on = compile_for_risc(source, optimize_ir=True)
+        off = compile_for_risc(source, optimize_ir=False)
+        assert on.code_size_bytes <= off.code_size_bytes

@@ -1,0 +1,202 @@
+"""Tests for the RISC I backend: conventions, delay slots, runtime."""
+
+import pytest
+
+from repro.cc import compile_for_risc
+from repro.cc.riscgen import AsmLine, fill_delay_slots
+from repro.errors import CompileError
+
+
+class TestGeneratedCode:
+    def test_assembles_and_runs(self):
+        compiled = compile_for_risc("int main() { return 6 * 7; }")
+        value, __ = compiled.run()
+        assert value == 42
+
+    def test_runtime_included_only_when_needed(self):
+        without = compile_for_risc("int main() { return 1 + 2; }")
+        with_mul = compile_for_risc("int main() { int x = 6; return x * 7; }")
+        assert "__mul" not in without.asm_source
+        assert "__mul" in with_mul.asm_source
+        assert "__udivmod" not in with_mul.asm_source
+
+    def test_divider_pulls_in_udivmod(self):
+        compiled = compile_for_risc("int main() { int x = 10; return x / 3; }")
+        assert "__udivmod" in compiled.asm_source
+        assert "__mul" not in compiled.asm_source
+
+    def test_mangled_function_names(self):
+        compiled = compile_for_risc("int f() { return 1; } int main() { return f(); }")
+        assert "_f:" in compiled.asm_source
+        assert "_main:" in compiled.asm_source
+
+    def test_too_many_arguments_rejected(self):
+        params = ", ".join(f"int a{i}" for i in range(6))
+        args = ", ".join("1" for __ in range(6))
+        source = f"int f({params}) {{ return a0; }} int main() {{ return f({args}); }}"
+        with pytest.raises(CompileError):
+            compile_for_risc(source)
+
+    def test_code_size_positive_and_word_aligned(self):
+        compiled = compile_for_risc("int main() { return 3; }")
+        assert compiled.code_size_bytes > 0
+        assert compiled.code_size_bytes % 4 == 0
+
+    def test_windows_preserve_caller_locals(self):
+        source = """
+        int clobber() { int a = 1; int b = 2; int c = 3; int d = 4;
+                        int e = 5; int f = 6; int g = 7; int h = 8;
+                        return a + b + c + d + e + f + g + h; }
+        int main() { int x = 11; int y = 22; clobber(); return x * 100 + y; }
+        """
+        value, __ = compile_for_risc(source).run()
+        assert value == 1122
+
+    def test_register_pressure_spills_correctly(self):
+        # values derive from a runtime input so the optimizer can't fold
+        # them away; all 14 stay live until the final sum
+        decls = " ".join(f"int v{i} = seed + {i + 1};" for i in range(14))
+        total = " + ".join(f"v{i}" for i in range(14))
+        source = (f"int f(int seed) {{ {decls} return {total}; }}"
+                  f" int main() {{ return f(100); }}")
+        compiled = compile_for_risc(source)
+        value, __ = compiled.run()
+        assert value == sum(100 + i for i in range(1, 15))
+        assert compiled.codegen.spills > 0
+
+    def test_deep_recursion_with_spilled_frames(self):
+        source = """
+        int down(int n, int acc) {
+            int a[4];
+            a[0] = n;
+            if (n == 0) return acc;
+            return down(n - 1, acc + a[0]);
+        }
+        int main() { return down(30, 0); }
+        """
+        value, machine = compile_for_risc(source).run()
+        assert value == sum(range(1, 31))
+        assert machine.stats.window_overflows > 0
+
+
+class TestDelaySlots:
+    def test_fill_reduces_nops(self):
+        source = "int main() { int i; int s = 0; for (i = 0; i < 9; i = i + 1) s = s + i; return s; }"
+        optimised = compile_for_risc(source, optimize_delay_slots=True)
+        plain = compile_for_risc(source, optimize_delay_slots=False)
+        assert optimised.codegen.delay_slots_filled > 0
+        assert plain.codegen.delay_slots_filled == 0
+        value_o, machine_o = optimised.run()
+        value_p, machine_p = plain.run()
+        assert value_o == value_p
+        assert machine_o.stats.cycles < machine_p.stats.cycles
+
+    def test_filler_never_moves_labelled_instruction(self):
+        lines = [
+            AsmLine("x:", kind="label"),
+            AsmLine("    add r16, r16, #1", defs=frozenset([16]), uses=frozenset([16])),
+            AsmLine("    b x", kind="branch"),
+            AsmLine("    nop", kind="nop"),
+        ]
+        filled, total, count = fill_delay_slots(lines)
+        assert total == 1
+        assert count == 0  # candidate is a jump target: must not move
+
+    def test_filler_moves_independent_op(self):
+        lines = [
+            AsmLine("    add r17, r17, #1", defs=frozenset([17]), uses=frozenset([17])),
+            AsmLine("    add r16, r16, #1", defs=frozenset([16]), uses=frozenset([16])),
+            AsmLine("    b x", kind="branch"),
+            AsmLine("    nop", kind="nop"),
+        ]
+        filled, total, count = fill_delay_slots(lines)
+        assert count == 1
+        assert filled[-1].text.strip().startswith("add r16")
+
+    def test_filler_respects_flag_dependency(self):
+        lines = [
+            AsmLine("    add r16, r16, #1", defs=frozenset([16]), uses=frozenset([16])),
+            AsmLine("    cmp r16, #5", uses=frozenset([16]), sets_flags=True),
+            AsmLine("    beq x", kind="branch"),
+            AsmLine("    nop", kind="nop"),
+        ]
+        __, total, count = fill_delay_slots(lines)
+        assert count == 0  # the cmp reads what the candidate writes
+
+    def test_filler_never_steals_an_occupied_slot(self):
+        """Regression: two adjacent branches (an `if` whose body is a
+        `continue`/`break` jump) must not let the second branch steal the
+        instruction already scheduled into the first branch's slot."""
+        lines = [
+            AsmLine("    add r21, r23, #1", defs=frozenset([21]), uses=frozenset([23])),
+            AsmLine("    mov r23, r21", defs=frozenset([23]), uses=frozenset([21])),
+            AsmLine("    cmp r21, #3", uses=frozenset([21]), sets_flags=True),
+            AsmLine("    bne around", kind="branch"),
+            AsmLine("    nop", kind="nop"),
+            AsmLine("    b check", kind="branch"),
+            AsmLine("    nop", kind="nop"),
+        ]
+        filled, total, count = fill_delay_slots(lines)
+        assert total == 2
+        assert count == 1  # only the first slot may take the mov
+        # the mov must sit right after `bne`, and `b`'s slot stays a nop
+        texts = [line.text.strip() for line in filled]
+        assert texts[texts.index("bne around") + 1] == "mov r23, r21"
+        assert texts[texts.index("b check") + 1] == "nop"
+
+    def test_break_continue_in_do_while_compiles_correctly(self):
+        """End-to-end pin for the same bug (miscompiled before the fix)."""
+        source = """
+        int main() {
+            int i = 0; int s = 0;
+            do {
+                i++;
+                if (i == 3) continue;
+                if (i == 6) break;
+                s += i;
+            } while (i < 100);
+            return s;
+        }
+        """
+        value, machine = compile_for_risc(source).run(max_steps=100_000)
+        assert value == 1 + 2 + 4 + 5
+        assert machine.halted is not None
+
+    def test_call_slot_accepts_only_global_registers(self):
+        local_op = [
+            AsmLine("    add r16, r16, #1", defs=frozenset([16]), uses=frozenset([16])),
+            AsmLine("    add r17, r0, #2", defs=frozenset([17])),
+            AsmLine("    callr r31, _f", kind="call", defs=frozenset([31])),
+            AsmLine("    nop", kind="nop"),
+        ]
+        __, __, count = fill_delay_slots(local_op)
+        assert count == 0
+        global_op = [
+            AsmLine("    add r16, r16, #1", defs=frozenset([16]), uses=frozenset([16])),
+            AsmLine("    add r9, r9, #4", defs=frozenset([9]), uses=frozenset([9])),
+            AsmLine("    callr r31, _f", kind="call", defs=frozenset([31])),
+            AsmLine("    nop", kind="nop"),
+        ]
+        __, __, count = fill_delay_slots(global_op)
+        assert count == 1
+
+
+class TestFlatAblation:
+    def test_flat_mode_correct_and_slower_on_calls(self):
+        source = """
+        int add3(int a, int b, int c) { return a + b + c; }
+        int main() { int i; int s = 0;
+            for (i = 0; i < 50; i = i + 1) s = s + add3(i, s, 1);
+            return s; }
+        """
+        windowed = compile_for_risc(source, use_windows=True)
+        flat = compile_for_risc(source, use_windows=False)
+        value_w, machine_w = windowed.run()
+        value_f, machine_f = flat.run()
+        assert value_w == value_f
+        assert machine_f.memory.stats.data_refs > machine_w.memory.stats.data_refs
+
+    def test_flat_mode_divide(self):
+        source = "int main() { int x = 100; return x / 7 * 1000 + x % 7; }"
+        value, __ = compile_for_risc(source, use_windows=False).run()
+        assert value == 14002

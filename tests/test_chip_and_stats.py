@@ -1,0 +1,86 @@
+"""Tests for the chip-area model and the HLL statistics (T1/T7 inputs)."""
+
+from collections import Counter
+
+from repro.chip import CHIP_BUDGETS, area_budget_for, risc_floorplan
+from repro.chip.area import budget
+from repro.hll.stats import (
+    REPORTED_OPS,
+    VAX_STYLE_WEIGHTS,
+    dynamic_op_counts,
+    weighted_frequency,
+)
+
+
+class TestChipArea:
+    def test_risc_control_is_small(self):
+        risc = area_budget_for("RISC I")
+        assert risc.control_percent < 10.0
+
+    def test_microcoded_control_dominates(self):
+        for name in ("MC68000", "Z8002", "iAPX-432/43201"):
+            assert CHIP_BUDGETS[name].control_percent > 30.0
+
+    def test_risc_spends_area_on_registers_instead(self):
+        risc = area_budget_for("RISC I")
+        m68k = area_budget_for("MC68000")
+        assert risc.register_percent > 5 * m68k.register_percent
+
+    def test_percentages_sum_to_100(self):
+        for chip in CHIP_BUDGETS.values():
+            total = (chip.control_percent + chip.register_percent
+                     + 100.0 * chip.datapath_area / chip.total)
+            assert abs(total - 100.0) < 1e-9
+
+    def test_budget_scales_with_microcode(self):
+        small = budget("a", microcode_bits=0, instructions=31, registers=32)
+        large = budget("b", microcode_bits=64 * 1024, instructions=31, registers=32)
+        assert large.control_area > small.control_area
+
+    def test_floorplan_fractions_sum_to_one(self):
+        fractions = [fraction for __, fraction in risc_floorplan()]
+        assert abs(sum(fractions) - 1.0) < 1e-9
+        assert all(f > 0 for f in fractions)
+
+    def test_register_file_is_largest_risc_block(self):
+        plan = dict(risc_floorplan())
+        assert plan["register file (138 x 32)"] > plan["control (hardwired)"]
+
+
+class TestHllStats:
+    CALL_HEAVY = """
+    int leaf(int x) { return x + 1; }
+    int main() {
+        int i; int s = 0;
+        for (i = 0; i < 50; i = i + 1) { s = leaf(s); }
+        return s;
+    }
+    """
+
+    def test_dynamic_counts(self):
+        counts = dynamic_op_counts([self.CALL_HEAVY])
+        assert counts["call"] == 51
+        assert counts["loop"] == 50
+
+    def test_weighted_table_shape(self):
+        counts = dynamic_op_counts([self.CALL_HEAVY])
+        rows = weighted_frequency(counts)
+        assert [row.operation for row in rows][0] == "CALL"
+        by_name = {row.operation: row for row in rows}
+        # raw occurrence of CALL is modest, weighted dominates
+        assert by_name["CALL"].memory_ref_percent > by_name["CALL"].occurrence_percent
+
+    def test_percent_columns_sum_to_100(self):
+        counts = dynamic_op_counts([self.CALL_HEAVY])
+        rows = weighted_frequency(counts)
+        for column in ("occurrence_percent", "instruction_percent",
+                       "memory_ref_percent"):
+            assert abs(sum(getattr(row, column) for row in rows) - 100.0) < 1e-6
+
+    def test_weights_cover_reported_ops(self):
+        for op in REPORTED_OPS:
+            assert op in VAX_STYLE_WEIGHTS
+
+    def test_empty_counts_do_not_crash(self):
+        rows = weighted_frequency(Counter())
+        assert len(rows) == len(REPORTED_OPS)

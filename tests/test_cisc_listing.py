@@ -1,0 +1,45 @@
+"""Tests for the CISC listing renderer."""
+
+from repro.baselines import VaxTraits, M68KTraits
+from repro.baselines.listing import render_listing, size_histogram
+from repro.cc import compile_for_cisc, compile_to_ir
+
+SOURCE = "int main() { int x = 5; int y = x * 3; return y - 1; }"
+
+
+def build(traits):
+    return compile_for_cisc(compile_to_ir(SOURCE), traits)
+
+
+class TestListing:
+    def test_contains_labels_and_sizes(self):
+        traits = VaxTraits()
+        generated = build(traits)
+        listing = render_listing(generated.program, traits)
+        assert "main:" in listing
+        assert "_main:" in listing
+        assert "B]" in listing
+        assert f"{generated.static_bytes} bytes total" in listing
+
+    def test_offsets_are_monotone(self):
+        traits = VaxTraits()
+        generated = build(traits)
+        listing = render_listing(generated.program, traits)
+        offsets = [int(line.strip().split()[0], 16)
+                   for line in listing.splitlines()
+                   if line.strip().startswith("0x")]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0
+
+    def test_histogram_counts_every_instruction(self):
+        traits = M68KTraits()
+        generated = build(traits)
+        histogram = size_histogram(generated.program, traits)
+        assert sum(histogram.values()) == len(generated.program.instructions)
+
+    def test_vax_uses_more_size_classes_than_fixed_risc(self):
+        """Variable-length encodings produce a spread of sizes."""
+        traits = VaxTraits()
+        generated = build(traits)
+        histogram = size_histogram(generated.program, traits)
+        assert len(histogram) >= 2

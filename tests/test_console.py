@@ -1,0 +1,108 @@
+"""Tests for the memory-mapped console device and the putchar builtin."""
+
+import pytest
+
+from repro import RiscMachine, assemble
+from repro.cc import compile_for_risc
+from repro.common.memory import CONSOLE_ADDRESS, Memory
+from repro.errors import SemanticError
+from repro.hll import run_program
+
+
+class TestDevice:
+    def test_byte_store_reaches_console(self):
+        memory = Memory(size=1 << 20)
+        memory.store_byte(CONSOLE_ADDRESS, ord("A"))
+        assert memory.console_output == "A"
+
+    def test_word_store_reaches_console(self):
+        memory = Memory(size=1 << 20)
+        memory.store_word(CONSOLE_ADDRESS, ord("B"))
+        assert memory.console_output == "B"
+
+    def test_console_reads_return_ready(self):
+        memory = Memory(size=1 << 20)
+        assert memory.load_byte(CONSOLE_ADDRESS) == 0
+        assert memory.load_word(CONSOLE_ADDRESS) == 0
+
+    def test_console_does_not_touch_ram(self):
+        memory = Memory(size=1 << 20)
+        memory.store_byte(CONSOLE_ADDRESS, 0x41)
+        # neighbouring RAM stays zero; the device is not backed by RAM
+        assert memory.load_byte(CONSOLE_ADDRESS + 1, count=False) == 0
+
+    def test_counts_as_data_reference(self):
+        memory = Memory(size=1 << 20)
+        memory.store_byte(CONSOLE_ADDRESS, 1)
+        assert memory.stats.data_writes == 1
+
+
+class TestAssemblyLevel:
+    def test_stb_to_console(self):
+        source = f"""
+        main:
+            li   r16, 'H'
+            li   r17, {CONSOLE_ADDRESS}
+            stb  r16, r17, 0
+            li   r16, 'i'
+            stb  r16, r17, 0
+            ret
+            nop
+        """
+        program = assemble(source)
+        machine = RiscMachine()
+        program.load_into(machine.memory)
+        machine.run(program.entry)
+        assert machine.memory.console_output == "Hi"
+
+
+class TestPutcharBuiltin:
+    def test_interpreter_output(self):
+        result = run_program(
+            "int main() { putchar('o'); putchar('k'); return 0; }"
+        )
+        assert result.memory.console_output == "ok"
+
+    def test_compiled_output_matches(self):
+        source = """
+        int main() {
+            int i;
+            for (i = 0; i < 5; i++) putchar('a' + i);
+            return 0;
+        }
+        """
+        interp = run_program(source)
+        compiled = compile_for_risc(source)
+        __, machine = compiled.run()
+        assert machine.memory.console_output == interp.memory.console_output == "abcde"
+
+    def test_putchar_returns_the_character(self):
+        source = "int main() { return putchar(65); }"
+        assert run_program(source).value == 65
+        value, __ = compile_for_risc(source).run()
+        assert value == 65
+
+    def test_putchar_truncates_to_byte(self):
+        source = "int main() { return putchar(256 + 65); }"
+        assert run_program(source).value == 65
+        value, machine = compile_for_risc(source).run()
+        assert value == 65
+        assert machine.memory.console_output == "A"
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SemanticError):
+            run_program("int main() { putchar(1, 2); return 0; }")
+
+    def test_pointer_argument_rejected(self):
+        with pytest.raises(SemanticError):
+            run_program("char s[4]; int main() { putchar(s); return 0; }")
+
+    def test_user_definition_shadows_builtin(self):
+        source = """
+        int putchar(int c) { return c * 2; }
+        int main() { return putchar(10); }
+        """
+        assert run_program(source).value == 20
+        value, machine = compile_for_risc(source).run()
+        assert value == 20
+        assert machine.memory.console_output == ""

@@ -1,0 +1,193 @@
+"""Tests for the debugger and the interrupt architecture."""
+
+import pytest
+
+from repro import RiscMachine, assemble
+from repro.cpu.debugger import Debugger, StopReason
+
+PROGRAM = """
+main:
+    li    r16, 0
+    li    r10, 3
+    callr r31, bump
+    nop
+    mov   r16, r10
+    stl   r16, r0, 0x800
+    mov   r26, r16
+    ret
+    nop
+
+bump:
+    add   r26, r26, #1
+    ret
+    nop
+"""
+
+
+def make_debugger(source=PROGRAM):
+    program = assemble(source)
+    machine = RiscMachine()
+    program.load_into(machine.memory)
+    machine.reset(program.entry)
+    return Debugger(machine, symbols=dict(program.symbols)), program
+
+
+class TestDebugger:
+    def test_breakpoint_by_symbol(self):
+        debugger, __ = make_debugger()
+        debugger.add_breakpoint("bump")
+        event = debugger.cont()
+        assert event.reason is StopReason.BREAKPOINT
+        assert event.pc == debugger.symbols["bump"]
+
+    def test_breakpoint_by_address(self):
+        debugger, program = make_debugger()
+        debugger.add_breakpoint(program.symbols["bump"])
+        assert debugger.cont().reason is StopReason.BREAKPOINT
+
+    def test_unknown_symbol_rejected(self):
+        debugger, __ = make_debugger()
+        with pytest.raises(KeyError):
+            debugger.add_breakpoint("nowhere")
+
+    def test_watchpoint_fires_on_store(self):
+        debugger, __ = make_debugger()
+        debugger.add_watchpoint(0x800)
+        event = debugger.cont()
+        assert event.reason is StopReason.WATCHPOINT
+        assert "0x800" in event.detail
+
+    def test_single_step(self):
+        debugger, __ = make_debugger()
+        event = debugger.step()
+        assert event.reason is StopReason.STEP
+        assert debugger.machine.stats.instructions == 1
+
+    def test_continue_to_halt(self):
+        debugger, __ = make_debugger()
+        event = debugger.cont()
+        assert event.reason is StopReason.HALTED
+        assert debugger.machine.result == 4
+
+    def test_finish_runs_out_of_callee(self):
+        debugger, __ = make_debugger()
+        debugger.add_breakpoint("bump")
+        debugger.cont()
+        depth_in_callee = debugger.machine.call_depth
+        event = debugger.finish()
+        assert event.reason is StopReason.FINISHED
+        assert debugger.machine.call_depth == depth_in_callee - 1
+
+    def test_backtrace_tracks_frames(self):
+        debugger, __ = make_debugger()
+        debugger.add_breakpoint("bump")
+        debugger.cont()
+        debugger.step()  # delay slot lands us inside bump
+        trace = debugger.backtrace()
+        assert len(trace) == 1
+        assert "bump" in trace[0] or "0x" in trace[0]
+
+    def test_registers_view(self):
+        debugger, __ = make_debugger()
+        debugger.step()
+        view = debugger.registers()
+        assert view["r16"] == 0
+        assert "pc" in view and "cwp" in view
+
+    def test_disassemble_around_marks_pc(self):
+        debugger, __ = make_debugger()
+        lines = debugger.disassemble_around()
+        assert any(line.startswith("=>") for line in lines)
+
+    def test_trace_ring_buffer(self):
+        debugger, __ = make_debugger()
+        for __ in range(5):
+            debugger.step()
+        listing = debugger.trace_listing()
+        assert len(listing) == 5
+        assert listing[0].startswith("0x")
+
+    def test_step_after_halt(self):
+        debugger, __ = make_debugger()
+        debugger.cont()
+        assert debugger.step().reason is StopReason.HALTED
+
+
+INTERRUPT_PROGRAM = """
+main:
+    li    r5, 0            ; r5 (global): interrupt evidence
+    getpsw r16
+    or    r16, r16, #16    ; set the interrupt-enable bit
+    putpsw r16, #0
+loop:
+    add   r6, r6, #1       ; r6 (global): loop counter
+    cmp   r6, #60
+    blt   loop
+    nop
+    mov   r26, r5
+    ret
+    nop
+
+handler:
+    gtlpc r16              ; interrupted PC
+    add   r5, r5, #1       ; leave evidence in a global
+    retint r16, 0
+    nop
+"""
+
+
+class TestInterrupts:
+    def run_with_interrupt(self, fire_after: int):
+        program = assemble(INTERRUPT_PROGRAM)
+        machine = RiscMachine()
+        program.load_into(machine.memory)
+        machine.reset(program.entry)
+        handler = program.symbols["handler"]
+        fired = False
+        while machine.halted is None:
+            machine.step()
+            if not fired and machine.stats.instructions >= fire_after:
+                machine.request_interrupt(handler)
+                fired = True
+        return machine
+
+    def test_interrupt_taken_and_resumed(self):
+        machine = self.run_with_interrupt(fire_after=10)
+        assert machine.interrupts_taken == 1
+        assert machine.result == 1  # handler ran exactly once
+        # and the main loop still completed normally
+        assert machine.regs.read(machine.psw.cwp, 6) == 60
+
+    def test_handler_gets_fresh_window(self):
+        machine = self.run_with_interrupt(fire_after=10)
+        # one call (the interrupt entry), two returns (retint + main's ret)
+        assert machine.stats.calls == 1
+        assert machine.stats.returns == 2
+
+    def test_interrupt_held_while_disabled(self):
+        program = assemble("""
+        main:
+            li   r6, 0
+        loop:
+            add  r6, r6, #1
+            cmp  r6, #30
+            blt  loop
+            nop
+            mov  r26, r6
+            ret
+            nop
+        handler:
+            retint r16, 0
+            nop
+        """)
+        machine = RiscMachine()
+        program.load_into(machine.memory)
+        machine.reset(program.entry)
+        machine.step()
+        machine.request_interrupt(program.symbols["handler"])
+        while machine.halted is None:
+            machine.step()
+        # interrupts were never enabled: the request stays pending
+        assert machine.interrupts_taken == 0
+        assert machine.pending_interrupt is not None
+        assert machine.result == 30

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting as the library evolves.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", EXAMPLES_DIR / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    buffer = io.StringIO()
+    try:
+        spec.loader.exec_module(module)
+        with redirect_stdout(buffer):
+            module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_examples_present(self):
+        assert "quickstart.py" in EXAMPLES
+        assert len(EXAMPLES) >= 6
+
+    @pytest.mark.parametrize("name", EXAMPLES, ids=str)
+    def test_example_runs(self, name):
+        output = run_example(name)
+        assert output.strip(), f"{name} produced no output"
+        assert "Traceback" not in output
+
+    def test_quickstart_result(self):
+        assert "55" in run_example("quickstart.py")
+
+    def test_race_declares_risc_times(self):
+        output = run_example("compile_and_race.py")
+        assert "RISC I" in output
+        assert "x RISC I" in output
+
+    def test_windows_demo_shows_traps(self):
+        output = run_example("register_windows_demo.py")
+        assert "overflows" in output
+
+    def test_separate_compilation_links(self):
+        output = run_example("separate_compilation.py")
+        assert "expected 88" in output

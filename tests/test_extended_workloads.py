@@ -1,0 +1,43 @@
+"""Differential tests for the extended workload suite."""
+
+import pytest
+
+from repro.baselines import M68KTraits, CiscExecutor
+from repro.cc import compile_for_risc, compile_to_ir
+from repro.cc.ciscgen import compile_for_cisc
+from repro.hll import run_program
+from repro.workloads.extended import EXTENDED_BENCHMARKS
+
+EXPECTED = {
+    "sieve": 168,  # pi(1000)
+    "fib_iter": 102334155,  # fib(40)
+    "binsearch": 67,
+}
+
+
+class TestExtendedSuite:
+    def test_five_extra_benchmarks(self):
+        assert len(EXTENDED_BENCHMARKS) == 5
+
+    @pytest.mark.parametrize("bench", EXTENDED_BENCHMARKS, ids=lambda b: b.name)
+    def test_interp_vs_risc(self, bench):
+        expected = run_program(bench.source, max_ops=50_000_000).value
+        value, __ = compile_for_risc(bench.source).run()
+        assert value == expected
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED), ids=str)
+    def test_known_values(self, name):
+        bench = next(b for b in EXTENDED_BENCHMARKS if b.name == name)
+        assert run_program(bench.source, max_ops=50_000_000).value == EXPECTED[name]
+
+    def test_crc_on_m68k_model(self):
+        bench = next(b for b in EXTENDED_BENCHMARKS if b.name == "crc")
+        expected = run_program(bench.source, max_ops=50_000_000).value
+        generated = compile_for_cisc(compile_to_ir(bench.source), M68KTraits())
+        executor = CiscExecutor(generated.program, M68KTraits())
+        assert executor.run() == expected
+
+    def test_matmul_exercises_multiply_runtime(self):
+        bench = next(b for b in EXTENDED_BENCHMARKS if b.name == "matmul")
+        compiled = compile_for_risc(bench.source)
+        assert "__mul" in compiled.asm_source

@@ -1,0 +1,209 @@
+"""Tests for the Mini-C lexer, parser, and semantic analysis."""
+
+import pytest
+
+from repro.errors import LexError, ParseError, SemanticError
+from repro.hll import ast
+from repro.hll.lexer import Kind, tokenize
+from repro.hll.parser import parse_program
+from repro.hll.sema import analyze
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("int foo while whilefoo")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == [Kind.KEYWORD, Kind.IDENT, Kind.KEYWORD, Kind.IDENT]
+
+    def test_numbers(self):
+        tokens = tokenize("42 0x2A")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 42
+
+    def test_char_literal(self):
+        assert tokenize("'a'")[0].value == 97
+        assert tokenize("'\\n'")[0].value == 10
+
+    def test_string_literal(self):
+        assert tokenize('"hi\\n"')[0].text == "hi\n"
+
+    def test_two_char_operators(self):
+        texts = [t.text for t in tokenize("a <= b << c && d")]
+        assert "<=" in texts and "<<" in texts and "&&" in texts
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a // comment\nb /* block\nstill */ c")
+        idents = [t.text for t in tokens if t.kind is Kind.IDENT]
+        assert idents == ["a", "b", "c"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        lines = [t.line for t in tokens if t.kind is Kind.IDENT]
+        assert lines == [1, 2, 4]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* forever")
+
+
+class TestParser:
+    def test_function_structure(self):
+        program = parse_program("int add(int a, int b) { return a + b; }")
+        func = program.function("add")
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert isinstance(func.body.body[0], ast.Return)
+
+    def test_global_with_initializers(self):
+        program = parse_program("int x = 5; int a[3] = {1,2,3}; char s[4] = \"ab\";")
+        assert program.globals[0].init == 5
+        assert program.globals[1].init_list == [1, 2, 3]
+        assert program.globals[2].init_string == "ab"
+
+    def test_precedence(self):
+        program = parse_program("int main() { return 1 + 2 * 3; }")
+        ret = program.function("main").body.body[0]
+        assert ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_unary_minus_folds_literals(self):
+        program = parse_program("int main() { return -5; }")
+        assert program.function("main").body.body[0].value.value == -5
+
+    def test_pointer_declarations(self):
+        program = parse_program("int main() { int *p; int **q; return 0; }")
+        decls = program.function("main").body.body
+        assert decls[0].decl_type.pointer == 1
+        assert decls[1].decl_type.pointer == 2
+
+    def test_array_param_decays(self):
+        program = parse_program("int f(int a[]) { return a[0]; } int main() { return 0; }")
+        assert program.function("f").params[0].type.pointer == 1
+
+    def test_for_without_clauses(self):
+        program = parse_program("int main() { for (;;) break; return 0; }")
+        loop = program.function("main").body.body[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_dangling_else(self):
+        program = parse_program(
+            "int main() { if (1) if (0) return 1; else return 2; return 3; }"
+        )
+        outer = program.function("main").body.body[0]
+        assert outer.otherwise is None
+        assert outer.then.otherwise is not None
+
+    def test_syntax_errors(self):
+        for bad in ["int main() { return }", "int main( {}", "int 5x;",
+                    "int main() { int a[x]; }", "int main() { 1 +; }"]:
+            with pytest.raises(ParseError):
+                parse_program(bad)
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { return 0;")
+
+
+class TestSema:
+    def check(self, source):
+        return analyze(parse_program(source))
+
+    def test_annotates_types(self):
+        checked = self.check("int main() { int x = 1; return x; }")
+        ret = checked.node.function("main").body.body[1]
+        assert str(ret.value.type) == "int"
+
+    def test_pointer_arith_types(self):
+        checked = self.check("int a[4]; int main() { int *p = a + 1; return *p; }")
+        decl = checked.node.function("main").body.body[0]
+        assert decl.init.type.pointer == 1
+
+    def test_escape_marking(self):
+        checked = self.check("int main() { int x; int *p = &x; return *p; }")
+        info = checked.functions["main"]
+        names = {s.name: s for s in info.locals}
+        assert names["x"].escapes
+        assert not names["p"].escapes
+
+    def test_globals_are_memory_resident(self):
+        checked = self.check("int g; int main() { return g; }")
+        assert checked.globals["g"].in_memory
+
+    def test_arrays_are_memory_resident(self):
+        checked = self.check("int main() { int a[2]; return a[0]; }")
+        assert checked.functions["main"].locals[0].in_memory
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { return nope; }")
+
+    def test_redeclaration_in_scope(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { int x; int x; return 0; }")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        self.check("int main() { int x; { int x; x = 1; } return x; }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SemanticError):
+            self.check("int f(int a) { return a; } int main() { return f(1, 2); }")
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { return g(); }")
+
+    def test_pointer_argument_type(self):
+        with pytest.raises(SemanticError):
+            self.check("int f(int *p) { return *p; } int main() { return f(3); }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { break; }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(SemanticError):
+            self.check("int a[2]; int b[2]; int main() { a = b; return 0; }")
+
+    def test_assign_to_rvalue_rejected(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { 1 = 2; return 0; }")
+
+    def test_deref_non_pointer_rejected(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { int x; return *x; }")
+
+    def test_address_of_rvalue_rejected(self):
+        with pytest.raises(SemanticError):
+            self.check("int main() { int *p = &(1+2); return 0; }")
+
+    def test_string_in_expression_becomes_pooled_array(self):
+        checked = self.check('int f(char *s) { return s[0]; } '
+                             'int main() { return f("hi"); }')
+        pooled = [name for name in checked.globals if name.startswith("__str_")]
+        assert len(pooled) == 1
+        assert checked.globals[pooled[0]].type.array_size == 3  # "hi" + NUL
+
+    def test_identical_strings_share_a_pool_entry(self):
+        checked = self.check('int f(char *s) { return s[0]; } '
+                             'int main() { return f("x") + f("x"); }')
+        pooled = [name for name in checked.globals if name.startswith("__str_")]
+        assert len(pooled) == 1
+
+    def test_string_not_assignable_to_int(self):
+        with pytest.raises(SemanticError):
+            self.check('int main() { int x = "hi"; return x; }')
+
+    def test_string_initializer_needs_char_array(self):
+        with pytest.raises(SemanticError):
+            self.check('int a[4] = "hi"; int main() { return 0; }')
+
+    def test_oversized_initializer_rejected(self):
+        with pytest.raises(SemanticError):
+            self.check("int a[2] = {1, 2, 3}; int main() { return 0; }")

@@ -1,0 +1,211 @@
+"""Tests for the Mini-C reference interpreter."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.hll import run_program
+
+
+def result(source: str, **kwargs) -> int:
+    return run_program(source, **kwargs).value
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert result("int main() { return 2 + 3 * 4 - 1; }") == 13
+
+    def test_division_truncates_toward_zero(self):
+        assert result("int main() { return -7 / 2; }") == -3
+        assert result("int main() { return 7 / -2; }") == -3
+        assert result("int main() { return -7 % 2; }") == -1
+        assert result("int main() { return 7 % -2; }") == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            result("int main() { int z = 0; return 1 / z; }")
+
+    def test_32bit_wrapping(self):
+        assert result("int main() { return 2147483647 + 1; }") == -2147483648
+
+    def test_shifts(self):
+        assert result("int main() { return 1 << 4; }") == 16
+        assert result("int main() { int x = -8; return x >> 2; }") == -2
+
+    def test_bitwise(self):
+        assert result("int main() { return (12 & 10) | (1 ^ 3); }") == 10
+
+    def test_unary(self):
+        assert result("int main() { return ~0; }") == -1
+        assert result("int main() { return !5; }") == 0
+        assert result("int main() { return !0; }") == 1
+
+
+class TestControlFlow:
+    def test_if_else_chains(self):
+        source = """
+        int classify(int x) {
+            if (x < 0) return -1;
+            else if (x == 0) return 0;
+            else return 1;
+        }
+        int main() { return classify(-5) * 100 + classify(0) * 10 + classify(9); }
+        """
+        assert result(source) == -99  # -1*100 + 0*10 + 1
+
+    def test_while_and_break_continue(self):
+        source = """
+        int main() {
+            int i = 0; int s = 0;
+            while (i < 100) {
+                i = i + 1;
+                if (i % 2 == 0) continue;
+                if (i > 9) break;
+                s = s + i;
+            }
+            return s;
+        }
+        """
+        assert result(source) == 1 + 3 + 5 + 7 + 9
+
+    def test_for_continue_still_steps(self):
+        source = """
+        int main() {
+            int i; int s = 0;
+            for (i = 0; i < 5; i = i + 1) { if (i == 2) continue; s = s + i; }
+            return s;
+        }
+        """
+        assert result(source) == 0 + 1 + 3 + 4
+
+    def test_short_circuit_evaluation(self):
+        source = """
+        int g;
+        int bump() { g = g + 1; return 1; }
+        int main() { g = 0; int x = 0 && bump(); int y = 1 || bump(); return g; }
+        """
+        assert result(source) == 0
+
+    def test_nested_loops(self):
+        source = """
+        int main() {
+            int i; int j; int s = 0;
+            for (i = 0; i < 4; i = i + 1)
+                for (j = 0; j < 4; j = j + 1)
+                    s = s + i * j;
+            return s;
+        }
+        """
+        assert result(source) == 36
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert result(
+            "int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }"
+            "int main() { return fact(7); }"
+        ) == 5040
+
+    def test_mutual_recursion(self):
+        source = """
+        int is_odd(int n);
+        """
+        source = """
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        int main() { return is_even(10) * 10 + is_odd(10); }
+        """
+        assert result(source) == 10
+
+    def test_void_function_returns_zero(self):
+        assert result("int f() { } int main() { return f(); }") == 0
+
+    def test_missing_return_yields_zero(self):
+        assert result("int f(int x) { x = x + 1; } int main() { return f(1); }") == 0
+
+    def test_fuel_limit(self):
+        with pytest.raises(InterpreterError):
+            result("int main() { while (1) {} return 0; }", max_ops=1000)
+
+
+class TestPointersAndArrays:
+    def test_pointer_write_through(self):
+        assert result(
+            "int set(int *p, int v) { *p = v; return 0; }"
+            "int main() { int x = 0; set(&x, 77); return x; }"
+        ) == 77
+
+    def test_pointer_arithmetic_scales(self):
+        source = """
+        int a[4] = {10, 20, 30, 40};
+        int main() { int *p = a; p = p + 2; return *p; }
+        """
+        assert result(source) == 30
+
+    def test_pointer_difference(self):
+        source = """
+        int a[8];
+        int main() { int *p = a + 6; int *q = a + 2; return p - q; }
+        """
+        assert result(source) == 4
+
+    def test_char_pointer_arithmetic_is_bytewise(self):
+        source = """
+        char s[8] = "abcdef";
+        int main() { char *p = s; p = p + 3; return *p; }
+        """
+        assert result(source) == ord("d")
+
+    def test_array_passed_to_function(self):
+        source = """
+        int first(int *a) { return a[0]; }
+        int a[3] = {9, 8, 7};
+        int main() { return first(a); }
+        """
+        assert result(source) == 9
+
+    def test_local_array_zeroed(self):
+        assert result("int main() { int a[4]; return a[3]; }") == 0
+
+    def test_char_array_stores_bytes(self):
+        source = """
+        char s[4];
+        int main() { s[0] = 300; return s[0]; }
+        """
+        assert result(source) == 300 & 0xFF
+
+    def test_global_scalar_init(self):
+        assert result("int g = 42; int main() { return g; }") == 42
+
+    def test_global_mutation_visible_across_calls(self):
+        source = """
+        int g;
+        int inc() { g = g + 1; return g; }
+        int main() { inc(); inc(); return inc(); }
+        """
+        assert result(source) == 3
+
+    def test_matrix_via_flat_array(self):
+        source = """
+        int m[12];
+        int at(int r, int c) { return m[r * 4 + c]; }
+        int main() {
+            int r; int c;
+            for (r = 0; r < 3; r = r + 1)
+                for (c = 0; c < 4; c = c + 1)
+                    m[r * 4 + c] = r * 10 + c;
+            return at(2, 3);
+        }
+        """
+        assert result(source) == 23
+
+
+class TestOpCounting:
+    def test_counts_calls_and_loops(self):
+        outcome = run_program(
+            "int f() { return 1; }"
+            "int main() { int i; int s = 0;"
+            " for (i = 0; i < 5; i = i + 1) s = s + f(); return s; }"
+        )
+        assert outcome.op_counts["call"] == 6  # main + 5x f
+        assert outcome.op_counts["loop"] == 5
+        assert outcome.op_counts["assign"] >= 7

@@ -1,0 +1,119 @@
+"""Tests for C syntax sugar: compound assignment, ++/--, do-while."""
+
+import pytest
+
+from repro.cc import compile_for_risc
+from repro.errors import ParseError
+from repro.hll import run_program
+
+
+def both(source: str) -> int:
+    """Interpreter result, asserted equal to the compiled RISC I result."""
+    expected = run_program(source).value
+    value, __ = compile_for_risc(source).run()
+    assert value == expected
+    return expected
+
+
+class TestCompoundAssignment:
+    def test_all_operators(self):
+        source = """
+        int main() {
+            int x = 100;
+            x += 5;  x -= 3;  x *= 2;  x /= 4;  x %= 17;
+            x <<= 2; x >>= 1; x &= 63; x |= 128; x ^= 15;
+            return x;
+        }
+        """
+        expected = 100
+        expected += 5; expected -= 3; expected *= 2; expected //= 4
+        expected %= 17
+        expected <<= 2; expected >>= 1; expected &= 63
+        expected |= 128; expected ^= 15
+        assert both(source) == expected
+
+    def test_compound_on_array_element(self):
+        assert both("int a[4]; int main() { a[2] = 5; a[2] += 7; return a[2]; }") == 12
+
+    def test_compound_on_deref(self):
+        assert both(
+            "int main() { int x = 9; int *p = &x; *p += 1; return x; }"
+        ) == 10
+
+
+class TestIncrementDecrement:
+    def test_postfix_statement(self):
+        assert both("int main() { int i = 5; i++; i++; i--; return i; }") == 6
+
+    def test_prefix_statement(self):
+        assert both("int main() { int i = 5; ++i; --i; ++i; return i; }") == 6
+
+    def test_in_for_step(self):
+        assert both(
+            "int main() { int s = 0; int i; for (i = 0; i < 5; i++) s += i; return s; }"
+        ) == 10
+
+    def test_on_array_element(self):
+        assert both("int a[2]; int main() { a[1]++; a[1]++; return a[1]; }") == 2
+
+
+class TestDoWhile:
+    def test_executes_at_least_once(self):
+        assert both(
+            "int main() { int n = 0; do { n++; } while (0); return n; }"
+        ) == 1
+
+    def test_loops_until_false(self):
+        assert both(
+            "int main() { int i = 0; int s = 0;"
+            " do { s += i; i++; } while (i < 5); return s; }"
+        ) == 10
+
+    def test_break_and_continue(self):
+        source = """
+        int main() {
+            int i = 0; int s = 0;
+            do {
+                i++;
+                if (i == 3) continue;
+                if (i == 6) break;
+                s += i;
+            } while (i < 100);
+            return s;
+        }
+        """
+        assert both(source) == 1 + 2 + 4 + 5
+
+    def test_missing_while_rejected(self):
+        with pytest.raises(ParseError):
+            run_program("int main() { do { } return 0; }")
+
+    def test_nested_do_while(self):
+        source = """
+        int main() {
+            int i = 0; int total = 0;
+            do {
+                int j = 0;
+                do { total++; j++; } while (j < 3);
+                i++;
+            } while (i < 2);
+            return total;
+        }
+        """
+        assert both(source) == 6
+
+
+class TestInteraction:
+    def test_sugar_in_benchmark_style_kernel(self):
+        source = """
+        int data[16];
+        int main() {
+            int i;
+            int sum = 0;
+            for (i = 0; i < 16; i++) data[i] = i * i;
+            i = 0;
+            do { sum += data[i]; i += 2; } while (i < 16);
+            return sum;
+        }
+        """
+        assert both(source) == sum(i * i for i in range(0, 16, 2))

@@ -1,0 +1,108 @@
+"""Additional edge-case coverage for the interpreter and semantics."""
+
+import pytest
+
+from repro.cc import compile_for_risc
+from repro.errors import InterpreterError, SemanticError
+from repro.hll import run_program
+
+
+def both(source: str) -> int:
+    expected = run_program(source).value
+    value, __ = compile_for_risc(source).run()
+    assert value == expected
+    return expected
+
+
+class TestIntegerEdges:
+    def test_int_min_negation_wraps(self):
+        assert both("int main() { int x = -2147483647 - 1; return -x; }") == -2147483648
+
+    def test_int_min_division_by_minus_one_semantics(self):
+        # our dialect defines it as wrapping (no trap), both targets agree
+        source = "int main() { int x = -2147483647 - 1; int y = -1; return x / y; }"
+        assert both(source) == -2147483648
+
+    def test_shift_by_32_masks_to_zero(self):
+        assert both("int main() { int n = 32; return 5 << n; }") == 5
+        assert both("int main() { int n = 33; return 8 >> n; }") == 4
+
+    def test_multiplication_wraps(self):
+        assert both("int main() { int x = 65536; return x * x; }") == 0
+
+    def test_comparison_chain_values(self):
+        assert both("int main() { return (3 < 4) + (4 < 3); }") == 1
+
+
+class TestScopingEdges:
+    def test_inner_shadow_restores_outer(self):
+        source = """
+        int main() {
+            int x = 1;
+            { int x = 2; x = x + 1; }
+            return x;
+        }
+        """
+        assert both(source) == 1
+
+    def test_for_init_declaration_scoped_to_loop(self):
+        source = """
+        int main() {
+            int total = 0;
+            for (int k = 0; k < 3; k++) total += k;
+            for (int k = 10; k < 12; k++) total += k;
+            return total;
+        }
+        """
+        assert both(source) == 0 + 1 + 2 + 10 + 11
+
+    def test_param_shadowed_by_local_rejected(self):
+        with pytest.raises(SemanticError):
+            run_program("int f(int a) { int a = 2; return a; } int main() { return f(1); }")
+
+
+class TestCharEdges:
+    def test_char_array_wraparound_byte(self):
+        assert both("""
+        char c[2];
+        int main() { c[0] = 255; c[0] += 1; return c[0]; }
+        """) == 0
+
+    def test_char_pointer_into_int_expression(self):
+        assert both("""
+        char s[4] = "AB";
+        int main() { char *p = s; return *p * 256 + *(p + 1); }
+        """) == ord("A") * 256 + ord("B")
+
+    def test_escaped_char_local_stored_as_byte(self):
+        assert both("""
+        int poke(char *p) { *p = 300; return 0; }
+        int main() { char c = 0; poke(&c); return c; }
+        """) == 300 & 0xFF
+
+
+class TestRuntimeErrors:
+    def test_modulo_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            run_program("int main() { int z = 0; return 5 % z; }")
+
+    def test_deep_recursion_hits_fuel(self):
+        with pytest.raises(InterpreterError):
+            run_program("int f(int n) { return f(n + 1); } int main() { return f(0); }",
+                        max_ops=50_000)
+
+
+class TestGlobalsEdges:
+    def test_global_char_scalar_initializer(self):
+        assert both("char c = 'Q'; int main() { return c; }") == ord("Q")
+
+    def test_global_initializer_with_negative(self):
+        assert both("int g = -12345; int main() { return g; }") == -12345
+
+    def test_global_array_partially_initialized(self):
+        assert both("int a[5] = {1, 2}; int main() { return a[1] + a[4]; }") == 2
+
+    def test_many_globals_layout(self):
+        decls = "\n".join(f"int g{i} = {i};" for i in range(20))
+        total = " + ".join(f"g{i}" for i in range(20))
+        assert both(f"{decls}\nint main() {{ return {total}; }}") == sum(range(20))

@@ -1,0 +1,100 @@
+"""Unit tests for IR node rendering and def/use bookkeeping."""
+
+from repro.cc.ir import (
+    Bin,
+    BoolCmp,
+    Call,
+    CJump,
+    Const,
+    FrameSlot,
+    IrFunction,
+    IrProgram,
+    Jump,
+    Label,
+    Load,
+    Move,
+    Ret,
+    Store,
+    SymRef,
+    Temp,
+)
+
+
+class TestDefsUses:
+    def test_move(self):
+        ins = Move(Temp(1), Temp(2))
+        assert ins.defs() == [Temp(1)]
+        assert ins.uses() == [Temp(2)]
+
+    def test_move_const_has_no_uses(self):
+        assert Move(Temp(1), Const(5)).uses() == []
+
+    def test_bin(self):
+        ins = Bin("+", Temp(3), Temp(1), Temp(2))
+        assert ins.defs() == [Temp(3)]
+        assert set(ins.uses()) == {Temp(1), Temp(2)}
+
+    def test_store_uses_both(self):
+        ins = Store(addr=Temp(1), src=Temp(2))
+        assert ins.defs() == []
+        assert set(ins.uses()) == {Temp(1), Temp(2)}
+
+    def test_symref_is_not_a_temp_use(self):
+        ins = Load(Temp(1), SymRef(9, "g", "global"))
+        assert ins.uses() == []
+
+    def test_call_uses_temp_args_only(self):
+        ins = Call(dst=Temp(5), func="f", args=[Temp(1), Const(2)])
+        assert ins.uses() == [Temp(1)]
+        assert ins.defs() == [Temp(5)]
+
+    def test_call_without_dst(self):
+        assert Call(dst=None, func="f").defs() == []
+
+    def test_ret_none(self):
+        assert Ret(None).uses() == []
+
+    def test_label_and_jump_neutral(self):
+        assert Label("x").defs() == [] and Label("x").uses() == []
+        assert Jump("x").defs() == [] and Jump("x").uses() == []
+
+    def test_cjump_uses(self):
+        ins = CJump("<", Temp(1), Const(0), "out")
+        assert ins.uses() == [Temp(1)]
+
+
+class TestRendering:
+    def test_instruction_strings(self):
+        assert str(Move(Temp(1), Const(5))) == "  t1 = #5"
+        assert "t2 = t0 + t1" in str(Bin("+", Temp(2), Temp(0), Temp(1)))
+        assert "M4[" in str(Load(Temp(1), Temp(0), size=4))
+        assert "M1[" in str(Store(addr=Temp(0), src=Temp(1), size=1))
+        assert "goto out" in str(Jump("out"))
+        assert "if t0 < #3 goto L" in str(CJump("<", Temp(0), Const(3), "L"))
+        assert "f(t1)" in str(Call(dst=Temp(0), func="f", args=[Temp(1)]))
+        assert str(Label("spot")) == "spot:"
+        assert "&g" in str(SymRef(1, "g", "global"))
+
+    def test_function_render(self):
+        func = IrFunction(name="f", params=[Temp(0)], body=[
+            Move(Temp(1), Temp(0)),
+            Ret(Temp(1)),
+        ])
+        text = func.render()
+        assert text.startswith("func f(t0):")
+        assert "t1 = t0" in text
+
+    def test_program_render(self):
+        program = IrProgram(functions={"f": IrFunction(name="f")})
+        assert "func f():" in program.render()
+
+    def test_boolcmp_render(self):
+        assert "t1 = t0 == #0" in str(BoolCmp("==", Temp(1), Temp(0), Const(0)))
+
+
+class TestFrameSlots:
+    def test_slot_fields(self):
+        slot = FrameSlot(uid=7, name="arr", size=16)
+        assert slot.offset == 0
+        slot.offset = 8
+        assert slot.offset == 8

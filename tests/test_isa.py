@@ -1,0 +1,194 @@
+"""Tests for the RISC I ISA definition: opcodes, encode/decode, conditions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa import (
+    ALL_SPECS,
+    INSTRUCTION_COUNT,
+    Category,
+    Cond,
+    Format,
+    Instruction,
+    Opcode,
+    cond_holds,
+    decode,
+    encode,
+    spec_for,
+)
+from repro.isa.conditions import NEGATION, negate
+
+ALL_OPCODES = sorted(ALL_SPECS, key=int)
+SHORT_OPCODES = [op for op in ALL_OPCODES if ALL_SPECS[op].fmt is Format.SHORT]
+LONG_OPCODES = [op for op in ALL_OPCODES if ALL_SPECS[op].fmt is Format.LONG]
+
+
+class TestInstructionTable:
+    def test_exactly_31_instructions(self):
+        assert INSTRUCTION_COUNT == 31
+
+    def test_category_sizes_match_paper(self):
+        by_cat = {}
+        for spec in ALL_SPECS.values():
+            by_cat.setdefault(spec.category, []).append(spec)
+        assert len(by_cat[Category.ALU]) == 12
+        assert len(by_cat[Category.LOAD]) == 5
+        assert len(by_cat[Category.STORE]) == 3
+        assert len(by_cat[Category.JUMP]) == 7
+        assert len(by_cat[Category.MISC]) == 4
+
+    def test_all_instructions_are_32_bits(self):
+        for op in ALL_OPCODES:
+            word = encode(Instruction(op, dest=1, rs1=2, s2=3))
+            assert 0 <= word < (1 << 32)
+
+    def test_memory_instructions_take_two_cycles(self):
+        for op, spec in ALL_SPECS.items():
+            if spec.category in (Category.LOAD, Category.STORE):
+                assert spec.cycles == 2, op
+            else:
+                assert spec.cycles == 1, op
+
+    def test_only_loads_stores_touch_memory(self):
+        memory_ops = [
+            op for op, spec in ALL_SPECS.items()
+            if spec.category in (Category.LOAD, Category.STORE)
+        ]
+        assert len(memory_ops) == 8
+
+    def test_spec_lookup(self):
+        assert spec_for(Opcode.ADD).mnemonic == "ADD"
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("op", SHORT_OPCODES)
+    def test_short_roundtrip_register_form(self, op):
+        inst = Instruction(op, dest=5, rs1=7, s2=9, imm=False, scc=True)
+        assert decode(encode(inst)) == inst
+
+    @pytest.mark.parametrize("op", SHORT_OPCODES)
+    def test_short_roundtrip_immediate_form(self, op):
+        inst = Instruction(op, dest=3, rs1=4, s2=-4096, imm=True)
+        assert decode(encode(inst)) == inst
+
+    @pytest.mark.parametrize("op", LONG_OPCODES)
+    def test_long_roundtrip(self, op):
+        inst = Instruction(op, dest=2, imm19=-262144)
+        assert decode(encode(inst)) == inst
+
+    def test_immediate_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ADD, dest=1, rs1=1, s2=4096, imm=True))
+
+    def test_imm19_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.JMPR, dest=1, imm19=1 << 18))
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ADD, dest=32, rs1=0, s2=0))
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ADD, dest=0, rs1=40, s2=0))
+
+    def test_invalid_opcode_word_rejected(self):
+        with pytest.raises(DecodingError):
+            decode(0)  # opcode 0 is unassigned
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(DecodingError):
+            decode(1 << 32)
+
+    @given(
+        op=st.sampled_from(SHORT_OPCODES),
+        dest=st.integers(0, 31),
+        rs1=st.integers(0, 31),
+        rs2=st.integers(0, 31),
+        scc=st.booleans(),
+    )
+    def test_roundtrip_property_register(self, op, dest, rs1, rs2, scc):
+        inst = Instruction(op, dest=dest, rs1=rs1, s2=rs2, imm=False, scc=scc)
+        assert decode(encode(inst)) == inst
+
+    @given(
+        op=st.sampled_from(SHORT_OPCODES),
+        dest=st.integers(0, 31),
+        rs1=st.integers(0, 31),
+        imm=st.integers(-4096, 4095),
+    )
+    def test_roundtrip_property_immediate(self, op, dest, rs1, imm):
+        inst = Instruction(op, dest=dest, rs1=rs1, s2=imm, imm=True)
+        assert decode(encode(inst)) == inst
+
+    @given(
+        op=st.sampled_from(LONG_OPCODES),
+        dest=st.integers(0, 31),
+        imm19=st.integers(-(1 << 18), (1 << 18) - 1),
+    )
+    def test_roundtrip_property_long(self, op, dest, imm19):
+        inst = Instruction(op, dest=dest, imm19=imm19)
+        assert decode(encode(inst)) == inst
+
+
+class TestConditions:
+    def test_always_and_never(self):
+        assert cond_holds(Cond.ALW, False, False, False, False)
+        assert not cond_holds(Cond.NEVER, True, True, True, True)
+
+    def test_eq_uses_zero_flag(self):
+        assert cond_holds(Cond.EQ, False, True, False, False)
+        assert not cond_holds(Cond.EQ, False, False, False, False)
+
+    def test_signed_less_uses_n_xor_v(self):
+        assert cond_holds(Cond.LT, True, False, False, False)
+        assert cond_holds(Cond.LT, False, False, True, False)
+        assert not cond_holds(Cond.LT, True, False, True, False)
+
+    def test_unsigned_less_uses_borrow(self):
+        assert cond_holds(Cond.LTU, False, False, False, True)
+        assert not cond_holds(Cond.LTU, False, False, False, False)
+
+    @given(
+        cond=st.sampled_from(list(Cond)),
+        n=st.booleans(),
+        z=st.booleans(),
+        v=st.booleans(),
+        c=st.booleans(),
+    )
+    def test_negation_is_exact_complement(self, cond, n, z, v, c):
+        assert cond_holds(cond, n, z, v, c) != cond_holds(negate(cond), n, z, v, c)
+
+    def test_negation_is_involution(self):
+        for cond in Cond:
+            assert negate(negate(cond)) is cond
+
+    def test_negation_table_is_total(self):
+        assert set(NEGATION) == set(Cond)
+
+
+class TestInstructionHelpers:
+    def test_operand_registers_alu(self):
+        inst = Instruction(Opcode.ADD, dest=1, rs1=2, s2=3)
+        assert inst.operand_registers() == [2, 3]
+
+    def test_operand_registers_immediate(self):
+        inst = Instruction(Opcode.ADD, dest=1, rs1=2, s2=5, imm=True)
+        assert inst.operand_registers() == [2]
+
+    def test_store_reads_dest_as_data(self):
+        inst = Instruction(Opcode.STL, dest=7, rs1=2, s2=0, imm=True)
+        assert 7 in inst.operand_registers()
+
+    def test_written_register(self):
+        assert Instruction(Opcode.ADD, dest=4, rs1=1, s2=1).written_register() == 4
+        assert Instruction(Opcode.STL, dest=4, rs1=1, s2=1).written_register() is None
+        assert Instruction(Opcode.JMP, dest=int(Cond.EQ), rs1=1).written_register() is None
+
+    def test_cond_property(self):
+        inst = Instruction(Opcode.JMPR, dest=int(Cond.NE), imm19=8)
+        assert inst.cond is Cond.NE
+
+    def test_render_smoke(self):
+        assert "add" in Instruction(Opcode.ADD, dest=1, rs1=2, s2=3).render()
+        assert "#5" in Instruction(Opcode.ADD, dest=1, rs1=2, s2=5, imm=True).render()

@@ -1,0 +1,160 @@
+"""Tests for the relocatable object format and the linker."""
+
+import pytest
+
+from repro import RiscMachine
+from repro.asm.linker import assemble_module, link
+from repro.asm.objfile import ObjectFile, Relocation, RelocKind, apply_relocation
+from repro.errors import AssemblerError
+
+LIB = """
+double_it:
+    add  r26, r26, r26
+    ret
+    nop
+counter:
+    .word 5
+"""
+
+MAIN = """
+main:
+    li    r10, 21
+    callr r31, double_it
+    nop
+    ldl   r16, r0, counter
+    add   r26, r10, r16
+    ret
+    nop
+"""
+
+
+def run_linked(modules, entry="main"):
+    program = link(modules, base=0, entry=entry)
+    machine = RiscMachine()
+    program.load_into(machine.memory)
+    machine.run(program.entry)
+    return machine, program
+
+
+class TestModuleAssembly:
+    def test_exports_all_labels(self):
+        module = assemble_module(LIB, name="lib")
+        assert set(module.symbols) == {"double_it", "counter"}
+
+    def test_records_undefined_symbols(self):
+        module = assemble_module(MAIN, name="main")
+        assert module.undefined_symbols() == {"double_it", "counter"}
+
+    def test_relocation_kinds(self):
+        module = assemble_module(MAIN, name="main")
+        kinds = {reloc.kind for reloc in module.relocations}
+        assert RelocKind.REL19 in kinds  # callr
+        assert RelocKind.ABS13 in kinds  # ldl offset
+
+    def test_self_contained_module_has_no_relocations(self):
+        module = assemble_module(LIB, name="lib")
+        assert not module.relocations
+
+    def test_word_relocation(self):
+        module = assemble_module("ref:\n .word elsewhere", name="m")
+        assert module.relocations[0].kind is RelocKind.WORD32
+
+    def test_li_relocation(self):
+        module = assemble_module("f:\n li r4, elsewhere\n ret\n nop", name="m")
+        assert module.relocations[0].kind is RelocKind.HI19LO13
+
+    def test_two_externals_in_one_statement_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble_module("x:\n .word a + b", name="m")
+
+    def test_undefined_in_size_context_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble_module(".space elsewhere", name="m")
+
+
+class TestLink:
+    def test_two_module_program_runs(self):
+        machine, __ = run_linked([
+            assemble_module(MAIN, name="main"),
+            assemble_module(LIB, name="lib"),
+        ])
+        assert machine.result == 47  # 2*21 + 5
+
+    def test_module_order_does_not_change_result(self):
+        for order in ([0, 1], [1, 0]):
+            modules = [assemble_module(MAIN, "main"), assemble_module(LIB, "lib")]
+            machine, __ = run_linked([modules[i] for i in order])
+            assert machine.result == 47
+
+    def test_word_relocation_holds_final_address(self):
+        table = assemble_module("tbl:\n .word double_it", name="tbl")
+        lib = assemble_module(LIB, name="lib")
+        main = assemble_module(MAIN, name="main")
+        program = link([main, table, lib])
+        word = int.from_bytes(
+            program.image[program.symbols["tbl"] : program.symbols["tbl"] + 4], "big"
+        )
+        assert word == program.symbols["double_it"]
+
+    def test_li_relocation_resolves_large_addresses(self):
+        far = assemble_module(
+            ".org 0x6000\nvalue:\n .word 1234", name="far"
+        )
+        user = assemble_module(
+            "main:\n li r16, value\n ldl r26, r16, 0\n ret\n nop", name="user"
+        )
+        machine, __ = run_linked([user, far])
+        assert machine.result == 1234
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            link([assemble_module(MAIN, name="main")])
+
+    def test_duplicate_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            link([assemble_module(LIB, "a"), assemble_module(LIB, "b")])
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(AssemblerError):
+            link([assemble_module(LIB, "lib")], entry="main")
+
+    def test_rel19_out_of_range_rejected(self):
+        near = assemble_module("main:\n b target\n nop", name="near")
+        fake = ObjectFile(name="fake", image=bytearray(4),
+                          symbols={"target": 0})
+        # place the target impossibly far by faking a huge module
+        fake.image = bytearray(1 << 19)
+        fake.symbols = {"pad_end": (1 << 19) - 4, "target": (1 << 19) - 4}
+        with pytest.raises(AssemblerError):
+            link([near, fake])
+
+
+class TestApplyRelocation:
+    def test_word32(self):
+        image = bytearray(8)
+        apply_relocation(image, Relocation(RelocKind.WORD32, 4, "s", addend=8),
+                         module_base=0, target_address=0x1000)
+        assert int.from_bytes(image[4:8], "big") == 0x1008
+
+    def test_abs13_overflow_rejected(self):
+        image = bytearray(4)
+        with pytest.raises(AssemblerError):
+            apply_relocation(image, Relocation(RelocKind.ABS13, 0, "s"),
+                             module_base=0, target_address=0x10000)
+
+    def test_hi19lo13_roundtrip(self):
+        from repro.isa.decode import decode
+        from repro.isa.encode import encode
+        from repro.isa.formats import Instruction
+        from repro.isa.opcodes import Opcode
+
+        image = bytearray(
+            encode(Instruction(Opcode.LDHI, dest=4, imm19=0)).to_bytes(4, "big")
+            + encode(Instruction(Opcode.ADD, dest=4, rs1=4, s2=0, imm=True)).to_bytes(4, "big")
+        )
+        target = 0x12345678
+        apply_relocation(image, Relocation(RelocKind.HI19LO13, 0, "s"),
+                         module_base=0, target_address=target)
+        high = decode(int.from_bytes(image[0:4], "big"))
+        low = decode(int.from_bytes(image[4:8], "big"))
+        assert ((high.imm19 << 13) + low.s2) & 0xFFFFFFFF == target

@@ -1,0 +1,142 @@
+"""Property-based tests of machine-level invariants.
+
+These target the trickiest state in the simulator - the windowed
+register file under arbitrary call/return patterns - plus determinism
+and accounting invariants.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RiscMachine, assemble
+
+# A harness program whose call pattern is driven by a data table:
+# main walks a list of depths, calling `descend` with each, which
+# recurses that deep, salts locals at each level, and checks them on
+# the way back - any window-spill bug corrupts the checksum.
+HARNESS = """
+depths:
+    .word {depths}
+ndepths = {count}
+
+main:
+    li    r16, 0           ; index
+    li    r17, 0           ; checksum accumulator
+main_loop:
+    cmp   r16, #ndepths
+    bge   main_done
+    nop
+    sll   r18, r16, #2
+    add   r18, r18, #depths
+    ldl   r10, r18, 0      ; argument: depth
+    callr r31, descend
+    nop
+    add   r17, r17, r10    ; accumulate returned signature
+    add   r16, r16, #1
+    b     main_loop
+    nop
+main_done:
+    mov   r26, r17
+    ret
+    nop
+
+descend:                   ; arg r26 = remaining depth
+    mov   r16, r26         ; salt a local with the depth
+    xor   r17, r26, #0x55  ; and a second one
+    cmp   r26, #0
+    bgt   go_deeper
+    nop
+    mov   r26, #1
+    ret
+    nop
+go_deeper:
+    sub   r10, r26, #1
+    callr r31, descend
+    nop
+    ; locals must have survived the callee's window traffic
+    cmp   r16, r26
+    bne   corrupt
+    nop
+    xor   r18, r26, #0x55
+    cmp   r17, r18
+    bne   corrupt
+    nop
+    add   r26, r10, #1     ; signature: depth+1 going up
+    ret
+    nop
+corrupt:
+    li    r26, -999999
+    ret
+    nop
+"""
+
+
+def run_harness(depths, num_windows=8):
+    source = HARNESS.format(
+        depths=", ".join(str(d) for d in depths), count=len(depths)
+    )
+    program = assemble(source)
+    machine = RiscMachine(num_windows=num_windows)
+    program.load_into(machine.memory)
+    machine.run(program.entry)
+    return machine
+
+
+class TestWindowIntegrity:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 24), min_size=1, max_size=6),
+           st.sampled_from([2, 3, 4, 8, 16]))
+    def test_locals_survive_arbitrary_call_patterns(self, depths, windows):
+        machine = run_harness(depths, windows)
+        expected = sum(d + 1 for d in depths)
+        assert machine.result == expected, (depths, windows)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=5))
+    def test_result_independent_of_window_count(self, depths):
+        results = {run_harness(depths, w).result for w in (2, 8, 16)}
+        assert len(results) == 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=5))
+    def test_overflows_balance_underflows(self, depths):
+        machine = run_harness(depths)
+        assert machine.stats.window_overflows == machine.stats.window_underflows
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(0, 16), min_size=1, max_size=4))
+    def test_save_stack_fully_unwinds(self, depths):
+        machine = run_harness(depths)
+        assert machine.window_save_pointer == machine.memory.size
+
+
+class TestDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=4))
+    def test_repeat_runs_identical(self, depths):
+        first = run_harness(depths)
+        second = run_harness(depths)
+        assert first.result == second.result
+        assert first.stats.cycles == second.stats.cycles
+        assert first.stats.instructions == second.stats.instructions
+
+
+class TestAccounting:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=4))
+    def test_cycles_at_least_instructions(self, depths):
+        machine = run_harness(depths)
+        assert machine.stats.cycles >= machine.stats.instructions
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=4))
+    def test_category_counters_sum_to_total(self, depths):
+        machine = run_harness(depths)
+        assert sum(machine.stats.by_category.values()) == machine.stats.instructions
+        assert sum(machine.stats.by_opcode.values()) == machine.stats.instructions
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=4))
+    def test_call_trace_balances(self, depths):
+        machine = run_harness(depths)
+        assert sum(machine.call_trace) == 0

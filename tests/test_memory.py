@@ -1,0 +1,123 @@
+"""Unit tests for the byte-addressable memory substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.memory import Memory
+from repro.errors import MemoryError_
+
+
+class TestWordAccess:
+    def test_roundtrip(self):
+        mem = Memory(size=1024)
+        mem.store_word(16, 0xDEADBEEF)
+        assert mem.load_word(16) == 0xDEADBEEF
+
+    def test_big_endian_layout(self):
+        mem = Memory(size=64)
+        mem.store_word(0, 0x01020304)
+        assert mem.load_byte(0) == 0x01
+        assert mem.load_byte(3) == 0x04
+
+    def test_misaligned_word_raises(self):
+        mem = Memory(size=64)
+        with pytest.raises(MemoryError_):
+            mem.load_word(2)
+        with pytest.raises(MemoryError_):
+            mem.store_word(3, 1)
+
+    def test_out_of_range_raises(self):
+        mem = Memory(size=64)
+        with pytest.raises(MemoryError_):
+            mem.load_word(64)
+        with pytest.raises(MemoryError_):
+            mem.load_byte(-1)
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_word_roundtrip_property(self, value):
+        mem = Memory(size=64)
+        mem.store_word(8, value)
+        assert mem.load_word(8) == value
+
+
+class TestSubWordAccess:
+    def test_half_roundtrip(self):
+        mem = Memory(size=64)
+        mem.store_half(2, 0xBEEF)
+        assert mem.load_half(2) == 0xBEEF
+
+    def test_half_signed(self):
+        mem = Memory(size=64)
+        mem.store_half(2, 0x8000)
+        assert mem.load_half(2, signed=True) == -0x8000
+
+    def test_byte_signed(self):
+        mem = Memory(size=64)
+        mem.store_byte(1, 0xFF)
+        assert mem.load_byte(1, signed=True) == -1
+        assert mem.load_byte(1) == 0xFF
+
+    def test_misaligned_half_raises(self):
+        mem = Memory(size=64)
+        with pytest.raises(MemoryError_):
+            mem.load_half(1)
+
+    def test_store_masks_value(self):
+        mem = Memory(size=64)
+        mem.store_byte(0, 0x1FF)
+        assert mem.load_byte(0) == 0xFF
+
+
+class TestStats:
+    def test_data_counters(self):
+        mem = Memory(size=64)
+        mem.store_word(0, 1)
+        mem.load_word(0)
+        mem.load_byte(1)
+        assert mem.stats.data_writes == 1
+        assert mem.stats.data_reads == 2
+        assert mem.stats.data_refs == 3
+
+    def test_fetch_counted_separately(self):
+        mem = Memory(size=64)
+        mem.fetch_word(0)
+        assert mem.stats.inst_reads == 1
+        assert mem.stats.data_reads == 0
+        assert mem.stats.total_refs == 1
+
+    def test_uncounted_access(self):
+        mem = Memory(size=64)
+        mem.store_word(0, 5, count=False)
+        assert mem.load_word(0, count=False) == 5
+        assert mem.stats.total_refs == 0
+
+    def test_reset(self):
+        mem = Memory(size=64)
+        mem.store_word(0, 1)
+        mem.stats.reset()
+        assert mem.stats.total_refs == 0
+
+
+class TestBulkHelpers:
+    def test_words_roundtrip(self):
+        mem = Memory(size=256)
+        mem.store_words(16, [1, 2, 3])
+        assert mem.load_words(16, 3) == [1, 2, 3]
+        assert mem.stats.total_refs == 0
+
+    def test_load_program(self):
+        mem = Memory(size=256)
+        mem.load_program([0xAABBCCDD, 0x11223344], base=8)
+        assert mem.load_word(8, count=False) == 0xAABBCCDD
+        assert mem.load_word(12, count=False) == 0x11223344
+
+    def test_cstring_roundtrip(self):
+        mem = Memory(size=256)
+        mem.write_cstring(32, "hello")
+        assert mem.read_cstring(32) == "hello"
+
+    def test_cstring_empty(self):
+        mem = Memory(size=256)
+        mem.write_cstring(32, "")
+        assert mem.read_cstring(32) == ""

@@ -1,0 +1,69 @@
+"""Tests for the two-stage pipeline timing model (F3 substrate)."""
+
+from repro.cpu.pipeline import PipelineTimeline, TraceEntry, cycle_count, schedule
+
+
+def entries(*labels, **flags):
+    return [TraceEntry(label) for label in labels]
+
+
+class TestCycleCount:
+    def test_straight_line(self):
+        trace = entries("i1", "i2", "i3")
+        assert cycle_count(trace) == 3
+
+    def test_memory_ops_cost_two(self):
+        trace = [TraceEntry("ld", is_memory=True), TraceEntry("i2")]
+        assert cycle_count(trace) == 3
+
+    def test_normal_jump_pays_a_bubble(self):
+        trace = [TraceEntry("jump", takes_jump=True), TraceEntry("target")]
+        assert cycle_count(trace, delayed_jumps=False) == 3
+        assert cycle_count(trace, delayed_jumps=True) == 2
+
+    def test_delayed_jump_with_nop_matches_normal(self):
+        normal = [TraceEntry("i1"), TraceEntry("jump", takes_jump=True),
+                  TraceEntry("i4")]
+        delayed = [TraceEntry("i1"), TraceEntry("jump", takes_jump=True),
+                   TraceEntry("nop"), TraceEntry("i4")]
+        assert (cycle_count(delayed, delayed_jumps=True)
+                == cycle_count(normal, delayed_jumps=False))
+
+    def test_optimized_delayed_jump_saves_a_cycle(self):
+        normal = [TraceEntry("i1"), TraceEntry("jump", takes_jump=True),
+                  TraceEntry("i4")]
+        optimized = [TraceEntry("jump", takes_jump=True), TraceEntry("i1"),
+                     TraceEntry("i4")]
+        assert (cycle_count(optimized, delayed_jumps=True)
+                == cycle_count(normal, delayed_jumps=False) - 1)
+
+
+class TestTimeline:
+    def test_execute_row_contains_every_instruction(self):
+        trace = entries("a", "b", "c")
+        timeline = schedule(trace)
+        assert [cell for cell in timeline.execute if cell] == ["a", "b", "c"]
+
+    def test_fetch_leads_execute_by_one(self):
+        trace = entries("a", "b")
+        timeline = schedule(trace)
+        assert timeline.fetch[0] == "a"
+        assert timeline.execute[1] == "a"
+
+    def test_squash_marker_on_normal_jump(self):
+        trace = [TraceEntry("jump", takes_jump=True), TraceEntry("t")]
+        timeline = schedule(trace, delayed_jumps=False)
+        assert "(squash)" in timeline.fetch
+
+    def test_memory_stall_marker(self):
+        trace = [TraceEntry("ld", is_memory=True), TraceEntry("b")]
+        timeline = schedule(trace)
+        assert "(mem)" in timeline.fetch
+
+    def test_render_produces_rows(self):
+        text = schedule(entries("a", "b")).render()
+        assert "fetch" in text and "execute" in text
+
+    def test_empty_timeline(self):
+        timeline = PipelineTimeline()
+        assert timeline.cycles == 0

@@ -1,0 +1,118 @@
+"""Tests for the windowed register file."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.regfile import WindowedRegisterFile
+from repro.isa.registers import NUM_PHYSICAL_REGISTERS, REGS_PER_WINDOW_UNIQUE
+
+
+class TestBasics:
+    def test_physical_count_matches_paper(self):
+        assert WindowedRegisterFile().physical_count == NUM_PHYSICAL_REGISTERS
+
+    def test_r0_reads_zero(self):
+        rf = WindowedRegisterFile()
+        rf.write(0, 0, 12345)
+        assert rf.read(0, 0) == 0
+
+    def test_write_read_roundtrip(self):
+        rf = WindowedRegisterFile()
+        rf.write(2, 17, 99)
+        assert rf.read(2, 17) == 99
+
+    def test_values_masked_to_32_bits(self):
+        rf = WindowedRegisterFile()
+        rf.write(0, 5, 1 << 40)
+        assert rf.read(0, 5) == 0
+
+    def test_needs_two_windows(self):
+        with pytest.raises(ValueError):
+            WindowedRegisterFile(num_windows=1)
+
+
+class TestOverlap:
+    def test_globals_visible_everywhere(self):
+        rf = WindowedRegisterFile()
+        rf.write(0, 5, 777)
+        for window in range(8):
+            assert rf.read(window, 5) == 777
+
+    def test_caller_low_equals_callee_high(self):
+        rf = WindowedRegisterFile()
+        caller, callee = 3, 2  # CALL decrements window number
+        rf.write(caller, 10, 42)
+        assert rf.read(callee, 26) == 42
+        rf.write(callee, 31, 88)
+        assert rf.read(caller, 15) == 88
+
+    def test_locals_are_private(self):
+        rf = WindowedRegisterFile()
+        rf.write(3, 20, 1)
+        assert rf.read(2, 20) == 0
+        assert rf.read(4, 20) == 0
+
+    @given(window=st.integers(0, 7), k=st.integers(0, 5), value=st.integers(0, 2**32 - 1))
+    def test_overlap_property(self, window, k, value):
+        rf = WindowedRegisterFile()
+        caller = (window + 1) % 8
+        rf.write(caller, 10 + k, value)
+        assert rf.read(window, 26 + k) == value
+
+
+class TestSpillUnit:
+    def test_unit_size(self):
+        rf = WindowedRegisterFile()
+        assert len(rf.spill_unit(0)) == REGS_PER_WINDOW_UNIQUE
+
+    def test_unit_is_locals_plus_high(self):
+        rf = WindowedRegisterFile()
+        for reg in range(16, 32):
+            rf.write(4, reg, reg * 10)
+        unit = rf.spill_unit(4)
+        assert unit == [reg * 10 for reg in range(16, 32)]
+
+    def test_roundtrip(self):
+        rf = WindowedRegisterFile()
+        values = list(range(100, 116))
+        rf.set_spill_unit(5, values)
+        assert rf.spill_unit(5) == values
+
+    def test_restore_rejects_bad_length(self):
+        rf = WindowedRegisterFile()
+        with pytest.raises(ValueError):
+            rf.set_spill_unit(0, [1, 2, 3])
+
+    def test_unit_does_not_touch_low(self):
+        """A frame's LOW block belongs to its callee's spill unit."""
+        rf = WindowedRegisterFile()
+        rf.write(4, 10, 123)
+        rf.set_spill_unit(4, [0] * 16)
+        assert rf.read(4, 10) == 123
+
+
+class TestFlatMode:
+    def test_windows_collapse(self):
+        rf = WindowedRegisterFile(use_windows=False)
+        rf.write(0, 16, 55)
+        for window in range(8):
+            assert rf.read(window, 16) == 55
+
+    def test_r0_still_zero(self):
+        rf = WindowedRegisterFile(use_windows=False)
+        rf.write(3, 0, 1)
+        assert rf.read(5, 0) == 0
+
+
+class TestSnapshot:
+    def test_snapshot_has_32_entries(self):
+        rf = WindowedRegisterFile()
+        snap = rf.snapshot(0)
+        assert len(snap) == 32
+        assert snap["r0"] == 0
+
+    def test_snapshot_reflects_writes(self):
+        rf = WindowedRegisterFile()
+        rf.write(1, 20, 7)
+        assert rf.snapshot(1)["r20"] == 7

@@ -1,0 +1,129 @@
+"""Tests for register naming and the overlapped-window physical mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.registers import (
+    GLOBAL_REGS,
+    HIGH_REGS,
+    LOCAL_REGS,
+    LOW_REGS,
+    NUM_PHYSICAL_REGISTERS,
+    NUM_WINDOWS,
+    REGS_PER_WINDOW_UNIQUE,
+    VISIBLE_REGISTERS,
+    WINDOW_OVERLAP,
+    RegisterNamespace,
+    block_of,
+    physical_index,
+    register_name,
+    register_number,
+)
+
+
+class TestPaperConstants:
+    def test_138_physical_registers(self):
+        assert NUM_PHYSICAL_REGISTERS == 138
+
+    def test_8_windows(self):
+        assert NUM_WINDOWS == 8
+
+    def test_32_visible(self):
+        assert VISIBLE_REGISTERS == 32
+
+    def test_overlap_of_6(self):
+        assert WINDOW_OVERLAP == 6
+
+    def test_16_unique_per_window(self):
+        assert REGS_PER_WINDOW_UNIQUE == 16
+
+    def test_block_ranges(self):
+        assert list(GLOBAL_REGS) == list(range(10))
+        assert list(LOW_REGS) == list(range(10, 16))
+        assert list(LOCAL_REGS) == list(range(16, 26))
+        assert list(HIGH_REGS) == list(range(26, 32))
+
+
+class TestPhysicalMapping:
+    def test_globals_shared_by_all_windows(self):
+        for window in range(NUM_WINDOWS):
+            for reg in GLOBAL_REGS:
+                assert physical_index(window, reg) == reg
+
+    @given(window=st.integers(0, NUM_WINDOWS - 1))
+    def test_caller_low_is_callee_high(self, window):
+        """The paper's key mechanism: args pass through the overlap."""
+        caller = (window + 1) % NUM_WINDOWS
+        for k in range(WINDOW_OVERLAP):
+            assert physical_index(caller, 10 + k) == physical_index(window, 26 + k)
+
+    def test_local_blocks_are_disjoint_across_windows(self):
+        seen = set()
+        for window in range(NUM_WINDOWS):
+            for reg in range(10, 26):
+                index = physical_index(window, reg)
+                assert index not in seen
+                seen.add(index)
+        assert len(seen) == NUM_WINDOWS * REGS_PER_WINDOW_UNIQUE
+
+    def test_all_indices_in_range(self):
+        for window in range(NUM_WINDOWS):
+            for reg in range(VISIBLE_REGISTERS):
+                assert 0 <= physical_index(window, reg) < NUM_PHYSICAL_REGISTERS
+
+    def test_window_wraps_modulo(self):
+        assert physical_index(NUM_WINDOWS, 16) == physical_index(0, 16)
+        assert physical_index(-1, 16) == physical_index(NUM_WINDOWS - 1, 16)
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(ValueError):
+            physical_index(0, 32)
+
+    @given(
+        window=st.integers(0, 15),
+        reg=st.integers(10, 25),
+        num_windows=st.integers(2, 16),
+    )
+    def test_unique_block_formula(self, window, reg, num_windows):
+        index = physical_index(window, reg, num_windows)
+        expected = 10 + 16 * (window % num_windows) + (reg - 10)
+        assert index == expected
+
+
+class TestNames:
+    def test_roundtrip(self):
+        for reg in range(VISIBLE_REGISTERS):
+            assert register_number(register_name(reg)) == reg
+
+    def test_aliases(self):
+        assert register_number("sp") == 9
+        assert register_number("fp") == 8
+        assert register_number("ra") == 31
+        assert register_number("zero") == 0
+
+    def test_case_insensitive(self):
+        assert register_number("R7") == 7
+
+    def test_non_register_rejected(self):
+        with pytest.raises(ValueError):
+            register_number("r32")
+        with pytest.raises(ValueError):
+            register_number("foo")
+        assert RegisterNamespace.lookup("banana") is None
+
+    def test_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            register_name(32)
+
+
+class TestBlockOf:
+    def test_blocks(self):
+        assert block_of(0) == "GLOBAL"
+        assert block_of(12) == "LOW"
+        assert block_of(20) == "LOCAL"
+        assert block_of(31) == "HIGH"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            block_of(32)

@@ -1,0 +1,78 @@
+"""End-to-end tests for string-literal expressions (the rodata pool)."""
+
+from repro.cc import compile_for_risc
+from repro.hll import run_program
+
+
+def both(source: str) -> tuple[int, str]:
+    """(result, console) from the interpreter, asserted equal on RISC I."""
+    interp = run_program(source)
+    value, machine = compile_for_risc(source).run()
+    assert value == interp.value
+    assert machine.memory.console_output == interp.memory.console_output
+    return interp.value, interp.memory.console_output
+
+
+class TestStringExpressions:
+    def test_string_as_argument(self):
+        value, __ = both("""
+        int first(char *s) { return s[0]; }
+        int main() { return first("Zebra"); }
+        """)
+        assert value == ord("Z")
+
+    def test_string_assigned_to_pointer(self):
+        value, __ = both("""
+        int main() {
+            char *p = "abc";
+            return p[0] + p[2];
+        }
+        """)
+        assert value == ord("a") + ord("c")
+
+    def test_string_indexed_directly(self):
+        value, __ = both('int main() { return "hello"[1]; }')
+        assert value == ord("e")
+
+    def test_nul_terminator_present(self):
+        value, __ = both("""
+        int strlen_(char *s) { int n = 0; while (s[n] != 0) n++; return n; }
+        int main() { return strlen_("four"); }
+        """)
+        assert value == 4
+
+    def test_print_string_helper(self):
+        __, console = both(r"""
+        int print(char *s) {
+            int i;
+            for (i = 0; s[i] != 0; i++) putchar(s[i]);
+            return i;
+        }
+        int main() {
+            print("hi ");
+            print("there");
+            putchar('\n');
+            return 0;
+        }
+        """)
+        assert console == "hi there\n"
+
+    def test_pointer_arithmetic_over_literal(self):
+        value, __ = both("""
+        int main() {
+            char *p = "abcdef";
+            p = p + 2;
+            return *p;
+        }
+        """)
+        assert value == ord("c")
+
+    def test_two_distinct_literals(self):
+        value, __ = both("""
+        int pick(char *a, char *b, int which) {
+            if (which) return a[0];
+            return b[0];
+        }
+        int main() { return pick("A", "B", 1) * 256 + pick("A", "B", 0); }
+        """)
+        assert value == ord("A") * 256 + ord("B")

@@ -1,0 +1,47 @@
+"""Tests for the table/bar-chart rendering utilities."""
+
+from repro.evaluation.f4_window_sweep import chart
+from repro.evaluation.tables import Table, bar_chart
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        text = bar_chart("demo", [("a", 10.0), ("b", 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[2].count("#") == 10
+        assert lines[3].count("#") == 5
+
+    def test_zero_values(self):
+        text = bar_chart("demo", [("a", 0.0), ("b", 0.0)])
+        assert "a" in text and "b" in text
+
+    def test_empty_points(self):
+        assert "demo" in bar_chart("demo", [])
+
+    def test_window_sweep_chart(self):
+        trace = [1] * 12 + [-1] * 12
+        text = chart(trace)
+        assert "N=2" in text and "N=16" in text
+
+
+class TestTableNotes:
+    def test_notes_rendered(self):
+        table = Table("T", ["a"], notes=["first note", "second note"])
+        table.add_row(1)
+        text = table.render()
+        assert "note: first note" in text
+        assert "note: second note" in text
+
+    def test_mixed_cell_types(self):
+        table = Table("T", ["name", "x", "pct"])
+        table.add_row("row", 1.23456, "45%")
+        text = table.render()
+        assert "1.23" in text
+        assert "45%" in text
+
+    def test_column_out_of_range(self):
+        import pytest
+
+        table = Table("T", ["a"])
+        with pytest.raises(ValueError):
+            table.column("missing")

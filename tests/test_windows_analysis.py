@@ -1,0 +1,124 @@
+"""Tests for the trace-driven register-window analysis."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.windows import (
+    overlap_traffic,
+    simulate_windows,
+    sweep_overlap,
+    sweep_window_counts,
+)
+from repro.workloads import synthetic_call_trace
+
+
+def nest(depth):
+    """Trace: descend to *depth*, come back up."""
+    return [1] * depth + [-1] * depth
+
+
+class TestSimulateWindows:
+    def test_shallow_trace_never_traps(self):
+        result = simulate_windows(nest(5), 8)
+        assert result.overflows == 0
+        assert result.underflows == 0
+        assert result.max_depth == 5
+
+    def test_deep_nest_traps(self):
+        # capacity is N-1 frames, one of which is the initial environment,
+        # so the first 6 nested calls are free and the rest trap.
+        result = simulate_windows(nest(20), 8)
+        assert result.overflows == 20 - 6
+        assert result.underflows == result.overflows
+
+    def test_two_windows_trap_on_every_nested_call(self):
+        result = simulate_windows(nest(10), 2)
+        assert result.overflows == 10
+
+    def test_oscillation_at_boundary_is_absorbed(self):
+        # Hovering at the capacity boundary does NOT thrash: after one
+        # spill the file has a frame of slack, so call/return pairs at
+        # the same depth stop trapping - the hysteresis the paper relies on.
+        trace = [1] * 7 + [1, -1] * 10 + [-1] * 7
+        result = simulate_windows(trace, 8)
+        assert result.overflows == 2
+        assert result.underflows == 2
+
+    def test_spill_words(self):
+        result = simulate_windows(nest(9), 8)
+        assert result.spill_words == (result.overflows + result.underflows) * 16
+
+    def test_overflow_rate(self):
+        result = simulate_windows(nest(14), 8)
+        assert result.overflow_rate == pytest.approx(8 / 14)
+
+    def test_empty_trace(self):
+        result = simulate_windows([], 8)
+        assert result.calls == 0
+        assert result.overflow_rate == 0.0
+
+    def test_unbalanced_trace_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_windows([-1], 8)
+
+    def test_bad_event_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_windows([2], 8)
+
+    def test_single_window_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_windows(nest(3), 1)
+
+    @given(st.integers(2, 16), st.integers(0, 200))
+    def test_overflows_equal_underflows_on_balanced_traces(self, windows, depth):
+        result = simulate_windows(nest(depth), windows)
+        assert result.overflows == result.underflows
+
+    @given(st.integers(0, 2000))
+    def test_more_windows_never_more_overflows(self, seed):
+        trace = synthetic_call_trace(500, seed=seed)
+        small = simulate_windows(trace, 4)
+        large = simulate_windows(trace, 8)
+        assert large.overflows <= small.overflows
+
+
+class TestSweeps:
+    def test_window_sweep_is_monotone(self):
+        trace = synthetic_call_trace(5000, locality=0.6)
+        sweep = sweep_window_counts(trace)
+        rates = [sweep[count].overflows for count in sorted(sweep)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_overlap_sweep_has_interior_minimum_on_real_traces(self):
+        trace = synthetic_call_trace(5000, locality=0.7)
+        sweep = sweep_overlap(trace)
+        # zero overlap pays for argument copies; it must never be best
+        assert sweep[0] > min(sweep.values())
+
+    def test_overlap_bounds(self):
+        with pytest.raises(ValueError):
+            overlap_traffic(nest(3), overlap=11)
+
+    def test_conventional_machine_traffic_reference(self):
+        result = simulate_windows(nest(6), 8)
+        assert result.data_refs_without_windows == (6 + 6) * 8
+        assert result.data_refs_with_windows == 0
+
+
+class TestSyntheticTraces:
+    def test_trace_balances(self):
+        trace = synthetic_call_trace(1000)
+        assert sum(trace) == 0
+
+    def test_deterministic_for_seed(self):
+        assert synthetic_call_trace(100, seed=5) == synthetic_call_trace(100, seed=5)
+
+    def test_locality_reduces_depth_excursions(self):
+        wild = simulate_windows(synthetic_call_trace(5000, locality=0.5), 8)
+        tame = simulate_windows(synthetic_call_trace(5000, locality=0.9), 8)
+        assert tame.overflows < wild.overflows
+
+    def test_bad_locality_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_call_trace(10, locality=1.5)

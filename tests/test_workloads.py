@@ -1,0 +1,94 @@
+"""Tests for the eleven benchmark programs.
+
+The heavyweight full-matrix execution lives in benchmarks/; here we
+verify structural properties cheaply and run the fast programs
+differentially end-to-end.
+"""
+
+import pytest
+
+from repro.cc import compile_for_risc
+from repro.hll import run_program
+from repro.hll.parser import parse_program
+from repro.hll.sema import analyze
+from repro.workloads import BENCHMARKS, benchmark
+
+FAST = ("ackermann", "towers", "puzzle_subscript", "puzzle_pointer")
+
+
+class TestSuiteStructure:
+    def test_eleven_benchmarks(self):
+        assert len(BENCHMARKS) == 11
+
+    def test_unique_names(self):
+        names = [bench.name for bench in BENCHMARKS]
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        assert benchmark("towers").label == "Towers(10)"
+        with pytest.raises(KeyError):
+            benchmark("nope")
+
+    def test_paper_letter_benchmarks_present(self):
+        labels = {bench.label for bench in BENCHMARKS}
+        assert {"E", "F", "H", "K", "I"} <= labels
+
+    def test_every_benchmark_documents_scaling(self):
+        for bench in BENCHMARKS:
+            assert bench.scaling_note
+            assert bench.description
+
+    @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+    def test_all_sources_typecheck(self, bench):
+        analyze(parse_program(bench.source))
+
+    def test_call_intensive_flags(self):
+        flagged = {bench.name for bench in BENCHMARKS if bench.call_intensive}
+        assert "ackermann" in flagged
+        assert "towers" in flagged
+
+
+class TestKnownResults:
+    """Pin the interpreter ground truth so workload edits are deliberate."""
+
+    EXPECTED = {
+        "ackermann": 61,
+        "towers": 1023,
+        "puzzle_subscript": 5000302,
+        "puzzle_pointer": 5000302,
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED), ids=str)
+    def test_interpreter_value(self, name):
+        value = run_program(benchmark(name).source, max_ops=20_000_000).value
+        assert value == self.EXPECTED[name]
+
+    def test_puzzle_variants_agree(self):
+        sub = run_program(benchmark("puzzle_subscript").source, max_ops=20_000_000)
+        ptr = run_program(benchmark("puzzle_pointer").source, max_ops=20_000_000)
+        assert sub.value == ptr.value
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", FAST, ids=str)
+    def test_risc_matches_interpreter(self, name):
+        bench = benchmark(name)
+        expected = run_program(bench.source, max_ops=20_000_000).value
+        value, machine = compile_for_risc(bench.source).run()
+        assert value == expected
+        assert machine.stats.instructions > 1000
+
+    def test_ackermann_exercises_window_traps(self):
+        __, machine = compile_for_risc(benchmark("ackermann").source).run()
+        assert machine.stats.window_overflows > 100
+        assert machine.stats.window_overflows == machine.stats.window_underflows
+
+    def test_towers_is_call_dominated(self):
+        __, machine = compile_for_risc(benchmark("towers").source).run()
+        jumps = machine.stats.by_category["JUMP"]
+        assert jumps / machine.stats.instructions > 0.2
+
+    def test_all_benchmarks_compile_for_risc(self):
+        for bench in BENCHMARKS:
+            compiled = compile_for_risc(bench.source)
+            assert compiled.code_size_bytes > 0
