@@ -1,0 +1,21 @@
+"""R1 - fault-injection campaign rates (robustness)."""
+
+from repro.evaluation import r1_fault_campaign
+from repro.faults import Outcome
+
+
+def test_r1_fault_campaign(once):
+    report = once(r1_fault_campaign.run_report, injections=60)
+    table = report.rate_table()
+    print("\n" + table.render())
+    counts = report.outcome_counts()
+    # The acceptance property: no injection may escape as a host exception.
+    assert counts[Outcome.CRASH] == 0
+    assert sum(counts.values()) == 60
+    # Most single faults land in dead state: masked is the majority
+    # outcome, as in every hardware fault-injection study.
+    assert counts[Outcome.MASKED] > 30
+    # The table carries one row per exercised fault site plus "all".
+    assert table.rows[-1][0] == "all"
+    crash_column = [row[6] for row in table.rows]
+    assert all(int(cell) == 0 for cell in crash_column)

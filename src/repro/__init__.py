@@ -23,10 +23,18 @@ compiler, :mod:`repro.baselines` for the CISC comparison machines, and
 
 from repro.asm import assemble, disassemble, disassemble_program
 from repro.common.memory import Memory
-from repro.cpu.machine import CYCLE_TIME_NS, ExecutionStats, HaltReason, RiscMachine
+from repro.cpu.machine import (
+    CYCLE_TIME_NS,
+    ExecutionStats,
+    HaltReason,
+    RiscMachine,
+    TrapCause,
+    TrapRecord,
+    TrapVectorTable,
+)
 from repro.isa import Instruction, Opcode, decode, encode
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CYCLE_TIME_NS",
@@ -36,6 +44,9 @@ __all__ = [
     "Memory",
     "Opcode",
     "RiscMachine",
+    "TrapCause",
+    "TrapRecord",
+    "TrapVectorTable",
     "assemble",
     "decode",
     "disassemble",

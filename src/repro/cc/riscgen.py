@@ -522,9 +522,26 @@ def fill_delay_slots(lines: list[AsmLine]) -> tuple[list[AsmLine], int, int]:
     return result, total, filled
 
 
+def _is_single_word(line: AsmLine) -> bool:
+    """True unless the line is an ``li`` the assembler expands to two
+    words (ldhi + add).  A delay slot holds exactly one machine word, so
+    a wide ``li`` placed there would execute only its first half before
+    the transfer."""
+    text = line.text.strip()
+    if not text.startswith("li "):
+        return True
+    try:
+        value = int(text.split(",", 1)[1].strip().lstrip("#"), 0)
+    except (IndexError, ValueError):
+        return False  # symbolic immediate: size unknown, keep it out
+    return fits_signed(value, 13)
+
+
 def _can_fill(candidate: AsmLine, lines: list[AsmLine], position: int,
               jump: AsmLine) -> bool:
     if candidate.kind != "op" or candidate.sets_flags:
+        return False
+    if not _is_single_word(candidate):
         return False
     if position == 0:
         return False

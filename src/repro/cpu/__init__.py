@@ -12,7 +12,15 @@ Submodules:
 """
 
 from repro.cpu.alu import Alu, AluResult
-from repro.cpu.machine import ExecutionStats, HaltReason, RiscMachine
+from repro.cpu.machine import (
+    ExecutionStats,
+    HaltReason,
+    MachineCheckpoint,
+    RiscMachine,
+    TrapCause,
+    TrapRecord,
+    TrapVectorTable,
+)
 from repro.cpu.psw import Psw
 from repro.cpu.regfile import WindowedRegisterFile
 
@@ -21,7 +29,11 @@ __all__ = [
     "AluResult",
     "ExecutionStats",
     "HaltReason",
+    "MachineCheckpoint",
     "Psw",
     "RiscMachine",
+    "TrapCause",
+    "TrapRecord",
+    "TrapVectorTable",
     "WindowedRegisterFile",
 ]

@@ -31,6 +31,7 @@ class StopReason(enum.Enum):
     HALTED = "machine halted"
     FINISHED = "frame returned"
     LIMIT = "step limit"
+    TRAP = "trap"
 
 
 @dataclass
@@ -101,6 +102,11 @@ class Debugger:
             return StopEvent(StopReason.HALTED, self.machine.pc)
         pc = self.machine.pc
         inst = self.machine.step()
+        if inst is None:
+            # The step trapped instead of completing an instruction.
+            record = self.machine.last_trap
+            detail = str(record) if record is not None else "trap"
+            return StopEvent(StopReason.TRAP, self.machine.pc, detail)
         self.trace.append((pc, inst))
         self._track_calls(pc, inst)
         changed = self._changed_watchpoint()
@@ -116,7 +122,7 @@ class Debugger:
         """Run until a breakpoint, watchpoint, halt, or step limit."""
         for __ in range(max_steps):
             event = self.step()
-            if event.reason in (StopReason.WATCHPOINT, StopReason.HALTED):
+            if event.reason in (StopReason.WATCHPOINT, StopReason.HALTED, StopReason.TRAP):
                 return event
             if self.machine.halted is not None:
                 return StopEvent(StopReason.HALTED, self.machine.pc)
@@ -132,7 +138,7 @@ class Debugger:
         target_depth = self.machine.call_depth - 1
         for __ in range(max_steps):
             event = self.step()
-            if event.reason in (StopReason.WATCHPOINT, StopReason.HALTED):
+            if event.reason in (StopReason.WATCHPOINT, StopReason.HALTED, StopReason.TRAP):
                 return event
             if self.machine.halted is not None:
                 return StopEvent(StopReason.HALTED, self.machine.pc)

@@ -17,23 +17,33 @@ The executor keeps a SPARC-style ``(pc, npc)`` pair: each step executes
 the instruction at ``pc``; a taken jump replaces ``npc`` *after* the
 current ``npc`` (the delay slot) has been promoted, which yields exactly
 one delay slot per transfer.
+
+Abnormal conditions go through a **precise trap architecture** rather
+than escaping as Python exceptions: an illegal decode, a misaligned or
+out-of-range access, window-save-stack exhaustion, an unbalanced return,
+or (optionally) signed overflow produces a structured
+:class:`TrapRecord` and either vectors to a guest handler registered in
+the machine's :class:`TrapVectorTable` or halts the machine with
+:attr:`HaltReason.TRAPPED`.  Traps are precise: the faulting instruction
+has no architectural effect (registers, memory, window state and the PC
+chain are all as they were before its fetch).
 """
 
 from __future__ import annotations
 
 import enum
+import time
 from collections import Counter
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 from repro.common.bitops import MASK32
-from repro.common.memory import Memory
+from repro.common.memory import Memory, MemoryCheckpoint
 from repro.cpu.alu import Alu
 from repro.cpu.psw import Psw
 from repro.cpu.regfile import WindowedRegisterFile
-from repro.errors import SimulationError, TrapError
+from repro.errors import DecodingError, MemoryFaultError, SimulationError, TrapError
 from repro.isa.conditions import Cond, cond_holds
-from repro.isa.decode import decode
+from repro.isa.decode import CachingDecoder
 from repro.isa.formats import Instruction
 from repro.isa.opcodes import Category, Format, Opcode
 from repro.isa.registers import NUM_WINDOWS, REGS_PER_WINDOW_UNIQUE
@@ -47,15 +57,124 @@ CYCLE_TIME_NS = 400
 TRAP_OVERHEAD_CYCLES = 4
 
 
-@lru_cache(maxsize=65536)
-def _decode_cached(word: int) -> Instruction:
-    return decode(word)
+class TrapCause(enum.IntEnum):
+    """Architectural trap causes (the code a vectored handler receives)."""
+
+    ILLEGAL_INSTRUCTION = 1
+    MISALIGNED_ACCESS = 2
+    OUT_OF_RANGE_ACCESS = 3
+    WINDOW_OVERFLOW_STACK = 4
+    WINDOW_UNDERFLOW_EMPTY = 5
+    RET_NO_FRAME = 6
+    ARITHMETIC_OVERFLOW = 7
+
+    def describe(self) -> str:
+        return _TRAP_DESCRIPTIONS[self]
+
+
+_TRAP_DESCRIPTIONS = {
+    TrapCause.ILLEGAL_INSTRUCTION: "illegal instruction",
+    TrapCause.MISALIGNED_ACCESS: "misaligned memory access",
+    TrapCause.OUT_OF_RANGE_ACCESS: "memory address out of range",
+    TrapCause.WINDOW_OVERFLOW_STACK: "window-save stack exhausted",
+    TrapCause.WINDOW_UNDERFLOW_EMPTY: "window underflow with empty save stack",
+    TrapCause.RET_NO_FRAME: "RET with no active procedure frame",
+    TrapCause.ARITHMETIC_OVERFLOW: "signed arithmetic overflow",
+}
+
+
+@dataclass(frozen=True)
+class TrapRecord:
+    """Everything the machine knows about one trap, structured.
+
+    Attributes:
+        cause: the architectural :class:`TrapCause`.
+        pc: address of the faulting instruction.
+        npc: the next-PC at trap time (needed to reason about delay
+            slots; a fault in a delay slot cannot be resumed from ``pc``
+            alone).
+        word: the faulting instruction word, when it was fetched.
+        address: the faulting data address, for memory traps.
+        cwp: current window pointer at trap time.
+        cycle: machine cycle count at trap time.
+        instruction_index: dynamic instruction count at trap time.
+        in_delay_slot: the faulting instruction occupied a delay slot.
+        vectored: a guest handler was dispatched (False = machine halted).
+        message: human-readable detail.
+    """
+
+    cause: TrapCause
+    pc: int
+    npc: int
+    word: int | None = None
+    address: int | None = None
+    cwp: int = 0
+    cycle: int = 0
+    instruction_index: int = 0
+    in_delay_slot: bool = False
+    vectored: bool = False
+    message: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f"pc={self.pc:#x}"
+        if self.address is not None:
+            where += f" addr={self.address:#x}"
+        if self.word is not None:
+            where += f" word={self.word:#010x}"
+        return f"trap {self.cause.name} ({self.message or self.cause.describe()}) at {where}"
+
+
+class TrapVectorTable:
+    """Configurable map from :class:`TrapCause` to guest handler address.
+
+    A cause with no registered handler halts the machine with
+    :attr:`HaltReason.TRAPPED`; a registered handler receives control in
+    a fresh register window (the paper's interrupt convention: a forced
+    CALL), with the cause code in ``r17``, the faulting address (or 0)
+    in ``r18``, and the faulting PC recoverable via ``gtlpc``.
+    """
+
+    def __init__(self, vectors: dict[TrapCause, int] | None = None):
+        self._vectors: dict[TrapCause, int] = dict(vectors or {})
+
+    def set(self, cause: TrapCause, handler: int) -> None:
+        self._vectors[cause] = handler
+
+    def clear(self, cause: TrapCause) -> None:
+        self._vectors.pop(cause, None)
+
+    def handler(self, cause: TrapCause) -> int | None:
+        return self._vectors.get(cause)
+
+    def load(self, mapping: dict[TrapCause, int]) -> None:
+        self._vectors.update(mapping)
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+
+class _TrapSignal(Exception):
+    """Internal control flow: a trap condition detected mid-execution.
+
+    Never escapes :meth:`RiscMachine.step`; converted to a
+    :class:`TrapRecord` there.  The raising site must leave architectural
+    state exactly as it was before the faulting instruction (precision is
+    enforced by construction at each raise site).
+    """
+
+    def __init__(self, cause: TrapCause, message: str = "", address: int | None = None):
+        self.cause = cause
+        self.address = address
+        super().__init__(message or cause.describe())
 
 
 class HaltReason(enum.Enum):
     RETURNED = "initial procedure returned"
     STEP_LIMIT = "step limit reached"
     EXPLICIT = "halt address reached"
+    TRAPPED = "unhandled trap"
+    CYCLE_LIMIT = "cycle budget exhausted"
+    WALL_CLOCK_LIMIT = "wall-clock budget exhausted"
 
 
 @dataclass
@@ -72,8 +191,10 @@ class ExecutionStats:
     window_overflows: int = 0
     window_underflows: int = 0
     max_call_depth: int = 0
+    traps: int = 0
     by_category: Counter = field(default_factory=Counter)
     by_opcode: Counter = field(default_factory=Counter)
+    by_trap_cause: Counter = field(default_factory=Counter)
 
     @property
     def spill_words(self) -> int:
@@ -82,6 +203,52 @@ class ExecutionStats:
 
     def time_ns(self, cycle_time_ns: float = CYCLE_TIME_NS) -> float:
         return self.cycles * cycle_time_ns
+
+    def copy(self) -> "ExecutionStats":
+        return ExecutionStats(
+            instructions=self.instructions,
+            cycles=self.cycles,
+            calls=self.calls,
+            returns=self.returns,
+            taken_jumps=self.taken_jumps,
+            delay_slots=self.delay_slots,
+            delay_slot_nops=self.delay_slot_nops,
+            window_overflows=self.window_overflows,
+            window_underflows=self.window_underflows,
+            max_call_depth=self.max_call_depth,
+            traps=self.traps,
+            by_category=Counter(self.by_category),
+            by_opcode=Counter(self.by_opcode),
+            by_trap_cause=Counter(self.by_trap_cause),
+        )
+
+
+@dataclass(frozen=True)
+class MachineCheckpoint:
+    """Full architectural snapshot taken by :meth:`RiscMachine.checkpoint`."""
+
+    regs: tuple[int, ...]
+    psw: tuple[bool, bool, bool, bool, bool, int, int]
+    pc: int
+    npc: int
+    lpc: int
+    halted: HaltReason | None
+    pending_jump: bool
+    resident_windows: int
+    call_depth: int
+    window_save_pointer: int
+    pending_interrupt: int | None
+    interrupts_taken: int
+    stats: ExecutionStats
+    call_trace_len: int
+    trap_log_len: int
+    memory: MemoryCheckpoint
+
+
+#: ALU opcodes whose signed-overflow result can raise the arithmetic trap.
+_ARITH_OPCODES = frozenset(
+    {Opcode.ADD, Opcode.ADDC, Opcode.SUB, Opcode.SUBC, Opcode.SUBR, Opcode.SUBCR}
+)
 
 
 class RiscMachine:
@@ -94,6 +261,14 @@ class RiscMachine:
             where CALL/RET do not switch windows (software must save).
         record_call_trace: keep a +1/-1 call-depth trace for the window
             sweep analysis (cheap; on by default).
+        decoder: instruction decoder; defaults to a private
+            :class:`~repro.isa.decode.CachingDecoder` so decode-cache
+            contents and statistics never leak between machines.  Pass a
+            shared instance explicitly to amortise decoding across
+            machines.
+        strict_traps: raise :class:`~repro.errors.TrapError` (carrying
+            the :class:`TrapRecord`) on an unvectored trap instead of
+            halting.  Off by default: traps halt structurally.
     """
 
     def __init__(
@@ -103,6 +278,8 @@ class RiscMachine:
         num_windows: int = NUM_WINDOWS,
         use_windows: bool = True,
         record_call_trace: bool = True,
+        decoder: CachingDecoder | None = None,
+        strict_traps: bool = False,
     ):
         self.memory = memory if memory is not None else Memory()
         self.regs = WindowedRegisterFile(num_windows=num_windows, use_windows=use_windows)
@@ -113,6 +290,8 @@ class RiscMachine:
         self.stats = ExecutionStats()
         self.record_call_trace = record_call_trace
         self.call_trace: list[int] = []
+        self.decoder = decoder if decoder is not None else CachingDecoder()
+        self.strict_traps = strict_traps
 
         self.pc = 0
         self.npc = 4
@@ -131,6 +310,19 @@ class RiscMachine:
         # and taken at the next step boundary that is not a delay slot.
         self.pending_interrupt: int | None = None
         self.interrupts_taken = 0
+
+        # Trap architecture.
+        self.trap_vectors = TrapVectorTable()
+        self.trap_log: list[TrapRecord] = []
+        self.last_trap: TrapRecord | None = None
+        self.trap_on_overflow = False  # opt-in arithmetic trap on signed overflow
+
+        # Fault-injection hooks.  pre_step_hooks run at the top of every
+        # step (before the interrupt check); fetch_filters may rewrite
+        # the fetched instruction word - a mutated word bypasses the
+        # decode cache.
+        self.pre_step_hooks: list = []
+        self.fetch_filters: list = []
 
     # -- program setup ------------------------------------------------------
 
@@ -170,11 +362,14 @@ class RiscMachine:
 
     def _spill_window(self, window: int) -> None:
         """Overflow trap body: push the frame-at-*window*'s LOCAL+HIGH unit."""
-        self.window_save_pointer -= 4 * REGS_PER_WINDOW_UNIQUE
-        if self.window_save_pointer < self.window_stack_limit:
-            raise TrapError(
-                f"window-save stack exhausted (limit {self.window_stack_limit:#x})"
+        new_pointer = self.window_save_pointer - 4 * REGS_PER_WINDOW_UNIQUE
+        if new_pointer < self.window_stack_limit:
+            raise _TrapSignal(
+                TrapCause.WINDOW_OVERFLOW_STACK,
+                f"window-save stack exhausted (limit {self.window_stack_limit:#x})",
+                address=new_pointer,
             )
+        self.window_save_pointer = new_pointer
         unit = self.regs.spill_unit(window)
         for i, value in enumerate(unit):
             self.memory.store_word(self.window_save_pointer + 4 * i, value)
@@ -184,7 +379,11 @@ class RiscMachine:
     def _refill_window(self, window: int) -> None:
         """Underflow trap body: pop the LOCAL+HIGH unit back into *window*."""
         if self.window_save_pointer >= self.memory.size:
-            raise TrapError("window underflow with empty save stack")
+            raise _TrapSignal(
+                TrapCause.WINDOW_UNDERFLOW_EMPTY,
+                "window underflow with empty save stack",
+                address=self.window_save_pointer,
+            )
         values = [
             self.memory.load_word(self.window_save_pointer + 4 * i)
             for i in range(REGS_PER_WINDOW_UNIQUE)
@@ -205,7 +404,14 @@ class RiscMachine:
         new_cwp = (self.psw.cwp - 1) % self.num_windows
         if self.resident_windows == self.num_windows - 1:
             oldest = (new_cwp + self.resident_windows) % self.num_windows
-            self._spill_window(oldest)
+            try:
+                self._spill_window(oldest)
+            except _TrapSignal:
+                # Precise trap: undo the frame bookkeeping done above.
+                self.call_depth -= 1
+                if self.record_call_trace:
+                    self.call_trace.pop()
+                raise
         else:
             self.resident_windows += 1
         self.psw.cwp = new_cwp
@@ -216,7 +422,7 @@ class RiscMachine:
     def _exit_window(self) -> None:
         """RET path: release the window, refilling the caller's if spilled."""
         if self.call_depth <= 0:
-            raise TrapError("RET with no active procedure frame")
+            raise _TrapSignal(TrapCause.RET_NO_FRAME, "RET with no active procedure frame")
         self.call_depth -= 1
         if self.record_call_trace:
             self.call_trace.append(-1)
@@ -227,7 +433,13 @@ class RiscMachine:
             # Final return from the entry procedure: nothing to restore.
             self.resident_windows = 1
         elif self.resident_windows == 1:
-            self._refill_window(new_cwp)
+            try:
+                self._refill_window(new_cwp)
+            except _TrapSignal:
+                self.call_depth += 1
+                if self.record_call_trace:
+                    self.call_trace.pop()
+                raise
         else:
             self.resident_windows -= 1
         self.psw.cwp = new_cwp
@@ -253,9 +465,9 @@ class RiscMachine:
 
     def _take_interrupt(self) -> None:
         handler = self.pending_interrupt
+        self._enter_window()  # may trap (save stack exhausted); precise
         self.pending_interrupt = None
         self.interrupts_taken += 1
-        self._enter_window()
         self.stats.calls += 1
         # GTLPC must return the interrupted instruction's address.
         self.lpc = self.pc
@@ -263,19 +475,134 @@ class RiscMachine:
         self.pc = handler
         self.npc = handler + 4
 
-    def step(self) -> Instruction:
-        """Execute one instruction; returns the decoded instruction."""
+    # -- traps ------------------------------------------------------------------
+
+    def _trap(
+        self,
+        cause: TrapCause,
+        *,
+        pc: int,
+        word: int | None = None,
+        address: int | None = None,
+        message: str = "",
+        in_delay_slot: bool = False,
+    ) -> None:
+        """Record a trap and either vector to a guest handler or halt."""
+        handler = self.trap_vectors.handler(cause)
+        record = TrapRecord(
+            cause=cause,
+            pc=pc,
+            npc=self.npc,
+            word=word,
+            address=address,
+            cwp=self.psw.cwp,
+            cycle=self.stats.cycles,
+            instruction_index=self.stats.instructions,
+            in_delay_slot=in_delay_slot,
+            vectored=handler is not None,
+            message=message or cause.describe(),
+        )
+        self.trap_log.append(record)
+        self.last_trap = record
+        self.stats.traps += 1
+        self.stats.by_trap_cause[cause.name] += 1
+        if handler is None:
+            self.halted = HaltReason.TRAPPED
+            if self.strict_traps:
+                raise TrapError(str(record), record=record)
+            return
+        # Vector: a forced CALL into a fresh window, like an interrupt.
+        try:
+            self._enter_window()
+        except _TrapSignal as nested:
+            # Double fault: the handler window itself cannot be allocated.
+            double = TrapRecord(
+                cause=nested.cause,
+                pc=pc,
+                npc=self.npc,
+                address=nested.address,
+                cwp=self.psw.cwp,
+                cycle=self.stats.cycles,
+                instruction_index=self.stats.instructions,
+                vectored=False,
+                message=f"double fault while vectoring {cause.name}: {nested}",
+            )
+            self.trap_log.append(double)
+            self.last_trap = double
+            self.stats.traps += 1
+            self.stats.by_trap_cause[nested.cause.name] += 1
+            self.halted = HaltReason.TRAPPED
+            if self.strict_traps:
+                raise TrapError(str(double), record=double) from None
+            return
+        self.stats.cycles += TRAP_OVERHEAD_CYCLES
+        # Handler ABI: cause code in r17, faulting address (or 0) in r18;
+        # GTLPC recovers the faulting PC.
+        self.write_reg(17, int(cause))
+        self.write_reg(18, (address or 0) & MASK32)
+        self.lpc = pc
+        self.psw.interrupts_enabled = False
+        self._pending_jump = False
+        self.pc = handler
+        self.npc = handler + 4
+
+    def step(self) -> Instruction | None:
+        """Execute one instruction; returns the decoded instruction.
+
+        Returns ``None`` when the step ended in a trap instead of a
+        completed instruction (the trap is described by
+        :attr:`last_trap`); the machine is then either halted
+        (:attr:`HaltReason.TRAPPED`) or redirected into a guest handler.
+        """
         if self.halted is not None:
             raise SimulationError(f"machine is halted ({self.halted.value})")
+        if self.pre_step_hooks:
+            for hook in self.pre_step_hooks:
+                hook(self)
         if (
             self.pending_interrupt is not None
             and self.psw.interrupts_enabled
             and not self._pending_jump  # never split a jump from its delay slot
         ):
-            self._take_interrupt()
+            try:
+                self._take_interrupt()
+            except _TrapSignal as sig:
+                # The interrupt's window allocation trapped (save stack
+                # exhausted); the interrupted program state is intact.
+                self._trap(sig.cause, pc=self.pc, address=sig.address, message=str(sig))
+                return None
         pc = self.pc
-        word = self.memory.fetch_word(pc)
-        inst = _decode_cached(word)
+        try:
+            word = self.memory.fetch_word(pc)
+        except MemoryFaultError as exc:
+            self._trap(
+                _memory_trap_cause(exc),
+                pc=pc,
+                address=exc.address,
+                message=f"instruction fetch: {exc}",
+                in_delay_slot=self._pending_jump,
+            )
+            return None
+        bypass_cache = False
+        if self.fetch_filters:
+            original = word
+            for filt in self.fetch_filters:
+                word = filt(pc, word) & MASK32
+            bypass_cache = word != original
+        try:
+            if bypass_cache:
+                inst = self.decoder.decode_uncached(word)
+            else:
+                inst = self.decoder.decode(word)
+        except DecodingError as exc:
+            self._trap(
+                TrapCause.ILLEGAL_INSTRUCTION,
+                pc=pc,
+                word=word,
+                message=str(exc),
+                in_delay_slot=self._pending_jump,
+            )
+            return None
         spec = inst.spec
 
         in_delay_slot = self._pending_jump
@@ -290,36 +617,62 @@ class RiscMachine:
         new_npc = self.npc + 4
 
         category = spec.category
-        if category is Category.ALU:
-            a = self.read_reg(inst.rs1)
-            b = self._operand_s2(inst)
-            result = self.alu.execute(inst.opcode, a, b, self.psw.c)
-            self.write_reg(inst.dest, result.value)
-            if inst.scc:
-                self.psw.set_flags(z=result.z, n=result.n, c=result.c, v=result.v)
-        elif category is Category.LOAD:
-            address = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
-            self.write_reg(inst.dest, self._load(inst.opcode, address))
-        elif category is Category.STORE:
-            address = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
-            self._store(inst.opcode, address, self.read_reg(inst.dest))
-        elif category is Category.JUMP:
-            target = self._execute_jump(inst, pc)
-            if target is not None:
-                new_npc = target
-                self._pending_jump = True
-                self.stats.taken_jumps += 1
-        elif inst.opcode is Opcode.LDHI:
-            self.write_reg(inst.dest, (inst.imm19 << 13) & MASK32)
-        elif inst.opcode is Opcode.GTLPC:
-            self.write_reg(inst.dest, self.lpc)
-        elif inst.opcode is Opcode.GETPSW:
-            self.write_reg(inst.dest, self.psw.pack())
-        elif inst.opcode is Opcode.PUTPSW:
-            value = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
-            self.psw.unpack(value)
-        else:  # pragma: no cover - every opcode is handled above
-            raise SimulationError(f"unimplemented opcode {inst.opcode!r}")
+        try:
+            if category is Category.ALU:
+                a = self.read_reg(inst.rs1)
+                b = self._operand_s2(inst)
+                result = self.alu.execute(inst.opcode, a, b, self.psw.c)
+                if self.trap_on_overflow and result.v and inst.opcode in _ARITH_OPCODES:
+                    raise _TrapSignal(
+                        TrapCause.ARITHMETIC_OVERFLOW,
+                        f"signed overflow in {inst.opcode.name}",
+                    )
+                self.write_reg(inst.dest, result.value)
+                if inst.scc:
+                    self.psw.set_flags(z=result.z, n=result.n, c=result.c, v=result.v)
+            elif category is Category.LOAD:
+                address = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
+                self.write_reg(inst.dest, self._load(inst.opcode, address))
+            elif category is Category.STORE:
+                address = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
+                self._store(inst.opcode, address, self.read_reg(inst.dest))
+            elif category is Category.JUMP:
+                target = self._execute_jump(inst, pc)
+                if target is not None:
+                    new_npc = target
+                    self._pending_jump = True
+                    self.stats.taken_jumps += 1
+            elif inst.opcode is Opcode.LDHI:
+                self.write_reg(inst.dest, (inst.imm19 << 13) & MASK32)
+            elif inst.opcode is Opcode.GTLPC:
+                self.write_reg(inst.dest, self.lpc)
+            elif inst.opcode is Opcode.GETPSW:
+                self.write_reg(inst.dest, self.psw.pack())
+            elif inst.opcode is Opcode.PUTPSW:
+                value = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
+                self.psw.unpack(value)
+            else:  # pragma: no cover - every opcode is handled above
+                raise SimulationError(f"unimplemented opcode {inst.opcode!r}")
+        except MemoryFaultError as exc:
+            self._trap(
+                _memory_trap_cause(exc),
+                pc=pc,
+                word=word,
+                address=exc.address,
+                message=str(exc),
+                in_delay_slot=in_delay_slot,
+            )
+            return None
+        except _TrapSignal as sig:
+            self._trap(
+                sig.cause,
+                pc=pc,
+                word=word,
+                address=sig.address,
+                message=str(sig),
+                in_delay_slot=in_delay_slot,
+            )
+            return None
 
         self.stats.instructions += 1
         self.stats.cycles += spec.cycles
@@ -410,16 +763,103 @@ class RiscMachine:
         """
         return self.read_reg(10)
 
-    def run(self, entry: int = 0, max_steps: int = 20_000_000) -> ExecutionStats:
-        """Reset to *entry* and run until the entry procedure returns."""
+    # -- checkpoint / rollback --------------------------------------------------
+
+    def checkpoint(self, *, track_memory_deltas: bool = False) -> MachineCheckpoint:
+        """Snapshot the full architectural state for later :meth:`restore`.
+
+        With ``track_memory_deltas`` the memory snapshot is a cheap write
+        journal instead of a full image copy (see
+        :meth:`~repro.common.memory.Memory.checkpoint`); the golden-vs-
+        faulted differential runs rewind a 1 MiB machine thousands of
+        times this way.
+        """
+        psw = self.psw
+        return MachineCheckpoint(
+            regs=tuple(self.regs._regs),
+            psw=(psw.z, psw.n, psw.c, psw.v, psw.interrupts_enabled, psw.cwp, psw.swp),
+            pc=self.pc,
+            npc=self.npc,
+            lpc=self.lpc,
+            halted=self.halted,
+            pending_jump=self._pending_jump,
+            resident_windows=self.resident_windows,
+            call_depth=self.call_depth,
+            window_save_pointer=self.window_save_pointer,
+            pending_interrupt=self.pending_interrupt,
+            interrupts_taken=self.interrupts_taken,
+            stats=self.stats.copy(),
+            call_trace_len=len(self.call_trace),
+            trap_log_len=len(self.trap_log),
+            memory=self.memory.checkpoint(track_deltas=track_memory_deltas),
+        )
+
+    def restore(self, cp: MachineCheckpoint) -> None:
+        """Rewind every architectural and accounting field to *cp*."""
+        self.regs._regs[:] = cp.regs
+        psw = self.psw
+        psw.z, psw.n, psw.c, psw.v, psw.interrupts_enabled, psw.cwp, psw.swp = cp.psw
+        self.pc = cp.pc
+        self.npc = cp.npc
+        self.lpc = cp.lpc
+        self.halted = cp.halted
+        self._pending_jump = cp.pending_jump
+        self.resident_windows = cp.resident_windows
+        self.call_depth = cp.call_depth
+        self.window_save_pointer = cp.window_save_pointer
+        self.pending_interrupt = cp.pending_interrupt
+        self.interrupts_taken = cp.interrupts_taken
+        self.stats = cp.stats.copy()
+        del self.call_trace[cp.call_trace_len :]
+        del self.trap_log[cp.trap_log_len :]
+        self.last_trap = self.trap_log[-1] if self.trap_log else None
+        self.memory.restore(cp.memory)
+
+    def run(
+        self,
+        entry: int = 0,
+        max_steps: int = 20_000_000,
+        *,
+        max_cycles: int | None = None,
+        wall_clock_limit: float | None = None,
+    ) -> ExecutionStats:
+        """Reset to *entry* and run until the entry procedure returns.
+
+        Watchdog budgets make unattended runs (fault campaigns, fuzzing)
+        safe against injected infinite loops: ``max_steps`` bounds
+        dynamic instructions (:attr:`HaltReason.STEP_LIMIT`),
+        ``max_cycles`` bounds simulated cycles
+        (:attr:`HaltReason.CYCLE_LIMIT`), and ``wall_clock_limit``
+        (seconds) bounds host time (:attr:`HaltReason.WALL_CLOCK_LIMIT`,
+        checked every 1024 steps to keep the hot loop tight).
+        """
         self.reset(entry)
         steps = 0
+        deadline = None
+        if wall_clock_limit is not None:
+            deadline = time.monotonic() + wall_clock_limit
         while self.halted is None:
             self.step()
             steps += 1
+            if self.halted is not None:
+                break
             if steps >= max_steps:
                 self.halted = HaltReason.STEP_LIMIT
+            elif max_cycles is not None and self.stats.cycles >= max_cycles:
+                self.halted = HaltReason.CYCLE_LIMIT
+            elif (
+                deadline is not None
+                and steps % 1024 == 0
+                and time.monotonic() > deadline
+            ):
+                self.halted = HaltReason.WALL_CLOCK_LIMIT
         return self.stats
+
+
+def _memory_trap_cause(exc: MemoryFaultError) -> TrapCause:
+    if exc.kind == "misaligned":
+        return TrapCause.MISALIGNED_ACCESS
+    return TrapCause.OUT_OF_RANGE_ACCESS
 
 
 def _is_nop(inst: Instruction) -> bool:

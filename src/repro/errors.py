@@ -37,12 +37,34 @@ class SimulationError(ReproError):
     """The simulator reached an illegal state (bad PC, unaligned access)."""
 
 
-class MemoryError_(SimulationError):
-    """Out-of-range or misaligned memory access."""
+class MemoryFaultError(SimulationError):
+    """Out-of-range or misaligned memory access.
+
+    Attributes:
+        address: the faulting byte address.
+        kind: ``"misaligned"`` or ``"out_of_range"``.
+    """
+
+    def __init__(self, message: str, *, address: int = 0, kind: str = "out_of_range"):
+        self.address = address
+        self.kind = kind
+        super().__init__(message)
+
+
+#: Deprecated alias for :class:`MemoryFaultError` (pre-1.1 name).
+MemoryError_ = MemoryFaultError
 
 
 class TrapError(SimulationError):
-    """An unhandled trap terminated simulation."""
+    """An unhandled trap terminated simulation (strict-trap mode only).
+
+    Carries the structured :class:`repro.cpu.machine.TrapRecord` as
+    ``record`` when raised by the machine's trap path.
+    """
+
+    def __init__(self, message: str, record=None):
+        self.record = record
+        super().__init__(message)
 
 
 class HLLError(ReproError):

@@ -15,6 +15,10 @@ F2        overlapped-register-window diagram
 F3        delayed-jump illustration + slot-fill measurement
 F4        execution overhead vs number of windows
 A1-A3     ablations (windows, delay slots, overlap size)
+E1        two-stage vs three-stage pipeline timing
+M1        dynamic instruction mix on RISC I
+M2        executed instruction counts relative to VAX
+R1        fault-injection campaign rates (robustness)
 ========  =====================================================
 
 Each module exposes ``run(...)`` returning :class:`repro.evaluation.tables.Table`

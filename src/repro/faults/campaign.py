@@ -1,0 +1,418 @@
+"""Golden-vs-faulted differential fault campaigns over the benchmarks.
+
+For each selected benchmark the runner executes one *golden* run
+(recording the result, dynamic instruction count, and the executed-PC
+histogram that seeds fault-site selection), takes a delta-tracked
+checkpoint of the freshly reset machine, and then replays the program
+once per injected fault, classifying every run:
+
+========  =========================================================
+MASKED    completed normally with the golden result (fault absorbed)
+DETECTED  the machine trapped (structured TrapRecord; the hardware
+          caught the corruption) before completing
+SDC       completed normally but with a wrong result - silent data
+          corruption, the outcome fault-tolerant design cares about
+TIMEOUT   exceeded the step budget (injected infinite loop); caught
+          by the watchdog, never by the host
+CRASH     a Python exception escaped the simulator - always a repro
+          bug, and asserted to be zero in CI
+========  =========================================================
+
+Determinism: all randomness flows through one seeded
+:class:`random.Random`; no wall-clock inputs are consulted.  Two runs
+with the same :class:`CampaignConfig` produce byte-identical reports
+(verified by :meth:`CampaignReport.fingerprint`).
+
+CLI (used by the CI smoke campaign)::
+
+    python -m repro.faults.campaign --injections 200 --seed 1981 \
+        --benchmarks towers,ackermann --verify-determinism \
+        --baseline ci/fault_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import enum
+import hashlib
+import json
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.common.bitops import to_signed
+from repro.cpu.machine import HaltReason, RiscMachine
+from repro.evaluation.tables import Table
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSites, FaultSpec, FaultTarget, random_spec
+
+#: Benchmarks small enough that a 1000-injection campaign finishes in
+#: minutes on the Python-hosted simulator.
+DEFAULT_BENCHMARKS = ("towers", "ackermann")
+
+#: Memory faults land in the first 64 KiB: code, globals, and the
+#: software stack of every benchmark live there.
+MEMORY_FAULT_TOP = 1 << 16
+
+
+class Outcome(enum.Enum):
+    MASKED = "masked"
+    DETECTED = "detected"
+    SILENT_CORRUPTION = "silent_corruption"
+    TIMEOUT = "timeout"
+    CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """Reference execution of one benchmark."""
+
+    benchmark: str
+    result: int
+    instructions: int
+    cycles: int
+    sites: FaultSites
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """Classification of one faulted run."""
+
+    benchmark: str
+    spec: FaultSpec
+    outcome: Outcome
+    halt: str
+    trap_cause: str | None
+    instructions: int
+    result: int | None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign, and nothing else."""
+
+    seed: int = 1981
+    injections: int = 1000
+    benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS
+    targets: tuple[FaultTarget, ...] = tuple(FaultTarget)
+    #: faulted runs get golden_steps * factor + slack dynamic instructions
+    step_budget_factor: float = 1.5
+    step_budget_slack: int = 4096
+
+
+@dataclass
+class CampaignReport:
+    """All injections of one campaign plus the golden references."""
+
+    config: CampaignConfig
+    golden: dict[str, GoldenRun]
+    results: list[InjectionResult] = field(default_factory=list)
+
+    # -- aggregation -------------------------------------------------------
+
+    def outcome_counts(self) -> Counter:
+        return Counter(result.outcome for result in self.results)
+
+    def counts_by_target(self) -> dict[FaultTarget, Counter]:
+        table: dict[FaultTarget, Counter] = {}
+        for result in self.results:
+            table.setdefault(result.spec.target, Counter())[result.outcome] += 1
+        return table
+
+    def rate_table(self) -> Table:
+        """Detection / silent-corruption / crash rates per fault site."""
+        table = Table(
+            title=(
+                f"R1: fault campaign ({len(self.results)} injections, "
+                f"seed {self.config.seed})"
+            ),
+            headers=["fault site", "n", "masked", "detected", "SDC",
+                     "timeout", "crash", "det %", "SDC %"],
+        )
+        by_target = self.counts_by_target()
+        for target in self.config.targets:
+            counts = by_target.get(target, Counter())
+            total = sum(counts.values())
+            if total == 0:
+                continue
+            table.add_row(
+                target.value,
+                total,
+                counts[Outcome.MASKED],
+                counts[Outcome.DETECTED],
+                counts[Outcome.SILENT_CORRUPTION],
+                counts[Outcome.TIMEOUT],
+                counts[Outcome.CRASH],
+                round(100.0 * counts[Outcome.DETECTED] / total, 1),
+                round(100.0 * counts[Outcome.SILENT_CORRUPTION] / total, 1),
+            )
+        overall = self.outcome_counts()
+        total = sum(overall.values()) or 1
+        table.add_row(
+            "all",
+            sum(overall.values()),
+            overall[Outcome.MASKED],
+            overall[Outcome.DETECTED],
+            overall[Outcome.SILENT_CORRUPTION],
+            overall[Outcome.TIMEOUT],
+            overall[Outcome.CRASH],
+            round(100.0 * overall[Outcome.DETECTED] / total, 1),
+            round(100.0 * overall[Outcome.SILENT_CORRUPTION] / total, 1),
+        )
+        table.notes.append(
+            "benchmarks: " + ", ".join(self.config.benchmarks)
+        )
+        table.notes.append(
+            "DETECTED = structured trap; SDC = wrong result with clean halt"
+        )
+        return table
+
+    def as_records(self) -> list[dict]:
+        """JSON-friendly rows, one per injection."""
+        rows = []
+        for result in self.results:
+            spec = result.spec
+            rows.append(
+                {
+                    "benchmark": result.benchmark,
+                    "target": spec.target.value,
+                    "kind": spec.kind.value,
+                    "location": spec.location,
+                    "bits": list(spec.bits),
+                    "trigger": spec.trigger.describe(),
+                    "outcome": result.outcome.value,
+                    "halt": result.halt,
+                    "trap_cause": result.trap_cause,
+                    "instructions": result.instructions,
+                    "result": result.result,
+                }
+            )
+        return rows
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every injection record; equal <=> bit-identical."""
+        payload = json.dumps(self.as_records(), sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()
+
+    def summary(self) -> dict:
+        counts = self.outcome_counts()
+        return {
+            "seed": self.config.seed,
+            "injections": len(self.results),
+            "benchmarks": list(self.config.benchmarks),
+            "masked": counts[Outcome.MASKED],
+            "detected": counts[Outcome.DETECTED],
+            "silent_corruption": counts[Outcome.SILENT_CORRUPTION],
+            "timeout": counts[Outcome.TIMEOUT],
+            "crash": counts[Outcome.CRASH],
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def _golden_run(name: str) -> tuple[GoldenRun, "object"]:
+    """Run *name* unfaulted; returns the reference plus the compiled image."""
+    from repro.cc import compile_for_risc
+    from repro.workloads import benchmark
+
+    bench = benchmark(name)
+    compiled = compile_for_risc(bench.source)
+    machine = compiled.make_machine()
+    pc_counts: Counter = Counter()
+
+    def record_pc(m: RiscMachine) -> None:
+        pc_counts[m.pc] += 1
+
+    machine.pre_step_hooks.append(record_pc)
+    machine.run(compiled.program.entry)
+    if machine.halted is not HaltReason.RETURNED:
+        raise RuntimeError(
+            f"golden run of {name} did not complete: {machine.halted}"
+        )
+    sites = FaultSites(
+        register_count=machine.regs.physical_count,
+        memory_top=min(MEMORY_FAULT_TOP, machine.memory.size),
+        pcs=tuple(sorted(pc_counts.items())),
+        cycle_limit=max(1, machine.stats.cycles - 1),
+    )
+    golden = GoldenRun(
+        benchmark=name,
+        result=to_signed(machine.result),
+        instructions=machine.stats.instructions,
+        cycles=machine.stats.cycles,
+        sites=sites,
+    )
+    return golden, compiled
+
+
+def _classify(
+    machine: RiscMachine, golden: GoldenRun, spec: FaultSpec, steps: int
+) -> InjectionResult:
+    halt = machine.halted.name if machine.halted is not None else "RUNNING"
+    trap_cause = None
+    result_value: int | None = None
+    if machine.halted is HaltReason.TRAPPED:
+        outcome = Outcome.DETECTED
+        if machine.last_trap is not None:
+            trap_cause = machine.last_trap.cause.name
+    elif machine.halted is HaltReason.RETURNED:
+        result_value = to_signed(machine.result)
+        if result_value == golden.result:
+            outcome = Outcome.MASKED
+        else:
+            outcome = Outcome.SILENT_CORRUPTION
+    else:
+        outcome = Outcome.TIMEOUT
+    return InjectionResult(
+        benchmark=golden.benchmark,
+        spec=spec,
+        outcome=outcome,
+        halt=halt,
+        trap_cause=trap_cause,
+        instructions=steps,
+        result=result_value,
+    )
+
+
+def run_campaign(config: CampaignConfig, *, progress=None) -> CampaignReport:
+    """Execute the campaign described by *config* deterministically."""
+    rng = random.Random(config.seed)
+    goldens: dict[str, GoldenRun] = {}
+    report = CampaignReport(config=config, golden=goldens)
+    share, extra = divmod(config.injections, len(config.benchmarks))
+    for index, name in enumerate(config.benchmarks):
+        count = share + (1 if index < extra else 0)
+        if count == 0:
+            continue
+        golden, compiled = _golden_run(name)
+        goldens[name] = golden
+        budget = int(golden.instructions * config.step_budget_factor)
+        budget += config.step_budget_slack
+        machine = compiled.make_machine()
+        machine.reset(compiled.program.entry)
+        checkpoint = machine.checkpoint(track_memory_deltas=True)
+        for i in range(count):
+            spec = random_spec(rng, golden.sites, targets=config.targets)
+            machine.restore(checkpoint)
+            injector = FaultInjector(machine, [spec])
+            injector.attach()
+            steps = 0
+            try:
+                while machine.halted is None and steps < budget:
+                    machine.step()
+                    steps += 1
+                if machine.halted is None:
+                    machine.halted = HaltReason.STEP_LIMIT
+                result = _classify(machine, golden, spec, steps)
+            except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+                result = InjectionResult(
+                    benchmark=name,
+                    spec=spec,
+                    outcome=Outcome.CRASH,
+                    halt="EXCEPTION",
+                    trap_cause=None,
+                    instructions=steps,
+                    result=None,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            finally:
+                injector.detach()
+            report.results.append(result)
+            if progress is not None and (i + 1) % 100 == 0:
+                progress(name, i + 1, count)
+    return report
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.campaign",
+        description="Seeded fault-injection campaign over the RISC I benchmarks.",
+    )
+    parser.add_argument("--seed", type=int, default=1981)
+    parser.add_argument("--injections", type=int, default=1000)
+    parser.add_argument(
+        "--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
+        help="comma-separated benchmark names",
+    )
+    parser.add_argument(
+        "--verify-determinism", action="store_true",
+        help="run the campaign twice and fail unless fingerprints match",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="JSON baseline; fail if silent corruptions or crashes regress",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None,
+        help="write the campaign summary to this JSON path and exit",
+    )
+    parser.add_argument("--json", default=None, help="dump per-injection records")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = CampaignConfig(
+        seed=args.seed,
+        injections=args.injections,
+        benchmarks=tuple(name for name in args.benchmarks.split(",") if name),
+    )
+
+    def progress(name: str, done: int, total: int) -> None:
+        print(f"  {name}: {done}/{total} injections")
+
+    report = run_campaign(config, progress=progress)
+    print(report.rate_table().render())
+    summary = report.summary()
+
+    failures: list[str] = []
+    if summary["crash"]:
+        failures.append(f"{summary['crash']} injection(s) crashed the simulator")
+    if args.verify_determinism:
+        second = run_campaign(config)
+        if second.fingerprint() != summary["fingerprint"]:
+            failures.append("campaign is not deterministic for a fixed seed")
+        else:
+            print("determinism: OK (fingerprints match)")
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        # Absolute-count comparison is only meaningful when both runs
+        # sampled the same fault population.
+        for key in ("injections", "seed", "benchmarks"):
+            if key in baseline and baseline[key] != summary[key]:
+                failures.append(
+                    f"baseline not comparable: {key} differs "
+                    f"({summary[key]!r} vs baseline {baseline[key]!r})"
+                )
+        for key in ("silent_corruption", "crash"):
+            if summary[key] > baseline.get(key, 0):
+                failures.append(
+                    f"{key} regressed: {summary[key]} > baseline {baseline.get(key, 0)}"
+                )
+        if not failures:
+            print(f"baseline check: OK (vs {args.baseline})")
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote baseline to {args.write_baseline}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(
+                {"schema": "risc1-repro/fault-campaign/v1",
+                 "summary": summary, "records": report.as_records()},
+                handle, indent=2,
+            )
+        print(f"wrote {len(report.results)} records to {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

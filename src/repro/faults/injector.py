@@ -1,0 +1,223 @@
+"""Attach fault specifications to a live machine and apply them.
+
+The injector is purely event-driven: it watches the machine through a
+``pre_step`` hook (cycle counts, PC execution counts) and a fetch filter
+(instruction-word corruption), and mutates architectural state directly
+when a trigger fires.  Every mutation is logged as an
+:class:`InjectionEvent`, so a campaign can report exactly what was
+corrupted and when - and so two runs with the same specs can be compared
+event-for-event.
+
+Semantics per target/kind:
+
+* ``REGISTER`` / ``MEMORY`` / ``PSW`` bit-flips XOR the chosen bits once
+  at the trigger boundary (a transient upset).
+* ``REGISTER`` / ``MEMORY`` / ``PSW`` stuck-at faults force the chosen
+  bits to 0/1 at *every* step boundary from the trigger on (a failed
+  cell; the dominant-value approximation of a hardware stuck-at).
+* ``INSTRUCTION`` faults rewrite the word on the fetch path for the
+  spec's PC: a bit-flip corrupts exactly the triggering fetch, a
+  stuck-at corrupts that fetch and every later fetch of the same PC.
+  Corrupted words bypass the machine's decode cache (see
+  :class:`~repro.isa.decode.CachingDecoder.decode_uncached`), so cached
+  decodes of the pristine word are never served and the cache is never
+  poisoned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bitops import MASK32
+from repro.cpu.machine import RiscMachine
+from repro.faults.models import FaultKind, FaultSpec, FaultTarget
+
+#: PSW values carry 11 meaningful bits (flags + I + CWP + SWP).
+_PSW_MASK = 0x7FF
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One applied corruption: where, when, and the before/after values."""
+
+    spec: FaultSpec
+    cycle: int
+    pc: int
+    original: int
+    mutated: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec.describe()} fired at cycle {self.cycle} pc={self.pc:#x}: "
+            f"{self.original:#010x} -> {self.mutated:#010x}"
+        )
+
+
+class FaultInjector:
+    """Applies a list of :class:`FaultSpec` to one machine.
+
+    Use as::
+
+        injector = FaultInjector(machine, specs)
+        injector.attach()
+        ... run the machine ...
+        injector.detach()
+        injector.events  # what actually happened
+    """
+
+    def __init__(self, machine: RiscMachine, specs: list[FaultSpec] | tuple[FaultSpec, ...]):
+        self.machine = machine
+        self.specs = list(specs)
+        self.events: list[InjectionEvent] = []
+        self._pending = list(self.specs)
+        self._stuck: list[FaultSpec] = []  # triggered persistent reg/mem/psw faults
+        self._fetch_transient: dict[int, list[FaultSpec]] = {}  # pc -> armed one-shot
+        self._fetch_stuck: dict[int, list[FaultSpec]] = {}  # pc -> permanent
+        self._pc_hits: dict[int, int] = {}
+        self._idle = False  # True once no pending trigger or stuck fault remains
+        self._filters_fetch = False
+        self._attached = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self) -> None:
+        if self._attached:
+            return
+        self.machine.pre_step_hooks.append(self._pre_step)
+        # The fetch filter runs on every instruction fetch; only pay for
+        # it when some spec can actually corrupt the fetch path.
+        self._filters_fetch = any(
+            spec.target is FaultTarget.INSTRUCTION for spec in self.specs
+        )
+        if self._filters_fetch:
+            self.machine.fetch_filters.append(self._filter_fetch)
+        self._attached = True
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self.machine.pre_step_hooks.remove(self._pre_step)
+        if self._filters_fetch:
+            self.machine.fetch_filters.remove(self._filter_fetch)
+        self._attached = False
+
+    # -- hook bodies -------------------------------------------------------
+
+    def _pre_step(self, machine: RiscMachine) -> None:
+        # This hook runs on every simulated instruction; once every
+        # trigger has fired and no stuck-at fault needs re-asserting it
+        # reduces to a single boolean test.
+        if self._idle:
+            return
+        if self._pending:
+            pc = machine.pc
+            cycle = machine.stats.cycles
+            hits = None
+            fired = None
+            for spec in self._pending:
+                trigger = spec.trigger
+                if trigger.at_cycle is not None:
+                    if cycle < trigger.at_cycle:
+                        continue
+                else:
+                    if trigger.at_pc != pc:
+                        continue
+                    if hits is None:
+                        hits = self._pc_hits.get(pc, 0) + 1
+                        self._pc_hits[pc] = hits
+                    if hits != trigger.pc_hits:
+                        continue
+                if fired is None:
+                    fired = [spec]
+                else:
+                    fired.append(spec)
+            if fired:
+                for spec in fired:
+                    self._pending.remove(spec)
+                    self._fire(spec, machine)
+        # Re-assert persistent stuck-at faults each step boundary.
+        if self._stuck:
+            for spec in self._stuck:
+                self._apply_state_fault(spec, machine, log=False)
+        elif not self._pending:
+            self._idle = True
+
+    def _filter_fetch(self, pc: int, word: int) -> int:
+        specs = self._fetch_transient.pop(pc, None)
+        if specs:
+            for spec in specs:
+                word = self._corrupt_word(spec, word, pc)
+        for spec in self._fetch_stuck.get(pc, ()):
+            word = self._corrupt_word(spec, word, pc, log_once=True)
+        return word
+
+    # -- application -------------------------------------------------------
+
+    def _fire(self, spec: FaultSpec, machine: RiscMachine) -> None:
+        if spec.target is FaultTarget.INSTRUCTION:
+            pc = spec.trigger.at_pc if spec.trigger.at_pc is not None else spec.location
+            if spec.kind is FaultKind.BIT_FLIP:
+                self._fetch_transient.setdefault(pc, []).append(spec)
+            else:
+                self._fetch_stuck.setdefault(pc, []).append(spec)
+            return
+        self._apply_state_fault(spec, machine, log=True)
+        if spec.kind is not FaultKind.BIT_FLIP:
+            self._stuck.append(spec)
+
+    def _apply_state_fault(self, spec: FaultSpec, machine: RiscMachine, *, log: bool) -> None:
+        if spec.target is FaultTarget.REGISTER:
+            original = machine.regs.read_physical(spec.location)
+            mutated = self._mutate(spec, original, MASK32)
+            if mutated != original:
+                machine.regs.write_physical(spec.location, mutated)
+        elif spec.target is FaultTarget.MEMORY:
+            original = machine.memory.load_word(spec.location, count=False)
+            mutated = self._mutate(spec, original, MASK32)
+            if mutated != original:
+                machine.memory.store_word(spec.location, mutated, count=False)
+        else:  # PSW
+            original = machine.psw.pack() & _PSW_MASK
+            mutated = self._mutate(spec, original, _PSW_MASK)
+            if mutated != original:
+                machine.psw.unpack(mutated)
+        if log:
+            # Logged even when the mutation is a no-op (a stuck-at that
+            # matches the current value still fired).
+            self._log(spec, machine, original, mutated)
+
+    def _corrupt_word(
+        self, spec: FaultSpec, word: int, pc: int, *, log_once: bool = False
+    ) -> int:
+        mutated = self._mutate(spec, word, MASK32)
+        if not log_once or not any(e.spec is spec for e in self.events):
+            machine = self.machine
+            self.events.append(
+                InjectionEvent(
+                    spec=spec,
+                    cycle=machine.stats.cycles,
+                    pc=pc,
+                    original=word,
+                    mutated=mutated,
+                )
+            )
+        return mutated
+
+    def _mutate(self, spec: FaultSpec, value: int, width_mask: int) -> int:
+        mask = spec.mask & width_mask
+        if spec.kind is FaultKind.BIT_FLIP:
+            return value ^ mask
+        if spec.kind is FaultKind.STUCK_AT_ZERO:
+            return value & ~mask & width_mask
+        return (value | mask) & width_mask
+
+    def _log(self, spec: FaultSpec, machine: RiscMachine, original: int, mutated: int) -> None:
+        self.events.append(
+            InjectionEvent(
+                spec=spec,
+                cycle=machine.stats.cycles,
+                pc=machine.pc,
+                original=original,
+                mutated=mutated,
+            )
+        )

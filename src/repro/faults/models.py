@@ -1,0 +1,178 @@
+"""Declarative fault models: what to corrupt, how, and when.
+
+A :class:`FaultSpec` is immutable and self-describing, so a campaign's
+fault list can be logged, replayed, or diffed between runs.  Specs are
+deliberately *architectural*: they name a physical register index, a
+byte address, a fetch PC, or the PSW - never Python objects - so the
+same spec reproduces bit-identically on a fresh machine.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+
+class FaultTarget(enum.Enum):
+    """Which state element the fault corrupts."""
+
+    REGISTER = "register"  # one physical register file cell
+    MEMORY = "memory"  # one aligned memory word
+    INSTRUCTION = "instruction"  # the word on the fetch path for one PC
+    PSW = "psw"  # the packed processor status word
+
+
+class FaultKind(enum.Enum):
+    """The corruption applied when the trigger fires."""
+
+    BIT_FLIP = "bit_flip"  # transient: XOR the chosen bits once
+    STUCK_AT_ZERO = "stuck_at_0"  # persistent: force bits to 0 from then on
+    STUCK_AT_ONE = "stuck_at_1"  # persistent: force bits to 1 from then on
+
+
+@dataclass(frozen=True)
+class FaultTrigger:
+    """Event-driven arming condition for a fault.
+
+    Exactly one of the two forms must be used:
+
+    * ``at_cycle``: fire at the first step boundary where the machine's
+      cycle counter has reached the value;
+    * ``at_pc`` (+ ``pc_hits``): fire when the instruction at ``at_pc``
+      is about to execute for the ``pc_hits``-th time (1-based).
+    """
+
+    at_cycle: int | None = None
+    at_pc: int | None = None
+    pc_hits: int = 1
+
+    def __post_init__(self) -> None:
+        if (self.at_cycle is None) == (self.at_pc is None):
+            raise ValueError("exactly one of at_cycle / at_pc must be set")
+        if self.pc_hits < 1:
+            raise ValueError("pc_hits is 1-based and must be >= 1")
+
+    def describe(self) -> str:
+        if self.at_cycle is not None:
+            return f"cycle>={self.at_cycle}"
+        return f"pc={self.at_pc:#x}#{self.pc_hits}"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault.
+
+    Attributes:
+        target: state element class (:class:`FaultTarget`).
+        kind: corruption model (:class:`FaultKind`).
+        trigger: when to apply it.
+        location: physical register index (REGISTER), aligned byte
+            address (MEMORY), fetch PC (INSTRUCTION; also implied by a
+            PC trigger), unused for PSW.
+        bits: bit positions affected (single- or multi-bit).
+    """
+
+    target: FaultTarget
+    kind: FaultKind
+    trigger: FaultTrigger
+    location: int = 0
+    bits: tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if not self.bits:
+            raise ValueError("a fault must affect at least one bit")
+        limit = 11 if self.target is FaultTarget.PSW else 32
+        for bit in self.bits:
+            if not 0 <= bit < limit:
+                raise ValueError(f"bit {bit} out of range for {self.target.value}")
+        if self.target is FaultTarget.MEMORY and self.location % 4:
+            raise ValueError("memory faults target aligned words")
+
+    @property
+    def mask(self) -> int:
+        value = 0
+        for bit in self.bits:
+            value |= 1 << bit
+        return value
+
+    def describe(self) -> str:
+        where = {
+            FaultTarget.REGISTER: f"phys-reg {self.location}",
+            FaultTarget.MEMORY: f"mem[{self.location:#x}]",
+            FaultTarget.INSTRUCTION: f"fetch@{self.location:#x}",
+            FaultTarget.PSW: "psw",
+        }[self.target]
+        bits = ",".join(str(b) for b in self.bits)
+        return f"{self.kind.value} bits[{bits}] of {where} when {self.trigger.describe()}"
+
+
+@dataclass(frozen=True)
+class FaultSites:
+    """The sample space a campaign draws fault locations from.
+
+    Built per benchmark from its golden run so injections land on state
+    the program actually exercises.
+
+    Attributes:
+        register_count: physical register file size.
+        memory_top: faults hit aligned words in ``[0, memory_top)``.
+        pcs: executed PCs with their execution counts (fetch faults pick
+            a PC and a hit index within its observed count).
+        cycle_limit: cycle triggers are drawn from ``[1, cycle_limit]``.
+    """
+
+    register_count: int
+    memory_top: int
+    pcs: tuple[tuple[int, int], ...]
+    cycle_limit: int
+
+    def __post_init__(self) -> None:
+        if not self.pcs:
+            raise ValueError("fault sites need at least one executed PC")
+        if self.cycle_limit < 1 or self.memory_top < 4:
+            raise ValueError("degenerate fault site space")
+
+
+#: Default share of multi-bit (double) flips in a random campaign.
+MULTI_BIT_FRACTION = 0.15
+#: Default share of stuck-at faults (split evenly between 0 and 1).
+STUCK_AT_FRACTION = 0.2
+
+
+def random_spec(
+    rng: random.Random,
+    sites: FaultSites,
+    *,
+    targets: tuple[FaultTarget, ...] = tuple(FaultTarget),
+    multi_bit_fraction: float = MULTI_BIT_FRACTION,
+    stuck_at_fraction: float = STUCK_AT_FRACTION,
+) -> FaultSpec:
+    """Draw one :class:`FaultSpec` from *sites* using *rng*.
+
+    Every random draw goes through *rng*, so a seeded
+    :class:`random.Random` reproduces the identical spec stream.
+    """
+    target = rng.choice(targets)
+    if rng.random() < stuck_at_fraction:
+        kind = rng.choice((FaultKind.STUCK_AT_ZERO, FaultKind.STUCK_AT_ONE))
+    else:
+        kind = FaultKind.BIT_FLIP
+    bit_limit = 11 if target is FaultTarget.PSW else 32
+    if rng.random() < multi_bit_fraction and bit_limit > 2:
+        bits = tuple(sorted(rng.sample(range(bit_limit), 2)))
+    else:
+        bits = (rng.randrange(bit_limit),)
+    if target is FaultTarget.INSTRUCTION:
+        pc, count = rng.choice(sites.pcs)
+        trigger = FaultTrigger(at_pc=pc, pc_hits=rng.randint(1, count))
+        location = pc
+    else:
+        trigger = FaultTrigger(at_cycle=rng.randint(1, sites.cycle_limit))
+        if target is FaultTarget.REGISTER:
+            location = rng.randrange(sites.register_count)
+        elif target is FaultTarget.MEMORY:
+            location = rng.randrange(sites.memory_top // 4) * 4
+        else:  # PSW
+            location = 0
+    return FaultSpec(target=target, kind=kind, trigger=trigger, location=location, bits=bits)

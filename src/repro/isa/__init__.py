@@ -8,7 +8,7 @@ physical mapping.
 """
 
 from repro.isa.conditions import COND_BY_CODE, COND_BY_NAME, Cond, cond_holds
-from repro.isa.decode import decode
+from repro.isa.decode import CachingDecoder, decode
 from repro.isa.encode import encode
 from repro.isa.formats import Format, Instruction
 from repro.isa.opcodes import (
@@ -39,6 +39,7 @@ __all__ = [
     "ALL_SPECS",
     "COND_BY_CODE",
     "COND_BY_NAME",
+    "CachingDecoder",
     "Category",
     "Cond",
     "Format",

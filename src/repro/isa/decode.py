@@ -47,3 +47,64 @@ def decode(word: int) -> Instruction:
 def decode_program(words: list[int]) -> list[Instruction]:
     """Decode a whole program image."""
     return [decode(word) for word in words]
+
+
+class CachingDecoder:
+    """A memoizing instruction decoder with explicit ownership.
+
+    Each :class:`~repro.cpu.machine.RiscMachine` constructs its own
+    instance by default, so cache statistics belong to one machine and a
+    fault-corrupted word observed by one machine can never satisfy a
+    lookup in another.  Because :class:`Instruction` is immutable and
+    decoding is a pure function of the word, a single decoder *may* be
+    shared across machines deliberately (pass it to each constructor) to
+    amortise decode work in multi-machine sweeps; the statistics then
+    aggregate over all sharers.
+
+    The cache is bounded: when ``max_entries`` distinct words have been
+    seen it is cleared wholesale (real programs hold far fewer distinct
+    words; the bound only guards against adversarial fault streams).
+    """
+
+    def __init__(self, max_entries: int = 65536):
+        self.max_entries = max_entries
+        self._cache: dict[int, Instruction] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def decode(self, word: int) -> Instruction:
+        """Decode *word* through the cache."""
+        inst = self._cache.get(word)
+        if inst is not None:
+            self.hits += 1
+            return inst
+        self.misses += 1
+        inst = decode(word)
+        if len(self._cache) >= self.max_entries:
+            self._cache.clear()
+            self.evictions += 1
+        self._cache[word] = inst
+        return inst
+
+    def decode_uncached(self, word: int) -> Instruction:
+        """Decode bypassing the cache entirely.
+
+        The machine routes words mutated by an instruction-fetch fault
+        filter through this path, so a transient bit-flip neither reads a
+        stale cached decode nor pollutes the cache for later fetches of
+        the pristine word.
+        """
+        return decode(word)
+
+    def cache_info(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._cache),
+            "evictions": self.evictions,
+            "max_entries": self.max_entries,
+        }
+
+    def clear(self) -> None:
+        self._cache.clear()

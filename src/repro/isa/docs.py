@@ -90,6 +90,50 @@ def aliases_table() -> str:
     return "\n".join(lines)
 
 
+def trap_table() -> str:
+    """Markdown table of the architectural trap causes."""
+    # Imported here: the trap metadata lives with the executor, and the
+    # isa package must stay importable without repro.cpu.
+    from repro.cpu.machine import TrapCause
+
+    lines = ["| code | cause | condition |", "|---|---|---|"]
+    for cause in TrapCause:
+        lines.append(f"| {int(cause)} | `{cause.name}` | {cause.describe()} |")
+    return "\n".join(lines)
+
+
+def traps_section() -> str:
+    """The trap-architecture section of the reference."""
+    return "\n".join(
+        [
+            "## Traps",
+            "",
+            "Abnormal conditions produce a structured, precise trap rather",
+            "than an abort: the faulting instruction has no architectural",
+            "effect, and the machine either halts (recording a",
+            "`TrapRecord`) or vectors to a guest handler registered for",
+            "the cause in its `TrapVectorTable`.",
+            "",
+            trap_table(),
+            "",
+            "Vectoring is a forced CALL, exactly like the paper's",
+            "interrupt scheme: the handler starts in a fresh register",
+            "window with interrupts disabled, receives the cause code in",
+            "`r17` and the faulting address (or 0) in `r18`, and recovers",
+            "the faulting PC with `gtlpc` (which it must read before",
+            "executing anything else, since every retired instruction",
+            "advances the last-PC latch).  A plain `ret` leaves the",
+            "handler; `retint` additionally re-enables interrupts.  A trap",
+            "taken while allocating the handler's window (save stack",
+            "exhausted) is a double fault and always halts.  The",
+            "`ARITHMETIC_OVERFLOW` trap is opt-in",
+            "(`machine.trap_on_overflow`); RISC I itself had no overflow",
+            "exception.  See `docs/FAULTS.md` for how fault-injection",
+            "campaigns exercise these paths.",
+        ]
+    )
+
+
 def render_reference() -> str:
     """The complete Markdown ISA reference."""
     parts = [
@@ -112,6 +156,8 @@ def render_reference() -> str:
         "## Jump conditions",
         "",
         condition_table(),
+        "",
+        traps_section(),
         "",
         "## Notes",
         "",

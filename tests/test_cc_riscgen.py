@@ -162,6 +162,30 @@ class TestDelaySlots:
         assert value == 1 + 2 + 4 + 5
         assert machine.halted is not None
 
+    def test_filler_never_moves_wide_li(self):
+        """Regression: ``li`` with an immediate outside signed 13 bits
+        assembles to two words (ldhi + add); only the first would execute
+        in a delay slot, so the filler must leave it alone."""
+        def lines(value):
+            return [
+                AsmLine("    add r17, r17, #1", defs=frozenset([17]), uses=frozenset([17])),
+                AsmLine(f"    li r16, {value}", defs=frozenset([16])),
+                AsmLine("    b x", kind="branch"),
+                AsmLine("    nop", kind="nop"),
+            ]
+        __, __, count = fill_delay_slots(lines(4095))  # widest one-word li
+        assert count == 1
+        __, __, count = fill_delay_slots(lines(4104))  # two words: stays put
+        assert count == 0
+
+    def test_wide_constant_before_branch_compiles_correctly(self):
+        """End-to-end pin for the same bug: a folded constant > 12 bits
+        returned after a runtime call landed its ldhi half in the branch
+        delay slot and its add half on the not-taken path."""
+        source = "int main() { int a = 0; a = 0 / (a | 1); return 57 * 72; }"
+        value, machine = compile_for_risc(source).run(max_steps=100_000)
+        assert value == 4104
+
     def test_call_slot_accepts_only_global_registers(self):
         local_op = [
             AsmLine("    add r16, r16, #1", defs=frozenset([16]), uses=frozenset([16])),

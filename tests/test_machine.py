@@ -3,7 +3,7 @@
 import pytest
 
 from repro import Memory, RiscMachine, assemble
-from repro.cpu.machine import HALT_PC, HaltReason
+from repro.cpu.machine import HALT_PC, HaltReason, TrapCause
 from repro.errors import SimulationError, TrapError
 
 
@@ -407,9 +407,42 @@ class TestWindowStackGuard:
         machine.window_stack_limit = machine.memory.size - 2 * 64
         program.load_into(machine.memory)
         machine.reset(program.entry)
-        with pytest.raises(TrapError):
+        while machine.halted is None:
+            machine.step()
+        assert machine.halted is HaltReason.TRAPPED
+        assert machine.last_trap is not None
+        assert machine.last_trap.cause is TrapCause.WINDOW_OVERFLOW_STACK
+
+    def test_exhausted_save_stack_strict_mode_raises(self):
+        source = """
+        main:
+            li    r10, 40
+            callr r31, deep
+            nop
+            mov   r26, r10
+            ret
+            nop
+        deep:
+            cmp   r26, #0
+            ble   deep_done
+            nop
+            sub   r10, r26, #1
+            callr r31, deep
+            nop
+        deep_done:
+            mov   r26, #1
+            ret
+            nop
+        """
+        program = assemble(source)
+        machine = RiscMachine(strict_traps=True)
+        machine.window_stack_limit = machine.memory.size - 2 * 64
+        program.load_into(machine.memory)
+        machine.reset(program.entry)
+        with pytest.raises(TrapError) as excinfo:
             while machine.halted is None:
                 machine.step()
+        assert excinfo.value.record.cause is TrapCause.WINDOW_OVERFLOW_STACK
 
     def test_default_limit_allows_deep_recursion(self):
         machine = run(FIB.format(n=14))

@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.common.memory import Memory
-from repro.errors import MemoryError_
+from repro.errors import MemoryError_, MemoryFaultError
 
 
 class TestWordAccess:
@@ -22,17 +22,28 @@ class TestWordAccess:
 
     def test_misaligned_word_raises(self):
         mem = Memory(size=64)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemoryFaultError) as excinfo:
             mem.load_word(2)
-        with pytest.raises(MemoryError_):
+        assert excinfo.value.address == 2
+        assert excinfo.value.kind == "misaligned"
+        with pytest.raises(MemoryFaultError):
             mem.store_word(3, 1)
 
     def test_out_of_range_raises(self):
         mem = Memory(size=64)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemoryFaultError) as excinfo:
             mem.load_word(64)
-        with pytest.raises(MemoryError_):
+        assert excinfo.value.address == 64
+        assert excinfo.value.kind == "out_of_range"
+        with pytest.raises(MemoryFaultError):
             mem.load_byte(-1)
+
+    def test_deprecated_alias_still_catches(self):
+        # MemoryError_ is the pre-1.1 name; existing callers keep working.
+        assert MemoryError_ is MemoryFaultError
+        mem = Memory(size=64)
+        with pytest.raises(MemoryError_):
+            mem.load_word(2)
 
     @given(st.integers(0, 0xFFFFFFFF))
     def test_word_roundtrip_property(self, value):
@@ -121,3 +132,33 @@ class TestBulkHelpers:
         mem = Memory(size=256)
         mem.write_cstring(32, "")
         assert mem.read_cstring(32) == ""
+
+
+class TestCheckpoint:
+    def test_full_image_restore(self):
+        mem = Memory(size=1024)
+        mem.store_word(0, 0xAAAA5555)
+        cp = mem.checkpoint()
+        mem.store_word(0, 1)
+        mem.store_word(512, 2)
+        mem.restore(cp)
+        assert mem.load_word(0, count=False) == 0xAAAA5555
+        assert mem.load_word(512, count=False) == 0
+
+    def test_delta_restore_rolls_back_only_touched_pages(self):
+        mem = Memory(size=4096)
+        mem.store_word(0, 0x11111111)
+        cp = mem.checkpoint(track_deltas=True)
+        mem.store_word(0, 0x22222222)
+        mem.store_byte(3000, 0x7F)
+        mem.restore(cp)
+        assert mem.load_word(0, count=False) == 0x11111111
+        assert mem.load_byte(3000, count=False) == 0
+
+    def test_restore_rewinds_stats_and_console(self):
+        mem = Memory(size=1024)
+        cp = mem.checkpoint()
+        mem.store_word(0, 1)
+        mem.load_word(0)
+        mem.restore(cp)
+        assert mem.stats.total_refs == 0

@@ -1,0 +1,375 @@
+"""Trap-architecture edge cases: structured records, vectoring, watchdogs."""
+
+import pytest
+
+from repro import RiscMachine, assemble
+from repro.cpu.machine import (
+    HaltReason,
+    TrapCause,
+    TRAP_OVERHEAD_CYCLES,
+)
+from repro.errors import TrapError
+from repro.isa.registers import REGS_PER_WINDOW_UNIQUE
+
+SPILL_BYTES = 4 * REGS_PER_WINDOW_UNIQUE
+
+
+def make_machine(source: str, **kwargs) -> tuple[RiscMachine, "object"]:
+    program = assemble(source)
+    machine = RiscMachine(**kwargs)
+    program.load_into(machine.memory)
+    machine.reset(program.entry)
+    return machine, program
+
+
+def run_to_halt(machine: RiscMachine) -> None:
+    while machine.halted is None:
+        machine.step()
+
+
+DEEP_RECURSION = """
+main:
+    li    r10, 40
+    callr r31, deep
+    nop
+    mov   r26, r10
+    ret
+    nop
+deep:
+    cmp   r26, #0
+    ble   deep_done
+    nop
+    sub   r10, r26, #1
+    callr r31, deep
+    nop
+deep_done:
+    mov   r26, #1
+    ret
+    nop
+"""
+
+
+class TestMemoryTraps:
+    def test_misaligned_load_produces_structured_record(self):
+        machine, __ = make_machine(
+            """
+            main:
+                ldl r26, r0, 0x401
+                ret
+                nop
+            """
+        )
+        run_to_halt(machine)
+        assert machine.halted is HaltReason.TRAPPED
+        record = machine.last_trap
+        assert record.cause is TrapCause.MISALIGNED_ACCESS
+        assert record.address == 0x401
+        assert record.vectored is False
+        assert record.in_delay_slot is False
+        assert machine.stats.by_trap_cause["MISALIGNED_ACCESS"] == 1
+
+    def test_misaligned_store_traps(self):
+        machine, __ = make_machine(
+            """
+            main:
+                li  r16, 7
+                stl r16, r0, 0x402
+                ret
+                nop
+            """
+        )
+        run_to_halt(machine)
+        assert machine.last_trap.cause is TrapCause.MISALIGNED_ACCESS
+        assert machine.last_trap.address == 0x402
+
+    def test_out_of_range_load_traps_with_address(self):
+        machine, __ = make_machine(
+            """
+            main:
+                li  r16, 0x7ff00000
+                ldl r26, r16, 0
+                ret
+                nop
+            """
+        )
+        run_to_halt(machine)
+        assert machine.halted is HaltReason.TRAPPED
+        assert machine.last_trap.cause is TrapCause.OUT_OF_RANGE_ACCESS
+        assert machine.last_trap.address == 0x7FF00000
+
+    def test_trap_in_delay_slot_is_flagged(self):
+        machine, __ = make_machine(
+            """
+            main:
+                cmp r0, #0
+                beq target
+                ldl r16, r0, 0x401   ; delay slot of a taken branch
+            target:
+                ret
+                nop
+            """
+        )
+        run_to_halt(machine)
+        record = machine.last_trap
+        assert record.cause is TrapCause.MISALIGNED_ACCESS
+        assert record.in_delay_slot is True
+
+    def test_faulting_instruction_has_no_effect(self):
+        machine, __ = make_machine(
+            """
+            main:
+                li  r26, 1234
+                ldl r26, r0, 0x401
+                ret
+                nop
+            """
+        )
+        run_to_halt(machine)
+        # Precise trap: the destination register keeps its prior value.
+        assert machine.read_reg(26) == 1234
+
+
+class TestIllegalInstruction:
+    def test_illegal_word_traps_with_word(self):
+        machine, program = make_machine("main:\n nop\n ret\n nop")
+        machine.memory.store_word(program.entry, 0xFFFFFFFF, count=False)
+        run_to_halt(machine)
+        assert machine.halted is HaltReason.TRAPPED
+        record = machine.last_trap
+        assert record.cause is TrapCause.ILLEGAL_INSTRUCTION
+        assert record.word == 0xFFFFFFFF
+        assert record.pc == program.entry
+
+
+class TestWindowEdgeCases:
+    def test_overflow_at_exact_stack_limit_boundary(self):
+        # Room for exactly one spilled window: the spill that lands the
+        # pointer exactly ON the limit succeeds, the next one traps.
+        machine, __ = make_machine(DEEP_RECURSION)
+        machine.window_stack_limit = machine.memory.size - SPILL_BYTES
+        run_to_halt(machine)
+        assert machine.halted is HaltReason.TRAPPED
+        record = machine.last_trap
+        assert record.cause is TrapCause.WINDOW_OVERFLOW_STACK
+        assert machine.stats.window_overflows == 1
+        # The refused pointer is one spill unit below the limit.
+        assert record.address == machine.window_stack_limit - SPILL_BYTES
+        assert machine.window_save_pointer == machine.window_stack_limit
+
+    def test_ret_with_empty_save_stack_traps(self):
+        machine, __ = make_machine("main:\n ret\n nop")
+        # Fake a deeper call chain than the (empty) save stack can honour.
+        machine.call_depth = 2
+        machine.resident_windows = 1
+        run_to_halt(machine)
+        assert machine.halted is HaltReason.TRAPPED
+        assert machine.last_trap.cause is TrapCause.WINDOW_UNDERFLOW_EMPTY
+        # Precision: the refused RET left the frame bookkeeping intact.
+        assert machine.call_depth == 2
+
+    def test_ret_with_no_frame_traps(self):
+        machine, __ = make_machine("main:\n ret\n nop")
+        machine.call_depth = 0
+        run_to_halt(machine)
+        assert machine.halted is HaltReason.TRAPPED
+        assert machine.last_trap.cause is TrapCause.RET_NO_FRAME
+
+
+class TestArithmeticOverflowTrap:
+    def test_signed_overflow_traps_when_enabled(self):
+        machine, __ = make_machine(
+            """
+            main:
+                li  r16, 0x7fffffff
+                add r26, r16, #1
+                ret
+                nop
+            """
+        )
+        machine.trap_on_overflow = True
+        run_to_halt(machine)
+        assert machine.halted is HaltReason.TRAPPED
+        assert machine.last_trap.cause is TrapCause.ARITHMETIC_OVERFLOW
+        # Precise: the overflowing result was never written.
+        assert machine.read_reg(26) == 0
+
+    def test_overflow_silent_by_default(self):
+        machine, __ = make_machine(
+            """
+            main:
+                li  r16, 0x7fffffff
+                add r26, r16, #1
+                ret
+                nop
+            """
+        )
+        run_to_halt(machine)
+        assert machine.halted is HaltReason.RETURNED
+        # main's r26 is the caller-visible result register (r10 overlap)
+        assert machine.result == 0x80000000
+        assert machine.stats.traps == 0
+
+
+VECTORED_PROGRAM = """
+main:
+    ldl  r16, r0, 0x401    ; misaligned: vectors to handler
+    mov  r26, r5           ; resumed here with the cause code in r5
+    ret
+    nop
+handler:
+    gtlpc r16              ; faulting PC (must be read first: every
+                           ; executed instruction advances lpc)
+    mov  r5, r17           ; handler ABI: cause code in r17
+    mov  r6, r18           ; faulting address in r18
+    ret  r16, 4            ; resume at the instruction after the fault
+    nop
+"""
+
+
+class TestVectoredHandlers:
+    def run_vectored(self):
+        machine, program = make_machine(VECTORED_PROGRAM)
+        machine.trap_vectors.set(
+            TrapCause.MISALIGNED_ACCESS, program.symbols["handler"]
+        )
+        run_to_halt(machine)
+        return machine, program
+
+    def test_handler_receives_cause_and_address(self):
+        machine, __ = self.run_vectored()
+        assert machine.halted is HaltReason.RETURNED
+        assert machine.result == int(TrapCause.MISALIGNED_ACCESS)
+        assert machine.read_reg(6) == 0x401  # global r6: faulting address
+
+    def test_trap_record_marked_vectored(self):
+        machine, program = self.run_vectored()
+        assert len(machine.trap_log) == 1
+        record = machine.trap_log[0]
+        assert record.vectored is True
+        assert record.pc == program.entry  # the faulting ldl
+        assert machine.stats.traps == 1
+
+    def test_vectoring_charges_trap_overhead(self):
+        machine, __ = self.run_vectored()
+        unvectored, __ = make_machine(VECTORED_PROGRAM)
+        # Without a handler the same program halts at the trap.
+        run_to_halt(unvectored)
+        assert unvectored.halted is HaltReason.TRAPPED
+        assert machine.stats.cycles >= TRAP_OVERHEAD_CYCLES
+
+    def test_unregistered_cause_still_halts(self):
+        machine, program = make_machine(VECTORED_PROGRAM)
+        machine.trap_vectors.set(
+            TrapCause.ILLEGAL_INSTRUCTION, program.symbols["handler"]
+        )
+        run_to_halt(machine)
+        assert machine.halted is HaltReason.TRAPPED
+        assert machine.last_trap.vectored is False
+
+
+class TestStrictTraps:
+    def test_strict_mode_raises_with_record(self):
+        machine, __ = make_machine(
+            "main:\n ldl r26, r0, 0x401\n ret\n nop", strict_traps=True
+        )
+        with pytest.raises(TrapError) as excinfo:
+            run_to_halt(machine)
+        assert excinfo.value.record.cause is TrapCause.MISALIGNED_ACCESS
+        assert machine.halted is HaltReason.TRAPPED
+
+
+INTERRUPTIBLE_LOOP = """
+main:
+    li    r5, 0            ; r5 (global): handler evidence
+    getpsw r16
+    or    r16, r16, #16    ; enable interrupts
+    putpsw r16, #0
+loop:
+    add   r6, r6, #1
+    cmp   r6, #60
+    blt   loop
+    nop
+    mov   r26, r5
+    ret
+    nop
+handler:
+    gtlpc r16
+    add   r5, r5, #1
+    retint r16, 0
+    nop
+"""
+
+
+class TestInterruptDelaySlot:
+    def test_interrupt_deferred_past_delay_slot(self):
+        machine, program = make_machine(INTERRUPTIBLE_LOOP)
+        handler = program.symbols["handler"]
+        requested = False
+        deferred_once = False
+        while machine.halted is None:
+            if machine._pending_jump and not requested:
+                # A taken jump is in flight: the NEXT step is its delay
+                # slot.  An interrupt requested now must wait one step.
+                machine.request_interrupt(handler)
+                requested = True
+                machine.step()  # executes the delay slot
+                assert machine.interrupts_taken == 0
+                assert machine.pending_interrupt == handler
+                deferred_once = True
+                continue
+            machine.step()
+        assert deferred_once
+        assert machine.interrupts_taken == 1
+        assert machine.result == 1  # handler ran exactly once
+        assert machine.read_reg(6) == 60  # and the loop still completed
+
+    def test_interrupted_pc_is_resumable(self):
+        # The handler resumes via gtlpc/retint; a wrong interrupted-PC
+        # would derail the loop and change the final counter.
+        machine, program = make_machine(INTERRUPTIBLE_LOOP)
+        handler = program.symbols["handler"]
+        fired = False
+        while machine.halted is None:
+            machine.step()
+            if not fired and machine.stats.instructions >= 12:
+                machine.request_interrupt(handler)
+                fired = True
+        assert machine.halted is HaltReason.RETURNED
+        assert machine.result == 1
+        assert machine.read_reg(6) == 60
+
+
+INFINITE_LOOP = """
+main:
+loop:
+    add r6, r6, #1
+    b   loop
+    nop
+"""
+
+
+class TestWatchdogs:
+    def test_step_limit(self):
+        machine, program = make_machine(INFINITE_LOOP)
+        machine.run(program.entry, max_steps=500)
+        assert machine.halted is HaltReason.STEP_LIMIT
+        assert machine.stats.instructions == 500
+
+    def test_cycle_limit(self):
+        machine, program = make_machine(INFINITE_LOOP)
+        machine.run(program.entry, max_cycles=1000)
+        assert machine.halted is HaltReason.CYCLE_LIMIT
+        assert machine.stats.cycles >= 1000
+
+    def test_wall_clock_limit(self):
+        machine, program = make_machine(INFINITE_LOOP)
+        # A deadline already in the past fires at the first 1024-step check.
+        machine.run(program.entry, wall_clock_limit=0.0)
+        assert machine.halted is HaltReason.WALL_CLOCK_LIMIT
+        assert machine.stats.instructions == 1024
+
+    def test_budgets_do_not_fire_on_normal_programs(self):
+        machine, program = make_machine("main:\n li r26, 9\n ret\n nop")
+        machine.run(program.entry, max_cycles=10_000, wall_clock_limit=30.0)
+        assert machine.halted is HaltReason.RETURNED
+        assert machine.result == 9
