@@ -1,0 +1,62 @@
+"""Gate CI on the fast engine's speedup over the reference engine.
+
+Usage::
+
+    python ci/check_perf.py BENCH_simulator.json [ci/perf_baseline.json]
+
+Reads a pytest-benchmark JSON report (``pytest benchmarks/... \
+--benchmark-json BENCH_simulator.json``), computes the
+reference-engine/fast-engine mean-time ratio for the towers workload,
+and fails (exit 1) when it has regressed more than ``tolerance``
+(fractional, default 0.25) below the committed ``speedup`` baseline.
+
+Absolute times vary wildly across CI hosts; the *ratio* of two
+interpreters timed in the same process does not, which is what makes
+this check stable enough to gate merges on.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def mean_time(report: dict, name: str) -> float:
+    for bench in report.get("benchmarks", ()):
+        if bench["name"] == name:
+            return float(bench["stats"]["mean"])
+    raise SystemExit(f"error: benchmark {name!r} not found in report")
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    report_path = argv[0]
+    baseline_path = argv[1] if len(argv) > 1 else "ci/perf_baseline.json"
+    with open(report_path) as handle:
+        report = json.load(handle)
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+
+    reference = mean_time(report, baseline["reference_benchmark"])
+    fast = mean_time(report, baseline["fast_benchmark"])
+    measured = reference / fast
+    floor = baseline["speedup"] * (1.0 - baseline["tolerance"])
+    print(
+        f"fast-engine speedup on {baseline['workload']}: {measured:.2f}x "
+        f"(reference {reference * 1e3:.1f}ms / fast {fast * 1e3:.1f}ms); "
+        f"baseline {baseline['speedup']:.2f}x, floor {floor:.2f}x"
+    )
+    if measured < floor:
+        print(
+            f"FAIL: speedup regressed more than "
+            f"{baseline['tolerance']:.0%} below baseline"
+        )
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -50,21 +50,25 @@ class CompiledRisc:
         return self.program.symbols["__text_end"] - self.program.symbols["__text_start"]
 
     def make_machine(self, *, num_windows: int = 8,
-                     memory_size: int = 1 << 20) -> RiscMachine:
+                     memory_size: int = 1 << 20,
+                     engine: str = "reference") -> RiscMachine:
         from repro.common.memory import Memory
 
         machine = RiscMachine(
             Memory(size=memory_size),
             num_windows=num_windows,
             use_windows=self.use_windows,
+            engine=engine,
         )
         self.program.load_into(machine.memory)
         return machine
 
     def run(self, *, num_windows: int = 8, max_steps: int = 50_000_000,
-            memory_size: int = 1 << 20) -> tuple[int, RiscMachine]:
+            memory_size: int = 1 << 20,
+            engine: str = "reference") -> tuple[int, RiscMachine]:
         """Execute; returns (main's return value as signed int, machine)."""
-        machine = self.make_machine(num_windows=num_windows, memory_size=memory_size)
+        machine = self.make_machine(num_windows=num_windows,
+                                    memory_size=memory_size, engine=engine)
         machine.run(self.program.entry, max_steps=max_steps)
         return to_signed(machine.result), machine
 

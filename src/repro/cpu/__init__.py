@@ -1,18 +1,34 @@
-"""The RISC I processor model.
+"""The RISC I processor model, layered.
 
-Submodules:
+* **Architectural state** (:mod:`repro.cpu.state`) -
+  :class:`~repro.cpu.state.ArchState` owns registers and windows, the
+  PSW, memory, trap machinery, and checkpoint/rollback.  Engine-free:
+  it defines what the machine *is*, not how it runs.
+* **Execution engines** (:mod:`repro.cpu.engine`,
+  :mod:`repro.cpu.fastengine`) - anything satisfying the
+  :class:`~repro.cpu.engine.ExecutionEngine` protocol can drive an
+  ``ArchState``.  :class:`~repro.cpu.engine.ReferenceEngine` is the
+  readable oracle interpreter; :class:`~repro.cpu.fastengine.FastEngine`
+  pre-decodes into specialised closures for throughput.
+  :mod:`repro.cpu.equivalence` diffs the two bit-for-bit.
+* **Observation** (:mod:`repro.cpu.observers`) - the
+  :class:`~repro.cpu.observers.ObserverBus` every tool (tracer,
+  profiler, debugger, fault injector, window analysis) attaches
+  through; engines honour it uniformly.
 
-* :mod:`repro.cpu.regfile` - the 138-register windowed register file.
-* :mod:`repro.cpu.psw` - processor status word (flags, CWP, SWP).
-* :mod:`repro.cpu.alu` - 32-bit ALU and shifter semantics.
-* :mod:`repro.cpu.machine` - the instruction-level executor with delayed
-  jumps, register-window overflow/underflow traps and cycle accounting.
-* :mod:`repro.cpu.pipeline` - the two-stage pipeline timing model used by
-  the delayed-jump figure.
+Supporting submodules: :mod:`repro.cpu.regfile` (the 138-register
+windowed register file), :mod:`repro.cpu.psw` (flags, CWP, SWP),
+:mod:`repro.cpu.alu` (32-bit ALU and shifter semantics),
+:mod:`repro.cpu.machine` (the :class:`RiscMachine` facade binding state
+to an engine), and :mod:`repro.cpu.pipeline` (the two-stage pipeline
+timing model used by the delayed-jump figure).
 """
 
 from repro.cpu.alu import Alu, AluResult
+from repro.cpu.engine import ExecutionEngine, ReferenceEngine, create_engine
+from repro.cpu.fastengine import FastEngine
 from repro.cpu.machine import (
+    ArchState,
     ExecutionStats,
     HaltReason,
     MachineCheckpoint,
@@ -21,19 +37,27 @@ from repro.cpu.machine import (
     TrapRecord,
     TrapVectorTable,
 )
+from repro.cpu.observers import CallTraceRecorder, ObserverBus
 from repro.cpu.psw import Psw
 from repro.cpu.regfile import WindowedRegisterFile
 
 __all__ = [
     "Alu",
     "AluResult",
+    "ArchState",
+    "CallTraceRecorder",
+    "ExecutionEngine",
     "ExecutionStats",
+    "FastEngine",
     "HaltReason",
     "MachineCheckpoint",
+    "ObserverBus",
     "Psw",
+    "ReferenceEngine",
     "RiscMachine",
     "TrapCause",
     "TrapRecord",
     "TrapVectorTable",
     "WindowedRegisterFile",
+    "create_engine",
 ]

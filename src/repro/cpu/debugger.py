@@ -70,6 +70,29 @@ class Debugger:
         self._address_to_symbol = {
             address: name for name, address in self.symbols.items()
         }
+        # The trace ring and shadow call stack are fed by the machine's
+        # observer bus, so they stay correct however execution is driven
+        # (per-step below, or a full run elsewhere).
+        self._attached = False
+        self.attach()
+
+    def attach(self) -> None:
+        """Subscribe the trace/call-stack observers to the machine's bus."""
+        if self._attached:
+            return
+        self.machine.observers.subscribe("step", self._on_step)
+        self._attached = True
+
+    def detach(self) -> None:
+        """Unsubscribe from the bus (e.g. before a timed run)."""
+        if not self._attached:
+            return
+        self.machine.observers.unsubscribe("step", self._on_step)
+        self._attached = False
+
+    def _on_step(self, machine, pc: int, inst: Instruction, taken_jump: bool) -> None:
+        self.trace.append((pc, inst))
+        self._track_calls(pc, inst)
 
     # -- breakpoints / watchpoints ------------------------------------------
 
@@ -100,15 +123,12 @@ class Debugger:
         """Execute exactly one instruction."""
         if self.machine.halted is not None:
             return StopEvent(StopReason.HALTED, self.machine.pc)
-        pc = self.machine.pc
         inst = self.machine.step()
         if inst is None:
             # The step trapped instead of completing an instruction.
             record = self.machine.last_trap
             detail = str(record) if record is not None else "trap"
             return StopEvent(StopReason.TRAP, self.machine.pc, detail)
-        self.trace.append((pc, inst))
-        self._track_calls(pc, inst)
         changed = self._changed_watchpoint()
         if changed is not None:
             address, old, new = changed

@@ -18,241 +18,61 @@ the instruction at ``pc``; a taken jump replaces ``npc`` *after* the
 current ``npc`` (the delay slot) has been promoted, which yields exactly
 one delay slot per transfer.
 
-Abnormal conditions go through a **precise trap architecture** rather
-than escaping as Python exceptions: an illegal decode, a misaligned or
-out-of-range access, window-save-stack exhaustion, an unbalanced return,
-or (optionally) signed overflow produces a structured
-:class:`TrapRecord` and either vectors to a guest handler registered in
-the machine's :class:`TrapVectorTable` or halts the machine with
-:attr:`HaltReason.TRAPPED`.  Traps are precise: the faulting instruction
-has no architectural effect (registers, memory, window state and the PC
-chain are all as they were before its fetch).
+Since the layered refactor (see ``docs/ARCHITECTURE.md``) this module is
+a thin facade: the architectural state - registers/windows, PSW, memory,
+precise traps, interrupts, checkpoint/rollback - lives in
+:class:`~repro.cpu.state.ArchState`; instruction dispatch is a pluggable
+:class:`~repro.cpu.engine.ExecutionEngine` (``engine="reference"`` for
+the original oracle interpreter, ``engine="fast"`` for the pre-decoded
+closure interpreter); and tools observe execution through the
+:class:`~repro.cpu.observers.ObserverBus` at ``machine.observers``.
+The historical names (:class:`TrapCause`, :class:`TrapRecord`,
+:class:`ExecutionStats`, ...) are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import enum
 import time
-from collections import Counter
-from dataclasses import dataclass, field
 
-from repro.common.bitops import MASK32
-from repro.common.memory import Memory, MemoryCheckpoint
-from repro.cpu.alu import Alu
-from repro.cpu.psw import Psw
-from repro.cpu.regfile import WindowedRegisterFile
-from repro.errors import DecodingError, MemoryFaultError, SimulationError, TrapError
-from repro.isa.conditions import Cond, cond_holds
+from repro.common.memory import Memory
+from repro.cpu.engine import ExecutionEngine, ReferenceEngine, create_engine
+from repro.cpu.state import (  # noqa: F401  (re-exported compatibility names)
+    CYCLE_TIME_NS,
+    HALT_PC,
+    TRAP_OVERHEAD_CYCLES,
+    _ARITH_OPCODES,
+    _is_nop,
+    _memory_trap_cause,
+    _TrapSignal,
+    ArchState,
+    ExecutionStats,
+    HaltReason,
+    MachineCheckpoint,
+    TrapCause,
+    TrapRecord,
+    TrapVectorTable,
+)
 from repro.isa.decode import CachingDecoder
 from repro.isa.formats import Instruction
-from repro.isa.opcodes import Category, Format, Opcode
-from repro.isa.registers import NUM_WINDOWS, REGS_PER_WINDOW_UNIQUE
+from repro.isa.registers import NUM_WINDOWS
 
-#: PC value that means "the initial procedure returned" - outside memory.
-HALT_PC = 0x7FFF_FF00
-#: Default cycle time from the paper's NMOS design estimate.
-CYCLE_TIME_NS = 400
-
-#: Trap overhead beyond the 16 register stores/loads themselves.
-TRAP_OVERHEAD_CYCLES = 4
-
-
-class TrapCause(enum.IntEnum):
-    """Architectural trap causes (the code a vectored handler receives)."""
-
-    ILLEGAL_INSTRUCTION = 1
-    MISALIGNED_ACCESS = 2
-    OUT_OF_RANGE_ACCESS = 3
-    WINDOW_OVERFLOW_STACK = 4
-    WINDOW_UNDERFLOW_EMPTY = 5
-    RET_NO_FRAME = 6
-    ARITHMETIC_OVERFLOW = 7
-
-    def describe(self) -> str:
-        return _TRAP_DESCRIPTIONS[self]
+__all__ = [
+    "CYCLE_TIME_NS",
+    "HALT_PC",
+    "TRAP_OVERHEAD_CYCLES",
+    "ArchState",
+    "ExecutionStats",
+    "HaltReason",
+    "MachineCheckpoint",
+    "RiscMachine",
+    "TrapCause",
+    "TrapRecord",
+    "TrapVectorTable",
+]
 
 
-_TRAP_DESCRIPTIONS = {
-    TrapCause.ILLEGAL_INSTRUCTION: "illegal instruction",
-    TrapCause.MISALIGNED_ACCESS: "misaligned memory access",
-    TrapCause.OUT_OF_RANGE_ACCESS: "memory address out of range",
-    TrapCause.WINDOW_OVERFLOW_STACK: "window-save stack exhausted",
-    TrapCause.WINDOW_UNDERFLOW_EMPTY: "window underflow with empty save stack",
-    TrapCause.RET_NO_FRAME: "RET with no active procedure frame",
-    TrapCause.ARITHMETIC_OVERFLOW: "signed arithmetic overflow",
-}
-
-
-@dataclass(frozen=True)
-class TrapRecord:
-    """Everything the machine knows about one trap, structured.
-
-    Attributes:
-        cause: the architectural :class:`TrapCause`.
-        pc: address of the faulting instruction.
-        npc: the next-PC at trap time (needed to reason about delay
-            slots; a fault in a delay slot cannot be resumed from ``pc``
-            alone).
-        word: the faulting instruction word, when it was fetched.
-        address: the faulting data address, for memory traps.
-        cwp: current window pointer at trap time.
-        cycle: machine cycle count at trap time.
-        instruction_index: dynamic instruction count at trap time.
-        in_delay_slot: the faulting instruction occupied a delay slot.
-        vectored: a guest handler was dispatched (False = machine halted).
-        message: human-readable detail.
-    """
-
-    cause: TrapCause
-    pc: int
-    npc: int
-    word: int | None = None
-    address: int | None = None
-    cwp: int = 0
-    cycle: int = 0
-    instruction_index: int = 0
-    in_delay_slot: bool = False
-    vectored: bool = False
-    message: str = ""
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        where = f"pc={self.pc:#x}"
-        if self.address is not None:
-            where += f" addr={self.address:#x}"
-        if self.word is not None:
-            where += f" word={self.word:#010x}"
-        return f"trap {self.cause.name} ({self.message or self.cause.describe()}) at {where}"
-
-
-class TrapVectorTable:
-    """Configurable map from :class:`TrapCause` to guest handler address.
-
-    A cause with no registered handler halts the machine with
-    :attr:`HaltReason.TRAPPED`; a registered handler receives control in
-    a fresh register window (the paper's interrupt convention: a forced
-    CALL), with the cause code in ``r17``, the faulting address (or 0)
-    in ``r18``, and the faulting PC recoverable via ``gtlpc``.
-    """
-
-    def __init__(self, vectors: dict[TrapCause, int] | None = None):
-        self._vectors: dict[TrapCause, int] = dict(vectors or {})
-
-    def set(self, cause: TrapCause, handler: int) -> None:
-        self._vectors[cause] = handler
-
-    def clear(self, cause: TrapCause) -> None:
-        self._vectors.pop(cause, None)
-
-    def handler(self, cause: TrapCause) -> int | None:
-        return self._vectors.get(cause)
-
-    def load(self, mapping: dict[TrapCause, int]) -> None:
-        self._vectors.update(mapping)
-
-    def __len__(self) -> int:
-        return len(self._vectors)
-
-
-class _TrapSignal(Exception):
-    """Internal control flow: a trap condition detected mid-execution.
-
-    Never escapes :meth:`RiscMachine.step`; converted to a
-    :class:`TrapRecord` there.  The raising site must leave architectural
-    state exactly as it was before the faulting instruction (precision is
-    enforced by construction at each raise site).
-    """
-
-    def __init__(self, cause: TrapCause, message: str = "", address: int | None = None):
-        self.cause = cause
-        self.address = address
-        super().__init__(message or cause.describe())
-
-
-class HaltReason(enum.Enum):
-    RETURNED = "initial procedure returned"
-    STEP_LIMIT = "step limit reached"
-    EXPLICIT = "halt address reached"
-    TRAPPED = "unhandled trap"
-    CYCLE_LIMIT = "cycle budget exhausted"
-    WALL_CLOCK_LIMIT = "wall-clock budget exhausted"
-
-
-@dataclass
-class ExecutionStats:
-    """Dynamic counters for one run."""
-
-    instructions: int = 0
-    cycles: int = 0
-    calls: int = 0
-    returns: int = 0
-    taken_jumps: int = 0
-    delay_slots: int = 0
-    delay_slot_nops: int = 0
-    window_overflows: int = 0
-    window_underflows: int = 0
-    max_call_depth: int = 0
-    traps: int = 0
-    by_category: Counter = field(default_factory=Counter)
-    by_opcode: Counter = field(default_factory=Counter)
-    by_trap_cause: Counter = field(default_factory=Counter)
-
-    @property
-    def spill_words(self) -> int:
-        """Words moved by window overflow+underflow traps."""
-        return (self.window_overflows + self.window_underflows) * REGS_PER_WINDOW_UNIQUE
-
-    def time_ns(self, cycle_time_ns: float = CYCLE_TIME_NS) -> float:
-        return self.cycles * cycle_time_ns
-
-    def copy(self) -> "ExecutionStats":
-        return ExecutionStats(
-            instructions=self.instructions,
-            cycles=self.cycles,
-            calls=self.calls,
-            returns=self.returns,
-            taken_jumps=self.taken_jumps,
-            delay_slots=self.delay_slots,
-            delay_slot_nops=self.delay_slot_nops,
-            window_overflows=self.window_overflows,
-            window_underflows=self.window_underflows,
-            max_call_depth=self.max_call_depth,
-            traps=self.traps,
-            by_category=Counter(self.by_category),
-            by_opcode=Counter(self.by_opcode),
-            by_trap_cause=Counter(self.by_trap_cause),
-        )
-
-
-@dataclass(frozen=True)
-class MachineCheckpoint:
-    """Full architectural snapshot taken by :meth:`RiscMachine.checkpoint`."""
-
-    regs: tuple[int, ...]
-    psw: tuple[bool, bool, bool, bool, bool, int, int]
-    pc: int
-    npc: int
-    lpc: int
-    halted: HaltReason | None
-    pending_jump: bool
-    resident_windows: int
-    call_depth: int
-    window_save_pointer: int
-    pending_interrupt: int | None
-    interrupts_taken: int
-    stats: ExecutionStats
-    call_trace_len: int
-    trap_log_len: int
-    memory: MemoryCheckpoint
-
-
-#: ALU opcodes whose signed-overflow result can raise the arithmetic trap.
-_ARITH_OPCODES = frozenset(
-    {Opcode.ADD, Opcode.ADDC, Opcode.SUB, Opcode.SUBC, Opcode.SUBR, Opcode.SUBCR}
-)
-
-
-class RiscMachine:
-    """A complete RISC I processor attached to a :class:`Memory`.
+class RiscMachine(ArchState):
+    """A complete RISC I processor: architectural state plus an engine.
 
     Args:
         memory: backing store (code + data + window-save stack).
@@ -260,15 +80,16 @@ class RiscMachine:
         use_windows: False selects the A1 ablation - a flat register file
             where CALL/RET do not switch windows (software must save).
         record_call_trace: keep a +1/-1 call-depth trace for the window
-            sweep analysis (cheap; on by default).
+            sweep analysis (cheap; on by default).  Recorded via the
+            ``call``/``return`` observer events.
         decoder: instruction decoder; defaults to a private
-            :class:`~repro.isa.decode.CachingDecoder` so decode-cache
-            contents and statistics never leak between machines.  Pass a
-            shared instance explicitly to amortise decoding across
-            machines.
-        strict_traps: raise :class:`~repro.errors.TrapError` (carrying
-            the :class:`TrapRecord`) on an unvectored trap instead of
-            halting.  Off by default: traps halt structurally.
+            :class:`~repro.isa.decode.CachingDecoder` so cache contents
+            and statistics never leak between machines.
+        strict_traps: raise :class:`~repro.errors.TrapError` on an
+            unvectored trap instead of halting.
+        engine: execution backend - ``"reference"`` (default, the oracle
+            interpreter), ``"fast"`` (pre-decoded closure dispatch), or
+            an :class:`~repro.cpu.engine.ExecutionEngine` instance.
     """
 
     def __init__(
@@ -280,271 +101,21 @@ class RiscMachine:
         record_call_trace: bool = True,
         decoder: CachingDecoder | None = None,
         strict_traps: bool = False,
+        engine: "str | ExecutionEngine" = "reference",
     ):
-        self.memory = memory if memory is not None else Memory()
-        self.regs = WindowedRegisterFile(num_windows=num_windows, use_windows=use_windows)
-        self.num_windows = num_windows
-        self.use_windows = use_windows
-        self.psw = Psw()
-        self.alu = Alu()
-        self.stats = ExecutionStats()
-        self.record_call_trace = record_call_trace
-        self.call_trace: list[int] = []
-        self.decoder = decoder if decoder is not None else CachingDecoder()
-        self.strict_traps = strict_traps
-
-        self.pc = 0
-        self.npc = 4
-        self.lpc = 0  # PC of the previously executed instruction (GTLPC)
-        self.halted: HaltReason | None = None
-        self.halt_address: int | None = None
-
-        # Window bookkeeping: number of frames resident in the file and
-        # the memory save stack for spilled windows.
-        self.resident_windows = 1
-        self.call_depth = 0
-        self.window_save_pointer = self.memory.size  # grows downward
-        self._pending_jump = False  # the *previous* instruction was a taken transfer
-
-        # Interrupts: a handler address is latched by request_interrupt()
-        # and taken at the next step boundary that is not a delay slot.
-        self.pending_interrupt: int | None = None
-        self.interrupts_taken = 0
-
-        # Trap architecture.
-        self.trap_vectors = TrapVectorTable()
-        self.trap_log: list[TrapRecord] = []
-        self.last_trap: TrapRecord | None = None
-        self.trap_on_overflow = False  # opt-in arithmetic trap on signed overflow
-
-        # Fault-injection hooks.  pre_step_hooks run at the top of every
-        # step (before the interrupt check); fetch_filters may rewrite
-        # the fetched instruction word - a mutated word bypasses the
-        # decode cache.
-        self.pre_step_hooks: list = []
-        self.fetch_filters: list = []
-
-    # -- program setup ------------------------------------------------------
-
-    def load_program(self, words: list[int], base: int = 0) -> None:
-        self.memory.load_program(words, base)
-
-    def reset(self, entry: int = 0) -> None:
-        """Point the machine at *entry* with a fresh halt linkage.
-
-        The initial window's r31 (the link register) is loaded so that the
-        conventional ``ret r31, 8`` from the entry procedure lands on
-        :data:`HALT_PC`.
-        """
-        self.pc = entry
-        self.npc = entry + 4
-        self.halted = None
-        self.psw.cwp = 0
-        self.regs.write(0, 31, HALT_PC - 8)
-        self.resident_windows = 1
-        self.call_depth = 1  # the entry procedure is frame 1
-        # Record the entry activation so the trace balances its final return.
-        self.call_trace = [1] if self.record_call_trace else []
-        self.window_save_pointer = self.memory.size
-
-    # -- register access in the current window -------------------------------
-
-    def read_reg(self, reg: int) -> int:
-        return self.regs.read(self.psw.cwp, reg)
-
-    def write_reg(self, reg: int, value: int) -> None:
-        self.regs.write(self.psw.cwp, reg, value)
-
-    # -- window traps ---------------------------------------------------------
-
-    #: lowest address the window-save stack may reach before trapping
-    window_stack_limit: int = 0
-
-    def _spill_window(self, window: int) -> None:
-        """Overflow trap body: push the frame-at-*window*'s LOCAL+HIGH unit."""
-        new_pointer = self.window_save_pointer - 4 * REGS_PER_WINDOW_UNIQUE
-        if new_pointer < self.window_stack_limit:
-            raise _TrapSignal(
-                TrapCause.WINDOW_OVERFLOW_STACK,
-                f"window-save stack exhausted (limit {self.window_stack_limit:#x})",
-                address=new_pointer,
-            )
-        self.window_save_pointer = new_pointer
-        unit = self.regs.spill_unit(window)
-        for i, value in enumerate(unit):
-            self.memory.store_word(self.window_save_pointer + 4 * i, value)
-        self.stats.window_overflows += 1
-        self.stats.cycles += TRAP_OVERHEAD_CYCLES + 2 * REGS_PER_WINDOW_UNIQUE
-
-    def _refill_window(self, window: int) -> None:
-        """Underflow trap body: pop the LOCAL+HIGH unit back into *window*."""
-        if self.window_save_pointer >= self.memory.size:
-            raise _TrapSignal(
-                TrapCause.WINDOW_UNDERFLOW_EMPTY,
-                "window underflow with empty save stack",
-                address=self.window_save_pointer,
-            )
-        values = [
-            self.memory.load_word(self.window_save_pointer + 4 * i)
-            for i in range(REGS_PER_WINDOW_UNIQUE)
-        ]
-        self.regs.set_spill_unit(window, values)
-        self.window_save_pointer += 4 * REGS_PER_WINDOW_UNIQUE
-        self.stats.window_underflows += 1
-        self.stats.cycles += TRAP_OVERHEAD_CYCLES + 2 * REGS_PER_WINDOW_UNIQUE
-
-    def _enter_window(self) -> None:
-        """CALL path: allocate a new window, spilling the oldest if full."""
-        self.call_depth += 1
-        self.stats.max_call_depth = max(self.stats.max_call_depth, self.call_depth)
-        if self.record_call_trace:
-            self.call_trace.append(1)
-        if not self.use_windows:
-            return
-        new_cwp = (self.psw.cwp - 1) % self.num_windows
-        if self.resident_windows == self.num_windows - 1:
-            oldest = (new_cwp + self.resident_windows) % self.num_windows
-            try:
-                self._spill_window(oldest)
-            except _TrapSignal:
-                # Precise trap: undo the frame bookkeeping done above.
-                self.call_depth -= 1
-                if self.record_call_trace:
-                    self.call_trace.pop()
-                raise
-        else:
-            self.resident_windows += 1
-        self.psw.cwp = new_cwp
-        # SWP mirrors the oldest resident frame's window (the paper's
-        # saved-window pointer; GETPSW exposes it to software).
-        self.psw.swp = (new_cwp + self.resident_windows - 1) % self.num_windows
-
-    def _exit_window(self) -> None:
-        """RET path: release the window, refilling the caller's if spilled."""
-        if self.call_depth <= 0:
-            raise _TrapSignal(TrapCause.RET_NO_FRAME, "RET with no active procedure frame")
-        self.call_depth -= 1
-        if self.record_call_trace:
-            self.call_trace.append(-1)
-        if not self.use_windows:
-            return
-        new_cwp = (self.psw.cwp + 1) % self.num_windows
-        if self.call_depth == 0:
-            # Final return from the entry procedure: nothing to restore.
-            self.resident_windows = 1
-        elif self.resident_windows == 1:
-            try:
-                self._refill_window(new_cwp)
-            except _TrapSignal:
-                self.call_depth += 1
-                if self.record_call_trace:
-                    self.call_trace.pop()
-                raise
-        else:
-            self.resident_windows -= 1
-        self.psw.cwp = new_cwp
-        self.psw.swp = (new_cwp + self.resident_windows - 1) % self.num_windows
-
-    # -- execution ------------------------------------------------------------
-
-    def _operand_s2(self, inst: Instruction) -> int:
-        if inst.imm:
-            return inst.s2 & MASK32
-        return self.read_reg(inst.s2 & 0x1F)
-
-    # -- interrupts -------------------------------------------------------------
-
-    def request_interrupt(self, handler: int) -> None:
-        """Latch an external interrupt; taken when enabled and safe.
-
-        The paper's interrupt scheme: the hardware forces a CALL to a
-        fixed location in a fresh window, and the handler recovers the
-        interrupted PC with GTLPC and resumes with RETINT.
-        """
-        self.pending_interrupt = handler
-
-    def _take_interrupt(self) -> None:
-        handler = self.pending_interrupt
-        self._enter_window()  # may trap (save stack exhausted); precise
-        self.pending_interrupt = None
-        self.interrupts_taken += 1
-        self.stats.calls += 1
-        # GTLPC must return the interrupted instruction's address.
-        self.lpc = self.pc
-        self.psw.interrupts_enabled = False
-        self.pc = handler
-        self.npc = handler + 4
-
-    # -- traps ------------------------------------------------------------------
-
-    def _trap(
-        self,
-        cause: TrapCause,
-        *,
-        pc: int,
-        word: int | None = None,
-        address: int | None = None,
-        message: str = "",
-        in_delay_slot: bool = False,
-    ) -> None:
-        """Record a trap and either vector to a guest handler or halt."""
-        handler = self.trap_vectors.handler(cause)
-        record = TrapRecord(
-            cause=cause,
-            pc=pc,
-            npc=self.npc,
-            word=word,
-            address=address,
-            cwp=self.psw.cwp,
-            cycle=self.stats.cycles,
-            instruction_index=self.stats.instructions,
-            in_delay_slot=in_delay_slot,
-            vectored=handler is not None,
-            message=message or cause.describe(),
+        super().__init__(
+            memory,
+            num_windows=num_windows,
+            use_windows=use_windows,
+            record_call_trace=record_call_trace,
+            decoder=decoder,
+            strict_traps=strict_traps,
         )
-        self.trap_log.append(record)
-        self.last_trap = record
-        self.stats.traps += 1
-        self.stats.by_trap_cause[cause.name] += 1
-        if handler is None:
-            self.halted = HaltReason.TRAPPED
-            if self.strict_traps:
-                raise TrapError(str(record), record=record)
-            return
-        # Vector: a forced CALL into a fresh window, like an interrupt.
-        try:
-            self._enter_window()
-        except _TrapSignal as nested:
-            # Double fault: the handler window itself cannot be allocated.
-            double = TrapRecord(
-                cause=nested.cause,
-                pc=pc,
-                npc=self.npc,
-                address=nested.address,
-                cwp=self.psw.cwp,
-                cycle=self.stats.cycles,
-                instruction_index=self.stats.instructions,
-                vectored=False,
-                message=f"double fault while vectoring {cause.name}: {nested}",
-            )
-            self.trap_log.append(double)
-            self.last_trap = double
-            self.stats.traps += 1
-            self.stats.by_trap_cause[nested.cause.name] += 1
-            self.halted = HaltReason.TRAPPED
-            if self.strict_traps:
-                raise TrapError(str(double), record=double) from None
-            return
-        self.stats.cycles += TRAP_OVERHEAD_CYCLES
-        # Handler ABI: cause code in r17, faulting address (or 0) in r18;
-        # GTLPC recovers the faulting PC.
-        self.write_reg(17, int(cause))
-        self.write_reg(18, (address or 0) & MASK32)
-        self.lpc = pc
-        self.psw.interrupts_enabled = False
-        self._pending_jump = False
-        self.pc = handler
-        self.npc = handler + 4
+        self.engine: ExecutionEngine = create_engine(engine)
+
+    @property
+    def engine_name(self) -> str:
+        return self.engine.name
 
     def step(self) -> Instruction | None:
         """Execute one instruction; returns the decoded instruction.
@@ -554,266 +125,7 @@ class RiscMachine:
         :attr:`last_trap`); the machine is then either halted
         (:attr:`HaltReason.TRAPPED`) or redirected into a guest handler.
         """
-        if self.halted is not None:
-            raise SimulationError(f"machine is halted ({self.halted.value})")
-        if self.pre_step_hooks:
-            for hook in self.pre_step_hooks:
-                hook(self)
-        if (
-            self.pending_interrupt is not None
-            and self.psw.interrupts_enabled
-            and not self._pending_jump  # never split a jump from its delay slot
-        ):
-            try:
-                self._take_interrupt()
-            except _TrapSignal as sig:
-                # The interrupt's window allocation trapped (save stack
-                # exhausted); the interrupted program state is intact.
-                self._trap(sig.cause, pc=self.pc, address=sig.address, message=str(sig))
-                return None
-        pc = self.pc
-        try:
-            word = self.memory.fetch_word(pc)
-        except MemoryFaultError as exc:
-            self._trap(
-                _memory_trap_cause(exc),
-                pc=pc,
-                address=exc.address,
-                message=f"instruction fetch: {exc}",
-                in_delay_slot=self._pending_jump,
-            )
-            return None
-        bypass_cache = False
-        if self.fetch_filters:
-            original = word
-            for filt in self.fetch_filters:
-                word = filt(pc, word) & MASK32
-            bypass_cache = word != original
-        try:
-            if bypass_cache:
-                inst = self.decoder.decode_uncached(word)
-            else:
-                inst = self.decoder.decode(word)
-        except DecodingError as exc:
-            self._trap(
-                TrapCause.ILLEGAL_INSTRUCTION,
-                pc=pc,
-                word=word,
-                message=str(exc),
-                in_delay_slot=self._pending_jump,
-            )
-            return None
-        spec = inst.spec
-
-        in_delay_slot = self._pending_jump
-        self._pending_jump = False
-        if in_delay_slot:
-            self.stats.delay_slots += 1
-            if _is_nop(inst):
-                self.stats.delay_slot_nops += 1
-
-        # Default sequencing; a taken transfer overwrites new_npc.
-        new_pc = self.npc
-        new_npc = self.npc + 4
-
-        category = spec.category
-        try:
-            if category is Category.ALU:
-                a = self.read_reg(inst.rs1)
-                b = self._operand_s2(inst)
-                result = self.alu.execute(inst.opcode, a, b, self.psw.c)
-                if self.trap_on_overflow and result.v and inst.opcode in _ARITH_OPCODES:
-                    raise _TrapSignal(
-                        TrapCause.ARITHMETIC_OVERFLOW,
-                        f"signed overflow in {inst.opcode.name}",
-                    )
-                self.write_reg(inst.dest, result.value)
-                if inst.scc:
-                    self.psw.set_flags(z=result.z, n=result.n, c=result.c, v=result.v)
-            elif category is Category.LOAD:
-                address = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
-                self.write_reg(inst.dest, self._load(inst.opcode, address))
-            elif category is Category.STORE:
-                address = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
-                self._store(inst.opcode, address, self.read_reg(inst.dest))
-            elif category is Category.JUMP:
-                target = self._execute_jump(inst, pc)
-                if target is not None:
-                    new_npc = target
-                    self._pending_jump = True
-                    self.stats.taken_jumps += 1
-            elif inst.opcode is Opcode.LDHI:
-                self.write_reg(inst.dest, (inst.imm19 << 13) & MASK32)
-            elif inst.opcode is Opcode.GTLPC:
-                self.write_reg(inst.dest, self.lpc)
-            elif inst.opcode is Opcode.GETPSW:
-                self.write_reg(inst.dest, self.psw.pack())
-            elif inst.opcode is Opcode.PUTPSW:
-                value = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
-                self.psw.unpack(value)
-            else:  # pragma: no cover - every opcode is handled above
-                raise SimulationError(f"unimplemented opcode {inst.opcode!r}")
-        except MemoryFaultError as exc:
-            self._trap(
-                _memory_trap_cause(exc),
-                pc=pc,
-                word=word,
-                address=exc.address,
-                message=str(exc),
-                in_delay_slot=in_delay_slot,
-            )
-            return None
-        except _TrapSignal as sig:
-            self._trap(
-                sig.cause,
-                pc=pc,
-                word=word,
-                address=sig.address,
-                message=str(sig),
-                in_delay_slot=in_delay_slot,
-            )
-            return None
-
-        self.stats.instructions += 1
-        self.stats.cycles += spec.cycles
-        self.stats.by_category[category.name] += 1
-        self.stats.by_opcode[inst.opcode.name] += 1
-
-        self.lpc = pc
-        self.pc = new_pc
-        self.npc = new_npc
-        if self.pc == HALT_PC:
-            self.halted = HaltReason.RETURNED
-        elif self.halt_address is not None and self.pc == self.halt_address:
-            self.halted = HaltReason.EXPLICIT
-        return inst
-
-    def _execute_jump(self, inst: Instruction, pc: int) -> int | None:
-        """Execute a control-transfer; returns the target or None if not taken."""
-        opcode = inst.opcode
-        if opcode is Opcode.JMP:
-            if cond_holds(inst.cond, *self.psw.flags()):
-                return (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
-            return None
-        if opcode is Opcode.JMPR:
-            if cond_holds(inst.cond, *self.psw.flags()):
-                return (pc + inst.imm19) & MASK32
-            return None
-        if opcode is Opcode.CALL:
-            target = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
-            self._enter_window()
-            self.write_reg(inst.dest, pc)  # written in the NEW window
-            self.stats.calls += 1
-            return target
-        if opcode is Opcode.CALLR:
-            target = (pc + inst.imm19) & MASK32
-            self._enter_window()
-            self.write_reg(inst.dest, pc)
-            self.stats.calls += 1
-            return target
-        if opcode is Opcode.RET:
-            target = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
-            self._exit_window()
-            self.stats.returns += 1
-            return target
-        if opcode is Opcode.CALLINT:
-            self._enter_window()
-            self.write_reg(inst.dest, self.lpc)
-            self.stats.calls += 1
-            return None
-        if opcode is Opcode.RETINT:
-            target = (self.read_reg(inst.rs1) + self._operand_s2(inst)) & MASK32
-            self._exit_window()
-            self.stats.returns += 1
-            self.psw.interrupts_enabled = True  # interrupt return re-enables
-            return target
-        raise SimulationError(f"not a jump opcode: {opcode!r}")  # pragma: no cover
-
-    def _load(self, opcode: Opcode, address: int) -> int:
-        if opcode is Opcode.LDL:
-            return self.memory.load_word(address)
-        if opcode is Opcode.LDSU:
-            return self.memory.load_half(address)
-        if opcode is Opcode.LDSS:
-            return self.memory.load_half(address, signed=True) & MASK32
-        if opcode is Opcode.LDBU:
-            return self.memory.load_byte(address)
-        if opcode is Opcode.LDBS:
-            return self.memory.load_byte(address, signed=True) & MASK32
-        raise SimulationError(f"not a load opcode: {opcode!r}")  # pragma: no cover
-
-    def _store(self, opcode: Opcode, address: int, value: int) -> None:
-        if opcode is Opcode.STL:
-            self.memory.store_word(address, value)
-        elif opcode is Opcode.STS:
-            self.memory.store_half(address, value)
-        elif opcode is Opcode.STB:
-            self.memory.store_byte(address, value)
-        else:  # pragma: no cover
-            raise SimulationError(f"not a store opcode: {opcode!r}")
-
-    @property
-    def result(self) -> int:
-        """Value returned by the entry procedure.
-
-        Convention: a procedure leaves its return value in its r26 (HIGH),
-        which the caller sees as r10 (LOW).  After the final ``ret`` the
-        window pointer has moved back to the caller, so the entry
-        procedure's result is the current window's r10.
-        """
-        return self.read_reg(10)
-
-    # -- checkpoint / rollback --------------------------------------------------
-
-    def checkpoint(self, *, track_memory_deltas: bool = False) -> MachineCheckpoint:
-        """Snapshot the full architectural state for later :meth:`restore`.
-
-        With ``track_memory_deltas`` the memory snapshot is a cheap write
-        journal instead of a full image copy (see
-        :meth:`~repro.common.memory.Memory.checkpoint`); the golden-vs-
-        faulted differential runs rewind a 1 MiB machine thousands of
-        times this way.
-        """
-        psw = self.psw
-        return MachineCheckpoint(
-            regs=tuple(self.regs._regs),
-            psw=(psw.z, psw.n, psw.c, psw.v, psw.interrupts_enabled, psw.cwp, psw.swp),
-            pc=self.pc,
-            npc=self.npc,
-            lpc=self.lpc,
-            halted=self.halted,
-            pending_jump=self._pending_jump,
-            resident_windows=self.resident_windows,
-            call_depth=self.call_depth,
-            window_save_pointer=self.window_save_pointer,
-            pending_interrupt=self.pending_interrupt,
-            interrupts_taken=self.interrupts_taken,
-            stats=self.stats.copy(),
-            call_trace_len=len(self.call_trace),
-            trap_log_len=len(self.trap_log),
-            memory=self.memory.checkpoint(track_deltas=track_memory_deltas),
-        )
-
-    def restore(self, cp: MachineCheckpoint) -> None:
-        """Rewind every architectural and accounting field to *cp*."""
-        self.regs._regs[:] = cp.regs
-        psw = self.psw
-        psw.z, psw.n, psw.c, psw.v, psw.interrupts_enabled, psw.cwp, psw.swp = cp.psw
-        self.pc = cp.pc
-        self.npc = cp.npc
-        self.lpc = cp.lpc
-        self.halted = cp.halted
-        self._pending_jump = cp.pending_jump
-        self.resident_windows = cp.resident_windows
-        self.call_depth = cp.call_depth
-        self.window_save_pointer = cp.window_save_pointer
-        self.pending_interrupt = cp.pending_interrupt
-        self.interrupts_taken = cp.interrupts_taken
-        self.stats = cp.stats.copy()
-        del self.call_trace[cp.call_trace_len :]
-        del self.trap_log[cp.trap_log_len :]
-        self.last_trap = self.trap_log[-1] if self.trap_log else None
-        self.memory.restore(cp.memory)
+        return self.engine.step(self)
 
     def run(
         self,
@@ -834,40 +146,12 @@ class RiscMachine:
         checked every 1024 steps to keep the hot loop tight).
         """
         self.reset(entry)
-        steps = 0
         deadline = None
         if wall_clock_limit is not None:
             deadline = time.monotonic() + wall_clock_limit
-        while self.halted is None:
-            self.step()
-            steps += 1
-            if self.halted is not None:
-                break
-            if steps >= max_steps:
-                self.halted = HaltReason.STEP_LIMIT
-            elif max_cycles is not None and self.stats.cycles >= max_cycles:
-                self.halted = HaltReason.CYCLE_LIMIT
-            elif (
-                deadline is not None
-                and steps % 1024 == 0
-                and time.monotonic() > deadline
-            ):
-                self.halted = HaltReason.WALL_CLOCK_LIMIT
+        self.engine.run_loop(self, max_steps, max_cycles, deadline)
         return self.stats
 
 
-def _memory_trap_cause(exc: MemoryFaultError) -> TrapCause:
-    if exc.kind == "misaligned":
-        return TrapCause.MISALIGNED_ACCESS
-    return TrapCause.OUT_OF_RANGE_ACCESS
-
-
-def _is_nop(inst: Instruction) -> bool:
-    """The canonical NOP is ``add r0, r0, #0``."""
-    return (
-        inst.opcode is Opcode.ADD
-        and inst.dest == 0
-        and inst.rs1 == 0
-        and inst.imm
-        and inst.s2 == 0
-    )
+# Backwards-compatible module-level aliases for the engine layer.
+__all__ += ["ExecutionEngine", "ReferenceEngine", "create_engine"]

@@ -71,23 +71,28 @@ class Profiler:
         return None
 
     def run(self, entry: int, max_steps: int = 5_000_000) -> list[FunctionProfile]:
+        """Run to completion, attributing each step via the ``step`` event."""
         machine = self.machine
-        machine.reset(entry)
-        steps = 0
-        previous_owner: FunctionProfile | None = None
-        while machine.halted is None and steps < max_steps:
-            pc = machine.pc
-            cycles_before = machine.stats.cycles
-            machine.step()
-            steps += 1
-            owner = self._owner(pc)
-            if owner is not None:
-                owner.instructions += 1
-                owner.cycles += machine.stats.cycles - cycles_before
-                if owner is not previous_owner and pc == owner.start:
-                    owner.calls += 1
-            previous_owner = owner
+        self._previous_owner = None
+        self._last_cycles = machine.stats.cycles
+        bus = machine.observers
+        bus.subscribe("step", self._on_step)
+        try:
+            machine.run(entry, max_steps=max_steps)
+        finally:
+            bus.unsubscribe("step", self._on_step)
         return self.hotspots()
+
+    def _on_step(self, machine, pc: int, inst, taken_jump: bool) -> None:
+        cycles = machine.stats.cycles
+        owner = self._owner(pc)
+        if owner is not None:
+            owner.instructions += 1
+            owner.cycles += cycles - self._last_cycles
+            if owner is not self._previous_owner and pc == owner.start:
+                owner.calls += 1
+        self._previous_owner = owner
+        self._last_cycles = cycles
 
     def hotspots(self) -> list[FunctionProfile]:
         """Profiles sorted by cycles, busiest first, zero rows dropped."""

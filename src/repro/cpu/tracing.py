@@ -33,24 +33,27 @@ class TraceRecord:
 
 @dataclass
 class ExecutionTracer:
-    """Run a machine while recording up to *limit* executed instructions."""
+    """Run a machine while recording up to *limit* executed instructions.
+
+    Observes the machine through the ``step`` event on its
+    :class:`~repro.cpu.observers.ObserverBus` (fired once per completed
+    instruction with the taken-jump flag); trapped steps complete no
+    instruction and are not recorded.
+    """
 
     machine: RiscMachine
     limit: int = 200_000
     records: list[TraceRecord] = field(default_factory=list)
 
+    def _on_step(self, machine, pc: int, inst: Instruction, taken_jump: bool) -> None:
+        if len(self.records) < self.limit:
+            self.records.append(TraceRecord(pc=pc, inst=inst, taken_jump=taken_jump))
+
     def run(self, entry: int, max_steps: int = 5_000_000) -> list[TraceRecord]:
-        machine = self.machine
-        machine.reset(entry)
-        steps = 0
-        while machine.halted is None and steps < max_steps:
-            jumps_before = machine.stats.taken_jumps
-            pc = machine.pc
-            inst = machine.step()
-            steps += 1
-            if len(self.records) < self.limit:
-                self.records.append(TraceRecord(
-                    pc=pc, inst=inst,
-                    taken_jump=machine.stats.taken_jumps > jumps_before,
-                ))
+        bus = self.machine.observers
+        bus.subscribe("step", self._on_step)
+        try:
+            self.machine.run(entry, max_steps=max_steps)
+        finally:
+            bus.unsubscribe("step", self._on_step)
         return self.records

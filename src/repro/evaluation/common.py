@@ -37,6 +37,15 @@ class BenchmarkRecord:
     data_refs: int
     window_overflows: int = 0
     call_trace: tuple = ()
+    # Decode-cache behaviour of the run (RISC records only; baselines
+    # execute IR directly and leave these at zero).  Lives on the export
+    # record, not ExecutionStats: the two execution engines decode
+    # through different caches, so these are a property of *how* the run
+    # was simulated, while ExecutionStats stays bit-identical across
+    # engines.
+    decode_hits: int = 0
+    decode_misses: int = 0
+    decode_evictions: int = 0
 
     @property
     def time_ms(self) -> float:
@@ -75,6 +84,7 @@ def run_benchmark_matrix(
 def _run_risc(bench: Benchmark) -> BenchmarkRecord:
     compiled = compile_for_risc(bench.source)
     value, machine = compiled.run()
+    decode_info = machine.decoder.cache_info()
     return BenchmarkRecord(
         benchmark=bench.name,
         machine=RISC_NAME,
@@ -86,6 +96,9 @@ def _run_risc(bench: Benchmark) -> BenchmarkRecord:
         data_refs=machine.memory.stats.data_refs,
         window_overflows=machine.stats.window_overflows,
         call_trace=tuple(machine.call_trace),
+        decode_hits=decode_info["hits"],
+        decode_misses=decode_info["misses"],
+        decode_evictions=decode_info["evictions"],
     )
 
 

@@ -2,7 +2,8 @@
 
 ``python -m repro.evaluation.export out.json [--fast]`` writes the full
 benchmark matrix (per benchmark x machine: code bytes, instructions,
-cycles, simulated time, memory references, window overflows).
+cycles, simulated time, memory references, window overflows, and - for
+RISC rows - decode-cache hit/miss/eviction counters).
 
 ``python -m repro.evaluation.export out.json --campaign [--injections N]
 [--seed S]`` instead writes the R1 fault-campaign report: the

@@ -10,8 +10,10 @@ three pieces the robustness methodology needs:
   memory words, fetched instruction words, and the PSW, each with an
   event-driven trigger (at cycle N, or at the Kth execution of a PC).
 * :mod:`repro.faults.injector` - attaches a list of specs to a live
-  :class:`~repro.cpu.machine.RiscMachine` through its ``pre_step_hooks``
-  and ``fetch_filters`` and records every mutation it performs.
+  :class:`~repro.cpu.machine.RiscMachine` through the ``pre_step`` and
+  ``fetch_word`` events on its
+  :class:`~repro.cpu.observers.ObserverBus` and records every mutation
+  it performs.
 * :mod:`repro.faults.campaign` - golden-vs-faulted differential runs
   over the paper's benchmarks, classifying each injection as masked,
   detected (trapped), silent data corruption, or timeout, with

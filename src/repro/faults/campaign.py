@@ -223,7 +223,7 @@ def _golden_run(name: str) -> tuple[GoldenRun, "object"]:
     def record_pc(m: RiscMachine) -> None:
         pc_counts[m.pc] += 1
 
-    machine.pre_step_hooks.append(record_pc)
+    machine.observers.subscribe("pre_step", record_pc)
     machine.run(compiled.program.entry)
     if machine.halted is not HaltReason.RETURNED:
         raise RuntimeError(

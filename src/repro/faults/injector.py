@@ -1,8 +1,9 @@
 """Attach fault specifications to a live machine and apply them.
 
-The injector is purely event-driven: it watches the machine through a
-``pre_step`` hook (cycle counts, PC execution counts) and a fetch filter
-(instruction-word corruption), and mutates architectural state directly
+The injector is purely event-driven: it subscribes to the machine's
+:class:`~repro.cpu.observers.ObserverBus` - ``pre_step`` for trigger
+watching (cycle counts, PC execution counts) and ``fetch_word`` for
+instruction-word corruption - and mutates architectural state directly
 when a trigger fires.  Every mutation is logged as an
 :class:`InjectionEvent`, so a campaign can report exactly what was
 corrupted and when - and so two runs with the same specs can be compared
@@ -83,22 +84,24 @@ class FaultInjector:
     def attach(self) -> None:
         if self._attached:
             return
-        self.machine.pre_step_hooks.append(self._pre_step)
+        bus = self.machine.observers
+        bus.subscribe("pre_step", self._pre_step)
         # The fetch filter runs on every instruction fetch; only pay for
         # it when some spec can actually corrupt the fetch path.
         self._filters_fetch = any(
             spec.target is FaultTarget.INSTRUCTION for spec in self.specs
         )
         if self._filters_fetch:
-            self.machine.fetch_filters.append(self._filter_fetch)
+            bus.subscribe("fetch_word", self._filter_fetch)
         self._attached = True
 
     def detach(self) -> None:
         if not self._attached:
             return
-        self.machine.pre_step_hooks.remove(self._pre_step)
+        bus = self.machine.observers
+        bus.unsubscribe("pre_step", self._pre_step)
         if self._filters_fetch:
-            self.machine.fetch_filters.remove(self._filter_fetch)
+            bus.unsubscribe("fetch_word", self._filter_fetch)
         self._attached = False
 
     # -- hook bodies -------------------------------------------------------

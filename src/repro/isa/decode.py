@@ -61,14 +61,20 @@ class CachingDecoder:
     amortise decode work in multi-machine sweeps; the statistics then
     aggregate over all sharers.
 
-    The cache is bounded: when ``max_entries`` distinct words have been
-    seen it is cleared wholesale (real programs hold far fewer distinct
-    words; the bound only guards against adversarial fault streams).
+    The cache is bounded with least-recently-used replacement: once
+    ``max_entries`` distinct words are resident, decoding a new word
+    evicts the single word whose last lookup is oldest (real programs
+    hold far fewer distinct words; the bound only guards against
+    adversarial fault streams, and LRU keeps the hot loop body resident
+    even while such a stream churns the tail).  ``evictions`` counts
+    individual evicted entries.
     """
 
     def __init__(self, max_entries: int = 65536):
+        from collections import OrderedDict
+
         self.max_entries = max_entries
-        self._cache: dict[int, Instruction] = {}
+        self._cache: OrderedDict[int, Instruction] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -78,11 +84,12 @@ class CachingDecoder:
         inst = self._cache.get(word)
         if inst is not None:
             self.hits += 1
+            self._cache.move_to_end(word)
             return inst
         self.misses += 1
         inst = decode(word)
         if len(self._cache) >= self.max_entries:
-            self._cache.clear()
+            self._cache.popitem(last=False)
             self.evictions += 1
         self._cache[word] = inst
         return inst

@@ -239,10 +239,11 @@ class TestInjector:
         )
         injector = FaultInjector(machine, [spec])
         injector.attach()
-        assert machine.pre_step_hooks and machine.fetch_filters
+        assert machine.observers.observer_count("pre_step") == 1
+        assert machine.observers.observer_count("fetch_word") == 1
         injector.detach()
-        assert not machine.pre_step_hooks
-        assert not machine.fetch_filters
+        assert machine.observers.observer_count("pre_step") == 0
+        assert machine.observers.observer_count("fetch_word") == 0
 
 
 class TestCachingDecoder:

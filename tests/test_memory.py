@@ -71,7 +71,7 @@ class TestSubWordAccess:
 
     def test_misaligned_half_raises(self):
         mem = Memory(size=64)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(MemoryFaultError):
             mem.load_half(1)
 
     def test_store_masks_value(self):
