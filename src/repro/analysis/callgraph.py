@@ -1,0 +1,180 @@
+"""Static call graph and window-depth analysis.
+
+RISC I's register windows trade save/restore memory traffic for a
+finite circular buffer: a file of ``N`` windows holds at most ``N - 1``
+concurrent frames, and the ``N``-th nested call traps to spill a
+16-register unit.  The static call graph bounds that nesting depth
+without running the program:
+
+* ``depth_bound`` counts frames, matching the machine's
+  ``ExecutionStats.max_call_depth`` convention (the entry procedure is
+  frame 1, every nested CALL adds one);
+* recursion or an unresolved (register-indexed) call site makes the
+  bound unknowable - ``depth_bound`` is then ``None`` and the analysis
+  reports *which* functions are responsible;
+* a bounded depth of at most ``N - 1`` frames proves the program can
+  never see a window overflow or underflow trap, which the
+  cross-validation harness checks against dynamic runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.isa.registers import NUM_WINDOWS, REGS_PER_WINDOW_UNIQUE
+
+
+@dataclass
+class CallGraph:
+    """Functions and resolved call edges of one program."""
+
+    entry: int
+    edges: dict[int, set[int]] = field(default_factory=dict)  # caller -> callees
+    names: dict[int, str] = field(default_factory=dict)
+    indirect_callers: set[int] = field(default_factory=set)
+    call_sites: dict[int, list[tuple[int, int | None]]] = field(default_factory=dict)
+
+    def callees(self, func: int) -> set[int]:
+        return self.edges.get(func, set())
+
+    def name(self, func: int) -> str:
+        return self.names.get(func, f"L_{func:04x}")
+
+
+def build_call_graph(cfg: ControlFlowGraph) -> CallGraph:
+    """Project the CFG's call sites into a function-level graph."""
+    graph = CallGraph(entry=cfg.entry)
+    for entry, func in cfg.functions.items():
+        graph.names[entry] = func.name
+        graph.edges[entry] = set()
+        graph.call_sites[entry] = list(func.call_sites)
+        for __, callee in func.call_sites:
+            if callee is None:
+                graph.indirect_callers.add(entry)
+            elif callee in cfg.functions:
+                graph.edges[entry].add(callee)
+    return graph
+
+
+@dataclass
+class WindowDepthReport:
+    """Static bound on call-frame nesting and window traffic.
+
+    ``depth_bound`` is in *frames* (entry procedure = 1), directly
+    comparable to ``ExecutionStats.max_call_depth``.  ``None`` means
+    unbounded or unknowable; ``recursive`` and ``has_indirect_calls``
+    say why.
+    """
+
+    entry: int
+    depth_bound: int | None
+    per_function: dict[int, int | None]
+    recursive: frozenset[int]
+    has_indirect_calls: bool
+    names: dict[int, str]
+
+    def bound_for(self, num_windows: int = NUM_WINDOWS) -> dict:
+        """Overflow prediction against an ``num_windows``-window file."""
+        capacity = num_windows - 1  # the circular file keeps one free
+        if self.depth_bound is None:
+            return {
+                "num_windows": num_windows,
+                "overflow_free": False,
+                "reason": "recursive" if self.recursive else "indirect calls",
+            }
+        overflow_free = self.depth_bound <= capacity
+        prediction = {
+            "num_windows": num_windows,
+            "overflow_free": overflow_free,
+            "reason": f"static depth bound {self.depth_bound} vs capacity {capacity}",
+        }
+        if overflow_free:
+            prediction["max_spill_words"] = 0
+        return prediction
+
+    def describe(self) -> str:
+        if self.depth_bound is not None:
+            return f"call depth statically bounded at {self.depth_bound} frame(s)"
+        if self.recursive:
+            names = ", ".join(sorted(self.names.get(f, hex(f)) for f in self.recursive))
+            return f"call depth unbounded: recursion through {names}"
+        return "call depth unknowable: register-indexed call sites"
+
+    def validate_against(self, max_call_depth: int, window_overflows: int,
+                         num_windows: int = NUM_WINDOWS) -> list[str]:
+        """Cross-check the static bound against one dynamic run.
+
+        Returns human-readable violation messages (empty = consistent).
+        The static bound must dominate the observed depth, and a proved
+        overflow-free program must not have trapped.
+        """
+        problems = []
+        if self.depth_bound is not None and max_call_depth > self.depth_bound:
+            problems.append(
+                f"dynamic max call depth {max_call_depth} exceeds static bound "
+                f"{self.depth_bound}"
+            )
+        prediction = self.bound_for(num_windows)
+        if prediction["overflow_free"] and window_overflows > 0:
+            problems.append(
+                f"statically proved overflow-free, but the run saw "
+                f"{window_overflows} overflow trap(s)"
+            )
+        return problems
+
+    @property
+    def spill_words_per_trap(self) -> int:
+        return REGS_PER_WINDOW_UNIQUE
+
+
+def window_depth(cfg: ControlFlowGraph) -> WindowDepthReport:
+    """Longest call chain from the entry, in frames; ``None`` = unbounded."""
+    graph = build_call_graph(cfg)
+    depth: dict[int, int | None] = {}
+    on_stack: set[int] = set()
+    recursive: set[int] = set()
+
+    def visit(func: int) -> int | None:
+        """Frames consumed by a call to *func* (itself included)."""
+        if func in on_stack:
+            recursive.add(func)
+            return None
+        if func in depth:
+            return depth[func]
+        on_stack.add(func)
+        best: int | None = 1
+        if func in graph.indirect_callers:
+            best = None
+        for callee in graph.callees(func):
+            sub = visit(callee)
+            if sub is None:
+                best = None
+            elif best is not None:
+                best = max(best, 1 + sub)
+        on_stack.discard(func)
+        depth[func] = best
+        return best
+
+    bound = visit(graph.entry) if graph.entry in graph.edges else 1
+    # Functions on a recursion cycle poison every caller; recompute the
+    # per-function table for reporting once the cycle set is known.
+    reachable_indirect = any(
+        func in graph.indirect_callers for func in depth
+    )
+    return WindowDepthReport(
+        entry=graph.entry,
+        depth_bound=bound,
+        per_function=dict(depth),
+        recursive=frozenset(recursive),
+        has_indirect_calls=reachable_indirect,
+        names=dict(graph.names),
+    )
+
+
+__all__ = [
+    "CallGraph",
+    "WindowDepthReport",
+    "build_call_graph",
+    "window_depth",
+]

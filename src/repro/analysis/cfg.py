@@ -1,0 +1,404 @@
+"""Control-flow graph construction from a RISC I memory image.
+
+The builder performs reachability-driven disassembly: starting from the
+program entry it decodes instruction words, follows resolved branch and
+call targets, and partitions the reachable code into basic blocks.
+Words never reached are treated as data - RISC I images intermix data
+and text, and only the control flow distinguishes them.
+
+Delay slots are modelled explicitly, mirroring the machine's
+``(pc, npc)`` semantics: a delayed transfer at address ``A`` always
+executes the word at ``A + 4`` exactly once - on the taken *and* the
+untaken path - before control continues at either the target or
+``A + 8``.  The slot instruction is therefore attached to the
+terminating block (it executes after the transfer, before any edge),
+and block successors skip over it.
+
+Target resolution:
+
+* ``JMPR`` / ``CALLR`` are PC-relative (``address + imm19``) - always
+  resolvable;
+* ``JMP`` / ``CALL`` with ``rs1 = r0`` and an immediate operand are
+  absolute - resolvable;
+* register-indexed ``JMP`` / ``CALL`` are *indirect* - the block is
+  marked and downstream analyses stay conservative;
+* ``RET`` / ``RETINT`` end the function (no static successors).
+
+Structural problems found during the walk (invalid opcodes on a
+reachable path, misaligned or out-of-image targets, transfers in delay
+slots) are recorded as :class:`CfgDiagnostic` entries for the lint
+layer rather than raised, so one malformed region never hides the rest
+of the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DecodingError
+from repro.isa.conditions import Cond
+from repro.isa.decode import decode
+from repro.isa.formats import Instruction
+from repro.isa.opcodes import Opcode
+
+WORD = 4
+
+#: Block terminator kinds.
+KIND_FALLTHROUGH = "fallthrough"  # ends at a leader, no transfer
+KIND_BRANCH = "branch"  # unconditional taken transfer
+KIND_COND_BRANCH = "cond-branch"  # two-way conditional transfer
+KIND_CALL = "call"  # CALL/CALLR; successor is the continuation
+KIND_RET = "ret"  # RET/RETINT; no static successors
+KIND_INDIRECT = "indirect"  # register-indexed jump, unknown target
+KIND_END = "end"  # runs off decodable code
+
+_CALL_OPCODES = frozenset({Opcode.CALL, Opcode.CALLR})
+_RET_OPCODES = frozenset({Opcode.RET, Opcode.RETINT})
+
+
+@dataclass(frozen=True)
+class CodeWord:
+    """One decoded instruction at a fixed address."""
+
+    address: int
+    word: int
+    inst: Instruction
+
+
+@dataclass(frozen=True)
+class CfgDiagnostic:
+    """A structural problem found while building the graph."""
+
+    kind: str  # 'invalid-opcode' | 'misaligned-target' | 'target-out-of-image'
+    #        | 'slot-out-of-image' | 'fallthrough-off-end'
+    address: int
+    detail: str
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    ``body`` holds the non-terminating instructions; ``terminator`` the
+    delayed transfer ending the block (None when the block simply falls
+    through into the next leader); ``delay_slot`` the word after the
+    terminator, which executes on every path out of the block.
+    """
+
+    start: int
+    body: list[CodeWord] = field(default_factory=list)
+    terminator: CodeWord | None = None
+    delay_slot: CodeWord | None = None
+    successors: list[int] = field(default_factory=list)
+    kind: str = KIND_FALLTHROUGH
+    call_target: int | None = None  # resolved callee for KIND_CALL
+
+    @property
+    def executed(self) -> list[CodeWord]:
+        """Instructions in execution order (slot runs *after* the transfer)."""
+        out = list(self.body)
+        if self.terminator is not None:
+            out.append(self.terminator)
+        if self.delay_slot is not None:
+            out.append(self.delay_slot)
+        return out
+
+    @property
+    def end(self) -> int:
+        """First address past the block (slot included)."""
+        last = self.start - WORD
+        if self.body:
+            last = self.body[-1].address
+        if self.terminator is not None:
+            last = self.terminator.address
+        if self.delay_slot is not None:
+            last = self.delay_slot.address
+        return last + WORD
+
+
+@dataclass
+class StaticFunction:
+    """Blocks reachable from one call-graph entry without crossing calls."""
+
+    entry: int
+    name: str
+    block_starts: list[int] = field(default_factory=list)
+    call_sites: list[tuple[int, int | None]] = field(default_factory=list)
+    # (call-instruction address, resolved callee or None for indirect)
+
+    @property
+    def has_indirect_calls(self) -> bool:
+        return any(callee is None for __, callee in self.call_sites)
+
+
+class ControlFlowGraph:
+    """The decoded program: blocks, functions, and naming."""
+
+    def __init__(
+        self,
+        words: list[int],
+        base: int,
+        entry: int,
+        symbols: dict[str, int] | None = None,
+    ):
+        self.words = words
+        self.base = base
+        self.entry = entry
+        self.symbols = dict(symbols or {})
+        self.blocks: dict[int, BasicBlock] = {}
+        self.functions: dict[int, StaticFunction] = {}
+        self.diagnostics: list[CfgDiagnostic] = []
+        self._labels: dict[int, str] = {}
+        for name, address in sorted(self.symbols.items()):
+            # Prefer function-ish names over section markers at the same
+            # address (``main`` over ``__text_start``).
+            current = self._labels.get(address)
+            if current is None or (current.startswith("__text") and not name.startswith("__text")):
+                self._labels[address] = name
+
+    # -- address helpers ---------------------------------------------------
+
+    def in_image(self, address: int) -> bool:
+        return self.base <= address < self.base + WORD * len(self.words)
+
+    def word_at(self, address: int) -> int:
+        return self.words[(address - self.base) // WORD]
+
+    def label_for(self, address: int) -> str:
+        """The symbol at *address*, or a synthetic ``L_xxxx`` name."""
+        return self._labels.get(address, f"L_{address:04x}")
+
+    def locate(self, address: int) -> str:
+        """``symbol+offset`` description of *address* for diagnostics."""
+        best_name, best_addr = None, -1
+        for name, sym_addr in self.symbols.items():
+            if sym_addr <= address and sym_addr > best_addr and not name.startswith("__text"):
+                best_name, best_addr = name, sym_addr
+        if best_name is None:
+            return f"{address:#x}"
+        offset = address - best_addr
+        return f"{best_name}+{offset:#x}" if offset else best_name
+
+    @property
+    def instructions(self) -> list[CodeWord]:
+        """Every reachable instruction, in address order, slots included."""
+        seen: dict[int, CodeWord] = {}
+        for block in self.blocks.values():
+            for code in block.executed:
+                seen[code.address] = code
+        return [seen[a] for a in sorted(seen)]
+
+    def covered_addresses(self) -> set[int]:
+        """Addresses of every reachable instruction word (slots included)."""
+        covered: set[int] = set()
+        for block in self.blocks.values():
+            for code in block.executed:
+                covered.add(code.address)
+        return covered
+
+    def block_of(self, address: int) -> BasicBlock | None:
+        """The block whose body/terminator/slot covers *address*."""
+        for block in self.blocks.values():
+            if block.start <= address < block.end:
+                return block
+        return None
+
+
+def _classify(inst: Instruction) -> str | None:
+    """Terminator kind for a delayed transfer, None for straight-line."""
+    if not inst.spec.is_delayed:
+        return None
+    if inst.opcode in _RET_OPCODES:
+        return KIND_RET
+    if inst.opcode in _CALL_OPCODES:
+        return KIND_CALL
+    return KIND_BRANCH  # refined by condition/operands later
+
+
+def _static_target(code: CodeWord) -> int | None:
+    """Resolved transfer target, or None for indirect."""
+    inst = code.inst
+    if inst.opcode in (Opcode.JMPR, Opcode.CALLR):
+        return code.address + inst.imm19
+    if inst.opcode in (Opcode.JMP, Opcode.CALL):
+        if inst.imm and inst.rs1 == 0:
+            return inst.s2  # absolute, r0-based
+        return None
+    return None  # RET/RETINT: dynamic by design
+
+
+def build_cfg(
+    words: list[int],
+    *,
+    base: int = 0,
+    entry: int = 0,
+    symbols: dict[str, int] | None = None,
+) -> ControlFlowGraph:
+    """Build the CFG of the program image *words* loaded at *base*.
+
+    Reachability starts at *entry*; *symbols* (when given) only provide
+    names, never roots - a label on data must not force a decode.
+    """
+    cfg = ControlFlowGraph(words, base, entry, symbols)
+    decoded: dict[int, CodeWord] = {}
+    leaders: set[int] = set()
+    # Scan pass: discover reachable instructions and leaders.
+    pending: list[int] = []
+    scanned: set[int] = set()
+
+    def note(kind: str, address: int, detail: str) -> None:
+        cfg.diagnostics.append(CfgDiagnostic(kind, address, detail))
+
+    def fetch(address: int) -> CodeWord | None:
+        if address % WORD:
+            note("misaligned-target", address, f"address {address:#x} is not word-aligned")
+            return None
+        if not cfg.in_image(address):
+            return None
+        if address in decoded:
+            return decoded[address]
+        word = cfg.word_at(address)
+        try:
+            inst = decode(word)
+        except DecodingError as exc:
+            note("invalid-opcode", address, str(exc))
+            return None
+        code = CodeWord(address, word, inst)
+        decoded[address] = code
+        return code
+
+    def enqueue(address: int, source: int) -> None:
+        if address % WORD:
+            note("misaligned-target", address,
+                 f"transfer at {source:#x} targets misaligned address {address:#x}")
+            return
+        if not cfg.in_image(address):
+            note("target-out-of-image", address,
+                 f"transfer at {source:#x} targets {address:#x}, outside the image")
+            return
+        leaders.add(address)
+        if address not in scanned:
+            pending.append(address)
+
+    leaders.add(entry)
+    pending.append(entry)
+    while pending:
+        address = pending.pop()
+        while True:
+            if address in scanned:
+                break
+            code = fetch(address)
+            if code is None:
+                break
+            scanned.add(address)
+            kind = _classify(code.inst)
+            if kind is None:
+                address += WORD
+                continue
+            # Delayed transfer: decode its slot, queue successors.
+            slot = fetch(address + WORD)
+            if slot is None and not cfg.in_image(address + WORD):
+                note("slot-out-of-image", address,
+                     f"delay slot of transfer at {address:#x} is outside the image")
+            if slot is not None:
+                scanned.add(slot.address)
+            target = _static_target(code)
+            fall = address + 2 * WORD
+            if kind == KIND_RET:
+                pass
+            elif kind == KIND_CALL:
+                if target is not None:
+                    enqueue(target, address)
+                enqueue(fall, address)
+            elif target is None:
+                pass  # indirect jump: unknown successors
+            else:
+                cond = code.inst.cond
+                if cond is not Cond.NEVER:
+                    enqueue(target, address)
+                if cond is not Cond.ALW:
+                    enqueue(fall, address)
+            break
+
+    # Block pass: cut the decoded stream at leaders and terminators.
+    for leader in sorted(leaders):
+        if leader not in decoded:
+            continue
+        block = BasicBlock(start=leader)
+        address = leader
+        while True:
+            code = decoded.get(address)
+            if code is None:
+                block.kind = KIND_END
+                note("fallthrough-off-end", address,
+                     f"control reaches {address:#x}, which is not decodable code")
+                break
+            kind = _classify(code.inst)
+            if kind is None:
+                block.body.append(code)
+                nxt = address + WORD
+                if nxt in leaders:
+                    block.kind = KIND_FALLTHROUGH
+                    block.successors = [nxt]
+                    break
+                address = nxt
+                continue
+            block.terminator = code
+            block.delay_slot = decoded.get(address + WORD)
+            target = _static_target(code)
+            fall = address + 2 * WORD
+            if kind == KIND_RET:
+                block.kind = KIND_RET
+            elif kind == KIND_CALL:
+                block.kind = KIND_CALL
+                block.call_target = target
+                if cfg.in_image(fall):
+                    block.successors = [fall]
+            elif target is None:
+                block.kind = KIND_INDIRECT
+            else:
+                cond = code.inst.cond
+                succs: list[int] = []
+                if cond is not Cond.NEVER and cfg.in_image(target) and target % WORD == 0:
+                    succs.append(target)
+                if cond is not Cond.ALW and cfg.in_image(fall):
+                    succs.append(fall)
+                block.kind = KIND_BRANCH if cond is Cond.ALW else KIND_COND_BRANCH
+                block.successors = succs
+            break
+        cfg.blocks[block.start] = block
+
+    _partition_functions(cfg)
+    return cfg
+
+
+def _partition_functions(cfg: ControlFlowGraph) -> None:
+    """Group blocks into functions: entry + every resolved call target."""
+    entries = {cfg.entry}
+    for block in cfg.blocks.values():
+        if block.kind == KIND_CALL and block.call_target is not None:
+            if block.call_target in cfg.blocks:
+                entries.add(block.call_target)
+    for entry in sorted(entries):
+        func = StaticFunction(entry=entry, name=cfg.label_for(entry))
+        seen: set[int] = set()
+        stack = [entry]
+        while stack:
+            start = stack.pop()
+            if start in seen or start not in cfg.blocks:
+                continue
+            seen.add(start)
+            block = cfg.blocks[start]
+            if block.kind == KIND_CALL:
+                func.call_sites.append(
+                    (block.terminator.address if block.terminator else start,
+                     block.call_target)
+                )
+            for succ in block.successors:
+                # Do not wander into another function through a tail
+                # jump; its entry block belongs to the callee.
+                if succ in entries and succ != entry:
+                    continue
+                stack.append(succ)
+        func.block_starts = sorted(seen)
+        cfg.functions[entry] = func

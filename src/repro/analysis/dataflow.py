@@ -1,0 +1,428 @@
+"""Worklist dataflow analyses over the windowed register file.
+
+All three classic analyses the lints need, specialised to RISC I's
+32-register visible window and solved over bitmask lattices (bit *r*
+stands for register *r*):
+
+* :func:`definite_assignment` - forward *must* analysis; a register is
+  "defined" at a point only when every path from the function entry
+  assigns it first.  Powers the use-of-uninitialized lint.
+* :func:`liveness` - backward *may* analysis; powers the dead-store
+  lint.
+* :func:`reaching_definitions` - forward *may* analysis over definition
+  sites, including one synthetic "uninitialized" site per register not
+  defined at function entry.  Distinguishes "may be uninitialized on
+  some path" from "is uninitialized on every path".
+
+Window semantics are modelled, not ignored:
+
+* analyses are intra-procedural - a CALL switches to a fresh window, so
+  the callee's frame tells us nothing about the caller's registers;
+* a CALL summarises its callee: afterwards ``r10``-``r15`` (the LOW
+  block, physically the callee's HIGH block) must be assumed written -
+  the return value arrives in ``r10`` - and the globals survive;
+* the delay slot of a CALL or RET executes in the *other* window (the
+  transfer switches CWP before the slot issues), so only its global-
+  register effects (``r0``-``r9``) belong to this function's dataflow.
+  Window-relative accesses in such slots are a hazard the lint layer
+  reports separately (``DS005``).
+
+Conservative directions are chosen so lints can only under-report,
+never false-positive: liveness never *kills* across a call (the callee
+might not write the LOW block), and definite assignment adds the call
+summary registers as defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import (
+    KIND_CALL,
+    KIND_RET,
+    BasicBlock,
+    CodeWord,
+    ControlFlowGraph,
+    StaticFunction,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import NUM_GLOBALS, VISIBLE_REGISTERS
+
+#: every visible register
+ALL_REGS = (1 << VISIBLE_REGISTERS) - 1
+#: r0-r9 (shared across windows; r0 is hardwired zero)
+GLOBAL_MASK = (1 << NUM_GLOBALS) - 1
+#: r10-r15, the outgoing-argument block a callee may overwrite
+LOW_MASK = 0b111111 << NUM_GLOBALS
+#: r26-r31, the incoming-argument block (defined by the caller)
+HIGH_MASK = 0b111111 << 26
+#: registers defined on entry to a windowed procedure: r0 (hardwired),
+#: the shared globals, and the caller-provided HIGH block.
+WINDOWED_ENTRY_DEFINED = GLOBAL_MASK | HIGH_MASK
+#: registers conventionally live when a procedure returns: the shared
+#: globals plus the HIGH block (r26 carries the return value back
+#: through the overlap).
+LIVE_AT_RETURN = GLOBAL_MASK | HIGH_MASK
+
+#: instructions whose only effect is their register write - candidates
+#: for the dead-store lint (loads also write a register but touch
+#: memory, so a "dead" load still has an architectural effect).
+PURE_OPCODES = frozenset(
+    {
+        Opcode.ADD, Opcode.ADDC, Opcode.SUB, Opcode.SUBC, Opcode.SUBR,
+        Opcode.SUBCR, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SLL,
+        Opcode.SRL, Opcode.SRA, Opcode.LDHI,
+    }
+)
+
+
+def _mask(regs) -> int:
+    out = 0
+    for reg in regs:
+        out |= 1 << reg
+    return out & ALL_REGS
+
+
+@dataclass(frozen=True)
+class Step:
+    """One instruction's dataflow effect within its function.
+
+    ``uses``/``defs`` are register bitmasks *as seen by the analysed
+    function's window*; ``role`` records why they may differ from the
+    raw instruction fields (call summaries, cross-window slots).
+    """
+
+    code: CodeWord
+    uses: int
+    defs: int
+    role: str  # 'op' | 'call' | 'ret' | 'slot' | 'xw-slot'
+    pure: bool = False  # eligible for dead-store reporting
+
+
+def block_steps(block: BasicBlock) -> list[Step]:
+    """The block's instructions as dataflow steps, in execution order."""
+    steps = [_plain_step(code, "op") for code in block.body]
+    term = block.terminator
+    if term is not None:
+        if block.kind == KIND_CALL:
+            # The callee runs here: assume it writes the overlap block
+            # (return value in our r10) and reads the argument registers.
+            steps.append(Step(term, uses=0, defs=LOW_MASK, role="call"))
+        elif block.kind == KIND_RET:
+            steps.append(
+                Step(term, uses=_mask(term.inst.operand_registers()), defs=0, role="ret")
+            )
+        else:
+            steps.append(_plain_step(term, "op"))
+    slot = block.delay_slot
+    if slot is not None:
+        step = _plain_step(slot, "slot")
+        if block.kind in (KIND_CALL, KIND_RET):
+            # Cross-window slot: only global effects land in this frame.
+            step = Step(
+                slot,
+                uses=step.uses & GLOBAL_MASK,
+                defs=step.defs & GLOBAL_MASK,
+                role="xw-slot",
+                pure=step.pure,
+            )
+        steps.append(step)
+    return steps
+
+
+def _plain_step(code: CodeWord, role: str) -> Step:
+    inst = code.inst
+    written = inst.written_register()
+    defs = 0 if written in (None, 0) else 1 << written
+    return Step(
+        code,
+        uses=_mask(inst.operand_registers()) & ~1,  # r0 always reads 0
+        defs=defs,
+        role=role,
+        pure=inst.opcode in PURE_OPCODES,
+    )
+
+
+def _function_edges(
+    cfg: ControlFlowGraph, func: StaticFunction
+) -> tuple[dict[int, list[int]], dict[int, list[int]]]:
+    """(successors, predecessors) restricted to the function's blocks."""
+    members = set(func.block_starts)
+    succs: dict[int, list[int]] = {start: [] for start in members}
+    preds: dict[int, list[int]] = {start: [] for start in members}
+    for start in func.block_starts:
+        block = cfg.blocks[start]
+        for succ in block.successors:
+            if succ in members:
+                succs[start].append(succ)
+                preds[succ].append(start)
+    return succs, preds
+
+
+@dataclass
+class AssignmentFacts:
+    """Definite-assignment solution for one function."""
+
+    before: dict[int, int] = field(default_factory=dict)  # inst addr -> mask
+    entry_defined: int = WINDOWED_ENTRY_DEFINED
+
+
+def definite_assignment(
+    cfg: ControlFlowGraph,
+    func: StaticFunction,
+    *,
+    entry_defined: int = WINDOWED_ENTRY_DEFINED,
+) -> AssignmentFacts:
+    """Registers definitely assigned before each instruction executes."""
+    entry_defined |= 1  # r0 is hardwired
+    succs, preds = _function_edges(cfg, func)
+    steps = {start: block_steps(cfg.blocks[start]) for start in func.block_starts}
+    gen = {
+        start: _fold_defs(steps[start]) for start in func.block_starts
+    }
+    out_facts = {start: ALL_REGS for start in func.block_starts}
+    in_facts = {start: ALL_REGS for start in func.block_starts}
+    in_facts[func.entry] = entry_defined
+    out_facts[func.entry] = entry_defined | gen.get(func.entry, 0)
+    work = list(func.block_starts)
+    while work:
+        start = work.pop()
+        if start == func.entry:
+            in_mask = entry_defined
+        else:
+            in_mask = ALL_REGS
+            for pred in preds[start]:
+                in_mask &= out_facts[pred]
+            if not preds[start]:
+                # Unreached within the function (e.g. only entered via an
+                # indirect jump): assume nothing beyond the entry set.
+                in_mask = entry_defined
+        in_facts[start] = in_mask
+        out_mask = in_mask | gen[start]
+        if out_mask != out_facts[start]:
+            out_facts[start] = out_mask
+            work.extend(succs[start])
+    facts = AssignmentFacts(entry_defined=entry_defined)
+    for start in func.block_starts:
+        current = in_facts[start]
+        for step in steps[start]:
+            facts.before[step.code.address] = current
+            current |= step.defs
+    return facts
+
+
+def _fold_defs(steps: list[Step]) -> int:
+    mask = 0
+    for step in steps:
+        mask |= step.defs
+    return mask
+
+
+@dataclass
+class LivenessFacts:
+    """Liveness solution for one function."""
+
+    after: dict[int, int] = field(default_factory=dict)  # inst addr -> live-out mask
+
+
+def liveness(cfg: ControlFlowGraph, func: StaticFunction) -> LivenessFacts:
+    """Registers that may still be read after each instruction.
+
+    Conservative across calls and unknown control flow: a CALL keeps the
+    argument block and the globals live and kills nothing; RET,
+    indirect-jump and truncated blocks treat the conventional
+    :data:`LIVE_AT_RETURN` set (or everything, for indirect) as live.
+    """
+    succs, __ = _function_edges(cfg, func)
+    steps = {start: block_steps(cfg.blocks[start]) for start in func.block_starts}
+    live_in: dict[int, int] = {start: 0 for start in func.block_starts}
+    live_out: dict[int, int] = {start: 0 for start in func.block_starts}
+    work = list(func.block_starts)
+    while work:
+        start = work.pop()
+        block = cfg.blocks[start]
+        out_mask = _block_exit_live(block, succs[start], live_in)
+        in_mask = out_mask
+        for step in reversed(steps[start]):
+            in_mask = _step_live_before(step, in_mask)
+        live_out[start] = out_mask
+        if in_mask != live_in[start]:
+            live_in[start] = in_mask
+            # Predecessors must be revisited; recompute lazily by
+            # re-queueing every block that lists us as successor.
+            work.extend(
+                pred for pred in func.block_starts if start in succs[pred]
+            )
+    facts = LivenessFacts()
+    for start in func.block_starts:
+        current = _block_exit_live(cfg.blocks[start], succs[start], live_in)
+        for step in reversed(steps[start]):
+            facts.after[step.code.address] = current
+            current = _step_live_before(step, current)
+    return facts
+
+
+def _block_exit_live(
+    block: BasicBlock, succs: list[int], live_in: dict[int, int]
+) -> int:
+    if block.kind == KIND_RET:
+        return LIVE_AT_RETURN
+    if not succs:
+        # Indirect jump, truncated code, or an edge leaving the
+        # function: assume everything may be read.
+        return ALL_REGS
+    mask = 0
+    for succ in succs:
+        mask |= live_in[succ]
+    return mask
+
+
+def _step_live_before(step: Step, live_after: int) -> int:
+    if step.role == "call":
+        # The callee may read the argument block and the globals; it may
+        # or may not write the LOW block, so nothing is killed.
+        return live_after | (LOW_MASK | GLOBAL_MASK) & ~1
+    return (live_after & ~step.defs) | step.uses
+
+
+@dataclass(frozen=True)
+class DefSite:
+    """One definition site: a real instruction, or a synthetic
+    "uninitialized at entry" marker (``address is None``)."""
+
+    reg: int
+    address: int | None
+
+
+@dataclass
+class ReachingFacts:
+    """Reaching-definitions solution for one function."""
+
+    sites: list[DefSite]
+    before: dict[int, frozenset[DefSite]] = field(default_factory=dict)
+
+    def reaching(self, address: int, reg: int) -> frozenset[DefSite]:
+        """Definition sites of *reg* that reach *address*."""
+        return frozenset(
+            site for site in self.before.get(address, frozenset()) if site.reg == reg
+        )
+
+    def may_be_uninitialized(self, address: int, reg: int) -> bool:
+        return any(site.address is None for site in self.reaching(address, reg))
+
+    def definitely_uninitialized(self, address: int, reg: int) -> bool:
+        sites = self.reaching(address, reg)
+        return bool(sites) and all(site.address is None for site in sites)
+
+
+def reaching_definitions(
+    cfg: ControlFlowGraph,
+    func: StaticFunction,
+    *,
+    entry_defined: int = WINDOWED_ENTRY_DEFINED,
+) -> ReachingFacts:
+    """Which definitions (or entry-uninitialized markers) reach each use."""
+    entry_defined |= 1
+    succs, preds = _function_edges(cfg, func)
+    steps = {start: block_steps(cfg.blocks[start]) for start in func.block_starts}
+
+    site_index: dict[DefSite, int] = {}
+
+    def intern(site: DefSite) -> int:
+        if site not in site_index:
+            site_index[site] = len(site_index)
+        return site_index[site]
+
+    # Synthetic sites for registers not defined at entry.
+    entry_bits = 0
+    for reg in range(VISIBLE_REGISTERS):
+        if not entry_defined & (1 << reg):
+            entry_bits |= 1 << intern(DefSite(reg, None))
+    # Real sites, plus per-block gen/kill in site-bit space.
+    by_reg: dict[int, int] = {}  # reg -> bitset of its sites
+    gen: dict[int, int] = {}
+    kill_regs: dict[int, int] = {}
+    for start in func.block_starts:
+        block_gen = 0
+        regs_defined = 0
+        for step in steps[start]:
+            for reg in _bits(step.defs):
+                bit = 1 << intern(DefSite(reg, step.code.address))
+                # A later def of the same reg in this block supersedes.
+                block_gen = (block_gen & ~_sites_of(by_reg, reg)) | bit
+                by_reg[reg] = by_reg.get(reg, 0) | bit
+                regs_defined |= 1 << reg
+        gen[start] = block_gen
+        kill_regs[start] = regs_defined
+    for reg in range(VISIBLE_REGISTERS):
+        if not entry_defined & (1 << reg):
+            by_reg[reg] = by_reg.get(reg, 0) | (
+                1 << site_index[DefSite(reg, None)]
+            )
+
+    def kill_mask(start: int) -> int:
+        mask = 0
+        for reg in _bits(kill_regs[start]):
+            mask |= by_reg.get(reg, 0)
+        return mask
+
+    in_facts = {start: 0 for start in func.block_starts}
+    out_facts = {start: 0 for start in func.block_starts}
+    in_facts[func.entry] = entry_bits
+    work = list(func.block_starts)
+    while work:
+        start = work.pop()
+        in_bits = entry_bits if start == func.entry else 0
+        for pred in preds[start]:
+            in_bits |= out_facts[pred]
+        if start == func.entry or not preds[start]:
+            in_bits |= entry_bits
+        in_facts[start] = in_bits
+        out_bits = (in_bits & ~kill_mask(start)) | gen[start]
+        if out_bits != out_facts[start]:
+            out_facts[start] = out_bits
+            work.extend(succs[start])
+
+    sites: list[DefSite] = sorted(site_index, key=lambda s: site_index[s])
+    facts = ReachingFacts(sites=list(sites))
+    for start in func.block_starts:
+        current = in_facts[start]
+        for step in steps[start]:
+            facts.before[step.code.address] = frozenset(
+                sites[i] for i in _bits(current)
+            )
+            for reg in _bits(step.defs):
+                current &= ~by_reg.get(reg, 0)
+                current |= 1 << site_index[DefSite(reg, step.code.address)]
+    return facts
+
+
+def _sites_of(by_reg: dict[int, int], reg: int) -> int:
+    return by_reg.get(reg, 0)
+
+
+def _bits(mask: int):
+    """Iterate set bit positions of *mask*."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+__all__ = [
+    "ALL_REGS",
+    "GLOBAL_MASK",
+    "HIGH_MASK",
+    "LIVE_AT_RETURN",
+    "LOW_MASK",
+    "WINDOWED_ENTRY_DEFINED",
+    "AssignmentFacts",
+    "DefSite",
+    "LivenessFacts",
+    "ReachingFacts",
+    "Step",
+    "block_steps",
+    "definite_assignment",
+    "liveness",
+    "reaching_definitions",
+]

@@ -1,0 +1,477 @@
+"""Lint catalog over the CFG and dataflow results.
+
+Every lint has a stable ID (see ``docs/ANALYSIS.md`` for the catalog):
+
+========  ========  =====================================================
+ID        severity  meaning
+========  ========  =====================================================
+``DS001``  error    control-transfer instruction inside a delay slot
+``DS002``  error    torn two-word pseudo (``li``) split across a delay
+                    slot - the PR 1 miscompile shape
+``DS003``  warning  PC/PSW-sensitive instruction (``gtlpc``,
+                    ``callint``, ``putpsw``) inside a delay slot
+``DS004``  error    delay slot outside the program image
+``DS005``  warning  CALL/RET delay slot touches a window-relative
+                    register (the slot executes in the other window)
+``CF001``  error    resolved transfer target outside the image
+``CF002``  error    control reaches a word that is not decodable code
+``CF003``  error    transfer target is not word-aligned
+``UU001``  warning  register may be read before initialization
+``UU002``  error    register is read before initialization on every path
+``DC001``  warning  dead store - a pure register write never read
+``UR001``  warning  unreachable code inside the text section
+``WD001``  note     window-depth summary (promoted to warning by
+                    ``max_depth`` / ``forbid_recursion``)
+========  ========  =====================================================
+
+*Findings* are errors and warnings; notes are informational and never
+fail a build.  The catalog is tuned so every bundled workload compiled
+by :mod:`repro.cc` reports **zero findings** - enforced by tests and
+the CI golden baseline - which is what makes a new finding on a code
+change meaningful.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import WindowDepthReport, window_depth
+from repro.analysis.cfg import (
+    KIND_CALL,
+    KIND_RET,
+    ControlFlowGraph,
+    build_cfg,
+)
+from repro.analysis.dataflow import (
+    ALL_REGS,
+    WINDOWED_ENTRY_DEFINED,
+    block_steps,
+    definite_assignment,
+    liveness,
+    reaching_definitions,
+)
+from repro.errors import DecodingError
+from repro.isa.decode import decode
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import NUM_WINDOWS
+
+WORD = 4
+
+_SLOT_SENSITIVE = frozenset({Opcode.GTLPC, Opcode.CALLINT, Opcode.PUTPSW})
+
+_DIAGNOSTIC_LINTS = {
+    "invalid-opcode": ("CF002", "control reaches a word that is not decodable code"),
+    "fallthrough-off-end": ("CF002", "control falls through into non-code"),
+    "target-out-of-image": ("CF001", "transfer target outside the program image"),
+    "misaligned-target": ("CF003", "transfer target is not word-aligned"),
+    "slot-out-of-image": ("DS004", "delay slot outside the program image"),
+}
+
+
+class Severity(enum.IntEnum):
+    """Finding severities, most severe first."""
+
+    ERROR = 0
+    WARNING = 1
+    NOTE = 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint result, anchored to an address when possible."""
+
+    lint: str
+    severity: Severity
+    message: str
+    address: int | None = None
+    location: str = ""
+
+    def render(self) -> str:
+        where = f" at {self.address:#06x}" if self.address is not None else ""
+        label = f" ({self.location})" if self.location else ""
+        return f"{self.severity.name.lower()}[{self.lint}]{where}{label}: {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "lint": self.lint,
+            "severity": self.severity.name.lower(),
+            "address": self.address,
+            "location": self.location,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """Everything one analysis run produced."""
+
+    program: str
+    cfg: ControlFlowGraph
+    depth: WindowDepthReport
+    findings: list[Finding] = field(default_factory=list)
+    notes: list[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def by_lint(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.lint] = counts.get(finding.lint, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def summary(self) -> dict:
+        return {
+            "program": self.program,
+            "blocks": len(self.cfg.blocks),
+            "functions": len(self.cfg.functions),
+            "reachable_instructions": len(self.cfg.covered_addresses()),
+            "findings": len(self.findings),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "by_lint": self.by_lint(),
+            "depth_bound": self.depth.depth_bound,
+            "recursive": sorted(
+                self.depth.names.get(f, hex(f)) for f in self.depth.recursive
+            ),
+        }
+
+    def to_text(self) -> str:
+        lines = [f"== {self.program} =="]
+        summary = self.summary()
+        lines.append(
+            f"  {summary['functions']} function(s), {summary['blocks']} block(s), "
+            f"{summary['reachable_instructions']} reachable instruction(s)"
+        )
+        lines.append(f"  {self.depth.describe()}")
+        ordered = sorted(
+            self.findings, key=lambda f: (f.severity, f.address if f.address is not None else -1)
+        )
+        for finding in ordered:
+            lines.append("  " + finding.render())
+        for note in self.notes:
+            lines.append("  " + note.render())
+        verdict = "clean" if not self.findings else (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        lines.append(f"  result: {verdict}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = self.summary()
+        payload["finding_list"] = [f.as_dict() for f in self.findings]
+        payload["notes"] = [f.as_dict() for f in self.notes]
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def lint_program(
+    program,
+    *,
+    name: str = "program",
+    windowed: bool = True,
+    num_windows: int = NUM_WINDOWS,
+    max_depth: int | None = None,
+    forbid_recursion: bool = False,
+) -> LintReport:
+    """Lint an assembled :class:`~repro.asm.assembler.Program`."""
+    return lint_words(
+        program.to_words(),
+        base=program.base,
+        entry=program.entry,
+        symbols=program.symbols,
+        name=name,
+        windowed=windowed,
+        num_windows=num_windows,
+        max_depth=max_depth,
+        forbid_recursion=forbid_recursion,
+    )
+
+
+def lint_words(
+    words: list[int],
+    *,
+    base: int = 0,
+    entry: int = 0,
+    symbols: dict[str, int] | None = None,
+    name: str = "program",
+    windowed: bool = True,
+    num_windows: int = NUM_WINDOWS,
+    max_depth: int | None = None,
+    forbid_recursion: bool = False,
+) -> LintReport:
+    """Run the full pass pipeline over a raw word image."""
+    cfg = build_cfg(words, base=base, entry=entry, symbols=symbols)
+    depth = window_depth(cfg)
+    report = LintReport(program=name, cfg=cfg, depth=depth)
+    _lint_structure(report)
+    _lint_delay_slots(report)
+    _lint_dataflow(report, windowed=windowed)
+    _lint_unreachable(report)
+    _lint_window_depth(
+        report, num_windows=num_windows, max_depth=max_depth,
+        forbid_recursion=forbid_recursion,
+    )
+    return report
+
+
+# -- individual passes -------------------------------------------------------
+
+
+def _lint_structure(report: LintReport) -> None:
+    """CF001/CF002/CF003/DS004 from the CFG builder's diagnostics."""
+    seen: set[tuple[str, int]] = set()
+    for diag in report.cfg.diagnostics:
+        lint, headline = _DIAGNOSTIC_LINTS[diag.kind]
+        key = (lint, diag.address)
+        if key in seen:
+            continue
+        seen.add(key)
+        report.findings.append(
+            Finding(
+                lint=lint,
+                severity=Severity.ERROR,
+                message=f"{headline}: {diag.detail}",
+                address=diag.address,
+                location=report.cfg.locate(diag.address),
+            )
+        )
+
+
+def _lint_delay_slots(report: LintReport) -> None:
+    """DS001/DS002/DS003/DS005: hazards inside delay slots."""
+    cfg = report.cfg
+    for block in cfg.blocks.values():
+        term, slot = block.terminator, block.delay_slot
+        if term is None or slot is None:
+            continue
+        where = cfg.locate(slot.address)
+        if slot.inst.spec.is_delayed:
+            report.findings.append(
+                Finding(
+                    "DS001", Severity.ERROR,
+                    f"control transfer '{slot.inst.render()}' in the delay slot of "
+                    f"'{term.inst.render()}' - nested transfers corrupt the PC chain",
+                    slot.address, where,
+                )
+            )
+        if slot.inst.opcode is Opcode.LDHI:
+            torn = _torn_wide_li(cfg, slot)
+            if torn is not None:
+                report.findings.append(
+                    Finding(
+                        "DS002", Severity.ERROR,
+                        f"two-word 'li r{slot.inst.dest}' pseudo torn across the delay "
+                        f"slot of '{term.inst.render()}': the ldhi half executes in the "
+                        f"slot but its add half at {torn:#x} does not - the register "
+                        "holds only the high bits on the taken path",
+                        slot.address, where,
+                    )
+                )
+        if slot.inst.opcode in _SLOT_SENSITIVE:
+            report.findings.append(
+                Finding(
+                    "DS003", Severity.WARNING,
+                    f"'{slot.inst.render()}' in a delay slot observes pipeline state "
+                    "(last PC / PSW) mid-transfer",
+                    slot.address, where,
+                )
+            )
+        if block.kind in (KIND_CALL, KIND_RET):
+            touched = _window_relative_touch(slot)
+            if touched:
+                regs = ", ".join(f"r{r}" for r in touched)
+                report.findings.append(
+                    Finding(
+                        "DS005", Severity.WARNING,
+                        f"delay slot of '{term.inst.render()}' touches window-relative "
+                        f"{regs}; the window switches with the transfer, so the slot "
+                        "reads/writes the wrong frame",
+                        slot.address, where,
+                    )
+                )
+
+
+def _torn_wide_li(cfg: ControlFlowGraph, slot) -> int | None:
+    """Address of the stranded ``add`` half, if *slot* looks like a torn
+    ``ldhi``/``add`` pair emitted by the ``li`` pseudo."""
+    follow = slot.address + WORD
+    if not cfg.in_image(follow):
+        return None
+    try:
+        nxt = decode(cfg.word_at(follow))
+    except DecodingError:
+        return None
+    if (
+        nxt.opcode is Opcode.ADD
+        and nxt.imm
+        and nxt.dest == slot.inst.dest
+        and nxt.rs1 == slot.inst.dest
+    ):
+        return follow
+    return None
+
+
+def _window_relative_touch(slot) -> list[int]:
+    inst = slot.inst
+    regs = set(inst.operand_registers())
+    written = inst.written_register()
+    if written is not None:
+        regs.add(written)
+    return sorted(r for r in regs if r >= 10)
+
+
+def _lint_dataflow(report: LintReport, *, windowed: bool) -> None:
+    """UU001/UU002 (uninitialized reads) and DC001 (dead stores)."""
+    cfg = report.cfg
+    entry_defined = WINDOWED_ENTRY_DEFINED if windowed else ALL_REGS
+    flagged: set[tuple[str, int, int]] = set()
+    for func in cfg.functions.values():
+        reaching = reaching_definitions(cfg, func, entry_defined=entry_defined)
+        assigned = definite_assignment(cfg, func, entry_defined=entry_defined)
+        live = liveness(cfg, func)
+        for start in func.block_starts:
+            for step in block_steps(cfg.blocks[start]):
+                address = step.code.address
+                for reg in _iter_bits(step.uses):
+                    if assigned.before.get(address, ALL_REGS) & (1 << reg):
+                        continue
+                    if not reaching.may_be_uninitialized(address, reg):
+                        continue
+                    key = ("UU", address, reg)
+                    if key in flagged:
+                        continue
+                    flagged.add(key)
+                    definite = reaching.definitely_uninitialized(address, reg)
+                    lint = "UU002" if definite else "UU001"
+                    severity = Severity.ERROR if definite else Severity.WARNING
+                    path = "every path" if definite else "some path"
+                    report.findings.append(
+                        Finding(
+                            lint, severity,
+                            f"'{step.code.inst.render()}' reads r{reg}, which is "
+                            f"uninitialized on {path} from {func.name}'s entry",
+                            address, cfg.locate(address),
+                        )
+                    )
+                if step.pure and step.defs:
+                    dead = step.defs & ~live.after.get(address, ALL_REGS)
+                    for reg in _iter_bits(dead):
+                        key = ("DC", address, reg)
+                        if key in flagged:
+                            continue
+                        flagged.add(key)
+                        report.findings.append(
+                            Finding(
+                                "DC001", Severity.WARNING,
+                                f"dead store: '{step.code.inst.render()}' writes r{reg} "
+                                "but no path reads it again",
+                                address, cfg.locate(address),
+                            )
+                        )
+
+
+def _lint_unreachable(report: LintReport) -> None:
+    """UR001: valid instructions in the text section no path reaches.
+
+    Needs a known text extent (the toolchain's ``__text_start`` /
+    ``__text_end`` symbols); without one, data and code cannot be told
+    apart and the pass stays silent rather than guessing.
+    """
+    cfg = report.cfg
+    start = cfg.symbols.get("__text_start")
+    end = cfg.symbols.get("__text_end")
+    if start is None or end is None:
+        return
+    covered = cfg.covered_addresses()
+    run_start = None
+    run_length = 0
+
+    def flush(after_end: int) -> None:
+        nonlocal run_start, run_length
+        if run_start is None:
+            return
+        words = "word" if run_length == 1 else "words"
+        report.findings.append(
+            Finding(
+                "UR001", Severity.WARNING,
+                f"unreachable code: {run_length} instruction {words} at "
+                f"{run_start:#x}..{after_end - WORD:#x} can never execute",
+                run_start, cfg.locate(run_start),
+            )
+        )
+        run_start, run_length = None, 0
+
+    for address in range(start, min(end, cfg.base + WORD * len(cfg.words)), WORD):
+        if address in covered:
+            flush(address)
+            continue
+        word = cfg.word_at(address)
+        try:
+            decode(word)
+        except DecodingError:
+            flush(address)
+            continue
+        if word == 0:
+            # Alignment padding; not code.
+            flush(address)
+            continue
+        if run_start is None:
+            run_start = address
+        run_length += 1
+    flush(end)
+
+
+def _lint_window_depth(
+    report: LintReport,
+    *,
+    num_windows: int,
+    max_depth: int | None,
+    forbid_recursion: bool,
+) -> None:
+    """WD001: the window-depth bound, as a note or an enforced limit."""
+    depth = report.depth
+    prediction = depth.bound_for(num_windows)
+    message = depth.describe()
+    if prediction["overflow_free"]:
+        message += f"; overflow-free on a {num_windows}-window file"
+    else:
+        message += (
+            f"; may overflow a {num_windows}-window file "
+            f"(capacity {num_windows - 1} frames, "
+            f"{depth.spill_words_per_trap} words spilled per trap)"
+        )
+    severity = Severity.NOTE
+    if max_depth is not None and (depth.depth_bound is None or depth.depth_bound > max_depth):
+        severity = Severity.WARNING
+        message += f"; exceeds the required bound of {max_depth} frame(s)"
+    if forbid_recursion and depth.recursive:
+        severity = Severity.WARNING
+    finding = Finding("WD001", severity, message, report.cfg.entry,
+                      report.cfg.locate(report.cfg.entry))
+    if severity is Severity.NOTE:
+        report.notes.append(finding)
+    else:
+        report.findings.append(finding)
+
+
+def _iter_bits(mask: int):
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Severity",
+    "lint_program",
+    "lint_words",
+]

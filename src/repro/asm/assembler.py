@@ -49,6 +49,12 @@ _MEM_MNEMONICS = {
 _BRANCH_SUGAR = {f"b{cond.name.lower()}": cond for cond in Cond if cond is not Cond.NEVER}
 _BRANCH_SUGAR["b"] = Cond.ALW
 
+#: mnemonics that assemble to a delayed control transfer - the word
+#: after them is a delay slot and must be exactly one instruction.
+_DELAYED_MNEMONICS = frozenset(
+    op.name.lower() for op, spec in ALL_SPECS.items() if spec.is_delayed
+) | frozenset(_BRANCH_SUGAR)
+
 WORD = 4
 
 
@@ -205,6 +211,7 @@ class Assembler:
     def _layout(self, statements: list[_Statement]) -> None:
         self.symbols = {}
         lc = self.base
+        transfer: _Statement | None = None  # delayed transfer whose slot is next
         for stmt in statements:
             stmt.address = lc
             if stmt.kind == "equate":
@@ -219,6 +226,19 @@ class Assembler:
                 self.symbols[name] = lc
                 continue
             stmt.size = self._statement_size(stmt, lc)
+            if stmt.kind == "inst":
+                if transfer is not None and stmt.size > WORD:
+                    raise AssemblerError(
+                        f"{stmt.size // WORD}-word '{stmt.mnemonic}' pseudo-instruction "
+                        f"in the delay slot of '{transfer.mnemonic}' (line "
+                        f"{transfer.lineno}): the slot executes exactly one word, so "
+                        "the pseudo would be torn in half on the taken path; move it "
+                        "before the transfer or use a value that fits 13 bits",
+                        stmt.lineno,
+                    )
+                transfer = stmt if stmt.mnemonic in _DELAYED_MNEMONICS else None
+            elif stmt.size:
+                transfer = None  # data fills the slot; not this pass's concern
             lc += stmt.size
             if stmt.mnemonic == ".org":
                 lc = self._eval(_TokenCursor(stmt.tokens, stmt.lineno), allow_undefined=False)

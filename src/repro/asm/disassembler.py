@@ -44,14 +44,71 @@ def render(inst: Instruction, address: int = 0) -> str:
     return f"{mnemonic} r{inst.dest}, r{inst.rs1}, {s2}"
 
 
-def disassemble_program(words: list[int], base: int = 0) -> list[str]:
-    """Disassemble a word list; lines are ``address: text``."""
+def disassemble_program(
+    words: list[int],
+    base: int = 0,
+    *,
+    annotate: bool = False,
+    entry: int | None = None,
+    symbols: dict[str, int] | None = None,
+) -> list[str]:
+    """Disassemble a word list; lines are ``address: text``.
+
+    With ``annotate`` the listing is cross-referenced through the static
+    CFG (:mod:`repro.analysis.cfg`): block leaders get ``label:`` header
+    lines, resolved transfer targets gain ``<label>`` comments, delay
+    slots are marked, and words no control flow reaches are rendered as
+    data.  *entry* defaults to *base*; *symbols* provides names.
+    """
+    if not annotate:
+        lines = []
+        for index, word in enumerate(words):
+            address = base + 4 * index
+            try:
+                text = disassemble(word, address)
+            except Exception:
+                text = f".word {word:#010x}"
+            lines.append(f"{address:#06x}: {text}")
+        return lines
+    return _annotated_listing(words, base, base if entry is None else entry, symbols)
+
+
+def _annotated_listing(
+    words: list[int], base: int, entry: int, symbols: dict[str, int] | None
+) -> list[str]:
+    from repro.analysis.cfg import WORD, _static_target, build_cfg
+
+    cfg = build_cfg(words, base=base, entry=entry, symbols=symbols)
+    covered = cfg.covered_addresses()
+    slots = {
+        block.delay_slot.address
+        for block in cfg.blocks.values()
+        if block.delay_slot is not None
+    }
+    leaders = set(cfg.blocks)
+    targets: dict[int, int | None] = {}  # transfer address -> resolved target
+    for block in cfg.blocks.values():
+        term = block.terminator
+        if term is None:
+            continue
+        targets[term.address] = _static_target(term)
+        if block.kind == "call" and block.call_target is not None:
+            targets[term.address] = block.call_target
     lines = []
     for index, word in enumerate(words):
-        address = base + 4 * index
-        try:
-            text = disassemble(word, address)
-        except Exception:
-            text = f".word {word:#010x}"
-        lines.append(f"{address:#06x}: {text}")
+        address = base + WORD * index
+        if address in leaders:
+            lines.append(f"{cfg.label_for(address)}:")
+        if address not in covered:
+            lines.append(f"{address:#06x}:     .word {word:#010x}")
+            continue
+        text = disassemble(word, address)
+        comments = []
+        target = targets.get(address, None)
+        if target is not None and cfg.in_image(target):
+            comments.append(f"<{cfg.label_for(target)}>")
+        if address in slots:
+            comments.append("[delay slot]")
+        suffix = "    ; " + " ".join(comments) if comments else ""
+        lines.append(f"{address:#06x}:     {text}{suffix}")
     return lines

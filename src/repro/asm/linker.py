@@ -21,8 +21,6 @@ when both are external).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.errors import AssemblerError
 from repro.asm.assembler import Assembler, Program, WORD
 from repro.asm.objfile import ObjectFile, Relocation, RelocKind, apply_relocation
@@ -141,13 +139,24 @@ def assemble_module(source: str, name: str = "module") -> ObjectFile:
     return ModuleAssembler(name).assemble_module(source)
 
 
-@dataclass
 class LinkError(AssemblerError):
-    pass
+    """A problem resolving or verifying the final linked image."""
 
 
-def link(modules: list[ObjectFile], base: int = 0, entry: str = "main") -> Program:
-    """Concatenate *modules*, resolve symbols, and apply relocations."""
+def link(
+    modules: list[ObjectFile],
+    base: int = 0,
+    entry: str = "main",
+    *,
+    verify: bool = False,
+) -> Program:
+    """Concatenate *modules*, resolve symbols, and apply relocations.
+
+    With ``verify`` the linked image is run through the static analyzer
+    (:mod:`repro.analysis`) and error-severity findings - torn delay
+    slots, transfers into data, out-of-image targets - raise
+    :class:`LinkError` with the full report attached to the message.
+    """
     placements: dict[str, int] = {}
     cursor = base
     global_symbols: dict[str, int] = {}
@@ -180,4 +189,14 @@ def link(modules: list[ObjectFile], base: int = 0, entry: str = "main") -> Progr
     if entry not in global_symbols:
         raise AssemblerError(f"entry symbol {entry!r} not defined by any module")
     program.entry = global_symbols[entry]
+    if verify:
+        from repro.analysis import lint_program
+
+        report = lint_program(program, name=entry)
+        if report.errors:
+            details = "\n".join(f.render() for f in report.errors)
+            raise LinkError(
+                f"static analysis found {len(report.errors)} error(s) in the "
+                f"linked image:\n{details}"
+            )
     return program

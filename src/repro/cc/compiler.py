@@ -72,6 +72,16 @@ class CompiledRisc:
         machine.run(self.program.entry, max_steps=max_steps)
         return to_signed(machine.result), machine
 
+    def analyze(self, *, name: str = "compiled", num_windows: int = 8):
+        """Static analysis of the compiled binary (a
+        :class:`~repro.analysis.lints.LintReport`)."""
+        from repro.analysis import lint_program
+
+        return lint_program(
+            self.program, name=name,
+            windowed=self.use_windows, num_windows=num_windows,
+        )
+
 
 
 def compile_for_risc(
@@ -81,8 +91,17 @@ def compile_for_risc(
     optimize_delay_slots: bool = True,
     optimize_ir: bool = True,
     checked: CheckedProgram | None = None,
+    verify: bool = False,
 ) -> CompiledRisc:
-    """Compile Mini-C *source* to an executable RISC I image."""
+    """Compile Mini-C *source* to an executable RISC I image.
+
+    With ``verify`` the static analyzer (:mod:`repro.analysis`) lints
+    the assembled binary and any finding - delay-slot hazard,
+    uninitialized read, dead store, unreachable code, broken control
+    flow - raises :class:`~repro.errors.CompileError`.  The compiler's
+    output is expected to be finding-free, so this is a cheap
+    miscompile tripwire for callers that want it.
+    """
     from repro.cc.optimize import optimize_program
 
     if checked is None:
@@ -94,7 +113,18 @@ def compile_for_risc(
         ir, use_windows=use_windows, optimize_delay_slots=optimize_delay_slots
     )
     program = assemble(codegen.source)
-    return CompiledRisc(
+    compiled = CompiledRisc(
         asm_source=codegen.source, program=program,
         codegen=codegen, use_windows=use_windows,
     )
+    if verify:
+        from repro.errors import CompileError
+
+        report = compiled.analyze()
+        if report.findings:
+            details = "\n".join(f.render() for f in report.findings)
+            raise CompileError(
+                f"static analysis found {len(report.findings)} problem(s) "
+                f"in the compiled binary:\n{details}"
+            )
+    return compiled

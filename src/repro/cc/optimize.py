@@ -6,9 +6,13 @@ Small but real passes of the kind 1980s compilers ran:
   ``t2 = t1`` reads ``t1`` directly (and constants propagate the same
   way), which unpins the register allocator and exposes dead moves;
 * **dead-code elimination** - instructions that only define temps nobody
-  reads are dropped (loads included: Mini-C loads have no side effects).
+  reads are dropped (loads included: Mini-C loads have no side effects);
+* **dead-store elimination** - a liveness pass over the IR control-flow
+  graph drops defs that are overwritten before any read on every path
+  (e.g. the implicit zero-init of a variable the program always assigns
+  first), which whole-function DCE cannot see.
 
-Both passes iterate to a fixed point.  Control-flow safety: propagation
+All passes iterate to a fixed point.  Control-flow safety: propagation
 resets at labels and after calls' clobber points are irrelevant (temps
 are virtual), but a copy is only propagated while *neither* side is
 redefined, within one block.
@@ -22,6 +26,7 @@ from repro.cc.ir import (
     Call,
     CJump,
     Const,
+    Ins,
     IrFunction,
     IrProgram,
     Jump,
@@ -41,6 +46,7 @@ def optimize_function(func: IrFunction) -> IrFunction:
     while changed:
         changed = copy_propagate(func)
         changed |= eliminate_dead_code(func)
+        changed |= eliminate_dead_stores(func)
     return func
 
 
@@ -135,3 +141,129 @@ def eliminate_dead_code(func: IrFunction) -> bool:
         kept.append(ins)
     func.body[:] = kept
     return changed
+
+
+# -- dead-store elimination -----------------------------------------------------
+
+
+def _removable(ins) -> bool:
+    if not isinstance(ins, _SIDE_EFFECT_FREE):
+        return False
+    if isinstance(ins, Bin) and ins.op in ("/", "%"):
+        return False  # may trap on zero: observable
+    return bool(ins.defs())
+
+
+def eliminate_dead_stores(func: IrFunction) -> bool:
+    """Drop defs that every path overwrites before reading.
+
+    Whole-function DCE keeps any def of a temp that is used *somewhere*;
+    this pass solves backward liveness over the IR CFG so a def whose
+    value can never be observed (a zero-init immediately followed by a
+    real assignment, a loop-carried copy shadowed on every path) is
+    removed as well.
+    """
+    blocks, succs = _basic_blocks(func)
+    if not blocks:
+        return False
+    use_b: list[int] = []  # temps read before any write, per block (bitmask)
+    def_b: list[int] = []  # temps written, per block
+    for block in blocks:
+        uses = defs = 0
+        for ins in block:
+            for temp in ins.uses():
+                if not defs >> temp.index & 1:
+                    uses |= 1 << temp.index
+            for temp in ins.defs():
+                defs |= 1 << temp.index
+        use_b.append(uses)
+        def_b.append(defs)
+    # A block with no successors that does not end in Ret (truncated or
+    # malformed flow) conservatively keeps everything live.
+    all_live = (1 << (func.temp_count + 1)) - 1
+
+    def exit_live(index: int) -> int:
+        if not succs[index]:
+            block = blocks[index]
+            if not (block and isinstance(block[-1], Ret)):
+                return all_live
+            return 0
+        mask = 0
+        for succ in succs[index]:
+            mask |= live_in[succ]
+        return mask
+
+    live_in = [0] * len(blocks)
+    changed_facts = True
+    while changed_facts:
+        changed_facts = False
+        for index in range(len(blocks) - 1, -1, -1):
+            mask = use_b[index] | (exit_live(index) & ~def_b[index])
+            if mask != live_in[index]:
+                live_in[index] = mask
+                changed_facts = True
+    changed = False
+    new_body: list[Ins] = []
+    for index, block in enumerate(blocks):
+        live = exit_live(index)
+        kept_rev = []
+        for ins in reversed(block):
+            if (
+                isinstance(ins, Call)
+                and ins.dst is not None
+                and not live >> ins.dst.index & 1
+            ):
+                ins.dst = None  # keep the call, drop the result copy
+                changed = True
+            defs = 0
+            for temp in ins.defs():
+                defs |= 1 << temp.index
+            if _removable(ins) and not defs & live:
+                changed = True
+                continue
+            live &= ~defs
+            for temp in ins.uses():
+                live |= 1 << temp.index
+            kept_rev.append(ins)
+        new_body.extend(reversed(kept_rev))
+    if changed:
+        func.body[:] = new_body
+    return changed
+
+
+def _basic_blocks(func: IrFunction) -> tuple[list[list[Ins]], list[list[int]]]:
+    """Partition the flat body into blocks and resolve successor edges."""
+    body = func.body
+    leaders = {0}
+    for index, ins in enumerate(body):
+        if isinstance(ins, Label):
+            leaders.add(index)
+        if isinstance(ins, (Jump, CJump, Ret)) and index + 1 < len(body):
+            leaders.add(index + 1)
+    starts = sorted(leaders)
+    blocks = []
+    block_of_label: dict[str, int] = {}
+    for number, start in enumerate(starts):
+        end = starts[number + 1] if number + 1 < len(starts) else len(body)
+        block = body[start:end]
+        blocks.append(block)
+        if block and isinstance(block[0], Label):
+            block_of_label[block[0].name] = number
+    succs: list[list[int]] = []
+    for number, block in enumerate(blocks):
+        edges: list[int] = []
+        last = block[-1] if block else None
+        if isinstance(last, Jump):
+            if last.target in block_of_label:
+                edges.append(block_of_label[last.target])
+        elif isinstance(last, CJump):
+            if last.target in block_of_label:
+                edges.append(block_of_label[last.target])
+            if number + 1 < len(blocks):
+                edges.append(number + 1)
+        elif isinstance(last, Ret):
+            pass
+        elif number + 1 < len(blocks):
+            edges.append(number + 1)
+        succs.append(edges)
+    return blocks, succs

@@ -435,13 +435,29 @@ class FunctionCodegen:
 
 
 def peephole_cleanup(lines: list[AsmLine]) -> tuple[list[AsmLine], int]:
-    """Remove trivially dead code: self-moves and jumps to the next line.
+    """Remove trivially dead code, iterated to a fixed point.
 
-    ``mov rX, rX`` arises when a value already sits in its target
-    register (argument binding, call results); ``b L / nop / L:`` arises
-    when a function's final return falls straight into its epilogue.
-    Returns (cleaned lines, number of instructions removed).
+    * ``mov rX, rX`` arises when a value already sits in its target
+      register (argument binding, call results);
+    * ``b L / nop / L:`` arises when a function's final return falls
+      straight into its epilogue;
+    * instructions between an unconditional transfer's delay slot and
+      the next label can never execute (e.g. the default-return
+      sequence of a function whose every path returns explicitly).
+
+    The rules feed each other - dropping an unreachable region can
+    expose a branch-to-next-label - so the sweep repeats until no rule
+    fires.  Returns (cleaned lines, number of instructions removed).
     """
+    removed = 0
+    while True:
+        lines, removed_now = _peephole_sweep(lines)
+        removed += removed_now
+        if not removed_now:
+            return lines, removed
+
+
+def _peephole_sweep(lines: list[AsmLine]) -> tuple[list[AsmLine], int]:
     removed = 0
     result: list[AsmLine] = []
     index = 0
@@ -464,6 +480,20 @@ def peephole_cleanup(lines: list[AsmLine]) -> tuple[list[AsmLine], int]:
         ):
             removed += 2
             index += 2  # keep the label, drop branch + slot
+            continue
+        if line.kind == "ret" or (line.kind == "branch" and text.startswith("b ")):
+            # Unconditional transfer: keep it and its delay slot, then
+            # drop everything up to the next label (unreachable).
+            result.append(line)
+            if index + 1 < len(lines):
+                result.append(lines[index + 1])
+            index += 2
+            while (
+                index < len(lines)
+                and lines[index].kind in ("op", "nop", "branch", "call", "ret")
+            ):
+                removed += 1
+                index += 1
             continue
         result.append(line)
         index += 1

@@ -18,6 +18,7 @@ from repro.evaluation import (
     m1_instruction_mix,
     m2_instruction_counts,
     r1_fault_campaign,
+    s1_static_analysis,
     f1_formats,
     f2_windows,
     f3_delayed_branch,
@@ -54,6 +55,7 @@ def main(argv: list[str] | None = None) -> str:
         e1_three_stage.run(names if names is not None else FAST_SUBSET).render(),
         m1_instruction_mix.run(names).render(),
         m2_instruction_counts.run(names).render(),
+        s1_static_analysis.run(names).render(),
         # A small deterministic campaign; the full 1000-injection run is
         # available via ``python -m repro.faults.campaign``.
         r1_fault_campaign.run(injections=120).render(),

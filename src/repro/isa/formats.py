@@ -19,7 +19,7 @@ over variable-length CISC encodings):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.conditions import Cond
 from repro.isa.opcodes import ALL_SPECS, Format, Opcode, Spec

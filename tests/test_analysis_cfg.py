@@ -1,0 +1,191 @@
+"""Tests for the static CFG builder (repro.analysis.cfg)."""
+
+import pytest
+
+from repro.analysis.cfg import (
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_COND_BRANCH,
+    KIND_RET,
+    build_cfg,
+)
+from repro.asm import assemble
+from repro.cc import compile_for_risc
+from repro.workloads import benchmark
+
+
+def cfg_of(source: str):
+    program = assemble(source)
+    return build_cfg(
+        program.to_words(), base=program.base,
+        entry=program.entry, symbols=program.symbols,
+    )
+
+
+class TestBlockConstruction:
+    def test_straight_line_single_block(self):
+        cfg = cfg_of("""
+main:
+    add r1, r0, #1
+    add r2, r1, #2
+    ret
+    nop
+""")
+        assert len(cfg.blocks) == 1
+        block = cfg.blocks[0]
+        assert block.kind == KIND_RET
+        assert [c.inst.opcode.name for c in block.body] == ["ADD", "ADD"]
+        assert block.terminator.inst.opcode.name == "RET"
+        assert block.delay_slot is not None
+        assert block.successors == []
+
+    def test_delay_slot_attached_not_a_leader(self):
+        cfg = cfg_of("""
+main:
+    b done
+    add r1, r0, #7
+    add r2, r0, #2
+done:
+    ret
+    nop
+""")
+        entry = cfg.blocks[0]
+        assert entry.kind == KIND_BRANCH
+        assert entry.delay_slot.inst.render() == "add r1, r0, #7"
+        # The slot executes with the branch; it must not start a block.
+        assert entry.delay_slot.address not in cfg.blocks
+        # The unconditional branch has exactly the target as successor.
+        assert entry.successors == [cfg.symbols["done"]]
+
+    def test_conditional_branch_has_two_successors(self):
+        cfg = cfg_of("""
+main:
+    sub r0, r1, #0
+    beq zero
+    nop
+    add r2, r0, #1
+zero:
+    ret
+    nop
+""")
+        entry = cfg.blocks[0]
+        assert entry.kind == KIND_COND_BRANCH
+        taken = cfg.symbols["zero"]
+        fall = entry.terminator.address + 8  # skips the delay slot
+        assert sorted(entry.successors) == sorted([taken, fall])
+
+    def test_unreachable_words_stay_undecoded(self):
+        cfg = cfg_of("""
+main:
+    ret
+    nop
+    add r1, r0, #1
+    add r2, r0, #2
+""")
+        covered = cfg.covered_addresses()
+        assert covered == {0, 4}  # ret + slot; the two adds are dead
+
+    def test_data_is_not_code(self):
+        cfg = cfg_of("""
+    .org 8
+main:
+    ret
+    nop
+""")
+        # Words 0..7 are padding before main; never decoded.
+        assert 0 not in cfg.covered_addresses()
+        assert cfg.entry == 8
+
+
+class TestCallsAndFunctions:
+    def test_call_partitions_functions(self):
+        cfg = cfg_of("""
+main:
+    callr r31, helper
+    nop
+    ret
+    nop
+helper:
+    add r1, r0, #1
+    ret
+    nop
+""")
+        assert set(cfg.functions) == {0, cfg.symbols["helper"]}
+        entry_func = cfg.functions[0]
+        assert entry_func.call_sites == [(0, cfg.symbols["helper"])]
+        assert cfg.functions[cfg.symbols["helper"]].name == "helper"
+
+    def test_call_successor_is_continuation(self):
+        cfg = cfg_of("""
+main:
+    callr r31, helper
+    nop
+    ret
+    nop
+helper:
+    ret
+    nop
+""")
+        entry = cfg.blocks[0]
+        assert entry.kind == KIND_CALL
+        assert entry.call_target == cfg.symbols["helper"]
+        assert entry.successors == [8]  # past the delay slot
+
+    def test_indirect_call_recorded_unresolved(self):
+        cfg = cfg_of("""
+main:
+    call r31, r5, 0
+    nop
+    ret
+    nop
+""")
+        assert cfg.functions[0].call_sites == [(0, None)]
+        assert cfg.functions[0].has_indirect_calls
+
+
+class TestDiagnostics:
+    def test_target_out_of_image(self):
+        cfg = cfg_of("""
+main:
+    b 0x4000
+    nop
+""")
+        kinds = {d.kind for d in cfg.diagnostics}
+        assert "target-out-of-image" in kinds
+
+    def test_control_into_non_code(self):
+        cfg = cfg_of("""
+main:
+    add r1, r0, #1
+    .word 0
+""")
+        kinds = {d.kind for d in cfg.diagnostics}
+        assert "fallthrough-off-end" in kinds
+
+
+class TestCompiledPrograms:
+    @pytest.mark.parametrize("name", ["f_bit_test", "towers", "e_string_search"])
+    def test_compiled_workloads_decode_fully(self, name):
+        compiled = compile_for_risc(benchmark(name).source)
+        program = compiled.program
+        cfg = build_cfg(
+            program.to_words(), base=program.base,
+            entry=program.entry, symbols=program.symbols,
+        )
+        assert not cfg.diagnostics
+        # Every reachable instruction lies inside the text section.
+        lo = program.symbols["__text_start"]
+        hi = program.symbols["__text_end"]
+        assert all(lo <= a < hi for a in cfg.covered_addresses())
+        # The compiled entry points exist as functions.
+        assert program.entry in cfg.functions
+
+    def test_labels_prefer_function_names(self):
+        compiled = compile_for_risc(benchmark("f_bit_test").source)
+        program = compiled.program
+        cfg = build_cfg(
+            program.to_words(), base=program.base,
+            entry=program.entry, symbols=program.symbols,
+        )
+        # main and __text_start share an address; main wins.
+        assert cfg.label_for(program.entry) == "main"

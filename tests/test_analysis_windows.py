@@ -1,0 +1,85 @@
+"""Static window-depth bounds cross-validated against dynamic execution.
+
+The acceptance property of the call-graph analysis: for every bundled
+workload the static frame bound dominates the depth the machine
+actually reached, and programs proved overflow-free never trap.
+"""
+
+import pytest
+
+from repro.cc import compile_for_risc
+from repro.isa.registers import NUM_WINDOWS
+from repro.workloads import BENCHMARKS
+from repro.workloads.extended import EXTENDED_BENCHMARKS
+
+ALL = list(BENCHMARKS) + list(EXTENDED_BENCHMARKS)
+
+
+@pytest.fixture(scope="module")
+def observations():
+    """(report, stats) per workload - one compile+run, shared by the tests."""
+    results = {}
+    for bench in ALL:
+        compiled = compile_for_risc(bench.source)
+        report = compiled.analyze(name=bench.name)
+        __, machine = compiled.run()
+        results[bench.name] = (report, machine.stats)
+    return results
+
+
+@pytest.mark.parametrize("bench", ALL, ids=lambda bench: bench.name)
+def test_static_bound_dominates_dynamic_depth(bench, observations):
+    report, stats = observations[bench.name]
+    problems = report.depth.validate_against(
+        stats.max_call_depth, stats.window_overflows, NUM_WINDOWS
+    )
+    assert problems == []
+    bound = report.depth.depth_bound
+    if bound is not None:
+        assert bound >= stats.max_call_depth
+
+
+def test_recursive_workloads_have_no_bound(observations):
+    for name in ("ackermann", "towers", "recursive_qsort"):
+        report, stats = observations[name]
+        assert report.depth.depth_bound is None
+        assert report.depth.recursive
+        # Recursion indeed drove the machine past any small bound.
+        assert stats.max_call_depth > 4
+
+
+def test_bounded_workloads_are_exact_or_conservative(observations):
+    # fib_iter is a single call from the bootstrap: bound == depth == 2.
+    report, stats = observations["fib_iter"]
+    assert report.depth.depth_bound == 2
+    assert stats.max_call_depth == 2
+
+
+def test_overflow_free_proofs_hold(observations):
+    proved = 0
+    for name, (report, stats) in observations.items():
+        prediction = report.depth.bound_for(NUM_WINDOWS)
+        if prediction["overflow_free"]:
+            proved += 1
+            assert stats.window_overflows == 0, name
+            assert stats.window_underflows == 0, name
+    # The proof must actually fire on the non-recursive majority.
+    assert proved >= 8
+
+
+def test_recursive_programs_predicted_to_overflow(observations):
+    report, stats = observations["ackermann"]
+    prediction = report.depth.bound_for(NUM_WINDOWS)
+    assert not prediction["overflow_free"]
+    assert prediction["reason"] == "recursive"
+    assert stats.window_overflows > 0  # and they really did
+
+
+def test_validator_rejects_inconsistent_run(observations):
+    # Sanity of the cross-check itself: a fabricated deeper-than-bound
+    # run must be reported.
+    report, __ = observations["fib_iter"]
+    problems = report.depth.validate_against(99, 0, NUM_WINDOWS)
+    assert problems and "exceeds static bound" in problems[0]
+    problems = report.depth.validate_against(2, 5, NUM_WINDOWS)
+    assert problems and "overflow-free" in problems[0]

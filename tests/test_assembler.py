@@ -246,3 +246,68 @@ class TestDisassemblerRoundtrip:
         rebuilt_source = "\n".join(line.split(": ", 1)[1] for line in listing)
         rebuilt = assemble(rebuilt_source)
         assert rebuilt.to_words() == words
+
+
+class TestDelaySlotRejection:
+    """The assembler refuses multi-word pseudos in delay slots.
+
+    Regression for a miscompile where a two-word ``li`` scheduled into a
+    call's delay slot executed only its ``ldhi`` half on the taken path,
+    leaving the register holding just the high bits.
+    """
+
+    MISCOMPILE_SHAPE = """
+main:
+    callr r31, f
+    li r5, 1000000
+    ret
+    nop
+f:
+    ret
+    nop
+"""
+
+    def test_wide_li_in_call_slot_rejected(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble(self.MISCOMPILE_SHAPE)
+        message = str(exc.value)
+        assert "delay slot" in message
+        assert "torn" in message
+        assert "line 4" in message  # points at the pseudo, names the transfer
+
+    @pytest.mark.parametrize("transfer", ["b f", "beq f", "jmpr alw, f",
+                                          "callr r31, f", "ret"])
+    def test_every_delayed_transfer_guards_its_slot(self, transfer):
+        source = f"""
+main:
+    {transfer}
+    li r5, 1000000
+f:
+    ret
+    nop
+"""
+        with pytest.raises(AssemblerError, match="delay slot"):
+            assemble(source)
+
+    def test_narrow_li_in_slot_is_fine(self):
+        program = assemble("""
+main:
+    callr r31, f
+    li r5, 7
+f:
+    ret
+    nop
+""")
+        assert program.size == 16
+
+    def test_wide_li_outside_slot_is_fine(self):
+        program = assemble("""
+main:
+    li r5, 1000000
+    callr r31, f
+    nop
+f:
+    ret
+    nop
+""")
+        assert program.size == 24
