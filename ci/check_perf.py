@@ -1,14 +1,16 @@
-"""Gate CI on the fast engine's speedup over the reference engine.
+"""Gate CI on engine-vs-engine speedup ratios.
 
 Usage::
 
     python ci/check_perf.py BENCH_simulator.json [ci/perf_baseline.json]
 
 Reads a pytest-benchmark JSON report (``pytest benchmarks/... \
---benchmark-json BENCH_simulator.json``), computes the
-reference-engine/fast-engine mean-time ratio for the towers workload,
-and fails (exit 1) when it has regressed more than ``tolerance``
-(fractional, default 0.25) below the committed ``speedup`` baseline.
+--benchmark-json BENCH_simulator.json``) and checks every named entry
+in the baseline: each entry divides the mean times of two engine
+benchmarks (``numerator`` over ``denominator``, both names resolved
+through the baseline's ``benchmarks`` map) and fails (exit 1) when the
+measured ratio has regressed more than ``tolerance`` (fractional)
+below the committed ``speedup``.
 
 Absolute times vary wildly across CI hosts; the *ratio* of two
 interpreters timed in the same process does not, which is what makes
@@ -28,6 +30,26 @@ def mean_time(report: dict, name: str) -> float:
     raise SystemExit(f"error: benchmark {name!r} not found in report")
 
 
+def check_entry(entry: dict, times: dict[str, float]) -> str | None:
+    """Check one baseline entry; returns a failure message or ``None``."""
+    numerator = times[entry["numerator"]]
+    denominator = times[entry["denominator"]]
+    measured = numerator / denominator
+    floor = entry["speedup"] * (1.0 - entry["tolerance"])
+    print(
+        f"{entry['name']}: {measured:.2f}x "
+        f"({entry['numerator']} {numerator * 1e3:.1f}ms / "
+        f"{entry['denominator']} {denominator * 1e3:.1f}ms); "
+        f"baseline {entry['speedup']:.2f}x, floor {floor:.2f}x"
+    )
+    if measured < floor:
+        return (
+            f"{entry['name']} regressed more than {entry['tolerance']:.0%} "
+            f"below baseline ({measured:.2f}x < {floor:.2f}x)"
+        )
+    return None
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         print(__doc__)
@@ -39,20 +61,19 @@ def main(argv: list[str]) -> int:
     with open(baseline_path) as handle:
         baseline = json.load(handle)
 
-    reference = mean_time(report, baseline["reference_benchmark"])
-    fast = mean_time(report, baseline["fast_benchmark"])
-    measured = reference / fast
-    floor = baseline["speedup"] * (1.0 - baseline["tolerance"])
-    print(
-        f"fast-engine speedup on {baseline['workload']}: {measured:.2f}x "
-        f"(reference {reference * 1e3:.1f}ms / fast {fast * 1e3:.1f}ms); "
-        f"baseline {baseline['speedup']:.2f}x, floor {floor:.2f}x"
-    )
-    if measured < floor:
-        print(
-            f"FAIL: speedup regressed more than "
-            f"{baseline['tolerance']:.0%} below baseline"
-        )
+    times = {
+        engine: mean_time(report, bench_name)
+        for engine, bench_name in baseline["benchmarks"].items()
+    }
+    print(f"workload: {baseline['workload']}")
+    failures = []
+    for entry in baseline["entries"]:
+        message = check_entry(entry, times)
+        if message is not None:
+            failures.append(message)
+    for message in failures:
+        print(f"FAIL: {message}")
+    if failures:
         return 1
     print("ok")
     return 0

@@ -38,7 +38,7 @@ from repro.isa.registers import NUM_WINDOWS
 
 def _load_targets(args) -> list[tuple[str, object]]:
     """Resolve CLI selections to (name, Program) pairs."""
-    from repro.cc.compiler import compile_for_risc
+    from repro.workloads.cache import compile_cached
     from repro.workloads import BENCHMARKS
     from repro.workloads.extended import EXTENDED_BENCHMARKS
 
@@ -58,7 +58,7 @@ def _load_targets(args) -> list[tuple[str, object]]:
         if bench is None:
             known = ", ".join(sorted(by_name))
             raise SystemExit(f"unknown workload '{name}' (known: {known})")
-        compiled = compile_for_risc(bench.source)
+        compiled = compile_cached(bench.source)
         targets.append((name, compiled.program))
     for path in args.asm:
         from repro.asm import assemble
@@ -70,7 +70,7 @@ def _load_targets(args) -> list[tuple[str, object]]:
 
 def _cross_validate(name: str, report: LintReport, num_windows: int) -> list[str]:
     """Run the workload on the machine and check the static depth bound."""
-    from repro.cc.compiler import compile_for_risc
+    from repro.workloads.cache import compile_cached
     from repro.workloads import BENCHMARKS
     from repro.workloads.extended import EXTENDED_BENCHMARKS
 
@@ -80,7 +80,7 @@ def _cross_validate(name: str, report: LintReport, num_windows: int) -> list[str
     )
     if bench is None:
         return [f"{name}: cannot cross-validate (not a bundled workload)"]
-    compiled = compile_for_risc(bench.source)
+    compiled = compile_cached(bench.source)
     __, machine = compiled.run(num_windows=num_windows)
     stats = machine.stats
     problems = report.depth.validate_against(

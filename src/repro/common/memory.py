@@ -88,6 +88,15 @@ class Memory:
         # bytes.  ``None`` means journaling is off (the common case; the
         # store paths pay a single identity test per write).
         self._journal: dict[int, bytes] | None = None
+        # Executable-code write watch, installed by a block-compiling
+        # execution engine (see repro.cpu.blockengine).  ``_exec_watch``
+        # maps word index (address >> 2) -> anything truthy for every
+        # word covered by compiled code; a store that lands on a watched
+        # word notifies the listener so stale compiled blocks are
+        # invalidated.  ``None`` means no engine is watching (the common
+        # case; store paths pay one identity test per write).
+        self._exec_watch: dict | None = None
+        self._exec_listener = None
 
     @property
     def console_output(self) -> str:
@@ -167,6 +176,9 @@ class Memory:
         if self._journal is not None:
             self._journal_touch(address)
         self._bytes[address] = value & 0xFF
+        watch = self._exec_watch
+        if watch is not None and (address >> 2) in watch:
+            self._exec_listener.invalidate_code(address)
 
     def store_half(self, address: int, value: int, *, count: bool = True) -> None:
         self._check(address, HALF_BYTES, HALF_BYTES)
@@ -175,6 +187,9 @@ class Memory:
         if self._journal is not None:
             self._journal_touch(address)
         self._bytes[address : address + HALF_BYTES] = (value & 0xFFFF).to_bytes(2, "big")
+        watch = self._exec_watch
+        if watch is not None and (address >> 2) in watch:
+            self._exec_listener.invalidate_code(address)
 
     def store_word(self, address: int, value: int, *, count: bool = True) -> None:
         if address == CONSOLE_ADDRESS:
@@ -188,6 +203,23 @@ class Memory:
         if self._journal is not None:
             self._journal_touch(address)
         self._bytes[address : address + WORD_BYTES] = (value & 0xFFFFFFFF).to_bytes(4, "big")
+        watch = self._exec_watch
+        if watch is not None and (address >> 2) in watch:
+            self._exec_listener.invalidate_code(address)
+
+    # -- compiled-code write watch ------------------------------------------
+
+    def set_exec_listener(self, listener) -> None:
+        """Install (or clear, with ``None``) a compiled-code write watch.
+
+        *listener* must expose ``code_words`` (a dict keyed by word index,
+        ``address >> 2``, covering every word with compiled code behind it),
+        ``invalidate_code(address)`` and ``flush_code()``.  Stores that hit
+        a watched word call ``invalidate_code``; wholesale image rewrites
+        (``restore``, ``load_program``) call ``flush_code``.
+        """
+        self._exec_listener = listener
+        self._exec_watch = listener.code_words if listener is not None else None
 
     # -- checkpoint / rollback ---------------------------------------------
 
@@ -225,6 +257,8 @@ class Memory:
             journal.clear()
         self.stats.inst_reads, self.stats.data_reads, self.stats.data_writes = cp.stats
         del self.console[cp.console_len :]
+        if self._exec_listener is not None:
+            self._exec_listener.flush_code()
 
     def stop_tracking(self) -> None:
         """Drop the delta journal (delta checkpoints become unusable)."""
@@ -244,6 +278,8 @@ class Memory:
     def load_program(self, words: list[int], base: int = 0) -> None:
         """Copy an encoded program image into memory starting at *base*."""
         self.store_words(base, words)
+        if self._exec_listener is not None:
+            self._exec_listener.flush_code()
 
     def read_cstring(self, address: int, limit: int = 4096) -> str:
         """Read a NUL-terminated byte string (for the sed-style workloads)."""

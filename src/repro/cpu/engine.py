@@ -12,6 +12,10 @@ backends ship:
   closure and skips all observer bookkeeping while nothing per-step is
   attached.  Verified against the reference by the differential harness
   in :mod:`repro.cpu.equivalence`.
+* ``"block"`` - :class:`~repro.cpu.blockengine.BlockEngine`, a
+  superblock compiler that executes whole CFG basic blocks as single
+  closures with batched stats and write-invalidation for self-modifying
+  code.  Same differential-harness admission rule.
 
 Both engines must produce **bit-identical** architectural results:
 the same :class:`~repro.cpu.state.ExecutionStats`, trap log, final
@@ -365,8 +369,15 @@ def _make_fast():
     return FastEngine()
 
 
+def _make_block():
+    from repro.cpu.blockengine import BlockEngine  # deferred: imports us
+
+    return BlockEngine()
+
+
 #: Registry of available backends; add an entry to plug in a new engine.
 ENGINES = {
     "reference": ReferenceEngine,
     "fast": _make_fast,
+    "block": _make_block,
 }

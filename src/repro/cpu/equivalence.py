@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from repro.cpu.machine import RiscMachine
 
 #: engines every differential run covers by default
-DEFAULT_ENGINES = ("reference", "fast")
+DEFAULT_ENGINES = ("reference", "fast", "block")
 
 
 def state_digest(machine: RiscMachine) -> dict:
@@ -122,9 +122,9 @@ def run_differential(
     diffed against it.  Each engine gets a fresh machine and memory
     image, so runs cannot contaminate each other.
     """
-    from repro.cc import compile_for_risc
+    from repro.workloads.cache import compile_cached
 
-    compiled = compile_for_risc(source)
+    compiled = compile_cached(source)
     digests = []
     for engine in engines:
         __, machine = compiled.run(
@@ -161,15 +161,32 @@ def assert_engines_equivalent(
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Sweep the bundled benchmarks across all engines; 0 = all identical."""
+    """Sweep the bundled benchmarks across all engines; 0 = all identical.
+
+    ``--engines ref,fast,...`` restricts the sweep (first name is the
+    oracle); remaining positional arguments select workloads.
+    """
     from repro.workloads import BENCHMARKS, benchmark
 
-    args = argv if argv is not None else sys.argv[1:]
+    args = list(argv) if argv is not None else sys.argv[1:]
+    engines = DEFAULT_ENGINES
+    if "--engines" in args:
+        at = args.index("--engines")
+        try:
+            spec = args[at + 1]
+        except IndexError:
+            print("--engines needs a comma-separated list", file=sys.stderr)
+            return 2
+        engines = tuple(name.strip() for name in spec.split(",") if name.strip())
+        if len(engines) < 2:
+            print("--engines needs at least two engines", file=sys.stderr)
+            return 2
+        del args[at : at + 2]
     names = args or [bench.name for bench in BENCHMARKS]
     failures = 0
     for name in names:
         bench = benchmark(name)
-        result = run_differential(bench.source)
+        result = run_differential(bench.source, engines=engines)
         if result.equivalent:
             print(f"  ok  {name:<20} {result.instructions:>10} instructions "
                   f"bit-identical on {', '.join(result.engines)}")

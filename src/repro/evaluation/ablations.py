@@ -7,7 +7,7 @@
 
 from __future__ import annotations
 
-from repro.cc import compile_for_risc
+from repro.workloads.cache import compile_cached
 from repro.evaluation.common import FAST_SUBSET, RISC_NAME, run_benchmark_matrix
 from repro.evaluation.tables import Table
 from repro.windows import sweep_overlap
@@ -23,8 +23,8 @@ def a1_windows(names: tuple[str, ...] = FAST_SUBSET) -> Table:
     )
     for name in names:
         bench = benchmark(name)
-        windowed = compile_for_risc(bench.source, use_windows=True)
-        flat = compile_for_risc(bench.source, use_windows=False)
+        windowed = compile_cached(bench.source, use_windows=True)
+        flat = compile_cached(bench.source, use_windows=False)
         value_w, machine_w = windowed.run()
         value_f, machine_f = flat.run()
         if value_w != value_f:
@@ -48,8 +48,8 @@ def a2_delay_slots(names: tuple[str, ...] = FAST_SUBSET) -> Table:
     )
     for name in names:
         bench = benchmark(name)
-        optimised = compile_for_risc(bench.source, optimize_delay_slots=True)
-        plain = compile_for_risc(bench.source, optimize_delay_slots=False)
+        optimised = compile_cached(bench.source, optimize_delay_slots=True)
+        plain = compile_cached(bench.source, optimize_delay_slots=False)
         value_o, machine_o = optimised.run()
         value_p, machine_p = plain.run()
         if value_o != value_p:

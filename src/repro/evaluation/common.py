@@ -11,10 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baselines import ALL_TRAITS, CiscExecutor, MachineTraits
-from repro.cc import compile_for_risc, compile_to_ir
+from repro.cc import compile_to_ir
 from repro.cc.ciscgen import compile_for_cisc
 from repro.cpu.machine import CYCLE_TIME_NS
 from repro.workloads import BENCHMARKS, Benchmark, benchmark
+from repro.workloads.cache import compile_cached
 
 RISC_NAME = "RISC I"
 VAX_NAME = "VAX-11/780"
@@ -82,7 +83,7 @@ def run_benchmark_matrix(
 
 
 def _run_risc(bench: Benchmark) -> BenchmarkRecord:
-    compiled = compile_for_risc(bench.source)
+    compiled = compile_cached(bench.source)
     value, machine = compiled.run()
     decode_info = machine.decoder.cache_info()
     return BenchmarkRecord(

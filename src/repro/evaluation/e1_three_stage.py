@@ -9,7 +9,7 @@ models.
 
 from __future__ import annotations
 
-from repro.cc import compile_for_risc
+from repro.workloads.cache import compile_cached
 from repro.cpu.pipeline3 import estimate_cycles
 from repro.cpu.tracing import ExecutionTracer
 from repro.evaluation.tables import Table
@@ -29,7 +29,7 @@ def run(names: tuple[str, ...] | None = None) -> Table:
                "window-trap cycles excluded (identical under both models)"],
     )
     for bench in benches:
-        compiled = compile_for_risc(bench.source)
+        compiled = compile_cached(bench.source)
         machine = compiled.make_machine()
         tracer = ExecutionTracer(machine, limit=TRACE_LIMIT)
         trace = tracer.run(compiled.program.entry)

@@ -8,7 +8,7 @@ delayed-jump trick actually pays.
 
 from __future__ import annotations
 
-from repro.cc import compile_for_risc
+from repro.workloads.cache import compile_cached
 from repro.cpu.pipeline import TraceEntry, cycle_count, schedule
 from repro.evaluation.tables import Table
 from repro.workloads import BENCHMARKS
@@ -57,7 +57,7 @@ def fill_rate_table(names: tuple[str, ...] | None = None) -> Table:
     )
     total_slots = total_filled = 0
     for bench in benches:
-        compiled = compile_for_risc(bench.source)
+        compiled = compile_cached(bench.source)
         slots = compiled.codegen.delay_slots
         filled = compiled.codegen.delay_slots_filled
         total_slots += slots

@@ -9,7 +9,7 @@ benchmark.
 
 from __future__ import annotations
 
-from repro.cc import compile_for_risc
+from repro.workloads.cache import compile_cached
 from repro.evaluation.tables import Table
 from repro.workloads import BENCHMARKS
 
@@ -25,7 +25,7 @@ def run(names: tuple[str, ...] | None = None) -> Table:
                "pointer-chasing programs"],
     )
     for bench in benches:
-        compiled = compile_for_risc(bench.source)
+        compiled = compile_cached(bench.source)
         __, machine = compiled.run()
         total = machine.stats.instructions
         row = [bench.name]
@@ -40,7 +40,7 @@ def memory_fraction(name: str) -> float:
     """Fraction of executed instructions that touch memory (bench helper)."""
     from repro.workloads import benchmark
 
-    compiled = compile_for_risc(benchmark(name).source)
+    compiled = compile_cached(benchmark(name).source)
     __, machine = compiled.run()
     memory_ops = (machine.stats.by_category.get("LOAD", 0)
                   + machine.stats.by_category.get("STORE", 0))

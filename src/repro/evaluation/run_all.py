@@ -2,10 +2,13 @@
 
 Usage::
 
-    python -m repro.evaluation.run_all [--fast] [--out FILE]
+    python -m repro.evaluation.run_all [--fast] [--workers N] [--out FILE]
 
 ``--fast`` restricts the expensive sweeps to a four-benchmark subset;
-``--out`` also writes the report to a file.
+``--workers N`` renders the report sections on N worker processes
+(section order - and therefore the report text - is identical to the
+serial run; every section is deterministic, so the only difference is
+wall-clock time); ``--out`` also writes the report to a file.
 """
 
 from __future__ import annotations
@@ -33,34 +36,74 @@ from repro.evaluation import (
 )
 from repro.evaluation.common import FAST_SUBSET
 
+#: The report, one entry per section, in print order.  Each value takes
+#: the optional benchmark-subset restriction (``None`` = full suite) and
+#: returns the rendered section text; every section is a deterministic
+#: function of its arguments, which is what makes the parallel path
+#: byte-identical to the serial one.
+_SECTIONS: dict = {
+    "t1": lambda names: t1_hll_frequency.run(names).render(),
+    "t2": lambda names: t2_machines.run().render(),
+    "t3": lambda names: t3_call_overhead.run().render(),
+    "t4": lambda names: t4_code_size.run(names).render(),
+    "t5": lambda names: t5_exec_time.run(names).render(),
+    "t6": lambda names: t6_window_overflow.run(names).render(),
+    "t7": lambda names: t7_chip_area.run().render(),
+    "f1": lambda names: (
+        "F1: RISC I instruction formats\n" + "=" * 30 + "\n" + f1_formats.run()
+    ),
+    "f2": lambda names: (
+        "F2: Overlapped register windows\n" + "=" * 31 + "\n" + f2_windows.run()
+    ),
+    "f3": lambda names: (
+        "F3: Delayed jumps\n" + "=" * 17 + "\n" + f3_delayed_branch.run(names)
+    ),
+    "f4": lambda names: f4_window_sweep.run(names).render(),
+    "a1": lambda names: ablations.a1_windows(FAST_SUBSET).render(),
+    "a2": lambda names: ablations.a2_delay_slots(FAST_SUBSET).render(),
+    "a3": lambda names: ablations.a3_overlap(names).render(),
+    "e1": lambda names: e1_three_stage.run(
+        names if names is not None else FAST_SUBSET
+    ).render(),
+    "m1": lambda names: m1_instruction_mix.run(names).render(),
+    "m2": lambda names: m2_instruction_counts.run(names).render(),
+    "s1": lambda names: s1_static_analysis.run(names).render(),
+    # A small deterministic campaign; the full 1000-injection run is
+    # available via ``python -m repro.faults.campaign``.
+    "r1": lambda names: r1_fault_campaign.run(injections=120).render(),
+}
+
+
+def _render_section(task: tuple[str, tuple[str, ...] | None]) -> str:
+    """Render one section (module-level so worker pools can import it)."""
+    key, names = task
+    return _SECTIONS[key](names)
+
+
+def render_sections(
+    names: tuple[str, ...] | None, *, workers: int | None = None
+) -> list[str]:
+    """All report sections, in order; optionally rendered on a pool."""
+    tasks = [(key, names) for key in _SECTIONS]
+    if workers is not None and workers > 1:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork
+            ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(_render_section, tasks, chunksize=1)
+    return [_render_section(task) for task in tasks]
+
 
 def main(argv: list[str] | None = None) -> str:
     args = argv if argv is not None else sys.argv[1:]
     names = FAST_SUBSET if "--fast" in args else None
-    sections = [
-        t1_hll_frequency.run(names).render(),
-        t2_machines.run().render(),
-        t3_call_overhead.run().render(),
-        t4_code_size.run(names).render(),
-        t5_exec_time.run(names).render(),
-        t6_window_overflow.run(names).render(),
-        t7_chip_area.run().render(),
-        "F1: RISC I instruction formats\n" + "=" * 30 + "\n" + f1_formats.run(),
-        "F2: Overlapped register windows\n" + "=" * 31 + "\n" + f2_windows.run(),
-        "F3: Delayed jumps\n" + "=" * 17 + "\n" + f3_delayed_branch.run(names),
-        f4_window_sweep.run(names).render(),
-        ablations.a1_windows(FAST_SUBSET).render(),
-        ablations.a2_delay_slots(FAST_SUBSET).render(),
-        ablations.a3_overlap(names).render(),
-        e1_three_stage.run(names if names is not None else FAST_SUBSET).render(),
-        m1_instruction_mix.run(names).render(),
-        m2_instruction_counts.run(names).render(),
-        s1_static_analysis.run(names).render(),
-        # A small deterministic campaign; the full 1000-injection run is
-        # available via ``python -m repro.faults.campaign``.
-        r1_fault_campaign.run(injections=120).render(),
-    ]
-    report = "\n\n\n".join(sections)
+    workers = None
+    if "--workers" in args:
+        workers = int(args[args.index("--workers") + 1])
+    report = "\n\n\n".join(render_sections(names, workers=workers))
     print(report)
     if "--out" in args:
         path = args[args.index("--out") + 1]

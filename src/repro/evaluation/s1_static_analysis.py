@@ -10,7 +10,7 @@ here is a toolchain regression.
 
 from __future__ import annotations
 
-from repro.cc import compile_for_risc
+from repro.workloads.cache import compile_cached
 from repro.evaluation.tables import Table
 from repro.isa.registers import NUM_WINDOWS
 from repro.workloads import BENCHMARKS, benchmark
@@ -30,7 +30,7 @@ def run(names: tuple[str, ...] | None = None,
         ],
     )
     for name in names:
-        compiled = compile_for_risc(benchmark(name).source)
+        compiled = compile_cached(benchmark(name).source)
         report = compiled.analyze(name=name, num_windows=num_windows)
         __, machine = compiled.run(num_windows=num_windows)
         stats = machine.stats
@@ -53,7 +53,7 @@ def run(names: tuple[str, ...] | None = None,
 
 def depth_consistency(name: str, num_windows: int = NUM_WINDOWS) -> list[str]:
     """Cross-validation problems for one benchmark (empty = consistent)."""
-    compiled = compile_for_risc(benchmark(name).source)
+    compiled = compile_cached(benchmark(name).source)
     report = compiled.analyze(name=name, num_windows=num_windows)
     __, machine = compiled.run(num_windows=num_windows)
     return report.depth.validate_against(

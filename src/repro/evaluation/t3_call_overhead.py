@@ -12,9 +12,10 @@ windows remove.
 from __future__ import annotations
 
 from repro.baselines import ALL_TRAITS, CiscExecutor
-from repro.cc import compile_for_risc, compile_to_ir
+from repro.cc import compile_to_ir
 from repro.cc.ciscgen import compile_for_cisc
 from repro.evaluation.tables import Table
+from repro.workloads.cache import compile_cached
 
 CALLS = 200
 
@@ -46,7 +47,7 @@ int main(void) {{
 
 
 def _measure_risc(source: str) -> tuple[int, int]:
-    compiled = compile_for_risc(source)
+    compiled = compile_cached(source)
     __, machine = compiled.run()
     return machine.stats.instructions, machine.memory.stats.data_refs
 

@@ -21,7 +21,11 @@ CRASH     a Python exception escaped the simulator - always a repro
 Determinism: all randomness flows through one seeded
 :class:`random.Random`; no wall-clock inputs are consulted.  Two runs
 with the same :class:`CampaignConfig` produce byte-identical reports
-(verified by :meth:`CampaignReport.fingerprint`).
+(verified by :meth:`CampaignReport.fingerprint`).  That holds for
+parallel runs too: ``--workers N`` (``run_campaign(..., workers=N)``)
+draws the fault schedule serially, fans the trials out to worker
+processes, and reassembles results in schedule order, so the
+fingerprint matches the serial run bit for bit.
 
 CLI (used by the CI smoke campaign)::
 
@@ -212,11 +216,11 @@ class CampaignReport:
 
 def _golden_run(name: str) -> tuple[GoldenRun, "object"]:
     """Run *name* unfaulted; returns the reference plus the compiled image."""
-    from repro.cc import compile_for_risc
     from repro.workloads import benchmark
+    from repro.workloads.cache import compile_cached
 
     bench = benchmark(name)
-    compiled = compile_for_risc(bench.source)
+    compiled = compile_cached(bench.source)
     machine = compiled.make_machine()
     pc_counts: Counter = Counter()
 
@@ -274,52 +278,142 @@ def _classify(
     )
 
 
-def run_campaign(config: CampaignConfig, *, progress=None) -> CampaignReport:
-    """Execute the campaign described by *config* deterministically."""
+def _run_injection(
+    machine: RiscMachine,
+    checkpoint,
+    golden: GoldenRun,
+    spec: FaultSpec,
+    budget: int,
+) -> InjectionResult:
+    """Replay one faulted run from *checkpoint* and classify it."""
+    machine.restore(checkpoint)
+    injector = FaultInjector(machine, [spec])
+    injector.attach()
+    steps = 0
+    try:
+        while machine.halted is None and steps < budget:
+            machine.step()
+            steps += 1
+        if machine.halted is None:
+            machine.halted = HaltReason.STEP_LIMIT
+        return _classify(machine, golden, spec, steps)
+    except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+        return InjectionResult(
+            benchmark=golden.benchmark,
+            spec=spec,
+            outcome=Outcome.CRASH,
+            halt="EXCEPTION",
+            trap_cause=None,
+            instructions=steps,
+            result=None,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+    finally:
+        injector.detach()
+
+
+def _campaign_schedule(
+    config: CampaignConfig, goldens: dict[str, GoldenRun]
+) -> list[tuple[GoldenRun, FaultSpec, int]]:
+    """Draw every fault of the campaign, in the canonical order.
+
+    All randomness flows through one generator seeded with
+    ``config.seed``, and golden runs never consult it, so the spec
+    stream here is identical whether the trials later execute serially
+    or on a worker pool.  Populates *goldens* as a side effect.
+    """
     rng = random.Random(config.seed)
-    goldens: dict[str, GoldenRun] = {}
-    report = CampaignReport(config=config, golden=goldens)
+    schedule: list[tuple[GoldenRun, FaultSpec, int]] = []
     share, extra = divmod(config.injections, len(config.benchmarks))
     for index, name in enumerate(config.benchmarks):
         count = share + (1 if index < extra else 0)
         if count == 0:
             continue
-        golden, compiled = _golden_run(name)
+        golden, _compiled = _golden_run(name)
         goldens[name] = golden
         budget = int(golden.instructions * config.step_budget_factor)
         budget += config.step_budget_slack
+        for _ in range(count):
+            spec = random_spec(rng, golden.sites, targets=config.targets)
+            schedule.append((golden, spec, budget))
+    return schedule
+
+
+#: Per-worker-process replay state: benchmark name -> (machine, checkpoint).
+_POOL_STATE: dict = {}
+
+
+def _pool_injection(task) -> InjectionResult:
+    """Worker-side trial: lazily build the benchmark machine, then replay.
+
+    Each worker process keeps one machine plus delta checkpoint per
+    benchmark; the compile is deterministic (and usually inherited from
+    the parent's compile cache under a fork start method), so worker
+    machines start from the same image the serial path uses.
+    """
+    golden, spec, budget = task
+    state = _POOL_STATE.get(golden.benchmark)
+    if state is None:
+        from repro.workloads import benchmark
+        from repro.workloads.cache import compile_cached
+
+        compiled = compile_cached(benchmark(golden.benchmark).source)
         machine = compiled.make_machine()
         machine.reset(compiled.program.entry)
         checkpoint = machine.checkpoint(track_memory_deltas=True)
-        for i in range(count):
-            spec = random_spec(rng, golden.sites, targets=config.targets)
-            machine.restore(checkpoint)
-            injector = FaultInjector(machine, [spec])
-            injector.attach()
-            steps = 0
-            try:
-                while machine.halted is None and steps < budget:
-                    machine.step()
-                    steps += 1
-                if machine.halted is None:
-                    machine.halted = HaltReason.STEP_LIMIT
-                result = _classify(machine, golden, spec, steps)
-            except Exception as exc:  # noqa: BLE001 - a crash IS the finding
-                result = InjectionResult(
-                    benchmark=name,
-                    spec=spec,
-                    outcome=Outcome.CRASH,
-                    halt="EXCEPTION",
-                    trap_cause=None,
-                    instructions=steps,
-                    result=None,
-                    detail=f"{type(exc).__name__}: {exc}",
-                )
-            finally:
-                injector.detach()
-            report.results.append(result)
-            if progress is not None and (i + 1) % 100 == 0:
-                progress(name, i + 1, count)
+        _POOL_STATE[golden.benchmark] = state = (machine, checkpoint)
+    machine, checkpoint = state
+    return _run_injection(machine, checkpoint, golden, spec, budget)
+
+
+def run_campaign(
+    config: CampaignConfig, *, progress=None, workers: int | None = None
+) -> CampaignReport:
+    """Execute the campaign described by *config* deterministically.
+
+    With ``workers`` > 1 the trials run on a ``multiprocessing`` pool:
+    the fault schedule is still drawn serially (identical RNG stream),
+    trials are distributed in schedule order, and results are collected
+    by index - so a parallel campaign is byte-identical (same
+    :meth:`CampaignReport.fingerprint`) to the serial one, just faster.
+    """
+    goldens: dict[str, GoldenRun] = {}
+    report = CampaignReport(config=config, golden=goldens)
+    schedule = _campaign_schedule(config, goldens)
+    if workers is not None and workers > 1:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork
+            ctx = multiprocessing.get_context("spawn")
+        chunksize = max(1, len(schedule) // (workers * 8))
+        with ctx.Pool(processes=workers) as pool:
+            for done, result in enumerate(
+                pool.imap(_pool_injection, schedule, chunksize=chunksize), 1
+            ):
+                report.results.append(result)
+                if progress is not None and done % 100 == 0:
+                    progress(result.benchmark, done, len(schedule))
+        return report
+    machines: dict = {}
+    for done, (golden, spec, budget) in enumerate(schedule, 1):
+        state = machines.get(golden.benchmark)
+        if state is None:
+            from repro.workloads import benchmark
+            from repro.workloads.cache import compile_cached
+
+            compiled = compile_cached(benchmark(golden.benchmark).source)
+            machine = compiled.make_machine()
+            machine.reset(compiled.program.entry)
+            checkpoint = machine.checkpoint(track_memory_deltas=True)
+            machines[golden.benchmark] = state = (machine, checkpoint)
+        machine, checkpoint = state
+        report.results.append(
+            _run_injection(machine, checkpoint, golden, spec, budget)
+        )
+        if progress is not None and done % 100 == 0:
+            progress(golden.benchmark, done, len(schedule))
     return report
 
 
@@ -333,6 +427,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=1981)
     parser.add_argument("--injections", type=int, default=1000)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="run trials on N worker processes (results stay byte-identical "
+             "to the serial run; default 1 = serial)",
+    )
     parser.add_argument(
         "--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
         help="comma-separated benchmark names",
@@ -364,7 +463,7 @@ def main(argv: list[str] | None = None) -> int:
     def progress(name: str, done: int, total: int) -> None:
         print(f"  {name}: {done}/{total} injections")
 
-    report = run_campaign(config, progress=progress)
+    report = run_campaign(config, progress=progress, workers=args.workers)
     print(report.rate_table().render())
     summary = report.summary()
 
@@ -372,7 +471,7 @@ def main(argv: list[str] | None = None) -> int:
     if summary["crash"]:
         failures.append(f"{summary['crash']} injection(s) crashed the simulator")
     if args.verify_determinism:
-        second = run_campaign(config)
+        second = run_campaign(config, workers=args.workers)
         if second.fingerprint() != summary["fingerprint"]:
             failures.append("campaign is not deterministic for a fixed seed")
         else:

@@ -80,7 +80,18 @@ class CachingDecoder:
         self.evictions = 0
 
     def decode(self, word: int) -> Instruction:
-        """Decode *word* through the cache."""
+        """Decode *word* through the cache.
+
+        The eviction counter must stay exact even on the unusual paths
+        the engines can drive: a ``max_entries`` of zero (caching
+        disabled - every lookup is a miss, nothing is ever resident, and
+        nothing can be *evicted*), and a bound lowered below the current
+        occupancy (each subsequent miss drains the overflow one entry at
+        a time, every drop counted).  Write-invalidation in the block
+        engine re-decodes rewritten words through this path, so a
+        drifting counter would surface as wrong ``decode_evictions`` on
+        :class:`~repro.evaluation.common.BenchmarkRecord`.
+        """
         inst = self._cache.get(word)
         if inst is not None:
             self.hits += 1
@@ -88,7 +99,9 @@ class CachingDecoder:
             return inst
         self.misses += 1
         inst = decode(word)
-        if len(self._cache) >= self.max_entries:
+        if self.max_entries <= 0:
+            return inst
+        while len(self._cache) >= self.max_entries:
             self._cache.popitem(last=False)
             self.evictions += 1
         self._cache[word] = inst

@@ -7,6 +7,13 @@ execute the suite in seconds (documented per program; the measured
 quantities are ratios, which are robust to these kernels' input sizes).
 """
 
+from repro.workloads.cache import (
+    clear_compile_cache,
+    compile_cache_disabled,
+    compile_cache_info,
+    compile_cached,
+    set_cache_enabled,
+)
 from repro.workloads.programs import BENCHMARKS, Benchmark, benchmark, expected_results
 from repro.workloads.traces import synthetic_call_trace
 
@@ -14,6 +21,11 @@ __all__ = [
     "BENCHMARKS",
     "Benchmark",
     "benchmark",
+    "clear_compile_cache",
+    "compile_cache_disabled",
+    "compile_cache_info",
+    "compile_cached",
     "expected_results",
+    "set_cache_enabled",
     "synthetic_call_trace",
 ]

@@ -1,0 +1,101 @@
+"""Keyed memoization of workload compilation.
+
+Every evaluation table, equivalence sweep, fault campaign, and lint
+report starts by compiling the same handful of Mini-C benchmark sources
+through the full pipeline (parse -> sema -> IR -> codegen -> assemble).
+The pipeline is deterministic and :class:`~repro.cc.compiler.CompiledRisc`
+is immutable after construction (``make_machine`` builds a fresh
+:class:`~repro.common.memory.Memory` per call), so one compile per
+distinct (source, flags) key can safely be shared by every caller in the
+process.
+
+:func:`compile_cached` is the drop-in for the common
+``compile_for_risc(source, ...)`` call; keys are the source text plus
+the three codegen flags.  Callers that need ``verify=True`` or a
+pre-checked AST keep calling :func:`repro.cc.compile_for_risc` directly.
+
+The cache can be bypassed - the assembler/compiler test suites measure
+the *pipeline*, not the cache - either per-process via the
+``REPRO_NO_COMPILE_CACHE`` environment variable (any non-empty value) or
+in code with :func:`set_cache_enabled` / the :func:`compile_cache_disabled`
+context manager.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.cc.compiler import CompiledRisc
+
+#: set to any non-empty value to bypass the cache process-wide
+ENV_DISABLE = "REPRO_NO_COMPILE_CACHE"
+
+_CACHE: dict[tuple[str, bool, bool, bool], "CompiledRisc"] = {}
+_enabled = True
+
+
+def cache_enabled() -> bool:
+    """True when lookups may be served from (and stored to) the cache."""
+    return _enabled and not os.environ.get(ENV_DISABLE)
+
+
+def set_cache_enabled(enabled: bool) -> bool:
+    """Turn the cache on or off; returns the previous setting."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def compile_cache_disabled() -> Iterator[None]:
+    """Scope within which every compile runs the full pipeline."""
+    previous = set_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_cache_enabled(previous)
+
+
+def clear_compile_cache() -> int:
+    """Drop every cached compile; returns how many entries were dropped."""
+    dropped = len(_CACHE)
+    _CACHE.clear()
+    return dropped
+
+
+def compile_cache_info() -> dict[str, int | bool]:
+    return {"entries": len(_CACHE), "enabled": cache_enabled()}
+
+
+def compile_cached(
+    source: str,
+    *,
+    use_windows: bool = True,
+    optimize_delay_slots: bool = True,
+    optimize_ir: bool = True,
+) -> "CompiledRisc":
+    """Compile *source* for RISC I, memoized on (source, codegen flags)."""
+    from repro.cc import compile_for_risc
+
+    if not cache_enabled():
+        return compile_for_risc(
+            source,
+            use_windows=use_windows,
+            optimize_delay_slots=optimize_delay_slots,
+            optimize_ir=optimize_ir,
+        )
+    key = (source, use_windows, optimize_delay_slots, optimize_ir)
+    compiled = _CACHE.get(key)
+    if compiled is None:
+        compiled = compile_for_risc(
+            source,
+            use_windows=use_windows,
+            optimize_delay_slots=optimize_delay_slots,
+            optimize_ir=optimize_ir,
+        )
+        _CACHE[key] = compiled
+    return compiled

@@ -1,0 +1,148 @@
+"""LRU accounting of :class:`repro.isa.decode.CachingDecoder`.
+
+The eviction counter feeds ``decode_evictions`` on
+:class:`~repro.evaluation.common.BenchmarkRecord`, so it must stay exact
+on every path the engines drive - including the tiny-bound and
+disabled-cache configurations that write-invalidation recompiles can
+push through.  The main test checks the decoder against an independent
+LRU model on random word streams.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import assemble
+from repro.isa.decode import CachingDecoder, decode
+
+def _word_pool() -> list[int]:
+    """Distinct valid instruction words to draw streams from."""
+    program = assemble(
+        """
+        main:
+            add  r16, r17, #1
+            sub  r18, r19, #2
+            and  r20, r21, #3
+            or   r22, r23, #4
+            xor  r24, r25, #5
+            sll  r16, r17, #6
+            srl  r18, r19, #7
+            sra  r20, r21, #8
+            ldl  r16, r0, 0x40
+            stl  r16, r0, 0x44
+            cmp  r16, #0
+            mov  r26, r16
+            ret
+            nop
+        """
+    )
+    pool = set()
+    for word in program.to_words():
+        try:
+            decode(word)
+        except Exception:
+            continue
+        pool.add(word)
+    return sorted(pool)
+
+
+_WORDS = _word_pool()
+
+
+class _ModelLru:
+    """Textbook LRU over a list; the oracle the decoder must match."""
+
+    def __init__(self, max_entries):
+        self.max_entries = max_entries
+        self.order = []  # least-recent first
+        self.hits = self.misses = self.evictions = 0
+
+    def access(self, word):
+        if word in self.order:
+            self.hits += 1
+            self.order.remove(word)
+            self.order.append(word)
+            return
+        self.misses += 1
+        if self.max_entries <= 0:
+            return
+        while len(self.order) >= self.max_entries:
+            self.order.pop(0)
+            self.evictions += 1
+        self.order.append(word)
+
+
+class TestLruModel:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(0, 6),
+        st.lists(st.sampled_from(_WORDS), min_size=1, max_size=60),
+    )
+    def test_matches_reference_model(self, max_entries, stream):
+        decoder = CachingDecoder(max_entries=max_entries)
+        model = _ModelLru(max_entries)
+        for word in stream:
+            inst = decoder.decode(word)
+            model.access(word)
+            assert inst == decode(word)  # never a wrong decode
+        info = decoder.cache_info()
+        assert info["hits"] == model.hits
+        assert info["misses"] == model.misses
+        assert info["evictions"] == model.evictions
+        assert info["entries"] == len(model.order)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 6),
+        st.lists(st.sampled_from(_WORDS), min_size=1, max_size=60),
+    )
+    def test_counter_invariants(self, max_entries, stream):
+        decoder = CachingDecoder(max_entries=max_entries)
+        for word in stream:
+            decoder.decode(word)
+        info = decoder.cache_info()
+        # Every miss either became a resident entry or was later evicted.
+        assert info["misses"] == info["entries"] + info["evictions"]
+        assert info["entries"] <= max_entries
+        assert info["hits"] + info["misses"] == len(stream)
+
+
+class TestEdgeCases:
+    def test_zero_capacity_never_evicts_and_never_crashes(self):
+        decoder = CachingDecoder(max_entries=0)
+        for word in _WORDS * 2:
+            decoder.decode(word)
+        info = decoder.cache_info()
+        assert info["entries"] == 0
+        assert info["evictions"] == 0
+        assert info["hits"] == 0
+        assert info["misses"] == 2 * len(_WORDS)
+
+    def test_recompile_churn_keeps_counts_exact(self):
+        # The write-invalidation pattern: a small set of PCs is decoded,
+        # rewritten, and re-decoded over and over through a tiny cache.
+        decoder = CachingDecoder(max_entries=2)
+        a, b, c = _WORDS[:3]
+        for __ in range(5):
+            decoder.decode(a)
+            decoder.decode(b)
+            decoder.decode(c)  # evicts a
+            decoder.decode(a)  # evicts b
+        info = decoder.cache_info()
+        assert info["misses"] == info["entries"] + info["evictions"]
+        assert info["entries"] == 2
+        # round 1: a,b,c,a = 4 misses, 2 evictions; every later round
+        # hits nothing but the rotation (a resident at round start):
+        # b,c,a miss; a->b->c->a churn evicts 3 per round.
+        assert info["hits"] == 4  # the leading `a` of rounds 2..5
+        assert info["misses"] == 4 + 4 * 3
+
+    def test_shrunk_bound_drains_overflow(self):
+        decoder = CachingDecoder(max_entries=4)
+        for word in _WORDS[:4]:
+            decoder.decode(word)
+        assert decoder.cache_info()["entries"] == 4
+        decoder.max_entries = 2
+        decoder.decode(_WORDS[4])  # must drain down to the new bound
+        info = decoder.cache_info()
+        assert info["entries"] == 2
+        assert info["evictions"] == 3  # 4 resident -> 1 survivor + new

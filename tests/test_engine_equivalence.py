@@ -1,8 +1,8 @@
-"""Differential equivalence: the fast engine must be bit-identical.
+"""Differential equivalence: the fast and block engines must be bit-identical.
 
 Three layers of assurance:
 
-* every bundled Mini-C workload, compiled and run on both engines,
+* every bundled Mini-C workload, compiled and run on every engine,
   diffed with :mod:`repro.cpu.equivalence` (stats, trap log, registers,
   PSW, full memory image, console, call trace);
 * hand-written trap-path programs (memory faults, illegal words,
@@ -27,7 +27,7 @@ from repro.cpu.equivalence import (
 from repro.cpu.machine import HaltReason, TrapCause
 from repro.workloads import BENCHMARKS, benchmark
 
-ENGINES = ("reference", "fast")
+ENGINES = ("reference", "fast", "block")
 
 WORKLOAD_NAMES = [bench.name for bench in BENCHMARKS]
 
@@ -41,11 +41,12 @@ def run_asm(source: str, engine: str, **kwargs) -> RiscMachine:
 
 
 def assert_asm_equivalent(source: str, **kwargs) -> RiscMachine:
-    """Run *source* on both engines; return the reference machine."""
+    """Run *source* on every engine; return the reference machine."""
     machines = [run_asm(source, engine, **kwargs) for engine in ENGINES]
     digests = [state_digest(machine) for machine in machines]
-    mismatches = diff_digests(digests[0], digests[1])
-    assert not mismatches, "\n".join(mismatches)
+    for engine, digest in zip(ENGINES[1:], digests[1:]):
+        mismatches = diff_digests(digests[0], digest)
+        assert not mismatches, f"[{engine}] " + "\n".join(mismatches)
     return machines[0]
 
 
@@ -65,7 +66,8 @@ class TestWorkloadEquivalence:
         for engine in ENGINES:
             __, machine = compiled.run(engine=engine)
             digests.append(state_digest(machine))
-        assert not diff_digests(digests[0], digests[1])
+        for digest in digests[1:]:
+            assert not diff_digests(digests[0], digest)
 
     def test_few_windows_spill_heavy_bit_identical(self):
         # num_windows=2 forces constant overflow/underflow trap traffic.
@@ -127,7 +129,8 @@ class TestTrapPathEquivalence:
             machine.run(program.entry)
             machines.append(machine)
         digests = [state_digest(machine) for machine in machines]
-        assert not diff_digests(digests[0], digests[1])
+        for digest in digests[1:]:
+            assert not diff_digests(digests[0], digest)
         assert machines[0].last_trap.cause is TrapCause.ARITHMETIC_OVERFLOW
 
     def test_trap_in_delay_slot_identical(self):
@@ -180,7 +183,8 @@ class TestTrapPathEquivalence:
             machine.run(program.entry)
             machines.append(machine)
         digests = [state_digest(machine) for machine in machines]
-        assert not diff_digests(digests[0], digests[1])
+        for digest in digests[1:]:
+            assert not diff_digests(digests[0], digest)
         assert machines[0].trap_log and machines[0].trap_log[0].vectored
         assert machines[0].result == TrapCause.MISALIGNED_ACCESS.value
 
@@ -270,7 +274,8 @@ class TestCheckpointBothEngines:
             machine.restore(cp)
             step_to_halt(machine)
             finals.append(state_digest(machine))
-        assert not diff_digests(finals[0], finals[1])
+        for final in finals[1:]:
+            assert not diff_digests(finals[0], final)
 
 
 class TestDebuggerBothEngines:

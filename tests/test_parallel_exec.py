@@ -1,0 +1,72 @@
+"""Parallel executors and the workload compile cache.
+
+The campaign/evaluation parallel paths must be *byte-identical* to
+their serial counterparts - parallelism may only change wall-clock
+time, never a single result byte - and the compile cache must be
+transparent (same artifacts, just fewer pipeline runs) with a working
+bypass knob for tests that time or exercise the pipeline itself.
+"""
+
+from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.workloads import benchmark
+from repro.workloads.cache import (
+    clear_compile_cache,
+    compile_cache_disabled,
+    compile_cache_info,
+    compile_cached,
+)
+
+
+class TestParallelCampaign:
+    def test_parallel_fingerprint_matches_serial(self):
+        config = CampaignConfig(seed=321, injections=6, benchmarks=("towers",))
+        serial = run_campaign(config)
+        parallel = run_campaign(config, workers=2)
+        assert serial.fingerprint() == parallel.fingerprint()
+        assert serial.as_records() == parallel.as_records()
+        assert list(serial.golden) == list(parallel.golden)
+
+    def test_workers_one_is_serial(self):
+        config = CampaignConfig(seed=321, injections=4, benchmarks=("towers",))
+        assert (
+            run_campaign(config, workers=1).fingerprint()
+            == run_campaign(config).fingerprint()
+        )
+
+
+class TestCompileCache:
+    def test_same_key_shares_compile(self):
+        clear_compile_cache()
+        source = benchmark("towers").source
+        first = compile_cached(source)
+        second = compile_cached(source)
+        assert first is second
+
+    def test_flags_are_part_of_the_key(self):
+        source = benchmark("towers").source
+        windowed = compile_cached(source, use_windows=True)
+        flat = compile_cached(source, use_windows=False)
+        assert windowed is not flat
+        assert windowed.use_windows and not flat.use_windows
+
+    def test_bypass_knob_compiles_fresh(self):
+        source = benchmark("towers").source
+        cached = compile_cached(source)
+        with compile_cache_disabled():
+            assert not compile_cache_info()["enabled"]
+            fresh = compile_cached(source)
+        assert fresh is not cached
+        # ... but the artifact is identical: the pipeline is a pure
+        # function of (source, flags).
+        assert fresh.asm_source == cached.asm_source
+        assert fresh.program.to_words() == cached.program.to_words()
+        assert compile_cached(source) is cached  # cache is live again
+
+    def test_cached_machines_are_independent(self):
+        source = benchmark("towers").source
+        compiled = compile_cached(source)
+        first = compiled.make_machine()
+        second = compiled.make_machine()
+        assert first.memory is not second.memory
+        first.memory.store_word(0x9000, 42)
+        assert second.memory.load_word(0x9000, count=False) == 0
