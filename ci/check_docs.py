@@ -1,0 +1,109 @@
+"""Gate CI on documentation freshness.
+
+Usage::
+
+    python ci/check_docs.py [--write]
+
+Two pieces of the documentation suite are generated from code and must
+never drift from it:
+
+* ``docs/ISA.md`` is the rendered output of
+  ``python -m repro.isa.docs`` (the instruction, register, condition,
+  alias, and trap tables all come from ``repro.isa`` metadata).
+* The lint-catalog table in ``docs/ANALYSIS.md`` — the region between
+  the ``lint-catalog:begin`` / ``lint-catalog:end`` markers — is
+  ``repro.analysis.lints.catalog_table()`` rendered from
+  ``LINT_CATALOG``.
+
+Without flags the script regenerates both in memory, diffs them against
+the committed files, and exits 1 on any drift (printing a unified
+diff).  ``--write`` rewrites the stale files in place instead; commit
+the result.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+ISA_PATH = os.path.join(REPO, "docs", "ISA.md")
+ANALYSIS_PATH = os.path.join(REPO, "docs", "ANALYSIS.md")
+
+BEGIN_MARK = "<!-- lint-catalog:begin"
+END_MARK = "<!-- lint-catalog:end -->"
+
+
+def expected_isa() -> str:
+    from repro.isa.docs import render_reference
+
+    return render_reference() + "\n"
+
+
+def expected_analysis(current: str) -> str:
+    """*current* with the marked lint-catalog region regenerated."""
+    from repro.analysis.lints import catalog_table
+
+    begin = current.find(BEGIN_MARK)
+    end = current.find(END_MARK)
+    if begin < 0 or end < 0 or end < begin:
+        raise SystemExit(
+            f"error: {ANALYSIS_PATH} is missing the lint-catalog markers "
+            f"({BEGIN_MARK} ... {END_MARK})"
+        )
+    # Keep the begin-marker line itself; replace everything between the
+    # end of that line and the end marker with the generated table.
+    begin_line_end = current.index("\n", begin) + 1
+    return (
+        current[:begin_line_end]
+        + catalog_table()
+        + "\n"
+        + current[end:]
+    )
+
+
+def check(path: str, expected: str, *, write: bool) -> bool:
+    """True when *path* matches *expected* (after ``--write``, always)."""
+    with open(path) as handle:
+        actual = handle.read()
+    if actual == expected:
+        print(f"ok: {os.path.relpath(path, REPO)} is fresh")
+        return True
+    if write:
+        with open(path, "w") as handle:
+            handle.write(expected)
+        print(f"rewrote: {os.path.relpath(path, REPO)}")
+        return True
+    rel = os.path.relpath(path, REPO)
+    print(f"STALE: {rel} does not match its generator")
+    sys.stdout.writelines(
+        difflib.unified_diff(
+            actual.splitlines(keepends=True),
+            expected.splitlines(keepends=True),
+            fromfile=f"{rel} (committed)",
+            tofile=f"{rel} (generated)",
+        )
+    )
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    write = "--write" in args
+    with open(ANALYSIS_PATH) as handle:
+        analysis_current = handle.read()
+    fresh = check(ISA_PATH, expected_isa(), write=write)
+    fresh &= check(
+        ANALYSIS_PATH, expected_analysis(analysis_current), write=write
+    )
+    if not fresh:
+        print("\nrun `python ci/check_docs.py --write` and commit the result")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Gate CI on public-API docstring coverage.
+
+Usage::
+
+    python ci/check_docstrings.py [--write-baseline] [--verbose]
+
+Walks every module under ``src/repro`` with :mod:`ast` and counts the
+public definitions that lack a docstring.  *Public* means the module
+itself, and every class, function, and method whose name does not start
+with an underscore (dunders other than ``__init__`` are skipped;
+``__init__`` is exempt too - its contract belongs on the class).
+Overloads and trivial ``...``-bodied protocol stubs still count: a
+Protocol method's docstring *is* its contract.
+
+The committed baseline (``ci/docstring_baseline.json``) maps module
+names to their allowed number of undocumented public definitions.  The
+gate is a ratchet:
+
+* a module exceeding its baseline (or any misses in a module absent
+  from the baseline) **fails** - new code documents itself;
+* a module now *below* its baseline also fails, with a message asking
+  for ``--write-baseline`` - so the recorded debt only ever shrinks.
+
+``--write-baseline`` rewrites the baseline from the current tree
+(dropping fully documented modules); ``--verbose`` lists every missing
+docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+BASELINE_PATH = os.path.join(REPO, "ci", "docstring_baseline.json")
+
+
+def iter_modules():
+    """Yield ``(module_name, path)`` for every module under src/repro."""
+    for root, dirs, files in os.walk(os.path.join(SRC, "repro")):
+        dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            rel = os.path.relpath(path, SRC)
+            module = rel[: -len(".py")].replace(os.sep, ".")
+            if module.endswith(".__init__"):
+                module = module[: -len(".__init__")]
+            yield module, path
+
+
+def is_public(name: str) -> bool:
+    if name == "__init__":
+        return False
+    return not name.startswith("_")
+
+
+def missing_docstrings(path: str) -> list[str]:
+    """Qualified names of public definitions in *path* with no docstring."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    missing: list[str] = []
+    if ast.get_docstring(tree) is None:
+        missing.append("<module>")
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if not is_public(child.name):
+                    continue
+                qualname = f"{prefix}{child.name}"
+                if ast.get_docstring(child) is None:
+                    missing.append(qualname)
+                visit(child, qualname + ".")
+
+    visit(tree, "")
+    return missing
+
+
+def collect() -> dict[str, list[str]]:
+    """Per-module missing-docstring lists for the whole tree."""
+    report: dict[str, list[str]] = {}
+    for module, path in iter_modules():
+        misses = missing_docstrings(path)
+        if misses:
+            report[module] = misses
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    report = collect()
+    if "--write-baseline" in args:
+        baseline = {module: len(misses) for module, misses in sorted(report.items())}
+        with open(BASELINE_PATH, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        total = sum(baseline.values())
+        print(f"wrote {BASELINE_PATH}: {len(baseline)} module(s), "
+              f"{total} allowed miss(es)")
+        return 0
+
+    try:
+        with open(BASELINE_PATH) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        baseline = {}
+
+    failures: list[str] = []
+    for module, misses in sorted(report.items()):
+        allowed = baseline.get(module, 0)
+        if len(misses) > allowed:
+            failures.append(
+                f"{module}: {len(misses)} undocumented public definition(s), "
+                f"baseline allows {allowed}"
+            )
+            for name in misses:
+                failures.append(
+                    f"  - {module}.{name}".replace(
+                        ".<module>", " (module docstring)"
+                    )
+                )
+    for module, allowed in sorted(baseline.items()):
+        actual = len(report.get(module, []))
+        if actual < allowed:
+            failures.append(
+                f"{module}: baseline allows {allowed} miss(es) but only "
+                f"{actual} remain - run `python ci/check_docstrings.py "
+                "--write-baseline` to ratchet down"
+            )
+
+    if "--verbose" in args:
+        for module, misses in sorted(report.items()):
+            for name in misses:
+                print(f"missing: {module}.{name}")
+
+    documented = sum(1 for _ in iter_modules()) - len(report)
+    if failures:
+        print("docstring coverage gate FAILED:")
+        for line in failures:
+            print("  " + line)
+        return 1
+    total_misses = sum(len(m) for m in report.values())
+    print(f"ok: docstring coverage holds ({documented} fully documented "
+          f"module(s), {total_misses} baselined miss(es))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Gate CI on run-manifest schema stability and cross-engine identity.
+
+Usage::
+
+    python ci/check_manifest.py [--write]
+
+Runs the ``towers`` benchmark on every execution engine, captures a
+:class:`~repro.telemetry.manifest.RunManifest` from each, and checks:
+
+1. every manifest passes :func:`~repro.telemetry.manifest.validate_manifest`;
+2. the **shared** sections (``run``/``stats``/``memory``/``campaign``)
+   serialize byte-identically across all engines - the manifest's core
+   determinism contract;
+3. the manifest's key structure (:func:`~repro.telemetry.manifest.schema_paths`)
+   matches the committed ``ci/manifest_schema.json``, so schema changes
+   are deliberate, reviewed diffs rather than silent drift.
+
+``--write`` regenerates ``ci/manifest_schema.json`` from the reference
+engine's manifest; commit the result alongside the code change that
+motivated it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+SCHEMA_PATH = os.path.join(REPO, "ci", "manifest_schema.json")
+WORKLOAD = "towers"
+ENGINES = ("reference", "fast", "block")
+
+
+def capture(engine: str):
+    """Run the gate workload on *engine* and capture its manifest."""
+    from repro.workloads import benchmark
+    from repro.workloads.cache import compile_cached
+
+    compiled = compile_cached(benchmark(WORKLOAD).source)
+    machine = compiled.make_machine(engine=engine)
+    machine.run(compiled.program.entry)
+    return machine.run_manifest(workload=WORKLOAD, entry=compiled.program.entry)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    from repro.telemetry.manifest import schema_paths, validate_manifest
+
+    manifests = {engine: capture(engine) for engine in ENGINES}
+
+    failures: list[str] = []
+    for engine, manifest in manifests.items():
+        problems = validate_manifest(manifest.as_dict())
+        for problem in problems:
+            failures.append(f"{engine}: invalid manifest: {problem}")
+
+    shared = {engine: m.shared_json() for engine, m in manifests.items()}
+    reference = shared["reference"]
+    for engine in ENGINES[1:]:
+        if shared[engine] != reference:
+            failures.append(
+                f"{engine}: shared manifest sections differ from the "
+                f"reference engine's (fingerprints "
+                f"{manifests[engine].fingerprint()[:16]} vs "
+                f"{manifests['reference'].fingerprint()[:16]})"
+            )
+
+    paths = schema_paths(manifests["reference"].as_dict())
+    if "--write" in args:
+        with open(SCHEMA_PATH, "w") as handle:
+            json.dump({"workload": WORKLOAD, "paths": paths}, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {SCHEMA_PATH}: {len(paths)} schema path(s)")
+        return 0
+
+    try:
+        with open(SCHEMA_PATH) as handle:
+            committed = json.load(handle)["paths"]
+    except FileNotFoundError:
+        failures.append(
+            f"{SCHEMA_PATH} missing - run `python ci/check_manifest.py --write`"
+        )
+        committed = paths
+    added = sorted(set(paths) - set(committed))
+    removed = sorted(set(committed) - set(paths))
+    for path in added:
+        failures.append(f"schema drift: new manifest key {path!r}")
+    for path in removed:
+        failures.append(f"schema drift: manifest key {path!r} disappeared")
+    if added or removed:
+        failures.append(
+            "schema changed - if intentional, run "
+            "`python ci/check_manifest.py --write` and commit the diff"
+        )
+
+    if failures:
+        print("manifest gate FAILED:")
+        for line in failures:
+            print("  " + line)
+        return 1
+    print(
+        f"ok: {WORKLOAD} manifest valid on {len(ENGINES)} engine(s), shared "
+        f"fingerprint {manifests['reference'].fingerprint()[:16]}, "
+        f"{len(paths)} schema path(s) stable"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,49 @@ from repro.isa.registers import NUM_WINDOWS
 
 WORD = 4
 
+#: The authoritative lint catalog: ``(id, severity, meaning)`` rows, in
+#: presentation order.  ``docs/ANALYSIS.md`` embeds the rendered table
+#: between ``lint-catalog`` markers and CI (``ci/check_docs.py``)
+#: fails when the two drift apart; edit the catalog here, then run
+#: ``python ci/check_docs.py --write``.
+LINT_CATALOG: tuple[tuple[str, str, str], ...] = (
+    ("DS001", "error", "control-transfer instruction inside a delay slot"),
+    ("DS002", "error",
+     "two-word `li` pseudo torn across a delay slot (`ldhi` half in the "
+     "slot, `add` half stranded at the fall-through address)"),
+    ("DS003", "warning",
+     "`gtlpc` / `callint` / `putpsw` in a delay slot observes pipeline "
+     "state mid-transfer"),
+    ("DS004", "error", "delay slot outside the program image"),
+    ("DS005", "warning",
+     "CALL/RET delay slot touches a window-relative register "
+     "(`r10`–`r31`) — the slot runs in the other window"),
+    ("CF001", "error", "resolved transfer target outside the image"),
+    ("CF002", "error", "control reaches a word that is not decodable code"),
+    ("CF003", "error", "transfer target is not word-aligned"),
+    ("UU001", "warning",
+     "register may be read before initialization (some path)"),
+    ("UU002", "error",
+     "register is read before initialization on every path"),
+    ("DC001", "warning",
+     "dead store — a pure register write no path reads again"),
+    ("UR001", "warning",
+     "unreachable code inside the text section (requires the "
+     "`__text_start`/`__text_end` markers the toolchain emits)"),
+    ("WD001", "note",
+     "window-depth summary; promoted to warning by `max_depth=` / "
+     "`forbid_recursion=`"),
+)
+
+
+def catalog_table() -> str:
+    """The lint catalog rendered as a GitHub-flavoured markdown table."""
+    lines = ["| ID    | Severity | Meaning |", "|-------|----------|---------|"]
+    for lint_id, severity, meaning in LINT_CATALOG:
+        lines.append(f"| {lint_id} | {severity:<8} | {meaning} |")
+    return "\n".join(lines)
+
+
 _SLOT_SENSITIVE = frozenset({Opcode.GTLPC, Opcode.CALLINT, Opcode.PUTPSW})
 
 _DIAGNOSTIC_LINTS = {
@@ -470,8 +513,10 @@ def _iter_bits(mask: int):
 
 __all__ = [
     "Finding",
+    "LINT_CATALOG",
     "LintReport",
     "Severity",
+    "catalog_table",
     "lint_program",
     "lint_words",
 ]

@@ -42,6 +42,7 @@ class Alu:
     """
 
     def execute(self, opcode: Opcode, a: int, b: int, carry_in: bool = False) -> AluResult:
+        """Compute *opcode* over 32-bit *a* and *b*, returning value + flags."""
         a &= MASK32
         b &= MASK32
         if opcode is Opcode.ADD:

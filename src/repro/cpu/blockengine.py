@@ -569,6 +569,20 @@ class BlockEngine:
         self._leaders: set[int] | None = None
         self._halt_addr: int | None = None
         self._halt_known = False
+        #: lifetime counters surfaced via :meth:`telemetry_snapshot`.
+        self.blocks_compiled = 0
+        self.blocks_invalidated = 0
+        self.code_flushes = 0
+
+    def telemetry_snapshot(self) -> dict:
+        """Block-cache counters for the manifest's engine section."""
+        return {
+            "blocks_resident": len(self._blocks),
+            "blocks_compiled": self.blocks_compiled,
+            "blocks_invalidated": self.blocks_invalidated,
+            "code_flushes": self.code_flushes,
+            "code_words_watched": len(self.code_words),
+        }
 
     # -- write-invalidation (Memory exec-listener protocol) -----------------
 
@@ -579,9 +593,11 @@ class BlockEngine:
             return
         for blk in list(owners):
             self._drop(blk)
+            self.blocks_invalidated += 1
 
     def flush_code(self) -> None:
         """Wholesale image change (restore/load_program): drop everything."""
+        self.code_flushes += 1
         for blk in self._blocks.values():
             blk.live = False
         self._blocks.clear()
@@ -717,6 +733,7 @@ class BlockEngine:
             cycles_bound=cycles_bound,
         )
         blk.thunk = make(m, blk)
+        self.blocks_compiled += 1
         self._blocks[pc] = blk
         cw = self.code_words
         for wi in range(blk.word_lo, blk.word_hi + 1):
@@ -745,6 +762,7 @@ class BlockEngine:
         max_cycles: int | None,
         deadline: float | None,
     ) -> None:
+        """Dispatch compiled superblocks until halt or a budget expires."""
         mem = m.memory
         if mem._exec_listener is not self:
             mem.set_exec_listener(self)

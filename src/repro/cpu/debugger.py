@@ -25,6 +25,8 @@ from repro.isa.opcodes import Opcode
 
 
 class StopReason(enum.Enum):
+    """Why a debugged run came back to the prompt."""
+
     BREAKPOINT = "breakpoint"
     WATCHPOINT = "watchpoint"
     STEP = "step"
@@ -45,6 +47,8 @@ class StackFrame:
 
 @dataclass
 class StopEvent:
+    """One debugger stop: what fired and where."""
+
     reason: StopReason
     pc: int
     detail: str = ""
@@ -105,14 +109,17 @@ class Debugger:
         return location
 
     def add_breakpoint(self, location: int | str) -> int:
+        """Arm a breakpoint at an address or symbol; returns the address."""
         address = self.resolve(location)
         self.breakpoints.add(address)
         return address
 
     def remove_breakpoint(self, location: int | str) -> None:
+        """Disarm the breakpoint at an address or symbol, if armed."""
         self.breakpoints.discard(self.resolve(location))
 
     def add_watchpoint(self, location: int | str) -> int:
+        """Watch a memory word for change; returns the resolved address."""
         address = self.resolve(location)
         self.watchpoints[address] = self.machine.memory.load_word(address, count=False)
         return address
@@ -186,6 +193,7 @@ class Debugger:
         return None
 
     def describe_address(self, address: int) -> str:
+        """Render *address* as hex, with its symbol name when known."""
         symbol = self._address_to_symbol.get(address)
         return f"{address:#x} <{symbol}>" if symbol else f"{address:#x}"
 

@@ -1,7 +1,7 @@
 """Pluggable execution engines for the RISC I architectural state.
 
 Layer 2 of the execution architecture: an :class:`ExecutionEngine` turns
-an :class:`~repro.cpu.state.ArchState` into a running processor.  Two
+an :class:`~repro.cpu.state.ArchState` into a running processor.  Three
 backends ship:
 
 * ``"reference"`` - :class:`ReferenceEngine`, the original interpreter
@@ -17,11 +17,15 @@ backends ship:
   closures with batched stats and write-invalidation for self-modifying
   code.  Same differential-harness admission rule.
 
-Both engines must produce **bit-identical** architectural results:
+Every engine must produce **bit-identical** architectural results:
 the same :class:`~repro.cpu.state.ExecutionStats`, trap log, final
 register/memory state, memory-traffic counters and console output for
 any program.  ``tests/test_engine_equivalence.py`` enforces this on
-every bundled workload.
+every bundled workload.  Engine-*internal* counters (thunks compiled,
+blocks invalidated, ...) are exposed through
+:meth:`ExecutionEngine.telemetry_snapshot` and land in the run
+manifest's engine-specific section, never in the shared architectural
+fields.
 
 To add a backend: implement the :class:`ExecutionEngine` protocol,
 register the class in :data:`ENGINES`, and extend the equivalence
@@ -79,6 +83,16 @@ class ExecutionEngine(Protocol):
         """Run until halt or a watchdog budget expires (no reset)."""
         ...
 
+    def telemetry_snapshot(self) -> dict:
+        """Engine-internal counters for the run manifest (may be empty).
+
+        These describe *how* a run was simulated (cache sizes, compiled
+        units, invalidations) and are allowed to differ between
+        backends; architectural counters belong on
+        :class:`~repro.cpu.state.ExecutionStats` instead.
+        """
+        ...
+
 
 class ReferenceEngine:
     """The original instruction-at-a-time interpreter (the oracle).
@@ -90,6 +104,10 @@ class ReferenceEngine:
     """
 
     name = "reference"
+
+    def telemetry_snapshot(self) -> dict:
+        """The oracle keeps no caches; nothing engine-internal to report."""
+        return {}
 
     def step(self, m: ArchState) -> Instruction | None:
         """Execute one instruction; returns the decoded instruction.
@@ -247,6 +265,7 @@ class ReferenceEngine:
         max_cycles: int | None,
         deadline: float | None,
     ) -> None:
+        """Step the oracle until halt or a step/cycle/deadline budget expires."""
         steps = 0
         while m.halted is None:
             self.step(m)

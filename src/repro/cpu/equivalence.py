@@ -102,10 +102,12 @@ class DifferentialResult:
 
     @property
     def equivalent(self) -> bool:
+        """True when every engine produced an identical digest."""
         return not self.mismatches
 
     @property
     def instructions(self) -> int:
+        """Instruction count of the run (identical across engines)."""
         return self.digests[0]["stats"]["instructions"]
 
 

@@ -26,7 +26,7 @@ reference oracle: while :attr:`ObserverBus.step_observed` is true or an
 interrupt is latched, each step is delegated to
 :class:`~repro.cpu.engine.ReferenceEngine`, which emits every event.
 Boundary events (``call``/``return``/``trap``/``halt``) are emitted from
-the shared state core and therefore fire identically under both engines.
+the shared state core and therefore fire identically under every engine.
 
 Bit-identical results versus the reference are enforced by
 :mod:`repro.cpu.equivalence` on every bundled workload.
@@ -351,6 +351,15 @@ class FastEngine:
     def __init__(self) -> None:
         self._ref = ReferenceEngine()
         self._cache: dict[int, tuple] = {}
+        #: thunks built over the engine's lifetime (recompiles included).
+        self.thunks_compiled = 0
+
+    def telemetry_snapshot(self) -> dict:
+        """Thunk-cache counters for the manifest's engine section."""
+        return {
+            "thunks_cached": len(self._cache),
+            "thunks_compiled": self.thunks_compiled,
+        }
 
     # -- compilation --------------------------------------------------------
 
@@ -368,6 +377,7 @@ class FastEngine:
             )
             return None
         make = _factory_for(word, inst, m.num_windows, m.use_windows)
+        self.thunks_compiled += 1
         return (word, make(pc, m), _is_nop(inst), inst)
 
     # -- trap plumbing ------------------------------------------------------
@@ -448,6 +458,8 @@ class FastEngine:
         max_cycles: int | None,
         deadline: float | None,
     ) -> None:
+        """Run the inlined fetch/decode/dispatch loop until halt or a budget
+        expires, falling back to the oracle when observers demand it."""
         import time
 
         ref_step = self._ref.step

@@ -88,8 +88,13 @@ class RiscMachine(ArchState):
         strict_traps: raise :class:`~repro.errors.TrapError` on an
             unvectored trap instead of halting.
         engine: execution backend - ``"reference"`` (default, the oracle
-            interpreter), ``"fast"`` (pre-decoded closure dispatch), or
-            an :class:`~repro.cpu.engine.ExecutionEngine` instance.
+            interpreter), ``"fast"`` (pre-decoded closure dispatch),
+            ``"block"`` (superblock compilation), or an
+            :class:`~repro.cpu.engine.ExecutionEngine` instance.
+        telemetry: a :class:`~repro.telemetry.registry.MetricsRegistry`
+            to record run-boundary metrics into (``sim.runs``,
+            ``sim.instructions``, ``sim.cycles``, ``sim.run_seconds``);
+            defaults to the no-op registry, which costs nothing.
     """
 
     def __init__(
@@ -102,6 +107,7 @@ class RiscMachine(ArchState):
         decoder: CachingDecoder | None = None,
         strict_traps: bool = False,
         engine: "str | ExecutionEngine" = "reference",
+        telemetry=None,
     ):
         super().__init__(
             memory,
@@ -110,11 +116,13 @@ class RiscMachine(ArchState):
             record_call_trace=record_call_trace,
             decoder=decoder,
             strict_traps=strict_traps,
+            telemetry=telemetry,
         )
         self.engine: ExecutionEngine = create_engine(engine)
 
     @property
     def engine_name(self) -> str:
+        """Name of the active execution engine (reference/fast/block)."""
         return self.engine.name
 
     def step(self) -> Instruction | None:
@@ -149,8 +157,48 @@ class RiscMachine(ArchState):
         deadline = None
         if wall_clock_limit is not None:
             deadline = time.monotonic() + wall_clock_limit
+        instructions_before = self.stats.instructions
+        cycles_before = self.stats.cycles
+        started = time.perf_counter()
         self.engine.run_loop(self, max_steps, max_cycles, deadline)
+        wall = time.perf_counter() - started
+        self.last_run_wall_seconds = wall
+        # Run-boundary telemetry only: the hot loop never sees the
+        # registry, so a no-op (or absent) registry costs nothing.
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.counter("sim.runs", "completed run() calls").inc()
+            telemetry.counter(
+                "sim.instructions", "dynamic instructions executed"
+            ).inc(self.stats.instructions - instructions_before)
+            telemetry.counter(
+                "sim.cycles", "simulated machine cycles"
+            ).inc(self.stats.cycles - cycles_before)
+            telemetry.timer(
+                "sim.run_seconds", "host wall-clock per run()"
+            ).observe(wall)
         return self.stats
+
+    def run_manifest(
+        self,
+        *,
+        workload: str = "unnamed",
+        seed: int | None = None,
+        entry: int = 0,
+        campaign: dict | None = None,
+    ) -> "RunManifest":
+        """The :class:`~repro.telemetry.manifest.RunManifest` of the
+        last :meth:`run`.
+
+        Call after the machine halts; *workload*/*seed* label the
+        provenance, *campaign* links a fault-campaign fingerprint.  See
+        ``docs/OBSERVABILITY.md`` for the document schema.
+        """
+        from repro.telemetry.manifest import capture_manifest
+
+        return capture_manifest(
+            self, workload=workload, seed=seed, entry=entry, campaign=campaign
+        )
 
 
 # Backwards-compatible module-level aliases for the engine layer.

@@ -114,18 +114,22 @@ class ObserverBus:
         return sum(len(getattr(self, f"on_{name}")) for name in EVENTS)
 
     def emit_call(self, machine, depth: int) -> None:
+        """Notify call subscribers: the machine just entered *depth*."""
         for fn in self.on_call:
             fn(machine, depth)
 
     def emit_return(self, machine, depth: int) -> None:
+        """Notify return subscribers: the machine is back at *depth*."""
         for fn in self.on_return:
             fn(machine, depth)
 
     def emit_trap(self, machine, record) -> None:
+        """Notify trap subscribers with the just-logged trap *record*."""
         for fn in self.on_trap:
             fn(machine, record)
 
     def emit_halt(self, machine, reason) -> None:
+        """Notify halt subscribers with the machine's halt *reason*."""
         for fn in self.on_halt:
             fn(machine, reason)
 
@@ -145,10 +149,12 @@ class CallTraceRecorder:
         self.trace: list[int] = []
 
     def attach(self, bus: ObserverBus) -> None:
+        """Start recording call/return events from *bus*."""
         bus.subscribe("call", self._on_call)
         bus.subscribe("return", self._on_return)
 
     def detach(self, bus: ObserverBus) -> None:
+        """Stop recording and unsubscribe from *bus*."""
         bus.unsubscribe("call", self._on_call)
         bus.unsubscribe("return", self._on_return)
 

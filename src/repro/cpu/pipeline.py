@@ -43,6 +43,7 @@ class PipelineTimeline:
 
     @property
     def cycles(self) -> int:
+        """Total cycles: the longer of the fetch and execute lanes."""
         return max(len(self.fetch), len(self.execute))
 
     def render(self) -> str:

@@ -34,6 +34,7 @@ class PipelineEstimate:
 
     @property
     def speedup(self) -> float:
+        """Two-stage over three-stage cycle ratio (>1 means faster)."""
         if self.three_stage_cycles == 0:
             return 1.0
         return self.two_stage_cycles / self.three_stage_cycles

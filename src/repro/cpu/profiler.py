@@ -16,6 +16,8 @@ from repro.cpu.machine import RiscMachine
 
 @dataclass
 class FunctionProfile:
+    """Accumulated execution counts for one profiled function."""
+
     name: str
     start: int
     end: int  # exclusive
@@ -102,6 +104,7 @@ class Profiler:
         )
 
     def report(self) -> str:
+        """Render the per-function hotspot table, hottest first."""
         total = sum(profile.cycles for profile in self.profiles) or 1
         lines = [f"{'function':<20} {'calls':>7} {'instrs':>9} {'cycles':>9} {'%':>6}"]
         for profile in self.hotspots():

@@ -51,6 +51,7 @@ class Psw:
         self.swp = (word >> 8) & 0x7
 
     def set_flags(self, *, z: bool, n: bool, c: bool, v: bool) -> None:
+        """Overwrite all four condition-code flags at once."""
         self.z = z
         self.n = n
         self.c = c

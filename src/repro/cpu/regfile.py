@@ -34,6 +34,7 @@ class WindowedRegisterFile:
 
     @property
     def physical_count(self) -> int:
+        """Number of physical registers backing the window file."""
         return len(self._regs)
 
     def _phys(self, window: int, reg: int) -> int:
@@ -54,9 +55,11 @@ class WindowedRegisterFile:
         self._regs[self._phys(window, reg)] = value & MASK32
 
     def read_physical(self, index: int) -> int:
+        """Read a register by physical index, bypassing windowing."""
         return self._regs[index]
 
     def write_physical(self, index: int, value: int) -> None:
+        """Write a register by physical index, bypassing windowing."""
         self._regs[index] = value & MASK32
 
     def spill_unit(self, window: int) -> list[int]:

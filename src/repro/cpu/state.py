@@ -37,6 +37,7 @@ from repro.isa.decode import CachingDecoder
 from repro.isa.formats import Instruction
 from repro.isa.opcodes import Opcode
 from repro.isa.registers import NUM_WINDOWS, REGS_PER_WINDOW_UNIQUE
+from repro.telemetry.registry import NULL_REGISTRY, MetricsRegistry
 
 #: PC value that means "the initial procedure returned" - outside memory.
 HALT_PC = 0x7FFF_FF00
@@ -59,6 +60,7 @@ class TrapCause(enum.IntEnum):
     ARITHMETIC_OVERFLOW = 7
 
     def describe(self) -> str:
+        """Human-readable one-line description of the trap cause."""
         return _TRAP_DESCRIPTIONS[self]
 
 
@@ -128,15 +130,19 @@ class TrapVectorTable:
         self._vectors: dict[TrapCause, int] = dict(vectors or {})
 
     def set(self, cause: TrapCause, handler: int) -> None:
+        """Install *handler* as the vector for *cause*."""
         self._vectors[cause] = handler
 
     def clear(self, cause: TrapCause) -> None:
+        """Remove the vector for *cause*, if installed."""
         self._vectors.pop(cause, None)
 
     def handler(self, cause: TrapCause) -> int | None:
+        """The installed handler address for *cause*, or ``None``."""
         return self._vectors.get(cause)
 
     def load(self, mapping: dict[TrapCause, int]) -> None:
+        """Install several vectors at once."""
         self._vectors.update(mapping)
 
     def __len__(self) -> int:
@@ -159,6 +165,8 @@ class _TrapSignal(Exception):
 
 
 class HaltReason(enum.Enum):
+    """Why a run stopped; stored on ``ArchState.halted``."""
+
     RETURNED = "initial procedure returned"
     STEP_LIMIT = "step limit reached"
     EXPLICIT = "halt address reached"
@@ -192,9 +200,11 @@ class ExecutionStats:
         return (self.window_overflows + self.window_underflows) * REGS_PER_WINDOW_UNIQUE
 
     def time_ns(self, cycle_time_ns: float = CYCLE_TIME_NS) -> float:
+        """Simulated wall time of the run at the given cycle time."""
         return self.cycles * cycle_time_ns
 
     def copy(self) -> "ExecutionStats":
+        """A deep, independent copy (dict counters included)."""
         return ExecutionStats(
             instructions=self.instructions,
             cycles=self.cycles,
@@ -305,6 +315,11 @@ class ArchState:
         strict_traps: raise :class:`~repro.errors.TrapError` (carrying
             the :class:`TrapRecord`) on an unvectored trap instead of
             halting.  Off by default: traps halt structurally.
+        telemetry: a :class:`~repro.telemetry.registry.MetricsRegistry`
+            the run loop records boundary metrics into; defaults to the
+            no-op :data:`~repro.telemetry.registry.NULL_REGISTRY`, which
+            costs nothing (telemetry is only touched at run boundaries,
+            never per instruction).
     """
 
     def __init__(
@@ -316,6 +331,7 @@ class ArchState:
         record_call_trace: bool = True,
         decoder: CachingDecoder | None = None,
         strict_traps: bool = False,
+        telemetry: MetricsRegistry | None = None,
     ):
         self.memory = memory if memory is not None else Memory()
         self.regs = WindowedRegisterFile(num_windows=num_windows, use_windows=use_windows)
@@ -326,6 +342,10 @@ class ArchState:
         self.stats = ExecutionStats()
         self.decoder = decoder if decoder is not None else CachingDecoder()
         self.strict_traps = strict_traps
+        self.telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        #: host seconds of the most recent :meth:`RiscMachine.run` (None
+        #: before the first run); feeds the manifest's ``host`` section.
+        self.last_run_wall_seconds: float | None = None
 
         self.pc = 0
         self.npc = 4
@@ -363,6 +383,7 @@ class ArchState:
     # -- program setup ------------------------------------------------------
 
     def load_program(self, words: list[int], base: int = 0) -> None:
+        """Copy a word image into memory starting at *base*."""
         self.memory.load_program(words, base)
 
     def reset(self, entry: int = 0) -> None:
@@ -399,9 +420,11 @@ class ArchState:
     # -- register access in the current window -------------------------------
 
     def read_reg(self, reg: int) -> int:
+        """Read architectural register *reg* through the current window."""
         return self.regs.read(self.psw.cwp, reg)
 
     def write_reg(self, reg: int, value: int) -> None:
+        """Write architectural register *reg* through the current window."""
         self.regs.write(self.psw.cwp, reg, value)
 
     # -- window traps ---------------------------------------------------------
@@ -614,6 +637,48 @@ class ArchState:
         procedure's result is the current window's r10.
         """
         return self.read_reg(10)
+
+    # -- public counter accessors ----------------------------------------------
+
+    def decode_cache_stats(self) -> dict[str, int]:
+        """Decode-cache counters of this machine's decoder, as a dict.
+
+        Keys: ``hits``, ``misses``, ``entries``, ``evictions``,
+        ``max_entries`` (see
+        :meth:`~repro.isa.decode.CachingDecoder.cache_info`).  This is
+        the public accessor the run manifest and
+        :class:`~repro.evaluation.common.BenchmarkRecord` read; callers
+        never need to reach through :attr:`decoder` directly.  With a
+        deliberately *shared* decoder the counters aggregate over all
+        sharing machines.
+        """
+        return self.decoder.cache_info()
+
+    def counters_snapshot(self) -> dict:
+        """Every public counter of this machine in one plain dict.
+
+        Sections: ``stats`` (:meth:`ExecutionStats.as_dict` - identical
+        across execution engines), ``memory`` (traffic counters plus
+        console output length), ``decode_cache``
+        (:meth:`decode_cache_stats` - engine-dependent), and the scalar
+        ``interrupts_taken`` / ``traps_logged``.  This is the substrate
+        :func:`repro.telemetry.manifest.capture_manifest` serialises;
+        it is cheap (no copies of memory or registers) and safe to call
+        mid-run.
+        """
+        mem = self.memory.stats
+        return {
+            "stats": self.stats.as_dict(),
+            "memory": {
+                "inst_reads": mem.inst_reads,
+                "data_reads": mem.data_reads,
+                "data_writes": mem.data_writes,
+                "console_bytes": len(self.memory.console),
+            },
+            "decode_cache": self.decode_cache_stats(),
+            "interrupts_taken": self.interrupts_taken,
+            "traps_logged": len(self.trap_log),
+        }
 
     # -- checkpoint / rollback --------------------------------------------------
 

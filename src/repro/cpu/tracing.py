@@ -24,10 +24,12 @@ class TraceRecord:
 
     @property
     def is_memory(self) -> bool:
+        """True for load/store instructions."""
         return self.inst.spec.category in (Category.LOAD, Category.STORE)
 
     @property
     def is_load(self) -> bool:
+        """True for load instructions."""
         return self.inst.spec.category is Category.LOAD
 
 
@@ -50,6 +52,7 @@ class ExecutionTracer:
             self.records.append(TraceRecord(pc=pc, inst=inst, taken_jump=taken_jump))
 
     def run(self, entry: int, max_steps: int = 5_000_000) -> list[TraceRecord]:
+        """Execute from *entry* with tracing attached; returns the records."""
         bus = self.machine.observers
         bus.subscribe("step", self._on_step)
         try:

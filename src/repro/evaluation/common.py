@@ -40,9 +40,9 @@ class BenchmarkRecord:
     call_trace: tuple = ()
     # Decode-cache behaviour of the run (RISC records only; baselines
     # execute IR directly and leave these at zero).  Lives on the export
-    # record, not ExecutionStats: the two execution engines decode
-    # through different caches, so these are a property of *how* the run
-    # was simulated, while ExecutionStats stays bit-identical across
+    # record, not ExecutionStats: each execution engine decodes through
+    # its own cache, so these are a property of *how* the run was
+    # simulated, while ExecutionStats stays bit-identical across
     # engines.
     decode_hits: int = 0
     decode_misses: int = 0
@@ -85,7 +85,7 @@ def run_benchmark_matrix(
 def _run_risc(bench: Benchmark) -> BenchmarkRecord:
     compiled = compile_cached(bench.source)
     value, machine = compiled.run()
-    decode_info = machine.decoder.cache_info()
+    decode_info = machine.decode_cache_stats()
     return BenchmarkRecord(
         benchmark=bench.name,
         machine=RISC_NAME,

@@ -3,12 +3,21 @@
 Usage::
 
     python -m repro.evaluation.run_all [--fast] [--workers N] [--out FILE]
+        [--manifest FILE] [--engine reference|fast|block]
 
 ``--fast`` restricts the expensive sweeps to a four-benchmark subset;
 ``--workers N`` renders the report sections on N worker processes
 (section order - and therefore the report text - is identical to the
 serial run; every section is deterministic, so the only difference is
 wall-clock time); ``--out`` also writes the report to a file.
+
+``--manifest FILE`` additionally writes the evaluation manifest: one
+canonical :class:`~repro.telemetry.manifest.RunManifest` per benchmark,
+executed on ``--engine`` (default ``reference``) and aggregated with
+:func:`~repro.telemetry.manifest.aggregate_manifests`.  Manifest
+collection honours ``--workers`` and the aggregate is **byte-identical**
+for any worker count: runs are deterministic, results are collected in
+schedule order, and host wall-clock never enters the canonical form.
 """
 
 from __future__ import annotations
@@ -80,24 +89,90 @@ def _render_section(task: tuple[str, tuple[str, ...] | None]) -> str:
     return _SECTIONS[key](names)
 
 
+def _pool(workers: int):
+    """A fork-preferring multiprocessing pool context."""
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        ctx = multiprocessing.get_context("spawn")
+    return ctx.Pool(processes=workers)
+
+
+def _benchmark_manifest(task: tuple[str, str]):
+    """Worker-side manifest capture: run one benchmark on one engine.
+
+    Module-level so pools can import it.  The run is a deterministic
+    function of (benchmark, engine) - fresh machine, fixed image - so
+    the returned manifest is identical wherever it executes.
+    """
+    name, engine = task
+    from repro.workloads import benchmark
+    from repro.workloads.cache import compile_cached
+
+    compiled = compile_cached(benchmark(name).source)
+    machine = compiled.make_machine(engine=engine)
+    machine.run(compiled.program.entry)
+    return machine.run_manifest(workload=name, entry=compiled.program.entry)
+
+
+def collect_manifests(
+    names: tuple[str, ...] | None,
+    *,
+    engine: str = "reference",
+    workers: int | None = None,
+) -> list:
+    """Per-benchmark :class:`~repro.telemetry.manifest.RunManifest` list.
+
+    Order follows the benchmark registry; with ``workers`` the runs fan
+    out over a pool but are collected in schedule order, so the caller's
+    aggregate is byte-identical to the serial one.
+    """
+    from repro.workloads import BENCHMARKS
+
+    if names is None:
+        names = tuple(bench.name for bench in BENCHMARKS)
+    tasks = [(name, engine) for name in names]
+    if workers is not None and workers > 1:
+        with _pool(workers) as pool:
+            return pool.map(_benchmark_manifest, tasks, chunksize=1)
+    return [_benchmark_manifest(task) for task in tasks]
+
+
+def write_manifest(
+    path: str,
+    names: tuple[str, ...] | None,
+    *,
+    engine: str = "reference",
+    workers: int | None = None,
+) -> int:
+    """Write the aggregated evaluation manifest to *path*; returns run count."""
+    import json
+
+    from repro.telemetry.manifest import aggregate_manifests
+
+    manifests = collect_manifests(names, engine=engine, workers=workers)
+    aggregate = aggregate_manifests(manifests)
+    with open(path, "w") as handle:
+        json.dump(aggregate, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return aggregate["count"]
+
+
 def render_sections(
     names: tuple[str, ...] | None, *, workers: int | None = None
 ) -> list[str]:
     """All report sections, in order; optionally rendered on a pool."""
     tasks = [(key, names) for key in _SECTIONS]
     if workers is not None and workers > 1:
-        import multiprocessing
-
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # platforms without fork
-            ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=workers) as pool:
+        with _pool(workers) as pool:
             return pool.map(_render_section, tasks, chunksize=1)
     return [_render_section(task) for task in tasks]
 
 
 def main(argv: list[str] | None = None) -> str:
+    """CLI entry point; see the module docstring for flags."""
     args = argv if argv is not None else sys.argv[1:]
     names = FAST_SUBSET if "--fast" in args else None
     workers = None
@@ -109,6 +184,14 @@ def main(argv: list[str] | None = None) -> str:
         path = args[args.index("--out") + 1]
         with open(path, "w") as handle:
             handle.write(report + "\n")
+    if "--manifest" in args:
+        path = args[args.index("--manifest") + 1]
+        engine = "reference"
+        if "--engine" in args:
+            engine = args[args.index("--engine") + 1]
+        count = write_manifest(path, names, engine=engine, workers=workers)
+        print(f"\nwrote evaluation manifest ({count} runs, engine={engine}) "
+              f"to {path}")
     return report
 
 

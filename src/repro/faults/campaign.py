@@ -60,6 +60,8 @@ MEMORY_FAULT_TOP = 1 << 16
 
 
 class Outcome(enum.Enum):
+    """How one injected fault manifested (the campaign taxonomy)."""
+
     MASKED = "masked"
     DETECTED = "detected"
     SILENT_CORRUPTION = "silent_corruption"
@@ -116,9 +118,11 @@ class CampaignReport:
     # -- aggregation -------------------------------------------------------
 
     def outcome_counts(self) -> Counter:
+        """Tally of results by outcome across the whole campaign."""
         return Counter(result.outcome for result in self.results)
 
     def counts_by_target(self) -> dict[FaultTarget, Counter]:
+        """Per-fault-target tallies of results by outcome."""
         table: dict[FaultTarget, Counter] = {}
         for result in self.results:
             table.setdefault(result.spec.target, Counter())[result.outcome] += 1
@@ -200,6 +204,7 @@ class CampaignReport:
         return hashlib.sha256(payload).hexdigest()
 
     def summary(self) -> dict:
+        """Aggregate outcome counts plus the campaign fingerprint."""
         counts = self.outcome_counts()
         return {
             "seed": self.config.seed,
@@ -211,6 +216,45 @@ class CampaignReport:
             "timeout": counts[Outcome.TIMEOUT],
             "crash": counts[Outcome.CRASH],
             "fingerprint": self.fingerprint(),
+        }
+
+    def manifest(self) -> dict:
+        """Canonical campaign-manifest document (JSON-serialisable).
+
+        Same determinism contract as :meth:`fingerprint`: two campaigns
+        with the same :class:`CampaignConfig` produce byte-identical
+        manifests, whatever the worker count.  The schema mirrors the
+        run manifest (``docs/OBSERVABILITY.md``); single-run manifests
+        link back through their ``campaign`` section's ``fingerprint``.
+        """
+        return {
+            "schema": "risc1-repro/campaign-manifest/v1",
+            "config": {
+                "seed": self.config.seed,
+                "injections": self.config.injections,
+                "benchmarks": list(self.config.benchmarks),
+                "targets": [target.value for target in self.config.targets],
+                "step_budget_factor": self.config.step_budget_factor,
+                "step_budget_slack": self.config.step_budget_slack,
+            },
+            "golden": {
+                name: {
+                    "result": golden.result,
+                    "instructions": golden.instructions,
+                    "cycles": golden.cycles,
+                }
+                for name, golden in sorted(self.golden.items())
+            },
+            "outcomes_by_target": {
+                target.value: {
+                    outcome.value: counts[outcome]
+                    for outcome in Outcome if counts[outcome]
+                }
+                for target, counts in sorted(
+                    self.counts_by_target().items(), key=lambda kv: kv[0].value
+                )
+            },
+            "summary": self.summary(),
         }
 
 
@@ -449,10 +493,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the campaign summary to this JSON path and exit",
     )
     parser.add_argument("--json", default=None, help="dump per-injection records")
+    parser.add_argument(
+        "--manifest", default=None,
+        help="write the canonical campaign manifest (JSON) to this path",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; see ``--help`` for flags."""
     args = _build_parser().parse_args(argv)
     config = CampaignConfig(
         seed=args.seed,
@@ -461,6 +510,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     def progress(name: str, done: int, total: int) -> None:
+        """Per-benchmark progress line."""
         print(f"  {name}: {done}/{total} injections")
 
     report = run_campaign(config, progress=progress, workers=args.workers)
@@ -499,6 +549,11 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote baseline to {args.write_baseline}")
+    if args.manifest:
+        with open(args.manifest, "w") as handle:
+            json.dump(report.manifest(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote campaign manifest to {args.manifest}")
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(

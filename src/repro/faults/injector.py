@@ -48,6 +48,7 @@ class InjectionEvent:
     mutated: int
 
     def describe(self) -> str:
+        """One-line summary: spec, firing point, and the flipped value."""
         return (
             f"{self.spec.describe()} fired at cycle {self.cycle} pc={self.pc:#x}: "
             f"{self.original:#010x} -> {self.mutated:#010x}"
@@ -82,6 +83,7 @@ class FaultInjector:
     # -- lifecycle ---------------------------------------------------------
 
     def attach(self) -> None:
+        """Subscribe to the machine's observer bus (idempotent)."""
         if self._attached:
             return
         bus = self.machine.observers
@@ -96,6 +98,7 @@ class FaultInjector:
         self._attached = True
 
     def detach(self) -> None:
+        """Unsubscribe from the observer bus (idempotent)."""
         if not self._attached:
             return
         bus = self.machine.observers

@@ -54,6 +54,7 @@ class FaultTrigger:
             raise ValueError("pc_hits is 1-based and must be >= 1")
 
     def describe(self) -> str:
+        """Render the trigger condition (cycle- or PC-based)."""
         if self.at_cycle is not None:
             return f"cycle>={self.at_cycle}"
         return f"pc={self.at_pc:#x}#{self.pc_hits}"
@@ -91,12 +92,14 @@ class FaultSpec:
 
     @property
     def mask(self) -> int:
+        """The bit mask this fault XORs into its target."""
         value = 0
         for bit in self.bits:
             value |= 1 << bit
         return value
 
     def describe(self) -> str:
+        """One-line summary: target location, bits, and trigger."""
         where = {
             FaultTarget.REGISTER: f"phys-reg {self.location}",
             FaultTarget.MEMORY: f"mem[{self.location:#x}]",

@@ -68,6 +68,7 @@ def clear_compile_cache() -> int:
 
 
 def compile_cache_info() -> dict[str, int | bool]:
+    """Size and enablement of the in-process compile cache."""
     return {"entries": len(_CACHE), "enabled": cache_enabled()}
 
 
