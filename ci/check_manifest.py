@@ -15,9 +15,15 @@ Runs the ``towers`` benchmark on every execution engine, captures a
    matches the committed ``ci/manifest_schema.json``, so schema changes
    are deliberate, reviewed diffs rather than silent drift.
 
+It also runs a small streaming fault campaign and applies the same two
+gates to the **campaign manifest** (v2: ``shards``/``resume``/``events``
+sections): :func:`~repro.telemetry.manifest.validate_campaign_manifest`
+must pass and its key structure must match the schema file's
+``campaign_paths``.
+
 ``--write`` regenerates ``ci/manifest_schema.json`` from the reference
-engine's manifest; commit the result alongside the code change that
-motivated it.
+engine's manifest and the campaign manifest; commit the result
+alongside the code change that motivated it.
 """
 
 from __future__ import annotations
@@ -45,9 +51,27 @@ def capture(engine: str):
     return machine.run_manifest(workload=WORKLOAD, entry=compiled.program.entry)
 
 
+def capture_campaign() -> dict:
+    """A small streaming fault campaign's manifest document.
+
+    Tiny on purpose (schema shape does not depend on trial count), and
+    streamed so the gate covers the distributed report's manifest path -
+    the one with real ``shards``/``resume`` sections.
+    """
+    from repro.faults.campaign import CampaignConfig, run_campaign
+
+    config = CampaignConfig(seed=7, injections=6, benchmarks=(WORKLOAD,))
+    return run_campaign(config, stream=True, shards=2).manifest()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
-    from repro.telemetry.manifest import schema_paths, validate_manifest
+    from repro.telemetry.manifest import (
+        CAMPAIGN_LEAVES,
+        schema_paths,
+        validate_campaign_manifest,
+        validate_manifest,
+    )
 
     manifests = {engine: capture(engine) for engine in ENGINES}
 
@@ -56,6 +80,10 @@ def main(argv: list[str] | None = None) -> int:
         problems = validate_manifest(manifest.as_dict())
         for problem in problems:
             failures.append(f"{engine}: invalid manifest: {problem}")
+
+    campaign_doc = capture_campaign()
+    for problem in validate_campaign_manifest(campaign_doc):
+        failures.append(f"campaign: invalid manifest: {problem}")
 
     shared = {engine: m.shared_json() for engine, m in manifests.items()}
     reference = shared["reference"]
@@ -69,28 +97,48 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     paths = schema_paths(manifests["reference"].as_dict())
+    campaign_paths = schema_paths(campaign_doc, leaves=CAMPAIGN_LEAVES)
     if "--write" in args:
         with open(SCHEMA_PATH, "w") as handle:
-            json.dump({"workload": WORKLOAD, "paths": paths}, handle, indent=2)
+            json.dump(
+                {
+                    "workload": WORKLOAD,
+                    "paths": paths,
+                    "campaign_paths": campaign_paths,
+                },
+                handle, indent=2,
+            )
             handle.write("\n")
-        print(f"wrote {SCHEMA_PATH}: {len(paths)} schema path(s)")
+        print(
+            f"wrote {SCHEMA_PATH}: {len(paths)} run + "
+            f"{len(campaign_paths)} campaign schema path(s)"
+        )
         return 0
 
     try:
         with open(SCHEMA_PATH) as handle:
-            committed = json.load(handle)["paths"]
+            schema_doc = json.load(handle)
+        committed = schema_doc["paths"]
+        committed_campaign = schema_doc.get("campaign_paths", [])
     except FileNotFoundError:
         failures.append(
             f"{SCHEMA_PATH} missing - run `python ci/check_manifest.py --write`"
         )
         committed = paths
-    added = sorted(set(paths) - set(committed))
-    removed = sorted(set(committed) - set(paths))
-    for path in added:
-        failures.append(f"schema drift: new manifest key {path!r}")
-    for path in removed:
-        failures.append(f"schema drift: manifest key {path!r} disappeared")
-    if added or removed:
+        committed_campaign = campaign_paths
+    drift = False
+    for label, current, pinned in (
+        ("manifest", paths, committed),
+        ("campaign-manifest", campaign_paths, committed_campaign),
+    ):
+        added = sorted(set(current) - set(pinned))
+        removed = sorted(set(pinned) - set(current))
+        for path in added:
+            failures.append(f"schema drift: new {label} key {path!r}")
+        for path in removed:
+            failures.append(f"schema drift: {label} key {path!r} disappeared")
+        drift = drift or bool(added or removed)
+    if drift:
         failures.append(
             "schema changed - if intentional, run "
             "`python ci/check_manifest.py --write` and commit the diff"
@@ -104,7 +152,8 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"ok: {WORKLOAD} manifest valid on {len(ENGINES)} engine(s), shared "
         f"fingerprint {manifests['reference'].fingerprint()[:16]}, "
-        f"{len(paths)} schema path(s) stable"
+        f"{len(paths)} run + {len(campaign_paths)} campaign schema path(s) "
+        "stable"
     )
     return 0
 

@@ -30,9 +30,11 @@ uses delta-tracked snapshots to rewind thousands of times cheaply.
 # double-import warning).
 _EXPORTS = {
     "CampaignConfig": "repro.faults.campaign",
+    "CampaignInterrupted": "repro.faults.campaign",
     "CampaignReport": "repro.faults.campaign",
     "InjectionResult": "repro.faults.campaign",
     "Outcome": "repro.faults.campaign",
+    "TrialTimeoutError": "repro.faults.campaign",
     "run_campaign": "repro.faults.campaign",
     "FaultInjector": "repro.faults.injector",
     "InjectionEvent": "repro.faults.injector",
@@ -42,6 +44,14 @@ _EXPORTS = {
     "FaultTarget": "repro.faults.models",
     "FaultTrigger": "repro.faults.models",
     "random_spec": "repro.faults.models",
+    "JournalError": "repro.faults.distributed",
+    "RetryPolicy": "repro.faults.distributed",
+    "StreamingCampaignReport": "repro.faults.distributed",
+    "TrialJournal": "repro.faults.distributed",
+    "compose_fingerprints": "repro.faults.distributed",
+    "recover_journal": "repro.faults.distributed",
+    "run_distributed_campaign": "repro.faults.distributed",
+    "shard_schedule": "repro.faults.distributed",
 }
 
 
@@ -62,6 +72,7 @@ def __dir__():
 
 __all__ = [
     "CampaignConfig",
+    "CampaignInterrupted",
     "CampaignReport",
     "FaultInjector",
     "FaultKind",
@@ -71,7 +82,16 @@ __all__ = [
     "FaultTrigger",
     "InjectionEvent",
     "InjectionResult",
+    "JournalError",
     "Outcome",
+    "RetryPolicy",
+    "StreamingCampaignReport",
+    "TrialJournal",
+    "TrialTimeoutError",
+    "compose_fingerprints",
     "random_spec",
+    "recover_journal",
     "run_campaign",
+    "run_distributed_campaign",
+    "shard_schedule",
 ]

@@ -32,11 +32,14 @@ from repro.telemetry.events import (
     TraceEventExporter,
     events_from_call_trace,
     events_from_injections,
+    events_from_journal,
     events_from_profile,
     events_from_trace,
     read_events,
 )
 from repro.telemetry.manifest import (
+    CAMPAIGN_LEAVES,
+    CAMPAIGN_SCHEMA,
     EVALUATION_SCHEMA,
     MANIFEST_SCHEMA,
     ManifestError,
@@ -44,6 +47,7 @@ from repro.telemetry.manifest import (
     aggregate_manifests,
     capture_manifest,
     schema_paths,
+    validate_campaign_manifest,
     validate_manifest,
 )
 from repro.telemetry.registry import (
@@ -57,6 +61,8 @@ from repro.telemetry.registry import (
 )
 
 __all__ = [
+    "CAMPAIGN_LEAVES",
+    "CAMPAIGN_SCHEMA",
     "Counter",
     "DEFAULT_BUCKETS",
     "EVALUATION_SCHEMA",
@@ -76,9 +82,11 @@ __all__ = [
     "capture_manifest",
     "events_from_call_trace",
     "events_from_injections",
+    "events_from_journal",
     "events_from_profile",
     "events_from_trace",
     "read_events",
     "schema_paths",
+    "validate_campaign_manifest",
     "validate_manifest",
 ]

@@ -46,17 +46,22 @@ if TYPE_CHECKING:
 __all__ = [
     "MANIFEST_SCHEMA",
     "EVALUATION_SCHEMA",
+    "CAMPAIGN_SCHEMA",
+    "CAMPAIGN_LEAVES",
     "ManifestError",
     "RunManifest",
     "aggregate_manifests",
     "capture_manifest",
     "schema_paths",
+    "validate_campaign_manifest",
 ]
 
 #: Schema tag of a single-run manifest document.
 MANIFEST_SCHEMA = "risc1-repro/run-manifest/v1"
 #: Schema tag of an aggregated (multi-run) evaluation manifest.
 EVALUATION_SCHEMA = "risc1-repro/evaluation-manifest/v1"
+#: Schema tag of a fault-campaign manifest (v2: shards/resume/events).
+CAMPAIGN_SCHEMA = "risc1-repro/campaign-manifest/v2"
 
 
 class ManifestError(ValueError):
@@ -259,6 +264,127 @@ def validate_manifest(doc: Any) -> list[str]:
     return problems
 
 
+#: Campaign-manifest sections whose *keys* are data, not schema
+#: (benchmark names, fault-target names, event kinds).
+CAMPAIGN_LEAVES = frozenset({"config", "golden", "outcomes_by_target", "events"})
+
+#: Required non-negative counters of the campaign ``resume`` section.
+_RESUME_COUNTERS = (
+    "resumed_trials", "executed_trials", "retries", "timeouts",
+    "infra_errors", "pool_restarts",
+)
+#: Required fields of the campaign ``summary`` section (int counters
+#: checked separately).
+_SUMMARY_COUNTERS = (
+    "masked", "detected", "silent_corruption", "timeout", "crash",
+    "infra_error",
+)
+
+
+def validate_campaign_manifest(doc: Any) -> list[str]:
+    """Check *doc* against the campaign-manifest (v2) schema.
+
+    Returns a list of problems (empty = valid).  Structural like
+    :func:`validate_manifest`: required sections, value types, counter
+    non-negativity, and the shard invariants (``sizes`` and
+    ``fingerprints`` are parallel lists; sizes sum to the injection
+    count on an unsharded or fully-merged manifest is *not* required,
+    since a single-shard manifest legitimately covers one slice).
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"campaign manifest must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != CAMPAIGN_SCHEMA:
+        problems.append(
+            f"schema must be {CAMPAIGN_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    if not isinstance(doc.get("config"), dict):
+        problems.append("missing 'config' section")
+    golden = doc.get("golden")
+    if not isinstance(golden, dict):
+        problems.append("missing 'golden' section")
+    else:
+        for name, run in golden.items():
+            if not isinstance(run, dict):
+                problems.append(f"golden.{name} must be an object")
+                continue
+            for key in ("result", "instructions", "cycles"):
+                if not isinstance(run.get(key), int):
+                    problems.append(f"golden.{name}.{key} must be an integer")
+    outcomes = doc.get("outcomes_by_target")
+    if not isinstance(outcomes, dict):
+        problems.append("missing 'outcomes_by_target' section")
+    else:
+        for target, counts in outcomes.items():
+            if not isinstance(counts, dict):
+                problems.append(f"outcomes_by_target.{target} must be an object")
+                continue
+            for outcome, value in counts.items():
+                if not isinstance(value, int) or value < 0:
+                    problems.append(
+                        f"outcomes_by_target.{target}.{outcome} "
+                        "must be a non-negative integer"
+                    )
+    shards = doc.get("shards")
+    if not isinstance(shards, dict):
+        problems.append("missing 'shards' section")
+    else:
+        count = shards.get("count")
+        if not isinstance(count, int) or count < 1:
+            problems.append("shards.count must be a positive integer")
+        sizes = shards.get("sizes")
+        fingerprints = shards.get("fingerprints")
+        if not isinstance(sizes, list) or not all(
+            isinstance(size, int) and size >= 0 for size in sizes
+        ):
+            problems.append("shards.sizes must be a list of non-negative integers")
+        if not isinstance(fingerprints, list) or not all(
+            isinstance(fp, str) for fp in fingerprints
+        ):
+            problems.append("shards.fingerprints must be a list of strings")
+        if (
+            isinstance(sizes, list)
+            and isinstance(fingerprints, list)
+            and len(sizes) != len(fingerprints)
+        ):
+            problems.append(
+                "shards.sizes and shards.fingerprints must be parallel lists"
+            )
+    resume = doc.get("resume")
+    if not isinstance(resume, dict):
+        problems.append("missing 'resume' section")
+    else:
+        for name in _RESUME_COUNTERS:
+            value = resume.get(name)
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"resume.{name} must be a non-negative integer")
+    events = doc.get("events")
+    if not isinstance(events, dict):
+        problems.append("missing 'events' section")
+    else:
+        for kind, value in events.items():
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"events.{kind} must be a non-negative integer")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("missing 'summary' section")
+    else:
+        if summary.get("seed") is not None and not isinstance(summary["seed"], int):
+            problems.append("summary.seed must be an integer or null")
+        if not isinstance(summary.get("injections"), int):
+            problems.append("summary.injections must be an integer")
+        if not isinstance(summary.get("benchmarks"), list):
+            problems.append("summary.benchmarks must be a list")
+        for name in _SUMMARY_COUNTERS:
+            value = summary.get(name)
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"summary.{name} must be a non-negative integer")
+        fingerprint = summary.get("fingerprint")
+        if not isinstance(fingerprint, str) or len(fingerprint) != 64:
+            problems.append("summary.fingerprint must be a 64-char hex digest")
+    return problems
+
+
 def capture_manifest(
     machine: "ArchState",
     *,
@@ -330,24 +456,35 @@ def aggregate_manifests(manifests: list[RunManifest]) -> dict:
     }
 
 
-def schema_paths(doc: Any, prefix: str = "") -> list[str]:
+#: Run-manifest sections whose *keys* are data, not schema.
+_RUN_MANIFEST_LEAVES = frozenset({
+    "stats.by_category", "stats.by_opcode", "stats.by_trap_cause",
+    "simulation.engine_detail", "run.config", "campaign", "host",
+})
+
+
+def schema_paths(
+    doc: Any, prefix: str = "", leaves: frozenset[str] | None = None
+) -> list[str]:
     """Sorted key paths of *doc* (``run.config.num_windows``, ...).
 
     Dict *values* under the variable-content sections (opcode counters,
-    engine detail) are not schema, so recursion stops at
-    ``stats.by_*``, ``simulation.engine_detail``, ``run.config``,
-    ``campaign`` and ``host``: their presence is schema, their keys are
-    data.  Used by ``ci/check_manifest.py`` to pin schema stability.
+    engine detail) are not schema, so recursion stops at the *leaves*
+    paths: their presence is schema, their keys are data.  The default
+    leaf set fits run manifests (``stats.by_*``,
+    ``simulation.engine_detail``, ``run.config``, ``campaign``,
+    ``host``); pass :data:`CAMPAIGN_LEAVES` for campaign manifests,
+    whose data-keyed sections are benchmark names, fault targets, and
+    event kinds.  Used by ``ci/check_manifest.py`` to pin schema
+    stability.
     """
-    leaves = {
-        "stats.by_category", "stats.by_opcode", "stats.by_trap_cause",
-        "simulation.engine_detail", "run.config", "campaign", "host",
-    }
+    if leaves is None:
+        leaves = _RUN_MANIFEST_LEAVES
     paths: list[str] = []
     if isinstance(doc, dict):
         for key, value in doc.items():
             path = f"{prefix}.{key}" if prefix else str(key)
             paths.append(path)
             if path not in leaves:
-                paths.extend(schema_paths(value, path))
+                paths.extend(schema_paths(value, path, leaves))
     return sorted(paths)
