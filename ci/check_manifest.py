@@ -37,7 +37,9 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 
 SCHEMA_PATH = os.path.join(REPO, "ci", "manifest_schema.json")
 WORKLOAD = "towers"
-ENGINES = ("reference", "fast", "block")
+from repro.cpu.engines import default_sweep_engines  # noqa: E402
+
+ENGINES = default_sweep_engines()
 
 
 def capture(engine: str):

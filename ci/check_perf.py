@@ -2,15 +2,24 @@
 
 Usage::
 
-    python ci/check_perf.py BENCH_simulator.json [ci/perf_baseline.json]
+    python ci/check_perf.py BENCH_simulator.json [BENCH_batch.json ...] \
+        [ci/perf_baseline.json]
 
-Reads a pytest-benchmark JSON report (``pytest benchmarks/... \
---benchmark-json BENCH_simulator.json``) and checks every named entry
-in the baseline: each entry divides the mean times of two engine
+Reads one or more pytest-benchmark JSON reports (``pytest
+benchmarks/... --benchmark-json BENCH_*.json``) and checks every named
+entry in the baseline: each entry divides the mean times of two
 benchmarks (``numerator`` over ``denominator``, both names resolved
-through the baseline's ``benchmarks`` map) and fails (exit 1) when the
-measured ratio has regressed more than ``tolerance`` (fractional)
-below the committed ``speedup``.
+through the baseline's ``benchmarks`` map, searched across every
+report) and fails (exit 1) when the measured ratio has regressed more
+than ``tolerance`` (fractional) below the committed ``speedup``.
+
+Arguments are classified by content, not position: a JSON document
+whose top-level ``benchmarks`` is an *object* is the baseline (default
+``ci/perf_baseline.json``), anything else is a report, so the legacy
+two-argument form keeps working.  Baseline names listed under
+``optional`` may be absent from every report - their entries are
+skipped with a note instead of failing, which is how the numpy-gated
+batch benchmarks degrade when the optional dependency is missing.
 
 Absolute times vary wildly across CI hosts; the *ratio* of two
 interpreters timed in the same process does not, which is what makes
@@ -23,17 +32,22 @@ import json
 import sys
 
 
-def mean_time(report: dict, name: str) -> float:
-    for bench in report.get("benchmarks", ()):
-        if bench["name"] == name:
-            return float(bench["stats"]["mean"])
-    raise SystemExit(f"error: benchmark {name!r} not found in report")
+def mean_time(reports: list[dict], name: str) -> float | None:
+    for report in reports:
+        for bench in report.get("benchmarks", ()):
+            if bench["name"] == name:
+                return float(bench["stats"]["mean"])
+    return None
 
 
-def check_entry(entry: dict, times: dict[str, float]) -> str | None:
+def check_entry(entry: dict, times: dict[str, float | None]) -> str | None:
     """Check one baseline entry; returns a failure message or ``None``."""
     numerator = times[entry["numerator"]]
     denominator = times[entry["denominator"]]
+    if numerator is None or denominator is None:
+        missing = entry["numerator"] if numerator is None else entry["denominator"]
+        print(f"{entry['name']}: skipped (optional benchmark {missing!r} absent)")
+        return None
     measured = numerator / denominator
     floor = entry["speedup"] * (1.0 - entry["tolerance"])
     print(
@@ -54,17 +68,31 @@ def main(argv: list[str]) -> int:
     if not argv:
         print(__doc__)
         return 2
-    report_path = argv[0]
-    baseline_path = argv[1] if len(argv) > 1 else "ci/perf_baseline.json"
-    with open(report_path) as handle:
-        report = json.load(handle)
-    with open(baseline_path) as handle:
-        baseline = json.load(handle)
+    reports: list[dict] = []
+    baseline: dict | None = None
+    for path in argv:
+        with open(path) as handle:
+            doc = json.load(handle)
+        if isinstance(doc.get("benchmarks"), dict):
+            baseline = doc
+        else:
+            reports.append(doc)
+    if baseline is None:
+        with open("ci/perf_baseline.json") as handle:
+            baseline = json.load(handle)
+    if not reports:
+        print("error: no benchmark reports given", file=sys.stderr)
+        return 2
 
-    times = {
-        engine: mean_time(report, bench_name)
-        for engine, bench_name in baseline["benchmarks"].items()
-    }
+    optional = set(baseline.get("optional", ()))
+    times: dict[str, float | None] = {}
+    for engine, bench_name in baseline["benchmarks"].items():
+        mean = mean_time(reports, bench_name)
+        if mean is None and engine not in optional:
+            raise SystemExit(
+                f"error: benchmark {bench_name!r} not found in any report"
+            )
+        times[engine] = mean
     print(f"workload: {baseline['workload']}")
     failures = []
     for entry in baseline["entries"]:

@@ -1,0 +1,897 @@
+"""Vectorized batch executor: N independent machines stepped in lockstep.
+
+The fault campaigns and parameter sweeps run thousands of *near-identical*
+simulations: every trial follows the golden trajectory until its injected
+fault fires, so across a batch of trials the program counter, the decoded
+instruction, and the window machinery agree step for step.  This module
+exploits that: it holds N register files as one ``(138, N)`` integer
+matrix, N memory images as one ``(N, size)`` byte matrix, and the four
+condition flags as ``(N,)`` boolean vectors, and executes one decoded
+instruction per step as whole-array numpy operations.
+
+Correctness model - *peel, don't approximate*:
+
+* Control state (pc/npc, window pointers, call depth, the save-stack
+  pointer) is **uniform** across the lanes still in lockstep; the batch
+  executes exactly the reference oracle's step function, with per-lane
+  data (registers, memory, flags) as the only vectorized dimension.
+* The moment a lane would diverge - its fetched word differs, a branch
+  resolves differently, a jump target disagrees, a memory access would
+  trap, or the instruction touches machinery the vector path does not
+  model (PUTPSW, interrupt frames, console half-word accesses) - the
+  lane is **peeled**: its array state is written back into its own
+  :class:`~repro.cpu.machine.RiscMachine` *before* the divergent step
+  executes, and the caller finishes that lane on a scalar engine.  A
+  peeled lane's machine is therefore bit-identical to a machine that
+  executed every step scalar, by construction.
+* Anything uniform but unmodelled (a decode fault, an exhausted window
+  save stack) peels *all* lanes; the scalar engines then reproduce the
+  trap precisely.
+
+numpy is an optional dependency (``pip install .[batch]``): when it is
+absent :func:`available` returns False, :class:`BatchExecutor` raises
+:class:`BatchUnavailableError`, and every caller (campaign batch mode,
+``run_all --engine batch``, the benchmark) falls back to scalar
+execution or skips.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+try:  # optional extra: pip install .[batch]
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    np = None  # type: ignore[assignment]
+
+from repro.common.bitops import MASK32, SIGN_BIT32
+from repro.common.memory import CONSOLE_ADDRESS
+from repro.cpu.state import (
+    HALT_PC,
+    TRAP_OVERHEAD_CYCLES,
+    HaltReason,
+    _is_nop,
+)
+from repro.errors import DecodingError
+from repro.isa.conditions import Cond
+from repro.isa.decode import CachingDecoder
+from repro.isa.opcodes import Category, Opcode
+from repro.isa.registers import (
+    NUM_GLOBALS,
+    REGS_PER_WINDOW_UNIQUE,
+    physical_index,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.state import ArchState
+
+__all__ = [
+    "BatchExecutor",
+    "BatchUnavailableError",
+    "available",
+    "run_batch",
+]
+
+
+def available() -> bool:
+    """Whether the numpy backend is importable in this environment."""
+    return np is not None
+
+
+class BatchUnavailableError(RuntimeError):
+    """Raised when the batch executor is used without numpy installed."""
+
+
+#: Arithmetic ALU opcodes (the ones that can raise an overflow trap).
+_ARITH = frozenset(
+    {Opcode.ADD, Opcode.ADDC, Opcode.SUB, Opcode.SUBC, Opcode.SUBR, Opcode.SUBCR}
+)
+#: Loads with the console special case (word/byte; halves go to RAM).
+_CONSOLE_LOADS = frozenset({Opcode.LDL, Opcode.LDBU, Opcode.LDBS})
+#: Stores with the console special case (word/byte; halves go to RAM).
+_CONSOLE_STORES = frozenset({Opcode.STL, Opcode.STB})
+
+_LOAD_WIDTH = {
+    Opcode.LDL: (4, 4, False),
+    Opcode.LDSU: (2, 2, False),
+    Opcode.LDSS: (2, 2, True),
+    Opcode.LDBU: (1, 1, False),
+    Opcode.LDBS: (1, 1, True),
+}
+_STORE_WIDTH = {Opcode.STL: 4, Opcode.STS: 2, Opcode.STB: 1}
+
+
+def _cond_vec(cond: Cond, n, z, v, c):
+    """Vectorized :func:`repro.isa.conditions.cond_holds` over flag arrays."""
+    if cond is Cond.NEVER:
+        return np.zeros(len(z), dtype=bool)
+    if cond is Cond.ALW:
+        return np.ones(len(z), dtype=bool)
+    if cond is Cond.EQ:
+        return z
+    if cond is Cond.NE:
+        return ~z
+    if cond is Cond.LT:
+        return n != v
+    if cond is Cond.LE:
+        return z | (n != v)
+    if cond is Cond.GT:
+        return ~(z | (n != v))
+    if cond is Cond.GE:
+        return n == v
+    if cond is Cond.LTU:
+        return c
+    if cond is Cond.LEU:
+        return c | z
+    if cond is Cond.GTU:
+        return ~(c | z)
+    if cond is Cond.GEU:
+        return ~c
+    if cond is Cond.MI:
+        return n
+    if cond is Cond.PL:
+        return ~n
+    if cond is Cond.V:
+        return v
+    if cond is Cond.NV:
+        return ~v
+    raise ValueError(f"unknown condition {cond!r}")
+
+
+def _stats_key(stats) -> tuple:
+    return (
+        stats.instructions,
+        stats.cycles,
+        stats.calls,
+        stats.returns,
+        stats.taken_jumps,
+        stats.delay_slots,
+        stats.delay_slot_nops,
+        stats.window_overflows,
+        stats.window_underflows,
+        stats.max_call_depth,
+        stats.traps,
+        tuple(sorted(stats.by_category.items())),
+        tuple(sorted(stats.by_opcode.items())),
+        tuple(sorted(stats.by_trap_cause.items())),
+    )
+
+
+def _lockstep_rejection(m: "ArchState") -> str | None:
+    """Why *m* cannot join a lockstep group (None if it can)."""
+    if m.halted is not None:
+        return "halted"
+    if m.pending_interrupt is not None:
+        return "pending interrupt"
+    bus = m.observers
+    for channel in (
+        "on_pre_step",
+        "on_fetch_word",
+        "on_mem_access",
+        "on_step",
+        "on_trap",
+        "on_halt",
+    ):
+        if getattr(bus, channel):
+            return "observers attached"
+    recorder = m._call_recorder
+    expected_call = [recorder._on_call] if recorder is not None else []
+    expected_return = [recorder._on_return] if recorder is not None else []
+    if bus.on_call != expected_call or bus.on_return != expected_return:
+        return "observers attached"
+    if m.memory._journal is not None:
+        return "delta-checkpoint journal active"
+    return None
+
+
+def _control_key(m: "ArchState") -> tuple:
+    """The uniform-control fingerprint lanes must share to run in lockstep.
+
+    Everything here is kept as *one* canonical copy by the executor;
+    per-lane payload (registers, memory bytes, condition flags, console
+    output) is deliberately excluded.
+    """
+    recorder = m._call_recorder
+    return (
+        m.pc,
+        m.npc,
+        m.lpc,
+        m._pending_jump,
+        m.psw.cwp,
+        m.psw.swp,
+        m.psw.interrupts_enabled,
+        m.call_depth,
+        m.resident_windows,
+        m.window_save_pointer,
+        m.num_windows,
+        m.use_windows,
+        m.trap_on_overflow,
+        m.halt_address,
+        m.window_stack_limit,
+        m.interrupts_taken,
+        m.memory.size,
+        (
+            m.memory.stats.inst_reads,
+            m.memory.stats.data_reads,
+            m.memory.stats.data_writes,
+        ),
+        _stats_key(m.stats),
+        tuple(recorder.trace) if recorder is not None else None,
+    )
+
+
+class BatchExecutor:
+    """Step N :class:`~repro.cpu.machine.RiscMachine` objects in lockstep.
+
+    The constructor partitions *machines* into one lockstep group (every
+    lane whose control state matches the first eligible machine's) and a
+    remainder that never joins (:attr:`rejected`); rejected lanes'
+    machines are untouched and the caller simply runs them scalar.
+
+    :meth:`step` executes one instruction across all in-lockstep lanes;
+    lanes leave the group by *peeling* (see the module docstring) and
+    their machines are exact scalar continuations.  :meth:`run` loops
+    until the group halts, empties, or a step budget expires;
+    :func:`run_batch` wraps both plus the scalar tails.
+    """
+
+    def __init__(self, machines: Sequence["ArchState"]):
+        if np is None:
+            raise BatchUnavailableError(
+                "the batch executor requires numpy (pip install .[batch])"
+            )
+        self.machines = list(machines)
+        if not self.machines:
+            raise ValueError("batch of zero machines")
+        self.n = len(self.machines)
+        #: (lane, lockstep_step, reason) for every peel, in order.
+        self.peel_events: list[tuple[int, int, str]] = []
+        #: lanes that never joined the lockstep group, with reasons.
+        self.rejected: list[tuple[int, str]] = []
+        self.steps = 0
+        self.halted: HaltReason | None = None
+        self._peel_steps: dict[int, int] = {}
+
+        template = None
+        template_key = None
+        join: list[int] = []
+        for i, m in enumerate(self.machines):
+            why = _lockstep_rejection(m)
+            if why is None and template is None:
+                template, template_key = m, _control_key(m)
+            if why is None and _control_key(m) == template_key:
+                join.append(i)
+            else:
+                self.rejected.append((i, why or "control state differs"))
+        self.live = np.zeros(self.n, dtype=bool)
+        self.live[join] = True
+        self._rows = np.flatnonzero(self.live)
+
+        if template is None:
+            # Nothing to vectorize; leave every machine to the caller.
+            self._init_empty()
+            return
+
+        # -- uniform control state (one canonical copy) ---------------------
+        self.pc = template.pc
+        self.npc = template.npc
+        self.lpc = template.lpc
+        self.pending_jump = template._pending_jump
+        self.cwp = template.psw.cwp
+        self.swp = template.psw.swp
+        self.int_enabled = template.psw.interrupts_enabled
+        self.call_depth = template.call_depth
+        self.resident = template.resident_windows
+        self.wsp = template.window_save_pointer
+        self.interrupts_taken = template.interrupts_taken
+        self.nw = template.num_windows
+        self.uw = template.use_windows
+        self.trap_overflow = template.trap_on_overflow
+        self.halt_address = template.halt_address
+        self.stack_limit = template.window_stack_limit
+        self.size = template.memory.size
+        self.stats = template.stats.copy()
+        ms = template.memory.stats
+        self._mem_stats = [ms.inst_reads, ms.data_reads, ms.data_writes]
+        recorder = template._call_recorder
+        self.call_trace = list(recorder.trace) if recorder is not None else None
+        self._decoder = CachingDecoder()
+        self._nregs = NUM_GLOBALS + self.nw * REGS_PER_WINDOW_UNIQUE
+
+        # -- per-lane payload ----------------------------------------------
+        self.regs = np.zeros((self._nregs, self.n), dtype=np.int64)
+        self.mem = np.zeros((self.n, self.size), dtype=np.uint8)
+        self.zf = np.zeros(self.n, dtype=bool)
+        self.nf = np.zeros(self.n, dtype=bool)
+        self.cf = np.zeros(self.n, dtype=bool)
+        self.vf = np.zeros(self.n, dtype=bool)
+        self.consoles: list[list[str]] = [[] for _ in range(self.n)]
+        for i in join:
+            m = self.machines[i]
+            self.regs[:, i] = m.regs._regs
+            self.mem[i] = np.frombuffer(bytes(m.memory._bytes), dtype=np.uint8)
+            self.zf[i], self.nf[i] = m.psw.z, m.psw.n
+            self.cf[i], self.vf[i] = m.psw.c, m.psw.v
+            self.consoles[i] = list(m.memory.console)
+
+    def _init_empty(self) -> None:
+        self.pc = self.npc = self.lpc = 0
+        self.pending_jump = False
+        self.cwp = self.swp = 0
+        self.int_enabled = False
+        self.call_depth = self.resident = 0
+        self.wsp = self.interrupts_taken = 0
+        self.nw, self.uw = 1, False
+        self.trap_overflow = False
+        self.halt_address = None
+        self.stack_limit = 0
+        self.size = 0
+        self.stats = None
+        self._mem_stats = [0, 0, 0]
+        self.call_trace = None
+        self._decoder = CachingDecoder()
+        self._nregs = 0
+        self.regs = np.zeros((0, self.n), dtype=np.int64)
+        self.mem = np.zeros((self.n, 0), dtype=np.uint8)
+        self.zf = self.nf = self.cf = self.vf = np.zeros(self.n, dtype=bool)
+        self.consoles = [[] for _ in range(self.n)]
+
+    # -- lane bookkeeping ---------------------------------------------------
+
+    @property
+    def lanes_in_lockstep(self) -> int:
+        """How many lanes the next :meth:`step` will advance."""
+        return int(self._rows.size)
+
+    def lane_steps(self, lane: int) -> int:
+        """Lockstep steps lane executed before peeling (or so far)."""
+        if lane in self._peel_steps:
+            return self._peel_steps[lane]
+        if self.live[lane]:
+            return self.steps
+        return 0  # never joined
+
+    def peel(self, lane: int, reason: str = "peel") -> "ArchState":
+        """Write lane's state back into its machine and drop it from lockstep.
+
+        The machine is left exactly as if it had executed every lockstep
+        step on a scalar engine; the caller continues it with
+        ``machine.step()``.
+        """
+        if not self.live[lane]:
+            raise ValueError(f"lane {lane} is not in lockstep")
+        m = self.machines[lane]
+        self._writeback(m, lane)
+        self.live[lane] = False
+        self._rows = np.flatnonzero(self.live)
+        self._peel_steps[lane] = self.steps
+        self.peel_events.append((lane, self.steps, reason))
+        return m
+
+    def peel_all(self, reason: str = "peel-all") -> None:
+        """Peel every lane still in lockstep (idempotent)."""
+        for lane in list(self._rows):
+            self.peel(int(lane), reason)
+
+    def _writeback(self, m: "ArchState", lane: int) -> None:
+        m.pc, m.npc, m.lpc = self.pc, self.npc, self.lpc
+        m._pending_jump = self.pending_jump
+        psw = m.psw
+        psw.z = bool(self.zf[lane])
+        psw.n = bool(self.nf[lane])
+        psw.c = bool(self.cf[lane])
+        psw.v = bool(self.vf[lane])
+        psw.cwp, psw.swp = self.cwp, self.swp
+        psw.interrupts_enabled = self.int_enabled
+        m.call_depth = self.call_depth
+        m.resident_windows = self.resident
+        m.window_save_pointer = self.wsp
+        m.interrupts_taken = self.interrupts_taken
+        m.stats.restore_from(self.stats)
+        m.regs._regs[:] = [int(v) for v in self.regs[:, lane]]
+        memory = m.memory
+        memory._bytes[:] = self.mem[lane].tobytes()
+        memory.console[:] = self.consoles[lane]
+        memory.stats.inst_reads = self._mem_stats[0]
+        memory.stats.data_reads = self._mem_stats[1]
+        memory.stats.data_writes = self._mem_stats[2]
+        if memory._exec_listener is not None:
+            # The vector path bypassed the SMC write watch; compiled code
+            # on the scalar engine may be stale.  Flush, like restore().
+            memory._exec_listener.flush_code()
+        recorder = m._call_recorder
+        if recorder is not None and self.call_trace is not None:
+            recorder.trace[:] = self.call_trace
+        if self.halted is not None:
+            m._set_halted(self.halted)
+
+    def _peel_lanes(self, lanes, reason: str):
+        for lane in lanes:
+            self.peel(int(lane), reason)
+        return self._rows
+
+    # -- register-file helpers ---------------------------------------------
+
+    def _phys(self, reg: int) -> int:
+        window = self.cwp if self.uw else 0
+        return physical_index(window, reg, self.nw)
+
+    def _read(self, reg: int):
+        if reg == 0:
+            return np.zeros(self.n, dtype=np.int64)
+        return self.regs[self._phys(reg)]
+
+    def _write(self, reg: int, value) -> None:
+        if reg == 0:
+            return  # r0 is hardwired to zero
+        self.regs[self._phys(reg)] = value
+
+    def _s2(self, inst):
+        if inst.imm:
+            return inst.s2 & MASK32
+        return self._read(inst.s2 & 0x1F)
+
+    # -- the lockstep step --------------------------------------------------
+
+    def step(self) -> int:
+        """Execute one instruction on every in-lockstep lane.
+
+        Returns how many lanes remain in lockstep afterwards.  Every
+        mutation of canonical state happens *after* every peel decision
+        for the step, so a peeled machine always holds the exact
+        pre-step state and re-executes the divergent instruction scalar.
+        """
+        rows = self._rows
+        if self.halted is not None or not rows.size:
+            return 0
+        pc = self.pc
+
+        # Fetch: pc is uniform, so fault checks are scalar.
+        if pc < 0 or pc + 4 > self.size or pc % 4:
+            self.peel_all("instruction fetch fault")
+            return 0
+        window = self.mem[:, pc : pc + 4].astype(np.int64)
+        words = (
+            (window[:, 0] << 24)
+            | (window[:, 1] << 16)
+            | (window[:, 2] << 8)
+            | window[:, 3]
+        )
+        word0 = int(words[rows[0]])
+        mism = rows[words[rows] != word0]
+        if mism.size:
+            rows = self._peel_lanes(mism, "code divergence")
+            if not rows.size:
+                return 0
+        try:
+            inst = self._decoder.decode(word0)
+        except DecodingError:
+            self.peel_all("undecodable instruction")
+            return 0
+        spec = inst.spec
+        opcode = inst.opcode
+        category = spec.category
+
+        in_slot = self.pending_jump
+        new_pc = self.npc
+        new_npc = self.npc + 4
+        pending = False
+        # Deferred canonical-state mutations: applied only once the step
+        # is committed (after the last possible peel).
+        frame = None  # ("call"|"ret", spill_window|refill_window|None)
+
+        if category is Category.ALU:
+            rows = self._alu(inst, rows)
+            if rows is None:
+                return 0
+        elif category is Category.LOAD:
+            rows = self._load(inst, rows)
+            if rows is None:
+                return 0
+        elif category is Category.STORE:
+            rows = self._store(inst, rows)
+            if rows is None:
+                return 0
+        elif category is Category.JUMP:
+            out = self._jump(inst, pc, rows)
+            if out is None:
+                return 0
+            rows, target, frame = out
+            if target is not None:
+                new_npc = target
+                pending = True
+                self.stats.taken_jumps += 1
+        elif opcode is Opcode.LDHI:
+            self._write(inst.dest, (inst.imm19 << 13) & MASK32)
+        elif opcode is Opcode.GTLPC:
+            self._write(inst.dest, self.lpc)
+        elif opcode is Opcode.GETPSW:
+            packed = (
+                self.zf.astype(np.int64)
+                | (self.nf.astype(np.int64) << 1)
+                | (self.cf.astype(np.int64) << 2)
+                | (self.vf.astype(np.int64) << 3)
+                | (int(self.int_enabled) << 4)
+                | ((self.cwp & 0x7) << 5)
+                | ((self.swp & 0x7) << 8)
+            )
+            self._write(inst.dest, packed)
+        else:
+            # PUTPSW rewrites the window pointers per lane - control
+            # would stop being uniform.  Rare; let the scalar tiers run it.
+            self.peel_all(f"unvectorized opcode {opcode.name}")
+            return 0
+
+        # -- commit ----------------------------------------------------------
+        stats = self.stats
+        if in_slot:
+            stats.delay_slots += 1
+            if _is_nop(inst):
+                stats.delay_slot_nops += 1
+        if frame is not None:
+            self._commit_frame(frame)
+        self.pending_jump = pending
+        stats.instructions += 1
+        stats.cycles += spec.cycles
+        stats.by_category[category.name] += 1
+        stats.by_opcode[opcode.name] += 1
+        self._mem_stats[0] += 1  # instruction fetch
+        self.lpc = pc
+        self.pc = new_pc
+        self.npc = new_npc
+        self.steps += 1
+        if self.pc == HALT_PC:
+            self.halted = HaltReason.RETURNED
+            self.peel_all("halted")
+        elif self.halt_address is not None and self.pc == self.halt_address:
+            self.halted = HaltReason.EXPLICIT
+            self.peel_all("halted")
+        return int(self._rows.size)
+
+    # -- category implementations -------------------------------------------
+
+    def _alu(self, inst, rows):
+        opcode = inst.opcode
+        a = self._read(inst.rs1)
+        b = self._s2(inst)
+        arith = opcode in _ARITH
+        if arith:
+            if opcode is Opcode.ADD or opcode is Opcode.ADDC:
+                x, y = a, b
+                cin = self.cf.astype(np.int64) if opcode is Opcode.ADDC else 0
+                total = x + y + cin
+                value = total & MASK32
+                carry = total > MASK32
+                overflow = ((~(x ^ y) & (x ^ value)) & SIGN_BIT32) != 0
+            else:
+                if opcode is Opcode.SUBR or opcode is Opcode.SUBCR:
+                    x, y = (b if isinstance(b, np.ndarray) else np.full(self.n, b, dtype=np.int64)), a
+                else:
+                    x, y = a, b
+                borrow_in = (
+                    self.cf.astype(np.int64)
+                    if opcode in (Opcode.SUBC, Opcode.SUBCR)
+                    else 0
+                )
+                total = x - y - borrow_in
+                value = total & MASK32
+                carry = total < 0
+                overflow = (((x ^ y) & (x ^ value)) & SIGN_BIT32) != 0
+            if self.trap_overflow:
+                bad = rows[overflow[rows]]
+                if bad.size:
+                    rows = self._peel_lanes(bad, "arithmetic overflow trap")
+                    if not rows.size:
+                        return None
+        else:
+            shift = b & 31 if not isinstance(b, np.ndarray) else b & 31
+            if opcode is Opcode.AND:
+                value = a & b
+            elif opcode is Opcode.OR:
+                value = a | b
+            elif opcode is Opcode.XOR:
+                value = a ^ b
+            elif opcode is Opcode.SLL:
+                value = (a << shift) & MASK32
+            elif opcode is Opcode.SRL:
+                value = a >> shift
+            else:  # SRA: arithmetic shift of the signed view
+                signed = a - ((a & SIGN_BIT32) << 1)
+                value = (signed >> shift) & MASK32
+            carry = overflow = np.zeros(self.n, dtype=bool)
+        self._write(inst.dest, value)
+        if inst.scc:
+            self.zf = value == 0
+            self.nf = (value & SIGN_BIT32) != 0
+            self.cf = carry if isinstance(carry, np.ndarray) else np.zeros(self.n, dtype=bool)
+            self.vf = overflow if isinstance(overflow, np.ndarray) else np.zeros(self.n, dtype=bool)
+        return rows
+
+    def _load(self, inst, rows):
+        opcode = inst.opcode
+        width, align, signed = _LOAD_WIDTH[opcode]
+        addr = (self._read(inst.rs1) + self._s2(inst)) & MASK32
+        console = (
+            addr == CONSOLE_ADDRESS
+            if opcode in _CONSOLE_LOADS
+            else np.zeros(self.n, dtype=bool)
+        )
+        bad = (addr + width > self.size) | (addr % align != 0)
+        bad &= ~console
+        offenders = rows[bad[rows]]
+        if offenders.size:
+            rows = self._peel_lanes(offenders, "data memory fault")
+            if not rows.size:
+                return None
+        value = np.zeros(self.n, dtype=np.int64)
+        ram = rows[~console[rows]]
+        if ram.size:
+            a = addr[ram]
+            acc = self.mem[ram, a].astype(np.int64)
+            for k in range(1, width):
+                acc = (acc << 8) | self.mem[ram, a + k]
+            if signed:
+                sign = 1 << (8 * width - 1)
+                acc = np.where(acc & sign, acc - (sign << 1), acc) & MASK32
+            value[ram] = acc
+        self._write(inst.dest, value)
+        self._mem_stats[1] += 1  # data read
+        return rows
+
+    def _store(self, inst, rows):
+        opcode = inst.opcode
+        width = _STORE_WIDTH[opcode]
+        addr = (self._read(inst.rs1) + self._s2(inst)) & MASK32
+        value = self._read(inst.dest)
+        console = (
+            addr == CONSOLE_ADDRESS
+            if opcode in _CONSOLE_STORES
+            else np.zeros(self.n, dtype=bool)
+        )
+        bad = (addr + width > self.size) | (addr % width != 0)
+        bad &= ~console
+        offenders = rows[bad[rows]]
+        if offenders.size:
+            rows = self._peel_lanes(offenders, "data memory fault")
+            if not rows.size:
+                return None
+        ram = rows[~console[rows]]
+        if ram.size:
+            a = addr[ram]
+            v = value[ram]
+            for k in range(width):
+                shift = 8 * (width - 1 - k)
+                self.mem[ram, a + k] = ((v >> shift) & 0xFF).astype(np.uint8)
+        for lane in rows[console[rows]]:
+            self.consoles[int(lane)].append(chr(int(value[lane]) & 0xFF))
+        self._mem_stats[2] += 1  # data write
+        return rows
+
+    def _jump(self, inst, pc, rows):
+        """Control transfers.  Returns (rows, target|None, frame|None)."""
+        opcode = inst.opcode
+        if opcode is Opcode.JMP or opcode is Opcode.JMPR:
+            takenv = _cond_vec(inst.cond, self.nf, self.zf, self.vf, self.cf)
+            lead = bool(takenv[rows[0]])
+            split = rows[takenv[rows] != lead]
+            if split.size:
+                rows = self._peel_lanes(split, "branch divergence")
+                if not rows.size:
+                    return None
+            if not lead:
+                return rows, None, None
+            if opcode is Opcode.JMPR:
+                return rows, (pc + inst.imm19) & MASK32, None
+            target = (self._read(inst.rs1) + self._s2(inst)) & MASK32
+            rows = self._uniform_target(target, rows)
+            if rows is None:
+                return None
+            return rows, int(target[rows[0]]), None
+
+        if opcode is Opcode.CALL or opcode is Opcode.CALLR:
+            if opcode is Opcode.CALLR:
+                target0 = (pc + inst.imm19) & MASK32
+            else:
+                target = (self._read(inst.rs1) + self._s2(inst)) & MASK32
+                rows = self._uniform_target(target, rows)
+                if rows is None:
+                    return None
+                target0 = int(target[rows[0]])
+            frame = self._plan_enter_frame()
+            if frame is None:
+                return None
+            # The return-address write lands in the *new* window, after
+            # any spill (the spill unit covers the new window's LOW
+            # block, so ordering is observable); commit handles it.
+            kind, new_cwp, spill = frame
+            link_row = None
+            if inst.dest != 0:
+                link_row = physical_index(
+                    new_cwp if self.uw else 0, inst.dest, self.nw
+                )
+            return rows, target0, (kind, new_cwp, spill, link_row, pc)
+
+        if opcode is Opcode.RET:
+            target = (self._read(inst.rs1) + self._s2(inst)) & MASK32
+            rows = self._uniform_target(target, rows)
+            if rows is None:
+                return None
+            frame = self._plan_exit_frame()
+            if frame is None:
+                return None
+            return rows, int(target[rows[0]]), frame
+
+        # CALLINT / RETINT manage interrupt frames; the campaigns never
+        # execute them on the golden path, so scalar tiers take over.
+        self.peel_all(f"unvectorized opcode {opcode.name}")
+        return None
+
+    def _uniform_target(self, target, rows):
+        t0 = target[rows[0]]
+        split = rows[target[rows] != t0]
+        if split.size:
+            rows = self._peel_lanes(split, "jump target divergence")
+            if not rows.size:
+                return None
+        return rows
+
+    # -- window frames (planned pre-commit, applied post-commit) ------------
+
+    def _plan_enter_frame(self):
+        """Validate a CALL frame allocation; peel-all on any trap.
+
+        Returns ``("call", new_cwp, spill_window|None)`` - nothing is
+        mutated here, so a trapping plan leaves pre-step state intact.
+        """
+        if not self.uw:
+            return ("call", self.cwp, None)
+        new_cwp = (self.cwp - 1) % self.nw
+        spill = None
+        if self.resident == self.nw - 1:
+            spill = (new_cwp + self.resident) % self.nw
+            new_pointer = self.wsp - 4 * REGS_PER_WINDOW_UNIQUE
+            if new_pointer < self.stack_limit:
+                self.peel_all("window-save stack exhausted")
+                return None
+            if not self._stack_range_ok(new_pointer):
+                self.peel_all("window-save stack fault")
+                return None
+        return ("call", new_cwp, spill)
+
+    def _plan_exit_frame(self):
+        """Validate a RET frame release; peel-all on any trap.
+
+        Returns ``("ret", new_cwp, refill_window|None)``.
+        """
+        if self.call_depth <= 0:
+            self.peel_all("RET with no frame")
+            return None
+        if not self.uw:
+            return ("ret", self.cwp, None)
+        new_cwp = (self.cwp + 1) % self.nw
+        refill = None
+        if self.call_depth - 1 != 0 and self.resident == 1:
+            refill = new_cwp
+            if self.wsp >= self.size or not self._stack_range_ok(self.wsp):
+                self.peel_all("window underflow with empty save stack")
+                return None
+        return ("ret", new_cwp, refill)
+
+    def _stack_range_ok(self, pointer: int) -> bool:
+        """The 16-word save-stack unit at *pointer* is plain, in-range RAM."""
+        span = 4 * REGS_PER_WINDOW_UNIQUE
+        if pointer < 0 or pointer + span > self.size:
+            return False
+        # A unit overlapping the console would hit store_word's console
+        # path; peel and let the scalar engines model it.
+        return not (pointer <= CONSOLE_ADDRESS < pointer + span)
+
+    def _spill_rows(self, window: int) -> list[int]:
+        return [physical_index(window, r, self.nw) for r in range(16, 32)]
+
+    def _commit_frame(self, frame) -> None:
+        kind = frame[0]
+        stats = self.stats
+        if kind == "call":
+            _, new_cwp, traffic, link_row, link_pc = frame
+            self.call_depth += 1
+            stats.max_call_depth = max(stats.max_call_depth, self.call_depth)
+            stats.calls += 1
+            if self.call_trace is not None:
+                self.call_trace.append(1)
+            if self.uw:
+                if traffic is not None:  # spill the oldest resident window
+                    self.wsp -= 4 * REGS_PER_WINDOW_UNIQUE
+                    for k, row in enumerate(self._spill_rows(traffic)):
+                        a = self.wsp + 4 * k
+                        v = self.regs[row]
+                        self.mem[:, a] = ((v >> 24) & 0xFF).astype(np.uint8)
+                        self.mem[:, a + 1] = ((v >> 16) & 0xFF).astype(np.uint8)
+                        self.mem[:, a + 2] = ((v >> 8) & 0xFF).astype(np.uint8)
+                        self.mem[:, a + 3] = (v & 0xFF).astype(np.uint8)
+                    stats.window_overflows += 1
+                    stats.cycles += TRAP_OVERHEAD_CYCLES + 2 * REGS_PER_WINDOW_UNIQUE
+                    self._mem_stats[2] += REGS_PER_WINDOW_UNIQUE
+                else:
+                    self.resident += 1
+                self.cwp = new_cwp
+                self.swp = (new_cwp + self.resident - 1) % self.nw
+            if link_row is not None:
+                self.regs[link_row] = link_pc
+        else:  # ret
+            _, new_cwp, traffic = frame
+            self.call_depth -= 1
+            stats.returns += 1
+            if self.call_trace is not None:
+                self.call_trace.append(-1)
+            if not self.uw:
+                return
+            if self.call_depth == 0:
+                self.resident = 1
+            elif traffic is not None:  # refill the caller's spilled window
+                for k, row in enumerate(self._spill_rows(traffic)):
+                    a = self.wsp + 4 * k
+                    self.regs[row] = (
+                        (self.mem[:, a].astype(np.int64) << 24)
+                        | (self.mem[:, a + 1].astype(np.int64) << 16)
+                        | (self.mem[:, a + 2].astype(np.int64) << 8)
+                        | self.mem[:, a + 3]
+                    )
+                self.wsp += 4 * REGS_PER_WINDOW_UNIQUE
+                stats.window_underflows += 1
+                stats.cycles += TRAP_OVERHEAD_CYCLES + 2 * REGS_PER_WINDOW_UNIQUE
+                self._mem_stats[1] += REGS_PER_WINDOW_UNIQUE
+            else:
+                self.resident -= 1
+            self.cwp = new_cwp
+            self.swp = (new_cwp + self.resident - 1) % self.nw
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self, max_steps: int = 20_000_000) -> int:
+        """Lockstep until halt, an empty group, or *max_steps*; returns steps."""
+        while self.halted is None and self._rows.size and self.steps < max_steps:
+            self.step()
+        return self.steps
+
+    def finish(self) -> None:
+        """Peel every remaining lane (after :meth:`run`)."""
+        self.peel_all("finish")
+
+    def telemetry_snapshot(self) -> dict:
+        """Batch counters for the run manifest (see docs/OBSERVABILITY.md)."""
+        from collections import Counter
+
+        reasons = Counter(reason for _, _, reason in self.peel_events)
+        return {
+            "engine": "batch",
+            "lanes": self.n,
+            "lanes_rejected": len(self.rejected),
+            "lockstep_steps": self.steps,
+            "peels": len(self.peel_events),
+            "peel_reasons": dict(sorted(reasons.items())),
+        }
+
+
+def run_batch(
+    machines: Sequence["ArchState"], *, max_steps: int = 20_000_000
+) -> BatchExecutor:
+    """Run every machine to halt: lockstep while uniform, scalar tails after.
+
+    Mirrors ``machine.run()``'s step-budget semantics per lane
+    (:attr:`HaltReason.STEP_LIMIT` after *max_steps* dynamic
+    instructions).  Each machine ends bit-identical to a pure scalar
+    run; the returned executor carries the lockstep telemetry.
+    """
+    executor = BatchExecutor(machines)
+    executor.run(max_steps)
+    executor.finish()
+    for lane, machine in enumerate(machines):
+        steps = executor.lane_steps(lane)
+        while machine.halted is None:
+            if steps >= max_steps:
+                machine._set_halted(HaltReason.STEP_LIMIT)
+                break
+            machine.step()
+            steps += 1
+    return executor

@@ -137,6 +137,7 @@ class _Block:
         "words",
         "meta",
         "slot_ix",
+        "term_taken",
         "cycles_bound",
         "live",
         "thunk",
@@ -144,7 +145,8 @@ class _Block:
         "word_hi",
     )
 
-    def __init__(self, start, addrs, words, meta, slot_ix, cycles_bound):
+    def __init__(self, start, addrs, words, meta, slot_ix, term_taken,
+                 cycles_bound):
         self.start = start
         self.n = len(addrs)
         self.addrs = addrs
@@ -153,6 +155,12 @@ class _Block:
         #: stats replay done by the cold exit helpers.
         self.meta = meta
         self.slot_ix = slot_ix
+        #: static taken-ness of the terminator ("always"/"never"/
+        #: "runtime") - a slot-position trap is a *delay-slot* trap only
+        #: when the transfer was taken (the reference latches
+        #: ``_pending_jump`` only then), so "runtime" terminators record
+        #: the decision in ``m._pending_jump`` for :func:`_trap_exit`.
+        self.term_taken = term_taken
         self.cycles_bound = cycles_bound
         self.live = True
         self.thunk = None
@@ -197,6 +205,16 @@ def _trap_exit(m: ArchState, B: _Block, ix: int, exc: Exception) -> int:
     _credit(m, B, ix, ix + 1)
     addr = B.addrs[ix]
     in_slot = ix == B.slot_ix
+    if in_slot:
+        # Slot position, but a delay slot only if the transfer was
+        # taken: the untaken arm of a conditional never latches a jump,
+        # so its slot traps as an ordinary instruction.
+        tt = B.term_taken
+        if tt == "runtime":
+            in_slot = m._pending_jump
+        elif tt == "never":
+            in_slot = False
+    m._pending_jump = False  # the reference clears it before the slot body
     m.pc = addr
     if not in_slot:
         m.npc = addr + 4
@@ -227,6 +245,26 @@ def _early_exit(m: ArchState, B: _Block, done: int) -> int:
     m.pc = pc
     m.npc = pc + 4
     return done
+
+
+def _term_taken(seq, term_ix: int) -> str:
+    """Static taken-ness of a block's terminator.
+
+    ``"always"`` (unconditional jumps, CALL/RET), ``"never"`` (a
+    condition that folds to false, or no terminator at all), or
+    ``"runtime"`` (a genuine conditional - decided when the block runs).
+    """
+    if term_ix < 0:
+        return "never"
+    inst = seq[term_ix][2]
+    if inst.opcode in (Opcode.JMP, Opcode.JMPR):
+        cond = _COND_EXPR[inst.cond]
+        if cond == "True":
+            return "always"
+        if cond == "False":
+            return "never"
+        return "runtime"
+    return "always"
 
 
 def _pending_exit(m: ArchState, B: _Block, done: int) -> int:
@@ -437,8 +475,12 @@ def _codegen_block(
             elif cond == "False":
                 emit(f"m.npc = {fall}")
             else:
+                # Record the runtime decision so a slot trap knows
+                # whether it was a *delay-slot* trap; cleared on every
+                # exit (normal exit below, _trap_exit on the cold path).
                 emit(f"if {cond}:")
-                lines.extend("    " + line for line in taken)
+                lines.extend("    " + line
+                             for line in taken + ["m._pending_jump = True"])
                 emit("else:")
                 emit(f"    m.npc = {fall}")
         elif op in (Opcode.CALL, Opcode.CALLR):
@@ -503,6 +545,8 @@ def _codegen_block(
         emit(f'by_op["{name}"] += {op_counts[name]}')
     emit(f"m.lpc = {seq[-1][0]}")
     if term_ix >= 0:
+        if _term_taken(seq, term_ix) == "runtime":
+            emit("m._pending_jump = False")
         emit("t = m.npc")
         emit("m.pc = t")
         emit("m.npc = t + 4")
@@ -730,6 +774,7 @@ class BlockEngine:
             words=tuple(item[1] for item in seq),
             meta=meta,
             slot_ix=term_ix + 1 if term_ix >= 0 else -1,
+            term_taken=_term_taken(seq, term_ix),
             cycles_bound=cycles_bound,
         )
         blk.thunk = make(m, blk)

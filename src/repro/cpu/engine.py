@@ -1,8 +1,8 @@
 """Pluggable execution engines for the RISC I architectural state.
 
 Layer 2 of the execution architecture: an :class:`ExecutionEngine` turns
-an :class:`~repro.cpu.state.ArchState` into a running processor.  Three
-backends ship:
+an :class:`~repro.cpu.state.ArchState` into a running processor.  Four
+scalar backends ship:
 
 * ``"reference"`` - :class:`ReferenceEngine`, the original interpreter
   preserved as the semantic oracle.  It honours every observer event and
@@ -13,9 +13,18 @@ backends ship:
   attached.  Verified against the reference by the differential harness
   in :mod:`repro.cpu.equivalence`.
 * ``"block"`` - :class:`~repro.cpu.blockengine.BlockEngine`, a
-  superblock compiler that executes whole CFG basic blocks as single
+  basic-block compiler that executes whole CFG basic blocks as single
   closures with batched stats and write-invalidation for self-modifying
   code.  Same differential-harness admission rule.
+* ``"trace"`` - :class:`~repro.cpu.traceengine.TraceEngine`, a
+  superblock compiler that chains basic blocks across static control
+  transfers into linear traces compiled to generated Python source,
+  eliminating the per-block closure-call overhead.  Same admission
+  rule.
+
+plus the non-scalar ``"batch"`` tier (:mod:`repro.cpu.batch`), a numpy
+lockstep executor over N machines.  The tier registry lives in
+:mod:`repro.cpu.engines`.
 
 Every engine must produce **bit-identical** architectural results:
 the same :class:`~repro.cpu.state.ExecutionStats`, trap log, final
@@ -28,7 +37,8 @@ manifest's engine-specific section, never in the shared architectural
 fields.
 
 To add a backend: implement the :class:`ExecutionEngine` protocol,
-register the class in :data:`ENGINES`, and extend the equivalence
+register an :class:`~repro.cpu.engines.EngineSpec` in the tier
+registry (:mod:`repro.cpu.engines`), and extend the equivalence
 harness parametrisation - the harness, not code review, is what
 qualifies an engine.
 """
@@ -366,37 +376,12 @@ class ReferenceEngine:
 
 
 def create_engine(engine: "str | ExecutionEngine") -> "ExecutionEngine":
-    """Resolve an engine name (or pass through an instance).
+    """Resolve an engine name through the tier registry.
 
-    Engine instances are stateful per machine, so each machine gets a
-    fresh one; passing a shared instance is not supported.
+    Thin re-export of :func:`repro.cpu.engines.create_engine`; the
+    registry (:mod:`repro.cpu.engines`) is the single source of truth
+    for available tiers and their capability flags.
     """
-    if not isinstance(engine, str):
-        return engine
-    try:
-        factory = ENGINES[engine]
-    except KeyError:
-        raise ValueError(
-            f"unknown execution engine {engine!r} (one of {sorted(ENGINES)})"
-        ) from None
-    return factory()
+    from repro.cpu.engines import create_engine as _create
 
-
-def _make_fast():
-    from repro.cpu.fastengine import FastEngine  # deferred: fastengine imports us
-
-    return FastEngine()
-
-
-def _make_block():
-    from repro.cpu.blockengine import BlockEngine  # deferred: imports us
-
-    return BlockEngine()
-
-
-#: Registry of available backends; add an entry to plug in a new engine.
-ENGINES = {
-    "reference": ReferenceEngine,
-    "fast": _make_fast,
-    "block": _make_block,
-}
+    return _create(engine)

@@ -30,10 +30,15 @@ import dataclasses
 import sys
 from dataclasses import dataclass
 
+from repro.cpu.engines import capability_matrix, default_sweep_engines
 from repro.cpu.machine import RiscMachine
 
-#: engines every differential run covers by default
-DEFAULT_ENGINES = ("reference", "fast", "block")
+
+def _resolve_engines(engines: "tuple[str, ...] | None") -> tuple[str, ...]:
+    """``None`` means "every scalar tier the registry knows about"."""
+    if engines is None:
+        return default_sweep_engines()
+    return tuple(engines)
 
 
 def state_digest(machine: RiscMachine) -> dict:
@@ -114,18 +119,21 @@ class DifferentialResult:
 def run_differential(
     source: str,
     *,
-    engines: tuple[str, ...] = DEFAULT_ENGINES,
+    engines: tuple[str, ...] | None = None,
     num_windows: int = 8,
     max_steps: int = 50_000_000,
 ) -> DifferentialResult:
     """Compile *source* once, execute it on each engine, diff the states.
 
-    The first engine in *engines* is the oracle; every other engine is
-    diffed against it.  Each engine gets a fresh machine and memory
-    image, so runs cannot contaminate each other.
+    *engines* defaults to every scalar tier in the
+    :mod:`repro.cpu.engines` registry, oracle first; the first engine is
+    the oracle every other engine is diffed against.  Each engine gets a
+    fresh machine and memory image, so runs cannot contaminate each
+    other.
     """
     from repro.workloads.cache import compile_cached
 
+    engines = _resolve_engines(engines)
     compiled = compile_cached(source)
     digests = []
     for engine in engines:
@@ -147,7 +155,7 @@ def run_differential(
 def assert_engines_equivalent(
     source: str,
     *,
-    engines: tuple[str, ...] = DEFAULT_ENGINES,
+    engines: tuple[str, ...] | None = None,
     num_windows: int = 8,
     max_steps: int = 50_000_000,
 ) -> DifferentialResult:
@@ -165,13 +173,30 @@ def assert_engines_equivalent(
 def main(argv: list[str] | None = None) -> int:
     """Sweep the bundled benchmarks across all engines; 0 = all identical.
 
-    ``--engines ref,fast,...`` restricts the sweep (first name is the
-    oracle); remaining positional arguments select workloads.
+    ``--list-engines`` prints the registry's capability matrix and
+    exits.  ``--engines ref,fast,...`` restricts the sweep (first name
+    is the oracle); remaining positional arguments select workloads.
     """
     from repro.workloads import BENCHMARKS, benchmark
 
     args = list(argv) if argv is not None else sys.argv[1:]
-    engines = DEFAULT_ENGINES
+    if "--list-engines" in args:
+        header = f"{'tier':>4}  {'engine':<10} {'scalar':<7} {'observers':<10} " \
+                 f"{'batch':<6} {'requires':<9} description"
+        print(header)
+        for row in capability_matrix():
+            requires = row["requires"] or "-"
+            if row["requires"] and not row["available"]:
+                requires += " (missing)"
+            print(
+                f"{row['tier']:>4}  {row['name']:<10} "
+                f"{'yes' if row['scalar'] else 'no':<7} "
+                f"{'yes' if row['supports_observers'] else 'no':<10} "
+                f"{'yes' if row['supports_batch'] else 'no':<6} "
+                f"{requires:<9} {row['description']}"
+            )
+        return 0
+    engines = default_sweep_engines()
     if "--engines" in args:
         at = args.index("--engines")
         try:

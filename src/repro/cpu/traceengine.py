@@ -1,0 +1,1503 @@
+"""Trace-compiling execution engine (superblocks across block boundaries).
+
+Where :mod:`repro.cpu.blockengine` compiles one closure per *basic
+block* and pays a Python closure call plus dispatch bookkeeping at
+every block boundary, this backend compiles linear *traces* that chain
+basic blocks across statically-resolvable control transfers into one
+generated Python function ``exec``'d once per trace:
+
+* a taken ``JMPR`` with an always-true condition continues the trace at
+  its target;
+* a ``CALLR`` is inlined - including the window-allocation bookkeeping,
+  via a guarded fast path that bypasses ``_enter_frame`` when no spill
+  is possible and only the default call-trace recorder is observing -
+  and the trace continues at the callee's entry;
+* a ``RET`` whose matching call was inlined earlier in the same trace
+  is chained under a runtime guard (``target == call_site + 8``); a
+  guard miss exits the trace *before* the RET executes, with exact
+  architectural state;
+* a conditional transfer keeps the trace going on the fall-through arm
+  and compiles the taken arm as a *side exit*: delay slot executed,
+  ``pc``/``npc`` stored, done.
+
+Statistics are *deferred*: every static exit point of a trace is one
+counter bump (``exit_hits[j] += 1``) plus a pending-cycles cell the run
+loop's watchdog reads, and the full per-exit stat bundle (instructions,
+cycles, per-category/per-opcode counts, taken jumps, delay slots,
+calls, returns) - all statically known per exit - is reconciled into
+``machine.stats`` lazily: at run-loop exit, before any oracle
+fallback step, and inside every trap unwind.  Register moves, operand
+sums and memory addresses are constant-folded (``r0`` reads and
+immediates are literals), so the common ALU instruction compiles to a
+single masked - or unmasked, when provably clean - assignment.
+
+Each trace still begins and ends at reference-exact instruction
+boundaries, so the admission rule is unchanged: bit-identical
+architectural results against :class:`~repro.cpu.engine.ReferenceEngine`
+on everything observable (enforced by the 4-engine differential sweep
+in ``tests/test_engine_equivalence.py``).  The correctness machinery is
+the block engine's, inherited wholesale:
+
+* per-step observers, latched interrupts, or a pending delay slot fall
+  back to the reference oracle (``step()`` always delegates);
+* a mid-trace trap unwinds through :func:`_trace_trap_exit`, which
+  reconciles deferred stats and replays the exact prefix; taken delay
+  slots are marked statically in the trap index (traces duplicate slot
+  code per arm), so ``in_delay_slot`` is exact even for conditional
+  transfers;
+* stores into compiled code invalidate covering traces through the
+  :class:`~repro.common.memory.Memory` write watch; a trace that
+  invalidates itself exits early with exact sequential state;
+* watchdog budgets are enforced by a conservative per-dispatch bound
+  (a trace never starts unless it could run to completion within the
+  remaining budget), falling back to single-stepping for the tail.
+
+``TRACE_CODEGEN_VERSION`` names the codegen scheme; bump it whenever
+generated-trace semantics change so that any cache keyed on compiled
+artefacts (:mod:`repro.workloads.cache`) can never serve stale traces
+across revisions.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+
+from repro.common.bitops import MASK32, SIGN_BIT32
+from repro.common.memory import CONSOLE_ADDRESS
+from repro.cpu.blockengine import (
+    _LOAD_BIND,
+    _STORE_BIND,
+    _bidx,
+    _bread,
+    _credit,
+    _hoist_lines,
+)
+from repro.cpu.engine import ReferenceEngine
+from repro.cpu.fastengine import (
+    _ADD_OPS,
+    _COND_EXPR,
+    _SUB_OPS,
+    _SUM_EXPR,
+)
+from repro.cpu.state import (
+    HALT_PC,
+    _is_nop,
+    _memory_trap_cause,
+    _TrapSignal,
+    ArchState,
+    HaltReason,
+    TrapCause,
+)
+from repro.errors import DecodingError, MemoryFaultError
+from repro.isa.formats import Instruction
+from repro.isa.opcodes import Category, Opcode
+
+#: Version of the trace codegen scheme.  Bump on ANY change to the
+#: generated code's shape or semantics; caches keyed on compiled
+#: artefacts include it so stale traces cannot survive a revision.
+TRACE_CODEGEN_VERSION = 1
+
+_M32 = MASK32
+_SIGN = SIGN_BIT32
+_TWO32 = 1 << 32
+
+#: Longest trace (instruction count) compiled into one function.
+_MAX_TRACE = 256
+
+#: How many times one address may recur inside a single trace.  Chained
+#: transfers re-entering code already in the trace (loop back-edges,
+#: inlined recursion) unroll the body up to this factor instead of
+#: ending the trace at the first revisit; every iteration keeps its own
+#: guarded side exits, so unrolling is invisible architecturally.
+_MAX_REVISIT = 8
+
+#: ``ix`` offset marking "trapped in a *taken* delay slot": slot code is
+#: duplicated per arm, so taken-ness is known statically at each site.
+_TK = 1 << 20
+
+#: Budget slack per trace run beyond its static cycle total: one window
+#: spill/refill + trap overhead, plus one spill per inlined frame op.
+_CYCLE_MARGIN = 128
+_FRAME_OP_MARGIN = 40
+
+
+class _Trace:
+    """One compiled trace and the metadata its cold exits need."""
+
+    __slots__ = (
+        "start",
+        "n",
+        "addrs",
+        "words",
+        "meta",
+        "cycles_bound",
+        "live",
+        "thunk",
+        "widx",
+        "top",
+        "eng",
+        "exit_hits",
+        "exit_recs",
+        "ixs",
+        "ixs_tk",
+    )
+
+    def __init__(self, start, addrs, words, meta, cycles_bound):
+        self.start = start
+        self.n = len(addrs)
+        self.addrs = addrs
+        #: per-instruction (category name, opcode name, cycles) replayed
+        #: by :func:`repro.cpu.blockengine._credit` on trap exits.
+        self.meta = meta
+        self.words = words
+        self.cycles_bound = cycles_bound
+        self.live = True
+        self.thunk = None
+        #: word indices this trace's code occupies (non-contiguous:
+        #: traces hop across the image through chained transfers).
+        self.widx = tuple(sorted({a >> 2 for a in addrs}))
+        #: owning engine (deferred-stat reconciliation on cold paths).
+        self.eng = None
+        #: per-exit-point hit counters, reconciled lazily against
+        #: ``exit_recs`` (the static stat bundle of each exit).
+        self.exit_hits = None
+        self.exit_recs = None
+        #: per-position (taken_jumps, delay_slots, delay_slot_nops,
+        #: calls, returns) completed-prefix snapshots for trap unwinds;
+        #: ``ixs_tk`` holds the taken-delay-slot variants.
+        self.ixs = None
+        self.ixs_tk = None
+
+
+def _trace_trap_exit(m: ArchState, T: _Trace, ix: int, exc: Exception) -> int:
+    """Cold path: instruction *ix* trapped; restore reference trap state.
+
+    An ``ix >= _TK`` marks a taken delay slot (the transfer already
+    wrote the taken ``npc``); any other index gets sequential ``npc``,
+    including the slot position of an *untaken* conditional, which the
+    reference does not treat as a delay slot.
+    """
+    eng = T.eng
+    if eng is not None:
+        eng._reconcile()
+    in_slot = ix >= _TK
+    if in_slot:
+        ix -= _TK
+        tj, ds, dn, cl, rt = T.ixs_tk[ix]
+    else:
+        tj, ds, dn, cl, rt = T.ixs[ix]
+    _credit(m, T, ix, ix + 1)
+    stats = m.stats
+    stats.taken_jumps += tj
+    stats.delay_slots += ds
+    stats.delay_slot_nops += dn
+    stats.calls += cl
+    stats.returns += rt
+    addr = T.addrs[ix]
+    m.pc = addr
+    if not in_slot:
+        m.npc = addr + 4
+    if isinstance(exc, MemoryFaultError):
+        cause = _memory_trap_cause(exc)
+    else:
+        cause = exc.cause
+    m._trap(
+        cause,
+        pc=addr,
+        word=T.words[ix],
+        address=exc.address,
+        message=str(exc),
+        in_delay_slot=in_slot,
+    )
+    return ix + 1
+
+
+def _trace_reconcile(m: ArchState, T: _Trace) -> None:
+    """Flush deferred stats before an in-trace halt (exact observer state)."""
+    eng = T.eng
+    if eng is not None:
+        eng._reconcile()
+
+
+_UPI = struct.Struct(">I").unpack_from
+_PKI = struct.Struct(">I").pack_into
+
+_TRACE_GLOBALS = {
+    "_UPI": _UPI,
+    "_PKI": _PKI,
+    "_TrapSignal": _TrapSignal,
+    "_OVF": TrapCause.ARITHMETIC_OVERFLOW,
+    "_RETURNED": HaltReason.RETURNED,
+    "_EXPLICIT": HaltReason.EXPLICIT,
+    "_MemFault": MemoryFaultError,
+    "_te": _trace_trap_exit,
+    "_rc": _trace_reconcile,
+}
+
+
+class _TraceIR:
+    """Scanner output: the linear instruction sequence plus codegen events.
+
+    ``seq`` is the trace in *execution* order (addresses need not be
+    contiguous or monotonic).  ``events`` drive codegen:
+
+    * ``("straight", i)`` - plain instruction (also the "slot" of a
+      never-taken conditional, which the reference executes normally);
+    * ``("never", i)`` - a conditional transfer whose condition is
+      statically false: stats only, no state change;
+    * ``("cond", i, target)`` - conditional transfer; fall-through arm
+      continues the trace, taken arm side-exits after running the slot
+      ``seq[i+1]``.  ``target`` is the static target or ``None`` when
+      register-relative (computed at runtime on the taken arm);
+    * ``("jump", i, target)`` - always-taken static transfer, chained;
+    * ``("call", i, target)`` - ``CALLR``, frame ops inlined, chained;
+    * ``("ret", i, target)`` - ``RET`` whose matching call was inlined;
+      guarded at runtime, frame ops inlined, chained;
+    * ``("term", i)`` - trace-final transfer (dynamic target), compiled
+      like a block-engine terminator;
+    * ``("end", next_pc)`` - sequential or chain end of the trace.
+    """
+
+    __slots__ = ("seq", "events")
+
+    def __init__(self, seq, events):
+        self.seq = seq
+        self.events = events
+
+
+def _scan_trace(m: ArchState, pc: int) -> _TraceIR | None:
+    """Build the trace IR starting at *pc* (None when *pc* is BAD)."""
+    mem = m.memory
+    size = mem.size
+    buf = mem._bytes
+    decode = m.decoder.decode
+    halt_addr = m.halt_address
+    seq: list[tuple[int, int, Instruction]] = []
+    events: list[tuple] = []
+    visits: dict[int, int] = {}
+    call_stack: list[int] = []
+    addr = pc
+    while True:
+        if (
+            len(seq) >= _MAX_TRACE
+            or (seq and addr == halt_addr)
+            or visits.get(addr, 0) >= _MAX_REVISIT
+            or addr & 3
+            or addr < 0
+            or addr + 4 > size
+        ):
+            if seq:
+                events.append(("end", addr))
+            break
+        word = int.from_bytes(buf[addr : addr + 4], "big")
+        try:
+            inst = decode(word)
+        except DecodingError:
+            if seq:
+                events.append(("end", addr))
+            break  # the oracle raises the illegal-instruction trap
+        if not inst.spec.is_delayed:
+            i = len(seq)
+            seq.append((addr, word, inst))
+            visits[addr] = visits.get(addr, 0) + 1
+            events.append(("straight", i))
+            if inst.opcode is Opcode.CALLINT:
+                events.append(("end", addr + 4))
+                break  # window moved without a jump; keep shapes simple
+            addr += 4
+            continue
+        op = inst.opcode
+        if op in (Opcode.JMP, Opcode.JMPR) and _COND_EXPR[inst.cond] == "False":
+            # Never taken: the "slot" is an ordinary next instruction.
+            i = len(seq)
+            seq.append((addr, word, inst))
+            visits[addr] = visits.get(addr, 0) + 1
+            events.append(("never", i))
+            addr += 4
+            continue
+        saddr = addr + 4
+        # Leave exotic slots (unfetchable, undecodable, another
+        # transfer, CALLINT, the halt address) to the oracle: end the
+        # trace just before the transfer.
+        if saddr + 4 > size or saddr == halt_addr:
+            if seq:
+                events.append(("end", addr))
+            break
+        sword = int.from_bytes(buf[saddr : saddr + 4], "big")
+        try:
+            sinst = decode(sword)
+        except DecodingError:
+            if seq:
+                events.append(("end", addr))
+            break
+        if sinst.spec.is_delayed or sinst.opcode is Opcode.CALLINT:
+            if seq:
+                events.append(("end", addr))
+            break
+        i = len(seq)
+        seq.append((addr, word, inst))
+        seq.append((saddr, sword, sinst))
+        visits[addr] = visits.get(addr, 0) + 1
+        visits[saddr] = visits.get(saddr, 0) + 1
+        if op is Opcode.JMPR:
+            target = (addr + inst.imm19) & _M32
+            if _COND_EXPR[inst.cond] == "True":
+                events.append(("jump", i, target))
+                addr = target
+            else:
+                events.append(("cond", i, target))
+                addr += 8
+            continue
+        if op is Opcode.JMP:
+            if _COND_EXPR[inst.cond] == "True":
+                events.append(("term", i))  # dynamic target ends the trace
+                break
+            events.append(("cond", i, None))
+            addr += 8
+            continue
+        if op is Opcode.CALLR:
+            target = (addr + inst.imm19) & _M32
+            events.append(("call", i, target))
+            call_stack.append(addr + 8)
+            addr = target
+            continue
+        if op is Opcode.RET and call_stack:
+            ret_to = call_stack.pop()
+            events.append(("ret", i, ret_to))
+            addr = ret_to
+            continue
+        # CALL (register target), unguarded RET, RETINT: trace-final.
+        events.append(("term", i))
+        break
+    if not seq:
+        return None
+    return _TraceIR(seq, events)
+
+
+def _codegen_trace(
+    ir: _TraceIR,
+    nw: int,
+    uw: bool,
+    halt_addr: int | None,
+    mem_size: int,
+    has_recorder: bool,
+    top: bool,
+) -> tuple[str, tuple, tuple, dict]:
+    """Emit ``make(m, T, PL, CY) -> thunk`` plus the static exit metadata.
+
+    Returns ``(source, exit_recs, ixs, ixs_tk)``: the per-exit stat
+    bundles reconciled lazily by the engine, and the per-position
+    completed-prefix transfer counters used by the trap unwind.  The
+    thunk returns the number of steps consumed.  ``PL`` is the engine's
+    one-cell "plain observers" latch licensing the frame-op fast paths;
+    ``CY`` is the engine's pending-deferred-cycles cell (the run loop's
+    watchdog adds it to ``stats.cycles``).
+
+    *top* bakes ``machine.trap_on_overflow`` into the generated code:
+    with trapping off (the default) a non-flag-setting ADD compiles to
+    one statement; the run loop drops a trace whose baked value goes
+    stale.
+    """
+    seq = ir.seq
+    events = ir.events
+    n = len(seq)
+    lines: list[str] = []
+    defaults: dict[str, str] = {}
+    emit = lines.append
+
+    # Running per-prefix stat totals, copied into each exit's record.
+    pref_cycles = [0]
+    pref_cats: list[dict[str, int]] = [{}]
+    pref_ops: list[dict[str, int]] = [{}]
+    acc_cy = 0
+    acc_cat: dict[str, int] = {}
+    acc_op: dict[str, int] = {}
+    for _addr, _word, inst in seq:
+        acc_cy += inst.spec.cycles
+        acc_cat[inst.spec.category.name] = acc_cat.get(inst.spec.category.name, 0) + 1
+        acc_op[inst.opcode.name] = acc_op.get(inst.opcode.name, 0) + 1
+        pref_cycles.append(acc_cy)
+        pref_cats.append(dict(acc_cat))
+        pref_ops.append(dict(acc_op))
+
+    # Transfer counters (taken_jumps, delay_slots, delay_slot_nops,
+    # calls, returns) along the fall-through path, snapshotted per
+    # position for the trap unwind and per exit for reconciliation.
+    path = [0, 0, 0, 0, 0]
+    ixs: list[tuple] = [(0, 0, 0, 0, 0)] * n
+    ixs_tk: dict[int, tuple] = {}
+    exit_recs: list[tuple] = []
+
+    def snap() -> tuple:
+        return tuple(path)
+
+    def taken_counters(i_slot: int, *, calls: int = 0, rets: int = 0) -> tuple:
+        """Path counters once the transfer at ``i_slot - 1`` is taken and
+        its delay slot has started executing (reference order: the slot
+        counts ``delay_slots`` before it can trap)."""
+        return (
+            path[0] + 1,
+            path[1] + 1,
+            path[2] + (1 if _is_nop(seq[i_slot][2]) else 0),
+            path[3] + calls,
+            path[4] + rets,
+        )
+
+    # Frame-state shadowing: traces with inlined frame ops keep
+    # ``cwp``/``call_depth``/``resident_windows`` in locals and write
+    # them back at every exit (plus derived ``swp``), before any slow
+    # path, and in the trap handler.  Disabled when the trace contains
+    # an instruction that reads or writes the packed PSW directly.
+    uses_pl = False
+    for ev in events:
+        k = ev[0]
+        if k in ("call", "ret"):
+            uses_pl = True
+        elif k == "term" and seq[ev[1]][2].opcode in (Opcode.CALL, Opcode.RET):
+            uses_pl = True
+    shadow = (
+        uses_pl
+        and uw
+        and not any(
+            item[2].opcode
+            in (Opcode.PUTPSW, Opcode.GETPSW, Opcode.CALLINT, Opcode.RETINT)
+            for item in seq
+        )
+    )
+    _nw_mask = nw - 1 if nw & (nw - 1) == 0 else None
+
+    def wr(expr: str) -> str:
+        """``(expr) % nw``, as a mask when nw is a power of two."""
+        if _nw_mask is not None:
+            return f"({expr}) & {_nw_mask}"
+        return f"({expr}) % {nw}"
+
+    #: statically: has a frame op completed on the path being emitted?
+    #: Before the first one, the shadow locals equal the machine state
+    #: and ``psw.swp`` may hold an underivable (PUTPSW-set) value, so
+    #: writebacks are skipped.
+    fstate = [False]
+
+    def frame_writeback(indent: str) -> None:
+        emit(f"{indent}m.call_depth = d")
+        emit(f"{indent}m.resident_windows = rw")
+        emit(f"{indent}psw.cwp = c")
+        emit(f"{indent}psw.swp = {wr('c + rw - 1')}")
+
+    def emit_exit(done: int, counters: tuple, indent: str) -> None:
+        """One static exit point: a hit-counter bump plus pending cycles;
+        everything else lives in the exit record."""
+        if shadow and fstate[0]:
+            frame_writeback(indent)
+        j = len(exit_recs)
+        exit_recs.append(
+            (
+                done,
+                pref_cycles[done],
+                tuple(sorted(pref_cats[done].items())),
+                tuple(sorted(pref_ops[done].items())),
+            )
+            + counters
+        )
+        emit(f"{indent}eh[{j}] += 1")
+        emit(f"{indent}cy[0] += {pref_cycles[done]}")
+        emit(f"{indent}m.lpc = {seq[done - 1][0]}")
+
+    def halt_check_static(target: int, indent: str) -> None:
+        if target == HALT_PC:
+            emit(f"{indent}_rc(m, T)")
+            emit(f"{indent}m._set_halted(_RETURNED)")
+        elif halt_addr is not None and target == halt_addr:
+            emit(f"{indent}_rc(m, T)")
+            emit(f"{indent}m._set_halted(_EXPLICIT)")
+
+    def halt_check_runtime(indent: str) -> None:
+        emit(f"{indent}if tg == {HALT_PC}:")
+        emit(f"{indent}    _rc(m, T)")
+        emit(f"{indent}    m._set_halted(_RETURNED)")
+        if halt_addr is not None:
+            emit(f"{indent}elif tg == {halt_addr}:")
+            emit(f"{indent}    _rc(m, T)")
+            emit(f"{indent}    m._set_halted(_EXPLICIT)")
+
+    def operand_exprs(inst: Instruction) -> tuple[str, str]:
+        """The rs1 / s2 operands as inline expressions (no locals).
+
+        ``r0`` reads fold to the literal ``"0"``; immediates are decimal
+        literals; anything else is a masked register read."""
+        A = _bread(inst.rs1, uw)
+        if inst.imm:
+            B = str(inst.s2 & _M32)
+        else:
+            B = _bread(inst.s2 & 0x1F, uw)
+        return A, B
+
+    def fold_add(A: str, B: str) -> str:
+        """``(A + B) & M32`` with literal folding.  Register reads are
+        already 32-bit clean, so a zero operand drops the mask too."""
+        if A == "0":
+            if B.isdigit():
+                return str(int(B) & _M32)
+            return B
+        if B == "0":
+            return A
+        return f"({A} + {B}) & {_M32}"
+
+    def fold_sub(A: str, B: str) -> str:
+        """``(A - B) & M32`` with literal folding."""
+        if B == "0":
+            if A.isdigit():
+                return str(int(A) & _M32)
+            return A
+        if A == "0" and B.isdigit():
+            return str(-int(B) & _M32)
+        return f"({A} - {B}) & {_M32}"
+
+    def logic_expr(op: Opcode, A: str, B: str, sh: str) -> str | None:
+        """Folded value expression for the logic/shift group (None for
+        the SRA two-line form)."""
+        if op is Opcode.AND:
+            if A == "0" or B == "0":
+                return "0"
+            return f"{A} & {B}"
+        if op is Opcode.OR:
+            if A == "0":
+                return B
+            if B == "0":
+                return A
+            return f"{A} | {B}"
+        if op is Opcode.XOR:
+            if A == "0":
+                return B
+            if B == "0":
+                return A
+            return f"{A} ^ {B}"
+        if op is Opcode.SLL:
+            if A == "0":
+                return "0"
+            if sh == "0":
+                return A
+            return f"({A} << {sh}) & {_M32}"
+        if op is Opcode.SRL:
+            if A == "0":
+                return "0"
+            if sh == "0":
+                return A
+            return f"{A} >> {sh}"
+        # SRA: sign-propagating; zero cases fold, the rest needs a local.
+        if A == "0":
+            return "0"
+        if sh == "0":
+            return A
+        return None
+
+    def read_ab(inst: Instruction, indent: str = "") -> None:
+        A, B = operand_exprs(inst)
+        emit(f"{indent}a = {A}")
+        emit(f"{indent}b = {B}")
+
+    def write_dest(inst: Instruction, expr: str, indent: str = "") -> None:
+        if inst.dest != 0:
+            emit(f"{indent}R[{_bidx(inst.dest, uw)}] = {expr}")
+
+    def emit_flags(carry: str, ovf: str, indent: str) -> None:
+        emit(f"{indent}psw.z = value == 0")
+        emit(f"{indent}psw.n = (value & {_SIGN}) != 0")
+        emit(f"{indent}psw.c = {carry}")
+        emit(f"{indent}psw.v = ({ovf}) != 0")
+
+    #: inline sum expression over the raw operand expressions A/B.
+    _SUM_INLINE = {
+        Opcode.ADD: "{A} + {B}",
+        Opcode.ADDC: "{A} + {B} + psw.c",
+        Opcode.SUB: "{A} - {B}",
+        Opcode.SUBC: "{A} - {B} - psw.c",
+        Opcode.SUBR: "{B} - {A}",
+        Opcode.SUBCR: "{B} - {A} - psw.c",
+    }
+
+    def slot_can_trap(inst: Instruction) -> str | None:
+        """None, "always" (memory op) or "overflow" (ALU sum op)."""
+        cat = inst.spec.category
+        if cat in (Category.LOAD, Category.STORE):
+            return "always"
+        if top and cat is Category.ALU and inst.opcode in _SUM_EXPR:
+            return "overflow"
+        return None
+
+    def static_addr_ok(addr: int, width: int) -> bool:
+        return (
+            0 <= addr
+            and addr + width <= mem_size
+            and addr % width == 0
+            and addr != CONSOLE_ADDRESS
+        )
+
+    def emit_inst(
+        i: int,
+        *,
+        ixv: int,
+        live_next: int | None,
+        counters: tuple | None,
+        indent: str = "",
+        last: bool = False,
+    ) -> None:
+        """One non-transfer instruction (body or duplicated slot).
+
+        *ixv* is the trap-index literal (``i`` or ``i + _TK`` in a taken
+        slot); *live_next* is the next pc for the post-store
+        invalidation check (None suppresses the check) and *counters*
+        the transfer counters that exit reports; *last* is true when no
+        further trace code follows this instruction on this arm.
+        """
+        addr, _word, inst = seq[i]
+        op = inst.opcode
+        cat = inst.spec.category
+        if cat is Category.ALU:
+            A, B = operand_exprs(inst)
+            if op in _SUM_EXPR:
+                if not top and not inst.scc:
+                    # One statement; a write to r0 is architecturally
+                    # inert (stats are deferred), so emit nothing at all.
+                    if op is Opcode.ADD:
+                        expr = fold_add(A, B)
+                    elif op is Opcode.SUB:
+                        expr = fold_sub(A, B)
+                    elif op is Opcode.SUBR:
+                        expr = fold_sub(B, A)
+                    else:  # carry-using: rare, no folding
+                        expr = f"({_SUM_INLINE[op].format(A=A, B=B)}) & {_M32}"
+                    write_dest(inst, expr, indent)
+                    return
+                if op in _ADD_OPS:
+                    carry = f"s > {_M32}"
+                    ovf = f"(~(a ^ b) & (a ^ value)) & {_SIGN}"
+                elif op in _SUB_OPS:
+                    carry = "s < 0"
+                    ovf = f"((a ^ b) & (a ^ value)) & {_SIGN}"
+                else:  # reversed subtract: sub32(b, a)
+                    carry = "s < 0"
+                    ovf = f"((a ^ b) & (b ^ value)) & {_SIGN}"
+                read_ab(inst, indent)
+                emit(f"{indent}s = {_SUM_EXPR[op]}")
+                emit(f"{indent}value = s & {_M32}")
+                if top:
+                    emit(f"{indent}if {ovf}:")
+                    emit(f"{indent}    ix = {ixv}")
+                    emit(
+                        f'{indent}    raise _TrapSignal(_OVF, "signed overflow in {op.name}")'
+                    )
+                write_dest(inst, "value", indent)
+                if inst.scc:
+                    emit_flags(carry, ovf, indent)
+            else:
+                sh = str(inst.s2 & 31) if inst.imm else f"({B} & 31)"
+                expr = logic_expr(op, A, B, sh)
+                if not inst.scc:
+                    if expr is not None:
+                        write_dest(inst, expr, indent)
+                    else:  # SRA general form
+                        emit(f"{indent}a = {A}")
+                        write_dest(
+                            inst,
+                            f"((a - {_TWO32}) >> {sh}) & {_M32} "
+                            f"if a & {_SIGN} else a >> {sh}",
+                            indent,
+                        )
+                    return
+                if expr is not None:
+                    emit(f"{indent}value = {expr}")
+                else:  # SRA general form
+                    emit(f"{indent}a = {A}")
+                    emit(
+                        f"{indent}value = ((a - {_TWO32}) >> {sh}) & {_M32} "
+                        f"if a & {_SIGN} else a >> {sh}"
+                    )
+                write_dest(inst, "value", indent)
+                emit_flags("False", "False", indent)
+        elif cat is Category.LOAD:
+            A, B = operand_exprs(inst)
+            aexpr = fold_add(A, B)
+            static = aexpr.isdigit()
+            fname, bound, tmpl = _LOAD_BIND[op]
+            defaults[fname] = bound
+            if op is Opcode.LDL and static and static_addr_ok(int(aexpr), 4):
+                # Compile-time-proven fast path: cannot trap.
+                defaults["up"] = "_UPI"
+                emit(f"{indent}mem_stats.data_reads += 1")
+                write_dest(inst, f"up(buf, {aexpr})[0]", indent)
+                return
+            if op is Opcode.LDBU and static and static_addr_ok(int(aexpr), 1):
+                emit(f"{indent}mem_stats.data_reads += 1")
+                write_dest(inst, f"buf[{aexpr}]", indent)
+                return
+            emit(f"{indent}ix = {ixv}")
+            if static:
+                emit(f"{indent}value = {tmpl.format(f=fname).replace('addr', aexpr)}")
+            elif op is Opcode.LDL:
+                # Inline fast path: aligned, in range, not the console.
+                defaults["up"] = "_UPI"
+                emit(f"{indent}addr = {aexpr}")
+                emit(
+                    f"{indent}if addr < {mem_size - 3} and not addr & 3 "
+                    f"and addr != {CONSOLE_ADDRESS}:"
+                )
+                emit(f"{indent}    mem_stats.data_reads += 1")
+                emit(f"{indent}    value = up(buf, addr)[0]")
+                emit(f"{indent}else:")
+                emit(f"{indent}    value = {tmpl.format(f=fname)}")
+            elif op is Opcode.LDBU:
+                emit(f"{indent}addr = {aexpr}")
+                emit(
+                    f"{indent}if addr < {mem_size} and addr != {CONSOLE_ADDRESS}:"
+                )
+                emit(f"{indent}    mem_stats.data_reads += 1")
+                emit(f"{indent}    value = buf[addr]")
+                emit(f"{indent}else:")
+                emit(f"{indent}    value = {tmpl.format(f=fname)}")
+            else:
+                emit(f"{indent}addr = {aexpr}")
+                emit(f"{indent}value = {tmpl.format(f=fname)}")
+            write_dest(inst, "value", indent)
+        elif cat is Category.STORE:
+            A, B = operand_exprs(inst)
+            aexpr = fold_add(A, B)
+            static = aexpr.isdigit()
+            val = _bread(inst.dest, uw)
+            fname, bound = _STORE_BIND[op]
+            defaults[fname] = bound
+            if op is Opcode.STL:
+                # Inline fast path mirroring Memory.store_word: aligned,
+                # in range, not the console; journal and code-watch
+                # checks preserved (registers are already 32-bit clean).
+                # Bound at make() time, when the run loop has installed
+                # this engine as the memory's exec listener: ``cw`` IS
+                # the engine's code_words watch dict (mutated in place,
+                # never replaced).
+                defaults["jt"] = "mem._journal_touch"
+                defaults["cw"] = "mem._exec_watch"
+                defaults["inv"] = "mem._exec_listener.invalidate_code"
+                defaults["pk"] = "_PKI"
+                if static and static_addr_ok(int(aexpr), 4):
+                    sa = int(aexpr)
+                    emit(f"{indent}mem_stats.data_writes += 1")
+                    emit(f"{indent}if mem._journal is not None:")
+                    emit(f"{indent}    jt({sa})")
+                    emit(f"{indent}pk(buf, {sa}, {val})")
+                    emit(f"{indent}if {sa >> 2} in cw:")
+                    emit(f"{indent}    inv({sa})")
+                elif static:
+                    emit(f"{indent}ix = {ixv}")
+                    emit(f"{indent}{fname}({aexpr}, {val})")
+                else:
+                    emit(f"{indent}addr = {aexpr}")
+                    emit(f"{indent}ix = {ixv}")
+                    emit(
+                        f"{indent}if addr < {mem_size - 3} and not addr & 3 "
+                        f"and addr != {CONSOLE_ADDRESS}:"
+                    )
+                    emit(f"{indent}    mem_stats.data_writes += 1")
+                    emit(f"{indent}    if mem._journal is not None:")
+                    emit(f"{indent}        jt(addr)")
+                    emit(f"{indent}    pk(buf, addr, {val})")
+                    emit(f"{indent}    if addr >> 2 in cw:")
+                    emit(f"{indent}        inv(addr)")
+                    emit(f"{indent}else:")
+                    emit(f"{indent}    {fname}(addr, {val})")
+            else:
+                emit(f"{indent}ix = {ixv}")
+                emit(f"{indent}{fname}({aexpr}, {val})")
+            if live_next is not None and not last:
+                # The store may have rewritten this very trace.
+                emit(f"{indent}if not T.live:")
+                emit_exit(i + 1, counters, indent + "    ")
+                emit(f"{indent}    m.pc = {live_next}")
+                emit(f"{indent}    m.npc = {live_next + 4}")
+                emit(f"{indent}    return {i + 1}")
+        elif op is Opcode.LDHI:
+            write_dest(inst, str((inst.imm19 << 13) & _M32), indent)
+        elif op is Opcode.GTLPC:
+            if i > 0:  # lpc is batched; expose the reference value
+                emit(f"{indent}m.lpc = {seq[i - 1][0]}")
+            write_dest(inst, f"m.lpc & {_M32}", indent)
+        elif op is Opcode.GETPSW:
+            write_dest(inst, "psw.pack()", indent)
+        elif op is Opcode.PUTPSW:
+            read_ab(inst, indent)
+            emit(f"{indent}psw.unpack((a + b) & {_M32})")
+            if uw and not last:  # cwp may have moved
+                for line in _hoist_lines(nw):
+                    emit(indent + line)
+        else:  # CALLINT: new window, no jump; always ends the trace
+            assert op is Opcode.CALLINT
+            if i > 0:
+                emit(f"{indent}m.lpc = {seq[i - 1][0]}")
+            emit(f"{indent}ix = {ixv}")
+            emit(f"{indent}m._enter_frame()")
+            if uw:
+                for line in _hoist_lines(nw):
+                    emit(indent + line)
+            write_dest(inst, f"m.lpc & {_M32}", indent)
+
+    def emit_enter_fast(indent: str) -> None:
+        """Inlined ``_enter_frame`` (no spill possible, plain observers)."""
+        if shadow:
+            # Shadow locals: mutate c/d/rw only; the machine state is
+            # synced at exits, before the slow path, and in the trap
+            # handler.  After either arm, c is current, so the window
+            # bases are recomputed here (no external re-hoist).
+            emit(f"{indent}if pl and rw != {nw - 1}:")
+            emit(f"{indent}    d += 1")
+            emit(f"{indent}    if d > stats.max_call_depth:")
+            emit(f"{indent}        stats.max_call_depth = d")
+            emit(f"{indent}    rw += 1")
+            emit(f"{indent}    c = {wr('c - 1')}")
+            if has_recorder:
+                emit(f"{indent}    ct(1)")
+            emit(f"{indent}else:")
+            if fstate[0]:
+                emit(f"{indent}    m.call_depth = d")
+                emit(f"{indent}    m.resident_windows = rw")
+                emit(f"{indent}    psw.cwp = c")
+                emit(f"{indent}    psw.swp = {wr('c + rw - 1')}")
+            emit(f"{indent}    m._enter_frame()")
+            emit(f"{indent}    c = psw.cwp")
+            emit(f"{indent}    d = m.call_depth")
+            emit(f"{indent}    rw = m.resident_windows")
+            if not fstate[0]:
+                # a frame op has now completed: derived swp is live
+                emit(f"{indent}fd = True")
+                fstate[0] = True
+            emit(f"{indent}w = c << 4")
+            emit(f"{indent}wh = ({wr('c + 1')}) << 4")
+            return
+        if uw:
+            emit(f"{indent}if pl and m.resident_windows != {nw - 1}:")
+        else:
+            emit(f"{indent}if pl:")
+        emit(f"{indent}    d = m.call_depth + 1")
+        emit(f"{indent}    m.call_depth = d")
+        emit(f"{indent}    if d > stats.max_call_depth:")
+        emit(f"{indent}        stats.max_call_depth = d")
+        if uw:
+            emit(f"{indent}    rw = m.resident_windows + 1")
+            emit(f"{indent}    m.resident_windows = rw")
+            emit(f"{indent}    c = (psw.cwp - 1) % {nw}")
+            emit(f"{indent}    psw.cwp = c")
+            emit(f"{indent}    psw.swp = (c + rw - 1) % {nw}")
+        if has_recorder:
+            emit(f"{indent}    ct(1)")
+        emit(f"{indent}else:")
+        emit(f"{indent}    m._enter_frame()")
+
+    def emit_exit_fast(indent: str) -> None:
+        """Inlined ``_exit_frame`` (no refill possible, plain observers)."""
+        if shadow:
+            emit(f"{indent}if pl and d > 1 and rw != 1:")
+            emit(f"{indent}    d -= 1")
+            emit(f"{indent}    rw -= 1")
+            emit(f"{indent}    c = {wr('c + 1')}")
+            if has_recorder:
+                emit(f"{indent}    ct(-1)")
+            emit(f"{indent}else:")
+            if fstate[0]:
+                emit(f"{indent}    m.call_depth = d")
+                emit(f"{indent}    m.resident_windows = rw")
+                emit(f"{indent}    psw.cwp = c")
+                emit(f"{indent}    psw.swp = {wr('c + rw - 1')}")
+            emit(f"{indent}    m._exit_frame()")
+            emit(f"{indent}    c = psw.cwp")
+            emit(f"{indent}    d = m.call_depth")
+            emit(f"{indent}    rw = m.resident_windows")
+            if not fstate[0]:
+                emit(f"{indent}fd = True")
+                fstate[0] = True
+            emit(f"{indent}w = c << 4")
+            emit(f"{indent}wh = ({wr('c + 1')}) << 4")
+            return
+        if uw:
+            emit(
+                f"{indent}if pl and m.call_depth > 1 "
+                f"and m.resident_windows != 1:"
+            )
+            emit(f"{indent}    m.call_depth -= 1")
+            emit(f"{indent}    rw = m.resident_windows - 1")
+            emit(f"{indent}    m.resident_windows = rw")
+            emit(f"{indent}    c = (psw.cwp + 1) % {nw}")
+            emit(f"{indent}    psw.cwp = c")
+            emit(f"{indent}    psw.swp = (c + rw - 1) % {nw}")
+        else:
+            emit(f"{indent}if pl and m.call_depth > 0:")
+            emit(f"{indent}    m.call_depth -= 1")
+        if has_recorder:
+            emit(f"{indent}    ct(-1)")
+        emit(f"{indent}else:")
+        emit(f"{indent}    m._exit_frame()")
+
+    def emit_slot(
+        i: int, *, taken: bool, target_expr: str | None,
+        live_next: int | None, counters: tuple | None,
+        indent: str = "", last: bool = False,
+    ) -> None:
+        """A delay slot on one arm; *target_expr* is the taken npc.
+
+        On a taken arm, ``m.npc`` must hold the target before any slot
+        instruction that can trap (the reference traps with the taken
+        ``npc`` latched); untaken arms need nothing (the trap handler
+        restores sequential ``npc``).
+        """
+        _addr, _word, inst = seq[i]
+        if taken:
+            trap = slot_can_trap(inst)
+            if trap is not None:  # memory op, or sum op with top baked
+                emit(f"{indent}m.npc = {target_expr}")
+            emit_inst(
+                i, ixv=i + _TK, live_next=live_next, counters=counters,
+                indent=indent, last=last,
+            )
+        else:
+            emit_inst(
+                i, ixv=i, live_next=live_next, counters=counters,
+                indent=indent, last=last,
+            )
+
+    def next_addr(si: int, ev_ix: int) -> int | None:
+        """The pc following seq position *si* (for store live checks)."""
+        if si + 1 < n:
+            return seq[si + 1][0]
+        nxt_ev = events[ev_ix + 1]
+        return nxt_ev[1] if nxt_ev[0] == "end" else None
+
+    # -- walk the events ------------------------------------------------
+    if uses_pl:
+        emit("pl = PL[0]")
+    if shadow:
+        emit("c = psw.cwp")
+        emit("d = m.call_depth")
+        emit("rw = m.resident_windows")
+        emit("fd = False")
+        emit("w = c << 4")
+        emit(f"wh = ({wr('c + 1')}) << 4")
+    elif uw:
+        lines.extend(_hoist_lines(nw))
+
+    for ev_ix, event in enumerate(events):
+        kind = event[0]
+        if kind == "straight":
+            i = event[1]
+            ixs[i] = snap()
+            emit_inst(
+                i, ixv=i, live_next=next_addr(i, ev_ix), counters=snap(),
+                last=i == n - 1,
+            )
+            if seq[i][2].opcode is Opcode.CALLINT:
+                path[3] += 1
+        elif kind == "never":
+            ixs[event[1]] = snap()
+            # stats are deferred; an untaken transfer does nothing
+        elif kind == "cond":
+            i, target = event[1], event[2]
+            si = i + 1
+            ixs[i] = snap()
+            _addr, _word, inst = seq[i]
+            cexpr = _COND_EXPR[inst.cond]
+            tkc = taken_counters(si)
+            ixs_tk[si] = tkc
+            emit(f"if {cexpr}:")
+            if target is None:
+                # JMP: register-relative target, read only when taken
+                # (the reference skips the register reads otherwise) and
+                # before the slot runs (it may clobber the registers).
+                A, B = operand_exprs(inst)
+                emit(f"    tg = {fold_add(A, B)}")
+                texpr, tnext = "tg", None
+            else:
+                texpr, tnext = str(target), target
+            emit_slot(si, taken=True, target_expr=texpr, live_next=None,
+                      counters=None, indent="    ", last=True)
+            emit_exit(si + 1, tkc, "    ")
+            emit(f"    m.pc = {texpr}")
+            if target is None:
+                emit("    m.npc = tg + 4")
+                halt_check_runtime("    ")
+            else:
+                emit(f"    m.npc = {tnext + 4}")
+                halt_check_static(tnext, "    ")
+            emit(f"    return {si + 1}")
+            # Fall-through arm: the slot is an ordinary instruction.
+            ixs[si] = snap()
+            emit_slot(si, taken=False, target_expr=None,
+                      live_next=next_addr(si, ev_ix), counters=snap(),
+                      last=si == n - 1)
+        elif kind == "jump":
+            i, target = event[1], event[2]
+            si = i + 1
+            ixs[i] = snap()
+            tkc = taken_counters(si)
+            ixs_tk[si] = tkc
+            emit_slot(si, taken=True, target_expr=str(target),
+                      live_next=next_addr(si, ev_ix), counters=tkc,
+                      last=si == n - 1)
+            path[:] = tkc
+        elif kind == "call":
+            i, target = event[1], event[2]
+            si = i + 1
+            addr, _word, inst = seq[i]
+            ixs[i] = snap()
+            pendc = (path[0] + 1, path[1], path[2], path[3] + 1, path[4])
+            tkc = taken_counters(si, calls=1)
+            ixs_tk[si] = tkc
+            emit(f"ix = {i}")
+            emit_enter_fast("")
+            if uw and not shadow:
+                lines.extend(_hoist_lines(nw))  # linkage + slot: NEW window
+            write_dest(inst, str(addr))  # return linkage
+            # The slow path's spill may have rewritten the delay slot;
+            # re-enter via the oracle with the jump latched if so.
+            emit("if not T.live:")
+            emit(f"    m.npc = {target}")
+            emit_exit(si, pendc, "    ")
+            emit(f"    m.pc = {seq[si][0]}")
+            emit("    m._pending_jump = True")
+            emit(f"    return {si}")
+            emit_slot(si, taken=True, target_expr=str(target),
+                      live_next=next_addr(si, ev_ix), counters=tkc,
+                      last=si == n - 1)
+            path[:] = tkc
+        elif kind == "ret":
+            i, ret_to = event[1], event[2]
+            si = i + 1
+            addr, _word, inst = seq[i]
+            ixs[i] = snap()
+            A, B = operand_exprs(inst)  # target read in the OLD window
+            emit(f"tg = {fold_add(A, B)}")
+            emit(f"if tg != {ret_to}:")
+            # Guard miss: exit BEFORE the RET executes (exact boundary).
+            emit_exit(i, snap(), "    ")
+            emit(f"    m.pc = {addr}")
+            emit(f"    m.npc = {addr + 4}")
+            emit(f"    return {i}")
+            tkc = taken_counters(si, rets=1)
+            ixs_tk[si] = tkc
+            emit(f"ix = {i}")
+            emit_exit_fast("")
+            if uw and not shadow:
+                lines.extend(_hoist_lines(nw))  # slot runs in OLD-1 window
+            emit_slot(si, taken=True, target_expr=str(ret_to),
+                      live_next=next_addr(si, ev_ix), counters=tkc,
+                      last=si == n - 1)
+            path[:] = tkc
+        elif kind == "term":
+            i = event[1]
+            si = i + 1
+            addr, _word, inst = seq[i]
+            op = inst.opcode
+            ixs[i] = snap()
+            A, B = operand_exprs(inst)
+            emit(f"tg = {fold_add(A, B)}")
+            if op is Opcode.CALL:
+                pendc = (path[0] + 1, path[1], path[2], path[3] + 1, path[4])
+                tkc = taken_counters(si, calls=1)
+                emit(f"ix = {i}")
+                emit_enter_fast("")
+                if uw and not shadow:
+                    lines.extend(_hoist_lines(nw))
+                write_dest(inst, str(addr))
+                emit("m.npc = tg")
+                emit("if not T.live:")
+                emit_exit(si, pendc, "    ")
+                emit(f"    m.pc = {seq[si][0]}")
+                emit("    m._pending_jump = True")
+                emit(f"    return {si}")
+            elif op in (Opcode.RET, Opcode.RETINT):
+                tkc = taken_counters(si, rets=1)
+                emit(f"ix = {i}")
+                if op is Opcode.RETINT:
+                    emit("m._exit_frame()")
+                else:
+                    emit_exit_fast("")
+                if op is Opcode.RETINT:
+                    emit("psw.interrupts_enabled = True")
+                if uw and not shadow:
+                    lines.extend(_hoist_lines(nw))
+            else:  # JMP with an always-true condition, dynamic target
+                tkc = taken_counters(si)
+            ixs_tk[si] = tkc
+            emit_slot(si, taken=True, target_expr="tg", live_next=None,
+                      counters=None, last=True)
+            emit_exit(n, tkc, "")
+            emit("m.pc = tg")
+            emit("m.npc = tg + 4")
+            halt_check_runtime("")
+            emit(f"return {n}")
+        else:  # "end"
+            next_pc = event[1]
+            emit_exit(n, snap(), "")
+            emit(f"m.pc = {next_pc}")
+            emit(f"m.npc = {next_pc + 4}")
+            halt_check_static(next_pc, "")
+            emit(f"return {n}")
+
+    extra = "".join(f", {name}={expr}" for name, expr in sorted(defaults.items()))
+    rec_bind = ", ct=m._call_recorder.trace.append" if has_recorder else ""
+    inner = "\n".join(f"            {line}" for line in lines)
+    if shadow:
+        # Sync the frame shadow before the trap unwind.  c/d/rw equal
+        # the machine state until the first frame op completes (the
+        # slow paths unwind call_depth on a spill/refill trap), so the
+        # writeback is a no-op then; swp is derived only once ``fd``.
+        handler = (
+            "        except (_MemFault, _TrapSignal) as exc:\n"
+            "            m.call_depth = d\n"
+            "            m.resident_windows = rw\n"
+            "            psw.cwp = c\n"
+            "            if fd:\n"
+            f"                psw.swp = {wr('c + rw - 1')}\n"
+            "            return _te(m, T, ix, exc)\n"
+        )
+    else:
+        handler = (
+            "        except (_MemFault, _TrapSignal) as exc:\n"
+            "            return _te(m, T, ix, exc)\n"
+        )
+    source = (
+        "def make(m, T, PL, CY):\n"
+        "    R = m.regs._regs\n"
+        "    psw = m.psw\n"
+        "    stats = m.stats\n"
+        "    mem = m.memory\n"
+        "    def trace(m=m, T=T, PL=PL, R=R, psw=psw, stats=stats, mem=mem,\n"
+        "              mem_stats=mem.stats, buf=mem._bytes,\n"
+        f"              eh=T.exit_hits, cy=CY{rec_bind}{extra}):\n"
+        "        ix = 0\n"
+        "        try:\n"
+        f"{inner}\n"
+        f"{handler}"
+        "    return trace\n"
+    )
+    return source, tuple(exit_recs), tuple(ixs), ixs_tk
+
+
+#: Compiled factories shared by every TraceEngine, keyed by
+#: (start, words, addrs, num_windows, use_windows, halt_address,
+#: memory size, recorder?, trap_on_overflow?); the machine and trace
+#: descriptor bind at make() time.  Values are
+#: ``(make, exit_recs, ixs, ixs_tk)`` - the static exit metadata is a
+#: pure function of the key.
+_TRACE_FACTORY_CACHE: dict[tuple, tuple] = {}
+_TRACE_FACTORY_CACHE_MAX = 4096
+
+
+class TraceEngine:
+    """Trace-compiling interpreter, oracle-verified like the others.
+
+    Per-machine state: compiled traces keyed by entry pc, plus the
+    word-index watch (:attr:`code_words`) registered with the machine's
+    memory so stores into compiled regions invalidate stale traces.
+    ``step()`` always delegates to the reference oracle - single-step
+    callers (debugger, campaign budget loops) get reference semantics by
+    construction; only ``run_loop`` uses compiled traces.
+    """
+
+    name = "trace"
+
+    def __init__(self) -> None:
+        self._ref = ReferenceEngine()
+        self._traces: dict[int, _Trace] = {}
+        #: word index (address >> 2) -> traces whose code covers it.
+        #: This dict doubles as the Memory write watch.
+        self.code_words: dict[int, list[_Trace]] = {}
+        self._nocompile: set[int] = set()
+        self._halt_addr: int | None = None
+        self._halt_known = False
+        #: one-cell latch licensing the inlined frame-op fast paths;
+        #: refreshed at every dispatch (= block-boundary granularity).
+        self._plain: list[bool] = [False]
+        #: pending deferred cycles across all traces (one cell, bound
+        #: into every thunk); nonzero iff any exit hit is unreconciled.
+        self._cycles_cell: list[int] = [0]
+        #: traces dropped while possibly holding unreconciled hits.
+        self._retired: list[_Trace] = []
+        self._machine: ArchState | None = None
+        #: lifetime counters surfaced via :meth:`telemetry_snapshot`.
+        self.traces_compiled = 0
+        self.traces_invalidated = 0
+        self.code_flushes = 0
+        self.instructions_compiled = 0
+        self.max_trace_length = 0
+
+    def telemetry_snapshot(self) -> dict:
+        """Trace-cache counters for the manifest's engine section."""
+        return {
+            "codegen_version": TRACE_CODEGEN_VERSION,
+            "traces_resident": len(self._traces),
+            "traces_compiled": self.traces_compiled,
+            "traces_invalidated": self.traces_invalidated,
+            "code_flushes": self.code_flushes,
+            "code_words_watched": len(self.code_words),
+            "instructions_compiled": self.instructions_compiled,
+            "max_trace_length": self.max_trace_length,
+        }
+
+    # -- deferred-stat reconciliation ---------------------------------------
+
+    def _reconcile(self) -> None:
+        """Fold pending per-exit hit counters into the machine's stats.
+
+        Called whenever deferred state could become observable: before
+        any oracle fallback step, on every trap unwind, before an
+        in-trace halt fires observers, and at run-loop exit.
+        """
+        m = self._machine
+        cy = self._cycles_cell
+        if m is None or (not cy[0] and not self._retired):
+            return
+        stats = m.stats
+        mem_stats = m.memory.stats
+        by_cat = stats.by_category
+        by_op = stats.by_opcode
+        traces = list(self._traces.values())
+        if self._retired:
+            traces.extend(self._retired)
+            self._retired.clear()
+        for trc in traces:
+            hits = trc.exit_hits
+            for j, h in enumerate(hits):
+                if h:
+                    hits[j] = 0
+                    done, cyc, cats, ops, tj, ds, dn, cl, rt = trc.exit_recs[j]
+                    stats.instructions += h * done
+                    stats.cycles += h * cyc
+                    mem_stats.inst_reads += h * done
+                    for name, k in cats:
+                        by_cat[name] += h * k
+                    for name, k in ops:
+                        by_op[name] += h * k
+                    stats.taken_jumps += h * tj
+                    stats.delay_slots += h * ds
+                    stats.delay_slot_nops += h * dn
+                    stats.calls += h * cl
+                    stats.returns += h * rt
+        cy[0] = 0
+
+    # -- write-invalidation (Memory exec-listener protocol) -----------------
+
+    def invalidate_code(self, address: int) -> None:
+        """A store hit compiled code: drop every trace covering it."""
+        owners = self.code_words.get(address >> 2)
+        if not owners:
+            return
+        for trc in list(owners):
+            self._drop(trc)
+            self.traces_invalidated += 1
+
+    def flush_code(self) -> None:
+        """Wholesale image change (restore/load_program): drop everything."""
+        self.code_flushes += 1
+        self._reconcile()
+        for trc in self._traces.values():
+            trc.live = False
+        self._traces.clear()
+        self.code_words.clear()
+        self._nocompile.clear()
+
+    def _drop(self, trc: _Trace) -> None:
+        trc.live = False
+        self._traces.pop(trc.start, None)
+        #: the trace may still be mid-run (self-invalidation) or hold
+        #: unreconciled exit hits; keep it until the next reconcile.
+        self._retired.append(trc)
+        cw = self.code_words
+        for wi in trc.widx:
+            owners = cw.get(wi)
+            if owners is not None:
+                try:
+                    owners.remove(trc)
+                except ValueError:
+                    pass
+                if not owners:
+                    del cw[wi]
+
+    # -- compilation --------------------------------------------------------
+
+    def _compile_trace(self, m: ArchState, pc: int) -> _Trace | None:
+        ir = _scan_trace(m, pc)
+        if ir is None:
+            return None
+        seq = ir.seq
+        nw = m.num_windows
+        uw = m.use_windows
+        hr = m._call_recorder is not None
+        top = bool(m.trap_on_overflow)
+        key = (
+            pc,
+            tuple(item[1] for item in seq),
+            tuple(item[0] for item in seq),
+            nw,
+            uw,
+            m.halt_address,
+            m.memory.size,
+            hr,
+            top,
+        )
+        cached = _TRACE_FACTORY_CACHE.get(key)
+        if cached is None:
+            source, recs, ixs, ixs_tk = _codegen_trace(
+                ir, nw, uw, m.halt_address, m.memory.size, hr, top
+            )
+            namespace = dict(_TRACE_GLOBALS)
+            exec(
+                compile(source, f"<trace {pc:#010x} n={len(seq)}>", "exec"),
+                namespace,
+            )
+            cached = (namespace["make"], recs, ixs, ixs_tk)
+            if len(_TRACE_FACTORY_CACHE) >= _TRACE_FACTORY_CACHE_MAX:
+                _TRACE_FACTORY_CACHE.clear()
+            _TRACE_FACTORY_CACHE[key] = cached
+        make, recs, ixs, ixs_tk = cached
+        addrs = tuple(item[0] for item in seq)
+        meta = tuple(
+            (item[2].spec.category.name, item[2].opcode.name, item[2].spec.cycles)
+            for item in seq
+        )
+        frame_ops = sum(
+            1
+            for item in seq
+            if item[2].opcode
+            in (Opcode.CALL, Opcode.CALLR, Opcode.RET, Opcode.RETINT, Opcode.CALLINT)
+        )
+        cycles_bound = (
+            sum(item[2] for item in meta)
+            + _CYCLE_MARGIN
+            + _FRAME_OP_MARGIN * frame_ops
+        )
+        trc = _Trace(
+            start=pc,
+            addrs=addrs,
+            words=tuple(item[1] for item in seq),
+            meta=meta,
+            cycles_bound=cycles_bound,
+        )
+        trc.top = top
+        trc.eng = self
+        trc.exit_recs = recs
+        trc.exit_hits = [0] * len(recs)
+        trc.ixs = ixs
+        trc.ixs_tk = ixs_tk
+        trc.thunk = make(m, trc, self._plain, self._cycles_cell)
+        self.traces_compiled += 1
+        self.instructions_compiled += len(seq)
+        if len(seq) > self.max_trace_length:
+            self.max_trace_length = len(seq)
+        self._traces[pc] = trc
+        cw = self.code_words
+        for wi in trc.widx:
+            cw.setdefault(wi, []).append(trc)
+        return trc
+
+    def _lookup(self, m: ArchState, pc: int) -> _Trace | None:
+        if pc in self._nocompile:
+            return None
+        trc = self._compile_trace(m, pc)
+        if trc is None:
+            self._nocompile.add(pc)
+        return trc
+
+    # -- ExecutionEngine ----------------------------------------------------
+
+    def step(self, m: ArchState) -> Instruction | None:
+        """Single-step with full reference semantics (trace compilation
+        is a ``run_loop``-only optimisation)."""
+        return self._ref.step(m)
+
+    def run_loop(
+        self,
+        m: ArchState,
+        max_steps: int,
+        max_cycles: int | None,
+        deadline: float | None,
+    ) -> None:
+        """Dispatch compiled traces until halt or a budget expires."""
+        mem = m.memory
+        self._machine = m
+        if mem._exec_listener is not self:
+            mem.set_exec_listener(self)
+        if not self._halt_known or m.halt_address != self._halt_addr:
+            # halt_address is baked into trace endings; recompile.
+            if self._traces or self._nocompile:
+                self.flush_code()
+            self._halt_addr = m.halt_address
+            self._halt_known = True
+        ref_step = self._ref.step
+        bus = m.observers
+        stats = m.stats
+        traces_get = self._traces.get
+        PL = self._plain
+        CY = self._cycles_cell
+        rec = m._call_recorder
+        if rec is not None:
+            exp_call, exp_ret = [rec._on_call], [rec._on_return]
+        else:
+            exp_call, exp_ret = [], []
+        steps = 0
+        check_at = 1024
+        while m.halted is None:
+            if (
+                bus.step_observed
+                or m.pending_interrupt is not None
+                or m._pending_jump
+            ):
+                if CY[0]:
+                    self._reconcile()
+                ref_step(m)
+                steps += 1
+            else:
+                pc = m.pc
+                trc = traces_get(pc)
+                if trc is not None and trc.top != m.trap_on_overflow:
+                    # trap_on_overflow is baked into the generated code.
+                    self._drop(trc)
+                    trc = None
+                if trc is None:
+                    trc = self._lookup(m, pc)
+                if trc is None:
+                    # Unfetchable/undecodable entry: the oracle traps.
+                    if CY[0]:
+                        self._reconcile()
+                    ref_step(m)
+                    steps += 1
+                elif steps + trc.n > max_steps or (
+                    max_cycles is not None
+                    and stats.cycles + CY[0] + trc.cycles_bound >= max_cycles
+                ):
+                    # A watchdog could fire mid-trace; run the tail at
+                    # single-step granularity for exact halt points.
+                    if CY[0]:
+                        self._reconcile()
+                    ref_step(m)
+                    steps += 1
+                else:
+                    # Frame-op fast paths are licensed per dispatch: the
+                    # boundary observers must be exactly the default
+                    # call-trace recorder's handlers (or none at all).
+                    PL[0] = bus.on_call == exp_call and bus.on_return == exp_ret
+                    steps += trc.thunk()
+            if m.halted is not None:
+                break
+            if steps >= max_steps:
+                self._reconcile()
+                m._set_halted(HaltReason.STEP_LIMIT)
+            elif max_cycles is not None and stats.cycles + CY[0] >= max_cycles:
+                self._reconcile()
+                m._set_halted(HaltReason.CYCLE_LIMIT)
+            elif deadline is not None and steps >= check_at:
+                check_at = steps + 1024
+                if time.monotonic() > deadline:
+                    self._reconcile()
+                    m._set_halted(HaltReason.WALL_CLOCK_LIMIT)
+        if CY[0] or self._retired:
+            self._reconcile()
+
+
+__all__ = ["TraceEngine", "TRACE_CODEGEN_VERSION"]

@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.evaluation.run_all [--fast] [--workers N] [--out FILE]
-        [--manifest FILE] [--engine reference|fast|block]
+        [--manifest FILE] [--engine NAME]
 
 ``--fast`` restricts the expensive sweeps to a four-benchmark subset;
 ``--workers N`` renders the report sections on N worker processes
@@ -13,7 +13,9 @@ wall-clock time); ``--out`` also writes the report to a file.
 
 ``--manifest FILE`` additionally writes the evaluation manifest: one
 canonical :class:`~repro.telemetry.manifest.RunManifest` per benchmark,
-executed on ``--engine`` (default ``reference``) and aggregated with
+executed on ``--engine`` (default ``reference``; any tier registered in
+:mod:`repro.cpu.engines`, including the non-scalar ``batch`` executor)
+and aggregated with
 :func:`~repro.telemetry.manifest.aggregate_manifests`.  Manifest
 collection honours ``--workers`` and the aggregate is **byte-identical**
 for any worker count: runs are deterministic, results are collected in
@@ -108,13 +110,31 @@ def _benchmark_manifest(task: tuple[str, str]):
     the returned manifest is identical wherever it executes.
     """
     name, engine = task
+    from repro.cpu.engines import get_spec
     from repro.workloads import benchmark
     from repro.workloads.cache import compile_cached
 
+    spec = get_spec(engine)
     compiled = compile_cached(benchmark(name).source)
-    machine = compiled.make_machine(engine=engine)
-    machine.run(compiled.program.entry)
-    return machine.run_manifest(workload=name, entry=compiled.program.entry)
+    entry = compiled.program.entry
+    if spec.scalar:
+        machine = compiled.make_machine(engine=engine)
+        machine.run(entry)
+        return machine.run_manifest(workload=name, entry=entry)
+    # Non-scalar tier (batch): run through the lockstep executor.  The
+    # machine ends bit-identical to a scalar run, so the manifest's
+    # shared sections (and fingerprint) match every other engine; only
+    # the simulation section reports the executor's telemetry.
+    from repro.cpu.batch import run_batch
+    from repro.telemetry.manifest import capture_manifest
+
+    machine = compiled.make_machine()
+    machine.reset(entry)
+    executor = run_batch([machine])
+    manifest = capture_manifest(machine, workload=name, entry=entry)
+    manifest.engine = spec.name
+    manifest.engine_detail = executor.telemetry_snapshot()
+    return manifest
 
 
 def collect_manifests(

@@ -1,0 +1,172 @@
+"""Lockstep (batch) execution of fault-campaign trials.
+
+A campaign's trials are near-identical by construction: every trial
+replays the same benchmark from the same reset state and follows the
+golden trajectory *bit-for-bit* until its injected fault fires.  This
+module exploits that with :class:`repro.cpu.batch.BatchExecutor`: a
+chunk of trials runs as lanes of one vectorized machine, and each lane
+is peeled back to its own scalar :class:`~repro.cpu.machine.RiscMachine`
+at the exact step boundary where its fault trigger would fire - the
+same boundary the serial :class:`~repro.faults.injector.FaultInjector`
+``pre_step`` hook fires on.  The injector is then attached to the
+peeled machine (with its PC-visit count pre-seeded to what it would
+have observed from trial start) and the faulted tail runs scalar,
+through the same classification as the serial path.
+
+The result is **byte-identical** to ``run_campaign`` without batching:
+same trials, same :class:`~repro.faults.campaign.InjectionResult`
+fields, same :meth:`~repro.faults.campaign.CampaignReport.fingerprint`.
+Only the wall-clock profile changes - the shared golden prefix of a
+chunk executes once as array operations instead of ``lanes`` times as
+scalar interpretation.
+
+When numpy is missing, :func:`run_batch_campaign` raises
+:class:`~repro.cpu.batch.BatchUnavailableError`;
+:func:`repro.faults.campaign.run_campaign` catches that and falls back
+to the serial path, so ``--batch-lanes`` degrades gracefully.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cpu.state import HaltReason
+from repro.faults.injector import FaultInjector
+
+__all__ = ["run_batch_campaign", "DEFAULT_LANES"]
+
+#: Default lanes per lockstep chunk: big enough to amortize the numpy
+#: dispatch per step, small enough to keep lanes x memory-image bounded.
+DEFAULT_LANES = 32
+
+
+def _fires(spec, pc: int, cycles: int, next_visit: int) -> bool:
+    """Would *spec*'s trigger fire at this step boundary?
+
+    Mirrors :meth:`FaultInjector._pre_step`: cycle triggers fire once
+    ``stats.cycles`` reaches the threshold; PC triggers fire on the
+    ``pc_hits``-th execution of the target PC (*next_visit* counts this
+    boundary as a visit).
+    """
+    trigger = spec.trigger
+    if trigger.at_cycle is not None:
+        return cycles >= trigger.at_cycle
+    return trigger.at_pc == pc and next_visit == trigger.pc_hits
+
+
+def run_batch_campaign(config, *, lanes: int = DEFAULT_LANES, progress=None):
+    """Execute *config*'s campaign with lockstep golden prefixes.
+
+    Returns the same :class:`~repro.faults.campaign.CampaignReport` as
+    the serial ``run_campaign`` - trial for trial, byte for byte.
+    Raises :class:`~repro.cpu.batch.BatchUnavailableError` when numpy is
+    not installed.
+    """
+    from repro.cpu.batch import BatchExecutor, BatchUnavailableError, available
+    from repro.faults.campaign import (
+        CampaignReport,
+        _campaign_schedule,
+        _classify,
+        _crash_result,
+    )
+
+    if not available():
+        raise BatchUnavailableError(
+            "batch campaign mode requires numpy (pip install .[batch])"
+        )
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+
+    goldens: dict = {}
+    report = CampaignReport(config=config, golden=goldens)
+    schedule = _campaign_schedule(config, goldens)
+    results: list = [None] * len(schedule)
+
+    by_benchmark: dict[str, list[int]] = {}
+    for index, (golden, _spec, _budget) in enumerate(schedule):
+        by_benchmark.setdefault(golden.benchmark, []).append(index)
+
+    done = 0
+    for name, indices in by_benchmark.items():
+        from repro.workloads import benchmark
+        from repro.workloads.cache import compile_cached
+
+        compiled = compile_cached(benchmark(name).source)
+        entry = compiled.program.entry
+        for start in range(0, len(indices), lanes):
+            chunk = indices[start : start + lanes]
+            machines = []
+            for _ in chunk:
+                machine = compiled.make_machine()
+                machine.reset(entry)
+                machines.append(machine)
+            executor = BatchExecutor(machines)
+            budget = schedule[chunk[0]][2]  # uniform per benchmark
+
+            # Shared PC-visit counter: the trajectory is uniform, so one
+            # count stands in for every lane's would-be injector count.
+            visits: Counter = Counter()
+            preload: dict[int, int] = {}
+            while (
+                executor.halted is None
+                and executor.lanes_in_lockstep
+                and executor.steps < budget
+            ):
+                pc = executor.pc
+                cycles = executor.stats.cycles
+                next_visit = visits[pc] + 1
+                for lane in range(len(chunk)):
+                    if not executor.live[lane]:
+                        continue
+                    spec = schedule[chunk[lane]][1]
+                    if _fires(spec, pc, cycles, next_visit):
+                        # Peel *before* the step: the machine re-executes
+                        # this boundary scalar, and the freshly attached
+                        # injector's pre_step fires exactly here.
+                        executor.peel(lane, "fault trigger")
+                        if spec.trigger.at_pc is not None:
+                            preload[lane] = visits[spec.trigger.at_pc]
+                if not executor.lanes_in_lockstep:
+                    break
+                before = executor.steps
+                executor.step()
+                if executor.steps > before:
+                    visits[pc] += 1
+            # Lanes peeled inside step() (uniform trap / halt / budget
+            # exhaustion) left at the current boundary: same preload.
+            for lane in range(len(chunk)):
+                spec = schedule[chunk[lane]][1]
+                if lane not in preload and spec.trigger.at_pc is not None:
+                    preload[lane] = visits[spec.trigger.at_pc]
+            executor.finish()
+
+            for lane, index in enumerate(chunk):
+                golden, spec, budget = schedule[index]
+                machine = machines[lane]
+                steps = executor.lane_steps(lane)
+                if machine.halted is not None:
+                    # Completed in lockstep: the trigger never fired, so
+                    # the serial injector would have been a spectator.
+                    results[index] = _classify(machine, golden, spec, steps)
+                else:
+                    injector = FaultInjector(machine, [spec])
+                    injector.attach()
+                    if spec.trigger.at_pc is not None and preload.get(lane):
+                        injector._pc_hits[spec.trigger.at_pc] = preload[lane]
+                    try:
+                        while machine.halted is None and steps < budget:
+                            machine.step()
+                            steps += 1
+                        if machine.halted is None:
+                            machine.halted = HaltReason.STEP_LIMIT
+                        results[index] = _classify(machine, golden, spec, steps)
+                    except Exception as exc:  # noqa: BLE001 - crash IS the finding
+                        results[index] = _crash_result(golden, spec, steps, exc)
+                    finally:
+                        injector.detach()
+                done += 1
+                if progress is not None and done % 100 == 0:
+                    progress(golden.benchmark, done, len(schedule))
+
+    report.results.extend(results)
+    return report

@@ -563,18 +563,25 @@ def _run_injection(
     except TrialTimeoutError:
         raise
     except Exception as exc:  # noqa: BLE001 - a crash IS the finding
-        return InjectionResult(
-            benchmark=golden.benchmark,
-            spec=spec,
-            outcome=Outcome.CRASH,
-            halt="EXCEPTION",
-            trap_cause=None,
-            instructions=steps,
-            result=None,
-            detail=f"{type(exc).__name__}: {exc}",
-        )
+        return _crash_result(golden, spec, steps, exc)
     finally:
         injector.detach()
+
+
+def _crash_result(
+    golden: GoldenRun, spec: FaultSpec, steps: int, exc: Exception
+) -> InjectionResult:
+    """A CRASH-classified trial: the simulator itself raised."""
+    return InjectionResult(
+        benchmark=golden.benchmark,
+        spec=spec,
+        outcome=Outcome.CRASH,
+        halt="EXCEPTION",
+        trap_cause=None,
+        instructions=steps,
+        result=None,
+        detail=f"{type(exc).__name__}: {exc}",
+    )
 
 
 def _campaign_schedule(
@@ -650,6 +657,7 @@ def run_campaign(
     timeout_s: float | None = None,
     retry=None,
     registry=None,
+    batch_lanes: int | None = None,
 ):
     """Execute the campaign described by *config* deterministically.
 
@@ -682,6 +690,13 @@ def run_campaign(
     Either way the executed trials - and therefore the fingerprint -
     are identical; the options only change how the campaign survives
     infrastructure failure.
+
+    ``batch_lanes`` > 1 routes the trials through the numpy lockstep
+    executor (:mod:`repro.faults.batchmode`): chunks of that many trials
+    share one vectorized golden prefix and peel to scalar machines when
+    their faults fire.  Still byte-identical (same fingerprint); falls
+    back to the serial path silently when numpy is not installed.  Not
+    combinable with the worker-pool or supervised streaming paths.
     """
     distributed = (
         stream
@@ -711,6 +726,18 @@ def run_campaign(
             progress=progress,
         )
 
+    if batch_lanes is not None and batch_lanes > 1 and (
+        workers is None or workers <= 1
+    ):
+        from repro.cpu.batch import BatchUnavailableError
+        from repro.faults.batchmode import run_batch_campaign
+
+        try:
+            return run_batch_campaign(
+                config, lanes=batch_lanes, progress=progress
+            )
+        except BatchUnavailableError:
+            pass  # numpy absent: the serial path below is the fallback
     goldens: dict[str, GoldenRun] = {}
     report = CampaignReport(config=config, golden=goldens)
     schedule = _campaign_schedule(config, goldens)
@@ -784,6 +811,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
         help="comma-separated benchmark names",
+    )
+    parser.add_argument(
+        "--batch-lanes", type=_positive_int, default=1,
+        help="run trials through the numpy lockstep executor in chunks "
+             "of N lanes (byte-identical fingerprint; default 1 = "
+             "scalar; ignored with --workers > 1 or streaming flags; "
+             "falls back to scalar when numpy is missing)",
     )
     parser.add_argument(
         "--shards", type=_positive_int, default=1,
@@ -876,7 +910,12 @@ def main(argv: list[str] | None = None) -> int:
     def execute(*, resume: str | None, journal: str | None):
         """One campaign run with the CLI's supervision options."""
         if not streaming:
-            return run_campaign(config, progress=progress, workers=args.workers)
+            return run_campaign(
+                config,
+                progress=progress,
+                workers=args.workers,
+                batch_lanes=args.batch_lanes,
+            )
         from repro.faults.distributed import RetryPolicy
 
         return run_campaign(

@@ -10,9 +10,16 @@ distinct (source, flags) key can safely be shared by every caller in the
 process.
 
 :func:`compile_cached` is the drop-in for the common
-``compile_for_risc(source, ...)`` call; keys are the source text plus
-the three codegen flags.  Callers that need ``verify=True`` or a
-pre-checked AST keep calling :func:`repro.cc.compile_for_risc` directly.
+``compile_for_risc(source, ...)`` call; keys are the source text, the
+three codegen flags, and the engine stack's codegen version
+(:data:`repro.cpu.traceengine.TRACE_CODEGEN_VERSION`).  The version is
+part of the key so that bumping it - the required step whenever the
+trace tier's generated-source scheme changes - can never serve a
+``CompiledRisc`` whose cached artifacts (trace closures hanging off a
+``Memory`` execution listener, block caches, manifests) were built
+under the previous scheme.  Callers that need ``verify=True`` or a
+pre-checked AST keep calling :func:`repro.cc.compile_for_risc`
+directly.
 
 The cache can be bypassed - the assembler/compiler test suites measure
 the *pipeline*, not the cache - either per-process via the
@@ -33,8 +40,15 @@ if TYPE_CHECKING:
 #: set to any non-empty value to bypass the cache process-wide
 ENV_DISABLE = "REPRO_NO_COMPILE_CACHE"
 
-_CACHE: dict[tuple[str, bool, bool, bool], "CompiledRisc"] = {}
+_CACHE: dict[tuple[str, bool, bool, bool, int], "CompiledRisc"] = {}
 _enabled = True
+
+
+def _codegen_version() -> int:
+    """Engine-stack codegen version folded into every cache key."""
+    from repro.cpu.traceengine import TRACE_CODEGEN_VERSION
+
+    return TRACE_CODEGEN_VERSION
 
 
 def cache_enabled() -> bool:
@@ -89,7 +103,13 @@ def compile_cached(
             optimize_delay_slots=optimize_delay_slots,
             optimize_ir=optimize_ir,
         )
-    key = (source, use_windows, optimize_delay_slots, optimize_ir)
+    key = (
+        source,
+        use_windows,
+        optimize_delay_slots,
+        optimize_ir,
+        _codegen_version(),
+    )
     compiled = _CACHE.get(key)
     if compiled is None:
         compiled = compile_for_risc(

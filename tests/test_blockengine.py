@@ -22,7 +22,9 @@ from repro import RiscMachine, assemble
 from repro.cpu.equivalence import diff_digests, state_digest
 from repro.cpu.machine import HaltReason
 
-ENGINES = ("reference", "fast", "block")
+from repro.cpu.engines import default_sweep_engines
+
+ENGINES = default_sweep_engines()
 
 
 def assert_all_engines_identical(source: str, *, max_steps: int = 20_000_000):

@@ -27,7 +27,9 @@ from repro.cpu.equivalence import (
 from repro.cpu.machine import HaltReason, TrapCause
 from repro.workloads import BENCHMARKS, benchmark
 
-ENGINES = ("reference", "fast", "block")
+from repro.cpu.engines import default_sweep_engines
+
+ENGINES = default_sweep_engines()
 
 WORKLOAD_NAMES = [bench.name for bench in BENCHMARKS]
 

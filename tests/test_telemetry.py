@@ -41,7 +41,9 @@ from repro.telemetry.report import load_manifests, render_report
 from repro.workloads import benchmark
 from repro.workloads.cache import compile_cached
 
-ENGINES = ("reference", "fast", "block")
+from repro.cpu.engines import default_sweep_engines
+
+ENGINES = default_sweep_engines()
 
 
 # -- registry ----------------------------------------------------------------
