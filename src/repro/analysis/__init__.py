@@ -13,10 +13,15 @@ that verification layer over the *binary* (a memory image, not source):
   register file;
 * :mod:`repro.analysis.callgraph` - static call graph and the
   window-depth bound that predicts overflow/underflow traffic;
+* :mod:`repro.analysis.fusion` - the macro-op fusion analyzer: finds
+  fusible idiom pairs over the CFG and emits per-pair legality proofs
+  (a :class:`~repro.analysis.fusion.FusionReport`) that the execution
+  tiers consume via :func:`~repro.analysis.fusion.arm_machine`;
 * :mod:`repro.analysis.lints` - the lint catalog (``DS*`` delay-slot
   hazards, ``UU*`` uninitialized reads, ``DC*`` dead stores, ``UR*``
   unreachable code, ``CF*`` control-flow integrity, ``WD*`` window
-  depth) producing a :class:`~repro.analysis.lints.LintReport`;
+  depth, ``FUS*`` fusion opportunities) producing a
+  :class:`~repro.analysis.lints.LintReport`;
 * :mod:`repro.analysis.lint` - the ``python -m repro.analysis.lint``
   CLI with text/JSON reports and a CI baseline mode.
 
@@ -35,6 +40,13 @@ from repro.analysis.dataflow import (
     liveness,
     reaching_definitions,
 )
+from repro.analysis.fusion import (
+    FusionPair,
+    FusionReport,
+    analyze_cfg,
+    analyze_program,
+    arm_machine,
+)
 from repro.analysis.lints import Finding, LintReport, Severity, lint_program
 
 __all__ = [
@@ -43,9 +55,14 @@ __all__ = [
     "CodeWord",
     "ControlFlowGraph",
     "Finding",
+    "FusionPair",
+    "FusionReport",
     "LintReport",
     "Severity",
     "WindowDepthReport",
+    "analyze_cfg",
+    "analyze_program",
+    "arm_machine",
     "build_call_graph",
     "build_cfg",
     "definite_assignment",

@@ -97,12 +97,31 @@ def _baseline_entry(report: LintReport) -> dict:
         "warnings": summary["warnings"],
         "by_lint": summary["by_lint"],
         "depth_bound": summary["depth_bound"],
+        "fusion": summary["fusion"],
     }
+
+
+def _known_lint_ids() -> frozenset[str]:
+    from repro.analysis.lints import LINT_CATALOG
+
+    return frozenset(lint_id for lint_id, __, __ in LINT_CATALOG)
 
 
 def _check_baseline(path: str, observed: dict[str, dict]) -> list[str]:
     baseline = json.loads(Path(path).read_text())
     problems = []
+    known = _known_lint_ids()
+    for name, expected in baseline.items():
+        # An unknown (or retired) lint code in the golden file would
+        # otherwise "pass" forever by never being emitted again; fail
+        # loudly so the baseline is regenerated instead.
+        codes = set(expected.get("by_lint", {}) if isinstance(expected, dict) else ())
+        for code in sorted(codes - known):
+            problems.append(
+                f"{name}: baseline {path} references unknown or retired "
+                f"lint code '{code}' (known: {', '.join(sorted(known))}); "
+                f"regenerate it with --write-baseline"
+            )
     for name, entry in observed.items():
         expected = baseline.get(name)
         if expected is None:
@@ -132,6 +151,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--asm", action="append", default=[], metavar="FILE",
                         help="assemble and lint a .s file (repeatable)")
     parser.add_argument("--json", action="store_true", help="JSON reports")
+    parser.add_argument("--only", metavar="FAMILY",
+                        help="restrict output to one lint family by ID prefix "
+                             "(e.g. --only FUS, --only DS); incompatible with "
+                             "the baseline modes, which always cover every lint")
     parser.add_argument("--windows", type=int, default=NUM_WINDOWS, metavar="N",
                         help=f"window-file size for depth checks (default {NUM_WINDOWS})")
     parser.add_argument("--max-depth", type=int, default=None, metavar="N",
@@ -145,6 +168,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the golden baseline file and exit")
     args = parser.parse_args(argv)
 
+    if args.only:
+        if args.baseline or args.write_baseline:
+            print("error: --only cannot be combined with --baseline / "
+                  "--write-baseline (baselines always cover every lint)",
+                  file=sys.stderr)
+            return 2
+        family = args.only.upper()
+        known = {lint_id for lint_id in _known_lint_ids()
+                 if lint_id.startswith(family)}
+        if not known:
+            families = sorted({lint_id.rstrip("0123456789")
+                               for lint_id in _known_lint_ids()})
+            print(f"error: no lint family matches '{args.only}' "
+                  f"(families: {', '.join(families)})", file=sys.stderr)
+            return 2
+
     try:
         targets = _load_targets(args)
     except OSError as exc:
@@ -157,6 +196,11 @@ def main(argv: list[str] | None = None) -> int:
             program, name=name, num_windows=args.windows,
             max_depth=args.max_depth,
         )
+        if args.only:
+            report.findings = [f for f in report.findings
+                               if f.lint.startswith(family)]
+            report.notes = [f for f in report.notes
+                            if f.lint.startswith(family)]
         reports.append((name, report))
 
     failures = 0

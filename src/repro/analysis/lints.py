@@ -22,6 +22,12 @@ ID        severity  meaning
 ``UR001``  warning  unreachable code inside the text section
 ``WD001``  note     window-depth summary (promoted to warning by
                     ``max_depth`` / ``forbid_recursion``)
+``FUS001``  note    fusible two-word ``li`` pair (``ldhi`` + ``add``)
+``FUS002``  note    fusible compare + delayed conditional branch
+``FUS003``  note    fusible call + delay-slot pair
+``FUS004``  note    fusible load + dependent ALU op
+``FUS005``  note    fusible ALU op + dependent store
+``FUS006``  note    fusion candidate rejected (legality proof failed)
 ========  ========  =====================================================
 
 *Findings* are errors and warnings; notes are informational and never
@@ -91,6 +97,25 @@ LINT_CATALOG: tuple[tuple[str, str, str], ...] = (
     ("WD001", "note",
      "window-depth summary; promoted to warning by `max_depth=` / "
      "`forbid_recursion=`"),
+    ("FUS001", "note",
+     "fusible two-word `li` pair (`ldhi` + `add imm` into the same "
+     "register) with a machine-checked legality proof"),
+    ("FUS002", "note",
+     "fusible compare + delayed conditional branch (flag-setting ALU op "
+     "immediately feeding the block terminator)"),
+    ("FUS003", "note",
+     "fusible call + delay-slot pair (the slot issues with the call in "
+     "one dispatch)"),
+    ("FUS004", "note",
+     "fusible load + dependent ALU op (the loaded register is dead "
+     "after the pair, proven by liveness)"),
+    ("FUS005", "note",
+     "fusible ALU op + dependent store (the computed register is dead "
+     "after the pair, proven by liveness)"),
+    ("FUS006", "note",
+     "fusion candidate matched an idiom but failed its legality proof "
+     "(mid-pair jump target, delay-slot overlap, live intermediate, or "
+     "statically self-modified code)"),
 )
 
 
@@ -155,6 +180,8 @@ class LintReport:
     depth: WindowDepthReport
     findings: list[Finding] = field(default_factory=list)
     notes: list[Finding] = field(default_factory=list)
+    #: macro-op fusion analysis over the same CFG (set by the pipeline).
+    fusion: object | None = None
 
     @property
     def errors(self) -> list[Finding]:
@@ -183,6 +210,16 @@ class LintReport:
             "depth_bound": self.depth.depth_bound,
             "recursive": sorted(
                 self.depth.names.get(f, hex(f)) for f in self.depth.recursive
+            ),
+            "fusion": (
+                {
+                    "pairs": len(self.fusion.pairs),
+                    "rejected": len(self.fusion.rejected),
+                    "by_kind": self.fusion.by_kind(),
+                    "static_cycles_saved": self.fusion.static_cycles_saved(),
+                }
+                if self.fusion is not None
+                else None
             ),
         }
 
@@ -257,6 +294,7 @@ def lint_words(
     _lint_delay_slots(report)
     _lint_dataflow(report, windowed=windowed)
     _lint_unreachable(report)
+    _lint_fusion(report)
     _lint_window_depth(
         report, num_windows=num_windows, max_depth=max_depth,
         forbid_recursion=forbid_recursion,
@@ -469,6 +507,45 @@ def _lint_unreachable(report: LintReport) -> None:
             run_start = address
         run_length += 1
     flush(end)
+
+
+def _lint_fusion(report: LintReport) -> None:
+    """FUS001-FUS006: macro-op fusion opportunities with legality proofs.
+
+    All fusion lints are *notes* - an opportunity is information, not a
+    defect - so the zero-findings invariant over the bundled workloads
+    is untouched.  The full :class:`~repro.analysis.fusion.FusionReport`
+    rides on :attr:`LintReport.fusion` for consumers that want the proof
+    objects themselves.
+    """
+    from repro.analysis.fusion import analyze_cfg
+
+    fusion = analyze_cfg(report.cfg, name=report.program)
+    report.fusion = fusion
+    cfg = report.cfg
+    for pair in fusion.pairs:
+        inter = (
+            f"r{pair.intermediate} dead after pair"
+            if pair.intermediate is not None
+            else "no register intermediate"
+        )
+        report.notes.append(
+            Finding(
+                pair.lint, Severity.NOTE,
+                f"fusible {pair.kind} pair {pair.first:#x}+{pair.second:#x} "
+                f"({inter}; saves {pair.cycles_saved} cycle(s) per dispatch)",
+                pair.first, cfg.locate(pair.first),
+            )
+        )
+    for cand in fusion.rejected:
+        report.notes.append(
+            Finding(
+                "FUS006", Severity.NOTE,
+                f"{cand.kind} candidate {cand.first:#x}+{cand.second:#x} "
+                f"rejected: {cand.reason}",
+                cand.first, cfg.locate(cand.first),
+            )
+        )
 
 
 def _lint_window_depth(

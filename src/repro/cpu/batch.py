@@ -37,7 +37,8 @@ execution or skips.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 try:  # optional extra: pip install .[batch]
     import numpy as np

@@ -55,6 +55,8 @@ block exits, so their observers see reference-identical boundary state.
 from __future__ import annotations
 
 import time
+from bisect import bisect_right
+from typing import Any
 
 from repro.common.bitops import MASK32, SIGN_BIT32
 from repro.cpu.engine import ReferenceEngine
@@ -143,10 +145,12 @@ class _Block:
         "thunk",
         "word_lo",
         "word_hi",
+        "pair_seconds",
+        "fused_hits",
     )
 
     def __init__(self, start, addrs, words, meta, slot_ix, term_taken,
-                 cycles_bound):
+                 cycles_bound, pair_seconds=()):
         self.start = start
         self.n = len(addrs)
         self.addrs = addrs
@@ -163,9 +167,14 @@ class _Block:
         self.term_taken = term_taken
         self.cycles_bound = cycles_bound
         self.live = True
-        self.thunk = None
+        self.thunk: Any = None
         self.word_lo = start >> 2
         self.word_hi = addrs[-1] >> 2
+        #: sorted positions of fused-pair *second halves* within the
+        #: block; a pair counts as a fused dispatch once its second half
+        #: completes (hot path adds the static total, cold exits bisect).
+        self.pair_seconds = pair_seconds
+        self.fused_hits = 0
 
 
 def _credit(m: ArchState, B: _Block, done: int, fetches: int) -> None:
@@ -189,6 +198,8 @@ def _credit(m: ArchState, B: _Block, done: int, fetches: int) -> None:
     stats.instructions += done
     stats.cycles += cycles
     m.memory.stats.inst_reads += fetches
+    if B.pair_seconds:
+        B.fused_hits += bisect_right(B.pair_seconds, done - 1)
     if done:
         m.lpc = B.addrs[done - 1]
 
@@ -324,6 +335,7 @@ def _codegen_block(
     nw: int,
     uw: bool,
     halt_addr: int | None,
+    pair_seconds: tuple[int, ...] = (),
 ) -> str:
     """Emit the source of ``make(m, B) -> thunk`` for one basic block.
 
@@ -561,6 +573,10 @@ def _codegen_block(
         emit(f"m.npc = {fall + 4}")
         if halt_addr is not None and fall == halt_addr:
             emit("m._set_halted(_EXPLICIT)")
+    if pair_seconds:
+        # Full completion executes every armed pair in the block; cold
+        # exits reconcile via the bisect in _credit instead.
+        emit(f"B.fused_hits += {len(pair_seconds)}")
     emit(f"return {n}")
 
     extra = "".join(f", {name}={expr}" for name, expr in sorted(defaults.items()))
@@ -584,10 +600,34 @@ def _codegen_block(
 
 
 #: Compiled factories shared by every BlockEngine, keyed by
-#: (start, words, num_windows, use_windows, halt_address); the machine
-#: and block descriptor bind at make() time.
+#: (start, words, num_windows, use_windows, halt_address, pair_seconds);
+#: the machine and block descriptor bind at make() time.
 _BLOCK_FACTORY_CACHE: dict[tuple, object] = {}
 _BLOCK_FACTORY_CACHE_MAX = 16384
+
+
+def _pair_positions(armed: dict, seq) -> tuple[int, ...]:
+    """Positions of armed fused-pair second halves inside *seq*.
+
+    A pair lands in a block only when both halves sit at consecutive
+    positions with the exact words the static proof was issued for;
+    anything else (block cut between the halves, rewritten code) simply
+    is not counted - correctness never depends on fusion bookkeeping.
+    """
+    if not armed:
+        return ()
+    out = []
+    for i in range(len(seq) - 1):
+        addr, word, _inst = seq[i]
+        pair = armed.get(addr)
+        if (
+            pair is not None
+            and pair.word1 == word
+            and seq[i + 1][0] == addr + 4
+            and seq[i + 1][1] == pair.word2
+        ):
+            out.append(i + 1)
+    return tuple(out)
 
 
 class BlockEngine:
@@ -617,6 +657,10 @@ class BlockEngine:
         self.blocks_compiled = 0
         self.blocks_invalidated = 0
         self.code_flushes = 0
+        #: statically proved pairs armed via :meth:`arm_fusion`, keyed by
+        #: first-half address, plus hits retired from dropped blocks.
+        self._fused: dict[int, object] = {}
+        self._fused_retired = 0
 
     def telemetry_snapshot(self) -> dict:
         """Block-cache counters for the manifest's engine section."""
@@ -626,7 +670,38 @@ class BlockEngine:
             "blocks_invalidated": self.blocks_invalidated,
             "code_flushes": self.code_flushes,
             "code_words_watched": len(self.code_words),
+            "fused_pairs_armed": len(self._fused),
+            "fused_dispatches": self.fused_dispatches,
         }
+
+    # -- macro-op fusion (counting only: pairs already run fused) -----------
+
+    def arm_fusion(self, pairs) -> int:
+        """Arm statically proved pairs; returns the number armed.
+
+        Compiled blocks already execute both halves inside one thunk, so
+        arming only attributes *fused dispatches* in the telemetry; the
+        architectural trajectory is unchanged by construction.
+        """
+        armed: dict[int, object] = {}
+        for pair in pairs:
+            if pair.second != pair.first + 4:
+                raise ValueError(
+                    f"fusion pair halves not adjacent: {pair.first:#x}/"
+                    f"{pair.second:#x}"
+                )
+            armed[pair.first] = pair
+        self.flush_code()
+        self._fused = armed
+        self._fused_retired = 0
+        return len(armed)
+
+    @property
+    def fused_dispatches(self) -> int:
+        """Dynamic count of pairs whose both halves completed back to back."""
+        return self._fused_retired + sum(
+            blk.fused_hits for blk in self._blocks.values()
+        )
 
     # -- write-invalidation (Memory exec-listener protocol) -----------------
 
@@ -644,6 +719,7 @@ class BlockEngine:
         self.code_flushes += 1
         for blk in self._blocks.values():
             blk.live = False
+            self._fused_retired += blk.fused_hits
         self._blocks.clear()
         self.code_words.clear()
         self._nocompile.clear()
@@ -651,7 +727,8 @@ class BlockEngine:
 
     def _drop(self, blk: _Block) -> None:
         blk.live = False
-        self._blocks.pop(blk.start, None)
+        if self._blocks.pop(blk.start, None) is not None:
+            self._fused_retired += blk.fused_hits
         cw = self.code_words
         for wi in range(blk.word_lo, blk.word_hi + 1):
             owners = cw.get(wi)
@@ -749,10 +826,13 @@ class BlockEngine:
         seq, term_ix = scanned
         nw = m.num_windows
         uw = m.use_windows
-        key = (pc, tuple(item[1] for item in seq), nw, uw, m.halt_address)
+        pair_seconds = _pair_positions(self._fused, seq)
+        key = (pc, tuple(item[1] for item in seq), nw, uw, m.halt_address,
+               pair_seconds)
         make = _BLOCK_FACTORY_CACHE.get(key)
         if make is None:
-            source = _codegen_block(seq, term_ix, nw, uw, m.halt_address)
+            source = _codegen_block(seq, term_ix, nw, uw, m.halt_address,
+                                    pair_seconds)
             namespace = dict(_BLOCK_GLOBALS)
             exec(
                 compile(source, f"<block {pc:#010x} n={len(seq)}>", "exec"),
@@ -776,6 +856,7 @@ class BlockEngine:
             slot_ix=term_ix + 1 if term_ix >= 0 else -1,
             term_taken=_term_taken(seq, term_ix),
             cycles_bound=cycles_bound,
+            pair_seconds=pair_seconds,
         )
         blk.thunk = make(m, blk)
         self.blocks_compiled += 1

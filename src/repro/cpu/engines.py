@@ -29,7 +29,8 @@ engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cpu.engine import ExecutionEngine
@@ -52,6 +53,11 @@ class EngineSpec:
       them at full speed.
     * ``supports_batch`` - steps N independent simulations in lockstep
       (see :mod:`repro.cpu.batch`).
+    * ``supports_fusion`` - accepts statically proved macro-op fusion
+      pairs via ``engine.arm_fusion(pairs)`` (see
+      :mod:`repro.analysis.fusion`) and reports ``fused_dispatches``.
+      Fusion never changes architectural results on any tier; this flag
+      records which tiers attribute fused dispatches.
     * ``requires`` - name of an optional third-party dependency the
       tier needs (``None`` for the pure-python tiers).  Use
       :func:`available` to probe.
@@ -64,6 +70,7 @@ class EngineSpec:
     scalar: bool = True
     supports_observers: bool = False
     supports_batch: bool = False
+    supports_fusion: bool = False
     requires: str | None = None
 
     def available(self) -> bool:
@@ -83,6 +90,7 @@ class EngineSpec:
             "scalar": self.scalar,
             "supports_observers": self.supports_observers,
             "supports_batch": self.supports_batch,
+            "supports_fusion": self.supports_fusion,
             "requires": self.requires,
             "available": self.available(),
         }
@@ -132,18 +140,21 @@ _SPECS: tuple[EngineSpec, ...] = (
         factory=_make_fast,
         tier=1,
         description="pre-decoded per-instruction closures",
+        supports_fusion=True,
     ),
     EngineSpec(
         name="block",
         factory=_make_block,
         tier=2,
         description="CFG basic blocks compiled to single closures",
+        supports_fusion=True,
     ),
     EngineSpec(
         name="trace",
         factory=_make_trace,
         tier=3,
         description="superblock traces compiled to generated source",
+        supports_fusion=True,
     ),
     EngineSpec(
         name="batch",

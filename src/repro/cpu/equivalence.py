@@ -122,6 +122,7 @@ def run_differential(
     engines: tuple[str, ...] | None = None,
     num_windows: int = 8,
     max_steps: int = 50_000_000,
+    fusion: bool = False,
 ) -> DifferentialResult:
     """Compile *source* once, execute it on each engine, diff the states.
 
@@ -129,7 +130,9 @@ def run_differential(
     :mod:`repro.cpu.engines` registry, oracle first; the first engine is
     the oracle every other engine is diffed against.  Each engine gets a
     fresh machine and memory image, so runs cannot contaminate each
-    other.
+    other.  With *fusion*, every statically proved macro-op pair is
+    armed (on the tiers that support it) before the run - the digests
+    must still match the unfused oracle bit for bit.
     """
     from repro.workloads.cache import compile_cached
 
@@ -137,9 +140,18 @@ def run_differential(
     compiled = compile_cached(source)
     digests = []
     for engine in engines:
-        __, machine = compiled.run(
-            num_windows=num_windows, max_steps=max_steps, engine=engine
-        )
+        if fusion:
+            from repro.analysis.fusion import arm_machine
+
+            machine = compiled.make_machine(
+                num_windows=num_windows, engine=engine
+            )
+            arm_machine(machine, compiled)
+            machine.run(compiled.program.entry, max_steps=max_steps)
+        else:
+            __, machine = compiled.run(
+                num_windows=num_windows, max_steps=max_steps, engine=engine
+            )
         digests.append(state_digest(machine))
     mismatches: list[str] = []
     for engine, digest in zip(engines[1:], digests[1:]):
@@ -158,10 +170,12 @@ def assert_engines_equivalent(
     engines: tuple[str, ...] | None = None,
     num_windows: int = 8,
     max_steps: int = 50_000_000,
+    fusion: bool = False,
 ) -> DifferentialResult:
     """:func:`run_differential`, raising ``AssertionError`` on divergence."""
     result = run_differential(
-        source, engines=engines, num_windows=num_windows, max_steps=max_steps
+        source, engines=engines, num_windows=num_windows,
+        max_steps=max_steps, fusion=fusion,
     )
     if not result.equivalent:
         raise AssertionError(
@@ -175,14 +189,17 @@ def main(argv: list[str] | None = None) -> int:
 
     ``--list-engines`` prints the registry's capability matrix and
     exits.  ``--engines ref,fast,...`` restricts the sweep (first name
-    is the oracle); remaining positional arguments select workloads.
+    is the oracle); ``--fusion`` arms every statically proved macro-op
+    pair on the fusion-capable tiers before each run (the sweep still
+    requires bit-identity against the unfused oracle); remaining
+    positional arguments select workloads.
     """
     from repro.workloads import BENCHMARKS, benchmark
 
     args = list(argv) if argv is not None else sys.argv[1:]
     if "--list-engines" in args:
         header = f"{'tier':>4}  {'engine':<10} {'scalar':<7} {'observers':<10} " \
-                 f"{'batch':<6} {'requires':<9} description"
+                 f"{'batch':<6} {'fusion':<7} {'requires':<9} description"
         print(header)
         for row in capability_matrix():
             requires = row["requires"] or "-"
@@ -193,9 +210,14 @@ def main(argv: list[str] | None = None) -> int:
                 f"{'yes' if row['scalar'] else 'no':<7} "
                 f"{'yes' if row['supports_observers'] else 'no':<10} "
                 f"{'yes' if row['supports_batch'] else 'no':<6} "
+                f"{'yes' if row['supports_fusion'] else 'no':<7} "
                 f"{requires:<9} {row['description']}"
             )
         return 0
+    fusion = False
+    if "--fusion" in args:
+        fusion = True
+        args.remove("--fusion")
     engines = default_sweep_engines()
     if "--engines" in args:
         at = args.index("--engines")
@@ -211,12 +233,13 @@ def main(argv: list[str] | None = None) -> int:
         del args[at : at + 2]
     names = args or [bench.name for bench in BENCHMARKS]
     failures = 0
+    mode = " [fusion armed]" if fusion else ""
     for name in names:
         bench = benchmark(name)
-        result = run_differential(bench.source, engines=engines)
+        result = run_differential(bench.source, engines=engines, fusion=fusion)
         if result.equivalent:
             print(f"  ok  {name:<20} {result.instructions:>10} instructions "
-                  f"bit-identical on {', '.join(result.engines)}")
+                  f"bit-identical on {', '.join(result.engines)}{mode}")
         else:
             failures += 1
             print(f"FAIL  {name}")

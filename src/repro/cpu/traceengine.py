@@ -62,6 +62,8 @@ from __future__ import annotations
 
 import struct
 import time
+from bisect import bisect_right
+from typing import Any
 
 from repro.common.bitops import MASK32, SIGN_BIT32
 from repro.common.memory import CONSOLE_ADDRESS
@@ -72,6 +74,7 @@ from repro.cpu.blockengine import (
     _bread,
     _credit,
     _hoist_lines,
+    _pair_positions,
 )
 from repro.cpu.engine import ReferenceEngine
 from repro.cpu.fastengine import (
@@ -139,8 +142,11 @@ class _Trace:
         "eng",
         "exit_hits",
         "exit_recs",
+        "exit_fp",
         "ixs",
         "ixs_tk",
+        "pair_seconds",
+        "fused_hits",
     )
 
     def __init__(self, start, addrs, words, meta, cycles_bound):
@@ -153,21 +159,29 @@ class _Trace:
         self.words = words
         self.cycles_bound = cycles_bound
         self.live = True
-        self.thunk = None
+        self.thunk: Any = None
         #: word indices this trace's code occupies (non-contiguous:
         #: traces hop across the image through chained transfers).
         self.widx = tuple(sorted({a >> 2 for a in addrs}))
         #: owning engine (deferred-stat reconciliation on cold paths).
-        self.eng = None
+        self.eng: Any = None
         #: per-exit-point hit counters, reconciled lazily against
         #: ``exit_recs`` (the static stat bundle of each exit).
-        self.exit_hits = None
-        self.exit_recs = None
+        self.exit_hits: Any = None
+        self.exit_recs: Any = None
         #: per-position (taken_jumps, delay_slots, delay_slot_nops,
         #: calls, returns) completed-prefix snapshots for trap unwinds;
         #: ``ixs_tk`` holds the taken-delay-slot variants.
-        self.ixs = None
-        self.ixs_tk = None
+        self.ixs: Any = None
+        self.ixs_tk: Any = None
+        #: sorted trace positions of armed fused-pair second halves plus
+        #: the per-exit completed-pair counts (parallel to ``exit_recs``;
+        #: None when nothing is armed) - counting only, codegen is
+        #: untouched by fusion.  ``fused_hits`` collects trap-unwind
+        #: counts via :func:`repro.cpu.blockengine._credit`.
+        self.pair_seconds: tuple[int, ...] = ()
+        self.exit_fp: tuple[int, ...] | None = None
+        self.fused_hits = 0
 
 
 def _trace_trap_exit(m: ArchState, T: _Trace, ix: int, exc: Exception) -> int:
@@ -1226,6 +1240,10 @@ class TraceEngine:
         self.code_flushes = 0
         self.instructions_compiled = 0
         self.max_trace_length = 0
+        #: statically proved pairs armed via :meth:`arm_fusion`, keyed by
+        #: first-half address, plus hits folded out of reconciled exits.
+        self._fused: dict[int, object] = {}
+        self._fused_retired = 0
 
     def telemetry_snapshot(self) -> dict:
         """Trace-cache counters for the manifest's engine section."""
@@ -1238,7 +1256,41 @@ class TraceEngine:
             "code_words_watched": len(self.code_words),
             "instructions_compiled": self.instructions_compiled,
             "max_trace_length": self.max_trace_length,
+            "fused_pairs_armed": len(self._fused),
+            "fused_dispatches": self.fused_dispatches,
         }
+
+    # -- macro-op fusion (counting only: pairs already run fused) -----------
+
+    def arm_fusion(self, pairs) -> int:
+        """Arm statically proved pairs; returns the number armed.
+
+        Compiled traces already execute both halves inside one thunk, so
+        arming only attributes *fused dispatches* in the telemetry; the
+        architectural trajectory is unchanged by construction.
+        """
+        armed: dict[int, object] = {}
+        for pair in pairs:
+            if pair.second != pair.first + 4:
+                raise ValueError(
+                    f"fusion pair halves not adjacent: {pair.first:#x}/"
+                    f"{pair.second:#x}"
+                )
+            armed[pair.first] = pair
+        self.flush_code()
+        self._fused = armed
+        self._fused_retired = 0
+        return len(armed)
+
+    @property
+    def fused_dispatches(self) -> int:
+        """Dynamic count of pairs whose both halves completed back to back."""
+        self._reconcile()
+        return (
+            self._fused_retired
+            + sum(trc.fused_hits for trc in self._traces.values())
+            + sum(trc.fused_hits for trc in self._retired)
+        )
 
     # -- deferred-stat reconciliation ---------------------------------------
 
@@ -1263,9 +1315,16 @@ class TraceEngine:
             self._retired.clear()
         for trc in traces:
             hits = trc.exit_hits
+            efp = trc.exit_fp
+            if trc.fused_hits:
+                # trap-unwind pair counts, credited via _credit
+                self._fused_retired += trc.fused_hits
+                trc.fused_hits = 0
             for j, h in enumerate(hits):
                 if h:
                     hits[j] = 0
+                    if efp is not None and efp[j]:
+                        self._fused_retired += h * efp[j]
                     done, cyc, cats, ops, tj, ds, dn, cl, rt = trc.exit_recs[j]
                     stats.instructions += h * done
                     stats.cycles += h * cyc
@@ -1298,6 +1357,10 @@ class TraceEngine:
         self._reconcile()
         for trc in self._traces.values():
             trc.live = False
+            # _reconcile may have early-returned with nothing pending;
+            # trap-unwind pair counts still ride on the trace objects.
+            self._fused_retired += trc.fused_hits
+            trc.fused_hits = 0
         self._traces.clear()
         self.code_words.clear()
         self._nocompile.clear()
@@ -1385,6 +1448,14 @@ class TraceEngine:
         trc.exit_hits = [0] * len(recs)
         trc.ixs = ixs
         trc.ixs_tk = ixs_tk
+        ps = _pair_positions(self._fused, seq)
+        if ps:
+            trc.pair_seconds = ps
+            # completed pairs per exit: a pure function of each exit's
+            # completed-prefix length (codegen itself is fusion-blind).
+            trc.exit_fp = tuple(
+                bisect_right(ps, rec[0] - 1) for rec in recs
+            )
         trc.thunk = make(m, trc, self._plain, self._cycles_cell)
         self.traces_compiled += 1
         self.instructions_compiled += len(seq)

@@ -33,6 +33,7 @@ from repro.evaluation import (
     m2_instruction_counts,
     r1_fault_campaign,
     s1_static_analysis,
+    s3_fusion,
     f1_formats,
     f2_windows,
     f3_delayed_branch,
@@ -79,6 +80,7 @@ _SECTIONS: dict = {
     "m1": lambda names: m1_instruction_mix.run(names).render(),
     "m2": lambda names: m2_instruction_counts.run(names).render(),
     "s1": lambda names: s1_static_analysis.run(names).render(),
+    "s3": lambda names: s3_fusion.run(names).render(),
     # A small deterministic campaign; the full 1000-injection run is
     # available via ``python -m repro.faults.campaign``.
     "r1": lambda names: r1_fault_campaign.run(injections=120).render(),

@@ -1,0 +1,142 @@
+"""S3 - Macro-op fusion: the ISA-bloat counterargument, measured.
+
+The classic objection to the reduced instruction set is that RISC I
+"really" executes more instructions than a CISC because its idioms take
+two words where a VAX takes one (32-bit constants, compare-and-branch,
+load-then-use).  This section quantifies exactly how much of that bloat
+a fusion front-end could claw back *without changing the ISA*: the
+:mod:`repro.analysis.fusion` analyzer proves which adjacent pairs are
+fusible, the fast engine executes them as single dispatches, and the
+table reports the dynamic-instruction and code-size deltas next to the
+VAX baseline from T4.
+
+Fusion never changes architectural results - each fusion-on run here is
+asserted bit-identical (full ``ExecutionStats``) to its fusion-off
+twin, so the "effective" columns are attributions, not approximations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fusion import analyze_program, arm_machine
+from repro.evaluation.tables import Table
+from repro.workloads import BENCHMARKS
+from repro.workloads.cache import compile_cached
+from repro.workloads.extended import EXTENDED_BENCHMARKS
+
+#: instruction bytes a fused pair would occupy if the idiom were one opcode
+_PAIR_BYTES_SAVED = 4
+
+
+def _all_benchmarks() -> dict[str, object]:
+    by_name = {bench.name: bench for bench in BENCHMARKS}
+    by_name.update({bench.name: bench for bench in EXTENDED_BENCHMARKS})
+    return by_name
+
+
+def fusion_record(name: str) -> dict:
+    """Fusion-on vs fusion-off measurements for one workload.
+
+    Runs the workload twice on the fast engine - unfused, then with
+    every statically proved pair armed - asserts the two runs are
+    bit-identical, and returns the static/dynamic fusion counters.
+    """
+    bench = _all_benchmarks()[name]
+    compiled = compile_cached(bench.source)
+    report = analyze_program(compiled.program, name=name)
+
+    __, plain = compiled.run(engine="fast")
+    machine = compiled.make_machine(engine="fast")
+    arm_machine(machine, report)
+    machine.run(compiled.program.entry)
+    if machine.stats.as_dict() != plain.stats.as_dict():
+        raise AssertionError(
+            f"{name}: fusion-on run diverged from fusion-off (fusion must "
+            f"never change architectural results)"
+        )
+
+    fused = machine.engine.fused_dispatches
+    hits = machine.engine.fused_hit_counts()
+    instructions = plain.stats.instructions
+    cycles_saved = sum(
+        pair.cycles_saved * hits.get(pair.first, 0) for pair in report.pairs
+    )
+    return {
+        "name": name,
+        "pairs": len(report.pairs),
+        "instructions": instructions,
+        "fused_dispatches": fused,
+        "effective_instructions": instructions - fused,
+        "cycles": plain.stats.cycles,
+        "cycles_saved": cycles_saved,
+        "code_bytes": compiled.code_size_bytes,
+        "fused_code_bytes": compiled.code_size_bytes
+        - _PAIR_BYTES_SAVED * len(report.pairs),
+    }
+
+
+def run(names: tuple[str, ...] | None = None) -> Table:
+    """Build the S3 fusion table over ``names`` (default: all 16 workloads)."""
+    by_name = _all_benchmarks()
+    if names is None:
+        names = tuple(by_name)
+    table = Table(
+        title="S3: Macro-op fusion - dynamic and static ISA-bloat recovered",
+        headers=["benchmark", "pairs", "dyn instr", "fused", "effective",
+                 "dyn saved", "cyc saved", "bytes", "fused bytes", "eff/VAX"],
+        notes=[
+            "every fused pair is statically proved legal; fusion-on runs are "
+            "asserted bit-identical to fusion-off on the fast engine",
+            "'effective' = dynamic instructions minus fused dispatches; "
+            "'cyc saved' is the hypothetical gain of a fusing front-end",
+            "'fused bytes' treats each proved pair as one instruction word; "
+            "eff/VAX re-states T4's code-size ratio with fusion applied",
+        ],
+    )
+    core = {bench.name for bench in BENCHMARKS}
+    matrix_names = tuple(n for n in names if n in core)
+    vax_bytes: dict[str, int] = {}
+    if matrix_names:
+        from repro.evaluation.common import VAX_NAME, run_benchmark_matrix
+
+        records = run_benchmark_matrix(matrix_names)
+        vax_bytes = {
+            bench: rec.code_bytes
+            for (bench, machine), rec in records.items()
+            if machine == VAX_NAME
+        }
+    total_instr = total_fused = 0
+    for name in names:
+        rec = fusion_record(name)
+        total_instr += rec["instructions"]
+        total_fused += rec["fused_dispatches"]
+        vax = vax_bytes.get(name)
+        table.add_row(
+            name,
+            rec["pairs"],
+            rec["instructions"],
+            rec["fused_dispatches"],
+            rec["effective_instructions"],
+            f"{rec['fused_dispatches'] / rec['instructions']:.1%}",
+            rec["cycles_saved"],
+            rec["code_bytes"],
+            rec["fused_code_bytes"],
+            "-" if vax is None else f"{rec['fused_code_bytes'] / vax:.2f}x",
+        )
+    if total_instr:
+        table.notes.append(
+            f"aggregate: {total_fused} of {total_instr} dynamic instructions "
+            f"fused ({total_fused / total_instr:.1%})"
+        )
+    return table
+
+
+def dynamic_savings(names: tuple[str, ...] | None = None) -> dict[str, float]:
+    """Per-benchmark fraction of dynamic instructions fused away."""
+    if names is None:
+        names = tuple(_all_benchmarks())
+    return {
+        name: (lambda r: r["fused_dispatches"] / r["instructions"])(
+            fusion_record(name)
+        )
+        for name in names
+    }

@@ -36,7 +36,8 @@ or convert existing tool output with the ``events_from_*`` adapters.
 from __future__ import annotations
 
 import json
-from typing import IO, TYPE_CHECKING, Iterable
+from collections.abc import Iterable
+from typing import IO, TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.cpu.state import ArchState

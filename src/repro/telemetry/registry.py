@@ -29,7 +29,7 @@ excluded from canonical run manifests (see
 from __future__ import annotations
 
 import time
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 __all__ = [
     "Counter",
