@@ -1,0 +1,96 @@
+"""Requests/sec of the execution service, cold vs warm.
+
+Drives a live :func:`repro.service.server.serve_in_thread` stack over
+real TCP and times the same four-job stream twice: *cold* (every
+request simulates on the reference engine) and *warm* (every request is
+a manifest-store hit).  CI runs this file with ``--benchmark-json
+BENCH_service.json`` and ``ci/check_perf.py`` gates the warm-vs-cold
+mean-time ratio against ``ci/service_baseline.json`` - the committed
+floor is the repo's "warm hits are >= 50x cold requests/sec"
+acceptance bar.  Absolute req/sec varies with the host; the ratio of
+two request streams against the same in-process server does not.
+
+A third benchmark reports the mixed concurrent load (4 clients, cold
+and warm interleaved) with p50/p99 latency in ``extra_info`` for the
+trajectory record; it asserts correctness (no errors, expected cache
+mix) but is not ratio-gated.
+"""
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.loadgen import job_stream, run_load
+from repro.service.server import serve_in_thread
+from repro.service.store import ManifestStore
+
+#: Requests per timed round; identical for cold and warm so the
+#: mean-time ratio is exactly the req/sec ratio.
+STREAM = 4
+WORKLOAD = "towers"
+ENGINE = "reference"  # keep cold requests expensive and host-stable
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    handle = serve_in_thread(
+        store=ManifestStore(str(tmp_path_factory.mktemp("store"))),
+        workers=2,
+    )
+    yield handle
+    handle.stop()
+
+
+def _submit_stream(client, seed_base):
+    """Submit the four-job stream; returns the cache outcomes."""
+    outcomes = []
+    for index in range(STREAM):
+        status, doc = client.submit({
+            "workload": WORKLOAD, "engine": ENGINE,
+            "seed": seed_base + index,
+        })
+        assert status == 200, doc
+        outcomes.append(doc["cache"])
+    return outcomes
+
+
+def test_service_cold_requests(once, service):
+    """Four never-seen jobs: every request simulates (rounds=1 - a
+    second round would be warm)."""
+    with ServiceClient("127.0.0.1", service.port) as client:
+        outcomes = once(_submit_stream, client, 0)
+    assert outcomes == ["miss"] * STREAM
+
+
+def test_service_warm_requests(benchmark, service):
+    """The same four jobs, pre-warmed: every request is a store hit."""
+    with ServiceClient("127.0.0.1", service.port) as client:
+        cold = _submit_stream(client, 100)  # populate the store
+        assert cold == ["miss"] * STREAM
+        outcomes = benchmark.pedantic(
+            _submit_stream, args=(client, 100), rounds=5, iterations=1
+        )
+    assert outcomes == ["hit"] * STREAM
+
+
+def test_service_mixed_concurrent_load(once, benchmark, service):
+    """4 clients, interleaved cold/warm: the production-shaped mix."""
+    jobs = job_stream(
+        workload=WORKLOAD, engine=ENGINE, unique=3, repeats=3,
+        seed_base=200,
+    )
+    report = once(
+        run_load, "127.0.0.1", service.port, jobs, clients=4
+    )
+    assert report.errors == 0
+    assert set(report.by_status) == {200}
+    assert report.by_cache.get("miss", 0) == 3  # one simulation per seed
+    warm = (report.by_cache.get("hit", 0)
+            + report.by_cache.get("coalesced", 0))
+    assert warm == 6
+    benchmark.extra_info["requests_per_sec"] = round(
+        report.requests_per_sec, 1
+    )
+    benchmark.extra_info["p50_ms"] = round(report.p50_ms, 3)
+    benchmark.extra_info["p99_ms"] = round(report.p99_ms, 3)
+    benchmark.extra_info["by_cache"] = dict(report.by_cache)
+    print(report.render())

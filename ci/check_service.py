@@ -1,0 +1,175 @@
+"""Gate CI on the execution service's behavioural contract.
+
+Usage::
+
+    PYTHONPATH=src python ci/check_service.py
+
+Starts the full service stack (scheduler + asyncio HTTP server) on a
+background thread with a fresh manifest store and drives it over real
+TCP, asserting the guarantees ``docs/SERVICE.md`` promises:
+
+1. **Warm byte-identity** - the second identical request is a cache
+   hit whose manifest document and shared-section fingerprint equal
+   the cold run's, byte for byte.
+2. **Mixed concurrent load** - 4 clients submitting an interleaved
+   cold/warm stream see zero transport errors, all-200 responses, and
+   exactly one simulation per unique seed.
+3. **Rate limiting** - a tenant over its token-bucket burst receives
+   429 with a positive ``retry_after_s`` while other tenants proceed.
+4. **Worker-death survival** - SIGKILLing a pool worker mid-job
+   rebuilds the pool and every in-flight session is still answered
+   (retried, not dropped).
+
+Complements ``ci/check_perf.py`` + ``ci/service_baseline.json`` (the
+warm-vs-cold requests/sec ratio gate): that one proves the cache is
+fast, this one proves it is correct under concurrency and chaos.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import tempfile
+import threading
+import time
+
+
+SLOW_SOURCE = """
+int main(void) {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 20000; i = i + 1) {
+        acc = acc + i;
+    }
+    return acc;
+}
+"""
+
+
+def check_warm_byte_identity(port) -> None:
+    from repro.service.client import ServiceClient
+
+    with ServiceClient("127.0.0.1", port) as client:
+        status, cold = client.submit(
+            {"workload": "towers", "engine": "reference", "seed": 1}
+        )
+        assert status == 200 and cold["cache"] == "miss", cold
+        status, warm = client.submit(
+            {"workload": "towers", "engine": "reference", "seed": 1}
+        )
+        assert status == 200 and warm["cache"] == "hit", warm
+    assert warm["fingerprint"] == cold["fingerprint"], (
+        "warm fingerprint differs from cold")
+    assert warm["manifest"] == cold["manifest"], (
+        "warm manifest document differs from cold")
+    print(f"warm hit byte-identical (fingerprint "
+          f"{warm['fingerprint'][:16]}...)")
+
+
+def check_mixed_load(port) -> None:
+    from repro.service.loadgen import job_stream, run_load
+
+    jobs = job_stream(workload="towers", engine="reference",
+                      unique=3, repeats=3, seed_base=50)
+    report = run_load("127.0.0.1", port, jobs, clients=4)
+    assert report.errors == 0, report.render()
+    assert set(report.by_status) == {200}, report.render()
+    assert report.by_cache.get("miss", 0) == 3, report.render()
+    warm = (report.by_cache.get("hit", 0)
+            + report.by_cache.get("coalesced", 0))
+    assert warm == 6, report.render()
+    print(f"mixed load: {report.render()}")
+
+
+def check_rate_limit() -> None:
+    from repro.service.client import ServiceClient
+    from repro.service.server import serve_in_thread
+
+    handle = serve_in_thread(store=None, workers=1, rate=0.001, burst=1)
+    try:
+        with ServiceClient("127.0.0.1", handle.port) as client:
+            status, _ = client.submit(
+                {"workload": "towers", "engine": "reference"},
+                tenant="noisy",
+            )
+            assert status == 200, "first request within burst must pass"
+            status, doc = client.submit(
+                {"workload": "towers", "engine": "reference"},
+                tenant="noisy",
+            )
+            assert status == 429, f"expected 429, got {status}: {doc}"
+            assert doc["retry_after_s"] > 0, doc
+            status, _ = client.submit(
+                {"workload": "towers", "engine": "reference"},
+                tenant="calm",
+            )
+            assert status == 200, "other tenants must be unaffected"
+    finally:
+        handle.stop()
+    print(f"rate limit: 429 with retry_after_s={doc['retry_after_s']}")
+
+
+def check_worker_death(port, scheduler) -> None:
+    from repro.service.loadgen import run_load
+
+    jobs = [
+        {"source": SLOW_SOURCE, "engine": "reference", "seed": seed}
+        for seed in range(4)
+    ]
+    report_box: list = []
+
+    def _drive() -> None:
+        report_box.append(
+            run_load("127.0.0.1", port, jobs, clients=4)
+        )
+
+    driver = threading.Thread(target=_drive)
+    driver.start()
+    deadline = time.monotonic() + 15.0
+    while time.monotonic() < deadline:
+        pids = scheduler.worker_pids()
+        if pids:
+            time.sleep(0.3)  # let jobs reach the workers
+            os.kill(pids[0], signal.SIGKILL)
+            break
+        time.sleep(0.01)
+    else:
+        raise AssertionError("worker pool never started")
+    driver.join(timeout=120)
+    assert report_box, "load thread never finished"
+    report = report_box[0]
+    assert report.errors == 0, report.render()
+    assert set(report.by_status) == {200}, (
+        f"sessions dropped after worker death: {report.render()}")
+    restarts = scheduler.registry.as_dict()[
+        "service.pool_restarts"]["value"]
+    assert restarts >= 1, "pool was never rebuilt"
+    print(f"worker SIGKILL survived: {report.render()} "
+          f"(pool_restarts={restarts})")
+
+
+def main() -> int:
+    from repro.service.server import serve_in_thread
+    from repro.service.store import ManifestStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        handle = serve_in_thread(
+            store=ManifestStore(os.path.join(tmp, "store")),
+            workers=2,
+            deadline_s=120.0,
+        )
+        try:
+            check_warm_byte_identity(handle.port)
+            check_mixed_load(handle.port)
+            check_worker_death(handle.port, handle.scheduler)
+        finally:
+            handle.stop()
+    check_rate_limit()
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

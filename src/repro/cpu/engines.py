@@ -209,6 +209,23 @@ def default_sweep_engines() -> tuple[str, ...]:
     return engine_names(scalar_only=True)
 
 
+def fastest_scalar_engine() -> str:
+    """Name of the fastest *available* scalar tier.
+
+    Capability-driven selection for callers that want "as fast as this
+    host allows" without naming a tier: the execution service resolves
+    ``engine="auto"`` jobs through this, and batch-tier requests fall
+    back to it when the optional numpy dependency is missing.  Scalar
+    tiers are pure python, so today this is always the top tier; the
+    ``available()`` probe keeps the choice honest if a scalar tier ever
+    grows an optional dependency.
+    """
+    for spec in sorted(REGISTRY.values(), key=lambda s: -s.tier):
+        if spec.scalar and spec.available():
+            return spec.name
+    raise ValueError("no scalar execution engine is available")
+
+
 def create_engine(engine: "str | ExecutionEngine") -> "ExecutionEngine":
     """Resolve an engine name (or pass through an instance).
 

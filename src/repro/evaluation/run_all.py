@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.evaluation.run_all [--fast] [--workers N] [--out FILE]
-        [--manifest FILE] [--engine NAME]
+        [--manifest FILE] [--engine NAME] [--store DIR]
 
 ``--fast`` restricts the expensive sweeps to a four-benchmark subset;
 ``--workers N`` renders the report sections on N worker processes
@@ -20,6 +20,15 @@ and aggregated with
 collection honours ``--workers`` and the aggregate is **byte-identical**
 for any worker count: runs are deterministic, results are collected in
 schedule order, and host wall-clock never enters the canonical form.
+
+``--store DIR`` routes manifest collection through the execution
+service's :class:`~repro.service.store.ManifestStore`: benchmarks whose
+``(workload fingerprint, seed, config, engine)`` key is already stored
+are served from disk instead of re-simulated, and fresh runs populate
+the store for the next invocation (or for the service itself - the two
+share one store format and one key derivation).  Because stored
+manifests are the canonical bytes of the run that produced them, the
+aggregate is byte-identical with or without the store.
 """
 
 from __future__ import annotations
@@ -104,17 +113,35 @@ def _pool(workers: int):
     return ctx.Pool(processes=workers)
 
 
-def _benchmark_manifest(task: tuple[str, str]):
+def _benchmark_manifest(task: tuple[str, str, str | None]):
     """Worker-side manifest capture: run one benchmark on one engine.
 
     Module-level so pools can import it.  The run is a deterministic
     function of (benchmark, engine) - fresh machine, fixed image - so
-    the returned manifest is identical wherever it executes.
+    the returned manifest is identical wherever it executes.  With a
+    *store_dir*, the benchmark's service job key is consulted first and
+    fresh results are stored: determinism is what makes serving the
+    stored bytes indistinguishable from re-simulating.
     """
-    name, engine = task
+    name, engine, store_dir = task
     from repro.cpu.engines import get_spec
     from repro.workloads import benchmark
     from repro.workloads.cache import compile_cached
+
+    store = spec_key = None
+    if store_dir is not None:
+        from repro.service.jobs import JobSpec
+        from repro.service.store import ManifestStore
+
+        # Default config only - exactly what make_machine()/run() below
+        # use - so run_all and the service agree on every key.
+        spec_key = JobSpec(
+            workload=name, source=benchmark(name).source, engine=engine
+        ).key()
+        store = ManifestStore(store_dir)
+        cached = store.get(spec_key, engine)
+        if cached is not None:
+            return cached
 
     spec = get_spec(engine)
     compiled = compile_cached(benchmark(name).source)
@@ -122,7 +149,10 @@ def _benchmark_manifest(task: tuple[str, str]):
     if spec.scalar:
         machine = compiled.make_machine(engine=engine)
         machine.run(entry)
-        return machine.run_manifest(workload=name, entry=entry)
+        manifest = machine.run_manifest(workload=name, entry=entry)
+        if store is not None:
+            store.put(spec_key, manifest)
+        return manifest
     # Non-scalar tier (batch): run through the lockstep executor.  The
     # machine ends bit-identical to a scalar run, so the manifest's
     # shared sections (and fingerprint) match every other engine; only
@@ -136,6 +166,8 @@ def _benchmark_manifest(task: tuple[str, str]):
     manifest = capture_manifest(machine, workload=name, entry=entry)
     manifest.engine = spec.name
     manifest.engine_detail = executor.telemetry_snapshot()
+    if store is not None:
+        store.put(spec_key, manifest)
     return manifest
 
 
@@ -144,18 +176,21 @@ def collect_manifests(
     *,
     engine: str = "reference",
     workers: int | None = None,
+    store: str | None = None,
 ) -> list:
     """Per-benchmark :class:`~repro.telemetry.manifest.RunManifest` list.
 
     Order follows the benchmark registry; with ``workers`` the runs fan
     out over a pool but are collected in schedule order, so the caller's
-    aggregate is byte-identical to the serial one.
+    aggregate is byte-identical to the serial one.  *store* names a
+    manifest-store directory to consult and populate (atomic writes
+    make concurrent workers safe).
     """
     from repro.workloads import BENCHMARKS
 
     if names is None:
         names = tuple(bench.name for bench in BENCHMARKS)
-    tasks = [(name, engine) for name in names]
+    tasks = [(name, engine, store) for name in names]
     if workers is not None and workers > 1:
         with _pool(workers) as pool:
             return pool.map(_benchmark_manifest, tasks, chunksize=1)
@@ -168,13 +203,16 @@ def write_manifest(
     *,
     engine: str = "reference",
     workers: int | None = None,
+    store: str | None = None,
 ) -> int:
     """Write the aggregated evaluation manifest to *path*; returns run count."""
     import json
 
     from repro.telemetry.manifest import aggregate_manifests
 
-    manifests = collect_manifests(names, engine=engine, workers=workers)
+    manifests = collect_manifests(
+        names, engine=engine, workers=workers, store=store
+    )
     aggregate = aggregate_manifests(manifests)
     with open(path, "w") as handle:
         json.dump(aggregate, handle, indent=2, sort_keys=True)
@@ -211,7 +249,12 @@ def main(argv: list[str] | None = None) -> str:
         engine = "reference"
         if "--engine" in args:
             engine = args[args.index("--engine") + 1]
-        count = write_manifest(path, names, engine=engine, workers=workers)
+        store = None
+        if "--store" in args:
+            store = args[args.index("--store") + 1]
+        count = write_manifest(
+            path, names, engine=engine, workers=workers, store=store
+        )
         print(f"\nwrote evaluation manifest ({count} runs, engine={engine}) "
               f"to {path}")
     return report

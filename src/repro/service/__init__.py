@@ -1,0 +1,69 @@
+"""Simulation-as-a-service: the async execution server.
+
+The ROADMAP's scale pillar: wrap the engine stack in an asyncio
+HTTP/JSON service so many concurrent clients can submit jobs
+``(workload or source, seed, engine, config)`` and receive
+:class:`~repro.telemetry.manifest.RunManifest` documents, with repeated
+requests - the common case at production traffic - served from a
+content-addressed **manifest store** instead of re-simulating.  The PR 5
+determinism split is what makes the cache *correct*: shared manifest
+sections are byte-identical across engines for the same inputs, so
+``(workload fingerprint, seed, config)`` keys one architectural result
+with per-engine simulation sections beside it.
+
+Layers (one module each):
+
+* :mod:`repro.service.jobs` - :class:`JobSpec` validation and the
+  ``risc1-repro/job-key/v1`` cache-key derivation;
+* :mod:`repro.service.store` - :class:`ManifestStore`, the atomic
+  content-addressed on-disk store with eviction;
+* :mod:`repro.service.scheduler` - :class:`ExecutionScheduler`:
+  process-pool dispatch, single-flight deduplication, numpy batch
+  lanes, token-bucket rate limiting, and the fault campaigns'
+  supervision patterns (deadline, retry, quarantine, pool rebuild);
+* :mod:`repro.service.server` - the dependency-free asyncio HTTP/1.1
+  front end (:class:`ServiceServer`, :func:`serve_in_thread`);
+* :mod:`repro.service.client` / :mod:`repro.service.loadgen` - the
+  blocking client and the concurrent load generator.
+
+Run a server::
+
+    python -m repro.service --port 8437 --store /tmp/manifests --workers 4
+
+See ``docs/SERVICE.md`` for the API schema, cache-key derivation,
+rate-limit and preemption semantics, and the metric/event catalog.
+"""
+
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.jobs import JOB_KEY_SCHEMA, JobError, JobSpec
+from repro.service.loadgen import LoadReport, job_stream, run_load
+from repro.service.scheduler import (
+    ExecutionScheduler,
+    InfraError,
+    RateLimitedError,
+    ServiceResult,
+    TokenBucket,
+)
+from repro.service.server import ServiceHandle, ServiceServer, serve_in_thread
+from repro.service.store import ManifestStore, StoreIntegrityError
+
+__all__ = [
+    "JOB_KEY_SCHEMA",
+    "ExecutionScheduler",
+    "InfraError",
+    "JobError",
+    "JobSpec",
+    "LoadReport",
+    "ManifestStore",
+    "RateLimitedError",
+    "ServiceClient",
+    "ServiceHandle",
+    "ServiceResult",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "StoreIntegrityError",
+    "TokenBucket",
+    "job_stream",
+    "run_load",
+    "serve_in_thread",
+]

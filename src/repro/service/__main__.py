@@ -1,0 +1,104 @@
+"""CLI: run the execution service in the foreground.
+
+Usage::
+
+    python -m repro.service [--host H] [--port P] [--store DIR]
+        [--max-entries N] [--workers N] [--deadline-s S]
+        [--rate R --burst B] [--events FILE]
+
+``--store`` enables manifest-keyed result caching (strongly
+recommended: without it every request simulates).  ``--rate``/
+``--burst`` set the per-tenant token bucket (unlimited by default).
+``--events`` appends JSONL trace events (PR 5 schema) for every
+request/response/cache decision.  Ctrl-C exits cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.service.scheduler import ExecutionScheduler
+from repro.service.server import ServiceServer
+from repro.service.store import ManifestStore
+from repro.telemetry.events import JsonlEventWriter
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="asyncio HTTP/JSON simulation service",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8437,
+                        help="TCP port (0 picks a free one)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="manifest-store directory (enables caching)")
+    parser.add_argument("--max-entries", type=int, default=None,
+                        help="store capacity in job keys (default unbounded)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="simulation worker processes (default 2)")
+    parser.add_argument("--deadline-s", type=float, default=60.0,
+                        help="per-job wall-clock budget (default 60)")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="per-tenant requests/sec (default unlimited)")
+    parser.add_argument("--burst", type=int, default=100,
+                        help="per-tenant token-bucket burst (default 100)")
+    parser.add_argument("--events", default=None, metavar="FILE",
+                        help="append JSONL trace events to FILE")
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    store = None
+    if args.store is not None:
+        store = ManifestStore(args.store, max_entries=args.max_entries)
+    event_sink = None
+    event_writer = None
+    if args.events is not None:
+        event_sink = open(args.events, "a", buffering=1)
+        event_writer = JsonlEventWriter(event_sink)
+    scheduler = ExecutionScheduler(
+        store=store,
+        workers=args.workers,
+        deadline_s=args.deadline_s,
+        rate=args.rate,
+        burst=args.burst,
+        event_writer=event_writer,
+    )
+    server = ServiceServer(scheduler, host=args.host, port=args.port)
+    await server.start()
+    caching = f"store={args.store}" if store is not None else "no store"
+    print(
+        f"repro.service listening on {args.host}:{server.port} "
+        f"({args.workers} worker(s), {caching})",
+        flush=True,
+    )
+    try:
+        await asyncio.Event().wait()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        await server.stop()
+        scheduler.shutdown()
+        if event_sink is not None:
+            event_sink.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and serve until interrupted."""
+    args = _parser().parse_args(argv)
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

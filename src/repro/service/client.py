@@ -1,0 +1,156 @@
+"""Blocking HTTP/JSON client for the execution service.
+
+Raw ``socket`` + hand-parsed HTTP/1.1 responses - the same no-new-deps
+discipline as the server.  One :class:`ServiceClient` holds one
+keep-alive connection (reconnecting transparently when the server or an
+idle timeout closed it), so a load-generator thread pays connection
+setup once, not per request.  Instances are not thread-safe; give each
+thread its own client.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+__all__ = ["ServiceClient", "ServiceUnavailable"]
+
+
+class ServiceUnavailable(ConnectionError):
+    """The service could not be reached (or dropped mid-response)."""
+
+
+class ServiceClient:
+    """A persistent-connection client bound to one ``host:port``."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8437, *,
+        timeout_s: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # -- connection lifecycle ------------------------------------------------
+
+    def _connect(self) -> None:
+        self.close()
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        except OSError as error:
+            raise ServiceUnavailable(
+                f"cannot reach service at {self.host}:{self.port}: {error}"
+            ) from error
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on next request)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- requests ------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        doc: dict | None = None,
+        *,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict]:
+        """One round trip; returns ``(status, parsed JSON body)``.
+
+        Retries exactly once on a dead keep-alive connection (the
+        server may close an idle connection between requests); any
+        other transport failure raises :class:`ServiceUnavailable`.
+        """
+        body = b"" if doc is None else json.dumps(doc).encode()
+        head = f"{method} {path} HTTP/1.1\r\nhost: {self.host}\r\n"
+        head += f"content-length: {len(body)}\r\n"
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        raw = head.encode("ascii") + b"\r\n" + body
+        for attempt in (1, 2):
+            if self._sock is None:
+                self._connect()
+            try:
+                self._sock.sendall(raw)
+                return self._read_response()
+            except (OSError, ServiceUnavailable, EOFError):
+                self.close()
+                if attempt == 2:
+                    raise ServiceUnavailable(
+                        f"service at {self.host}:{self.port} dropped the "
+                        "connection"
+                    ) from None
+        raise AssertionError("unreachable")
+
+    def _read_response(self) -> tuple[int, dict]:
+        assert self._file is not None
+        status_line = self._file.readline()
+        if not status_line:
+            raise EOFError("connection closed before status line")
+        parts = status_line.decode("ascii", "replace").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServiceUnavailable(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise EOFError("connection closed inside headers")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        payload = self._file.read(length) if length else b""
+        if length and len(payload) != length:
+            raise EOFError("connection closed inside body")
+        if headers.get("connection", "keep-alive").lower() == "close":
+            self.close()
+        return status, json.loads(payload.decode() or "null")
+
+    # -- convenience ---------------------------------------------------------
+
+    def submit(
+        self, job: dict, *, tenant: str | None = None
+    ) -> tuple[int, dict]:
+        """POST one job document; returns ``(status, response doc)``."""
+        headers = {"x-tenant": tenant} if tenant is not None else None
+        return self.request("POST", "/v1/jobs", job, headers=headers)
+
+    def healthz(self) -> dict:
+        """GET ``/v1/healthz`` (raises on non-200)."""
+        status, doc = self.request("GET", "/v1/healthz")
+        if status != 200:
+            raise ServiceUnavailable(f"healthz returned {status}: {doc}")
+        return doc
+
+    def stats(self) -> dict:
+        """GET ``/v1/stats`` (raises on non-200)."""
+        status, doc = self.request("GET", "/v1/stats")
+        if status != 200:
+            raise ServiceUnavailable(f"stats returned {status}: {doc}")
+        return doc

@@ -1,0 +1,226 @@
+"""Job specifications and manifest-store cache keys.
+
+A :class:`JobSpec` is one client request to the execution service: a
+workload (a bundled benchmark name or ad-hoc Mini-C source), a seed, an
+engine, and the machine configuration.  Simulation here is a pure
+function of those inputs - the RunManifest determinism split (PR 5)
+guarantees the ``shared`` manifest sections are byte-identical for the
+same inputs on every engine - so the job's canonical form doubles as a
+*correct* result-cache key.
+
+Key derivation (``risc1-repro/job-key/v1``):
+
+* ``workload fingerprint`` - SHA-256 over the canonical JSON of the
+  Mini-C source, the codegen flags, and the engine stack's
+  ``TRACE_CODEGEN_VERSION`` (the same version the in-process compile
+  cache folds into its keys, so a codegen change invalidates both
+  caches together);
+* ``shared key`` - SHA-256 over the canonical JSON of the workload
+  label, the workload fingerprint, the seed, and the machine config.
+  **Engine-independent**: every engine must produce byte-identical
+  shared sections for the same shared key, which is what lets the store
+  keep one ``shared.json`` per key with per-engine simulation sections
+  beside it.
+
+Two jobs therefore agree on the shared key iff their runs' shared
+section fingerprints agree - the property ``tests/test_service_store.py``
+pins down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+__all__ = ["JOB_KEY_SCHEMA", "JobError", "JobSpec"]
+
+#: Version tag folded into every store key; bump on incompatible change.
+JOB_KEY_SCHEMA = "risc1-repro/job-key/v1"
+
+#: Watchdog default mirroring :meth:`repro.cpu.machine.RiscMachine.run`.
+DEFAULT_MAX_STEPS = 20_000_000
+
+#: Config fields a request may set, with defaults and validators.
+_CONFIG_FIELDS = {
+    "num_windows": (8, lambda v: isinstance(v, int) and 2 <= v <= 64),
+    "memory_size": (1 << 20, lambda v: isinstance(v, int) and 1 <= v <= (1 << 26)),
+    "max_steps": (DEFAULT_MAX_STEPS, lambda v: isinstance(v, int) and v >= 1),
+    "use_windows": (True, lambda v: isinstance(v, bool)),
+}
+
+
+class JobError(ValueError):
+    """A malformed or unsatisfiable job request (HTTP 400)."""
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(detail)
+        self.detail = detail
+
+
+def _canonical(doc: dict) -> str:
+    return json.dumps(doc, sort_keys=True)
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated simulation request.
+
+    Build via :meth:`from_request` (which validates a client JSON
+    document and resolves benchmark names to source) or directly for
+    in-process callers like ``run_all --store``.
+    """
+
+    #: workload label recorded in the manifest (benchmark name or "adhoc")
+    workload: str
+    #: Mini-C source text of the workload
+    source: str
+    #: provenance seed (no architectural effect for plain runs)
+    seed: int | None = None
+    #: requested engine tier, or "auto" for the fastest available scalar
+    engine: str = "auto"
+    num_windows: int = 8
+    memory_size: int = 1 << 20
+    max_steps: int = DEFAULT_MAX_STEPS
+    use_windows: bool = True
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_request(cls, doc: object) -> "JobSpec":
+        """Validate a client JSON document into a spec.
+
+        The document names either a bundled ``workload`` or ad-hoc
+        ``source`` (exactly one), plus optional ``seed``, ``engine``,
+        and ``config`` overrides.  Raises :class:`JobError` with a
+        client-facing detail string on any problem.
+        """
+        if not isinstance(doc, dict):
+            raise JobError("job must be a JSON object")
+        workload = doc.get("workload")
+        source = doc.get("source")
+        if (workload is None) == (source is None):
+            raise JobError("exactly one of 'workload' or 'source' is required")
+        if workload is not None:
+            if not isinstance(workload, str):
+                raise JobError("'workload' must be a benchmark name string")
+            from repro.workloads import BENCHMARKS, benchmark
+
+            try:
+                source = benchmark(workload).source
+            except KeyError:
+                names = ", ".join(sorted(b.name for b in BENCHMARKS))
+                raise JobError(
+                    f"unknown workload {workload!r} (one of: {names})"
+                ) from None
+            label = workload
+        else:
+            if not isinstance(source, str) or not source.strip():
+                raise JobError("'source' must be non-empty Mini-C text")
+            label = doc.get("label", "adhoc")
+            if not isinstance(label, str) or not label:
+                raise JobError("'label' must be a non-empty string")
+        seed = doc.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise JobError("'seed' must be an integer or null")
+        engine = doc.get("engine", "auto")
+        if not isinstance(engine, str):
+            raise JobError("'engine' must be a string")
+        if engine != "auto":
+            from repro.cpu.engines import REGISTRY
+
+            if engine not in REGISTRY:
+                raise JobError(
+                    f"unknown engine {engine!r} "
+                    f"(one of: auto, {', '.join(sorted(REGISTRY))})"
+                )
+        config = doc.get("config", {})
+        if not isinstance(config, dict):
+            raise JobError("'config' must be an object")
+        values = {}
+        for name, (default, valid) in _CONFIG_FIELDS.items():
+            value = config.get(name, default)
+            if not valid(value):
+                raise JobError(f"config.{name} is out of range: {value!r}")
+            values[name] = value
+        unknown = set(config) - set(_CONFIG_FIELDS)
+        if unknown:
+            raise JobError(f"unknown config field(s): {sorted(unknown)}")
+        return cls(workload=label, source=source, seed=seed, engine=engine,
+                   **values)
+
+    # -- canonical forms -----------------------------------------------------
+
+    def config_dict(self) -> dict:
+        """The machine configuration portion of the canonical form."""
+        return {
+            "num_windows": self.num_windows,
+            "memory_size": self.memory_size,
+            "max_steps": self.max_steps,
+            "use_windows": self.use_windows,
+        }
+
+    def workload_fingerprint(self) -> str:
+        """SHA-256 of the workload's compile inputs.
+
+        Matches the in-process compile cache's notion of identity:
+        source text, codegen flags, and the trace tier's codegen
+        version, so a codegen-scheme bump can never serve a manifest
+        simulated under the previous scheme.
+        """
+        from repro.cpu.traceengine import TRACE_CODEGEN_VERSION
+
+        return _sha256(_canonical({
+            "source": self.source,
+            "use_windows": self.use_windows,
+            "optimize_delay_slots": True,
+            "optimize_ir": True,
+            "codegen_version": TRACE_CODEGEN_VERSION,
+        }))
+
+    def key(self) -> str:
+        """The engine-independent manifest-store key (64-char hex).
+
+        Everything that can change a shared manifest byte is in here;
+        the engine deliberately is not (per-engine simulation sections
+        are stored beside one shared document).
+        """
+        return _sha256(_canonical({
+            "schema": JOB_KEY_SCHEMA,
+            "workload": self.workload,
+            "workload_fingerprint": self.workload_fingerprint(),
+            "seed": self.seed,
+            "config": self.config_dict(),
+        }))
+
+    def resolve_engine(self) -> str:
+        """The concrete tier this job will run on.
+
+        ``auto`` picks the fastest available scalar tier; a requested
+        tier whose optional dependency is missing (numpy for ``batch``)
+        also degrades to the fastest scalar tier - results are
+        bit-identical on every tier, so degrading is always safe.
+        """
+        from repro.cpu.engines import REGISTRY, fastest_scalar_engine
+
+        if self.engine == "auto":
+            return fastest_scalar_engine()
+        spec = REGISTRY[self.engine]
+        if not spec.available():
+            return fastest_scalar_engine()
+        return self.engine
+
+    def payload(self, *, engine: str, deadline_s: float | None) -> dict:
+        """The picklable worker-side execution request."""
+        return {
+            "workload": self.workload,
+            "source": self.source,
+            "seed": self.seed,
+            "engine": engine,
+            "config": self.config_dict(),
+            "deadline_s": deadline_s,
+        }

@@ -1,0 +1,186 @@
+"""Concurrent load generator for the execution service.
+
+Drives a mixed cold/warm job stream from N client threads (each with
+its own keep-alive :class:`~repro.service.client.ServiceClient`) and
+reports requests/sec, p50/p99 latency, and the cache-outcome breakdown.
+``benchmarks/test_service_load.py`` turns the same harness into the
+``BENCH_service.json`` perf trajectory, and ``ci/check_service.py``
+uses it to assert service behaviour under concurrency.
+
+Run standalone against a live server::
+
+    python -m repro.service.loadgen --port 8437 \
+        --workload towers --engine reference --unique 8 --repeats 4
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.service.client import ServiceClient
+
+__all__ = ["LoadReport", "job_stream", "run_load"]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load run."""
+
+    requests: int = 0
+    errors: int = 0
+    duration_s: float = 0.0
+    requests_per_sec: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    max_ms: float = 0.0
+    #: HTTP status -> count
+    by_status: dict = field(default_factory=dict)
+    #: cache outcome ("hit"/"miss"/"coalesced") -> count, 200s only
+    by_cache: dict = field(default_factory=dict)
+    #: per-request latencies (ms), completion order
+    latencies_ms: list = field(default_factory=list)
+
+    def render(self) -> str:
+        """One-paragraph human summary."""
+        cache = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.by_cache.items())
+        ) or "none"
+        status = ", ".join(
+            f"{code}:{count}" for code, count in sorted(self.by_status.items())
+        )
+        return (
+            f"{self.requests} requests in {self.duration_s:.2f}s "
+            f"({self.requests_per_sec:.1f} req/s), "
+            f"p50 {self.p50_ms:.2f}ms, p99 {self.p99_ms:.2f}ms, "
+            f"max {self.max_ms:.2f}ms; status {status}; cache {cache}"
+        )
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values* (0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def job_stream(
+    *,
+    workload: str = "towers",
+    engine: str = "auto",
+    unique: int = 8,
+    repeats: int = 1,
+    seed_base: int = 0,
+) -> list[dict]:
+    """A deterministic mixed cold/warm job list.
+
+    *unique* distinct seeds, each submitted *repeats* times: the first
+    submission of a seed is cold (simulates), the rest are warm (served
+    by the store or coalesced in flight).  Seeds interleave so warmth
+    arrives during, not after, the cold phase - the realistic mix.
+    """
+    jobs = []
+    for repeat in range(repeats):
+        for index in range(unique):
+            jobs.append({
+                "workload": workload,
+                "engine": engine,
+                "seed": seed_base + index,
+            })
+        del repeat
+    return jobs
+
+
+def run_load(
+    host: str,
+    port: int,
+    jobs: list[dict],
+    *,
+    clients: int = 4,
+    tenant: str | None = None,
+) -> LoadReport:
+    """Submit *jobs* from *clients* concurrent threads; returns the report.
+
+    Jobs are dealt round-robin to the client threads, which then fire
+    as fast as the service answers.  Transport errors count as
+    ``errors`` (status 0) rather than raising, so a report is always
+    produced.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    shares: list[list[dict]] = [jobs[i::clients] for i in range(clients)]
+    shares = [share for share in shares if share]
+    lock = threading.Lock()
+    report = LoadReport()
+
+    def _drive(share: list[dict]) -> None:
+        with ServiceClient(host, port) as client:
+            for job in share:
+                started = time.perf_counter()
+                try:
+                    status, doc = client.submit(job, tenant=tenant)
+                except Exception:  # noqa: BLE001 - counted, not raised
+                    status, doc = 0, {}
+                elapsed_ms = (time.perf_counter() - started) * 1e3
+                with lock:
+                    report.requests += 1
+                    report.latencies_ms.append(elapsed_ms)
+                    report.by_status[status] = report.by_status.get(status, 0) + 1
+                    if status == 200:
+                        cache = doc.get("cache", "unknown")
+                        report.by_cache[cache] = report.by_cache.get(cache, 0) + 1
+                    elif status == 0:
+                        report.errors += 1
+
+    threads = [
+        threading.Thread(target=_drive, args=(share,), daemon=True)
+        for share in shares
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration_s = time.perf_counter() - started
+    if report.duration_s > 0:
+        report.requests_per_sec = report.requests / report.duration_s
+    report.p50_ms = percentile(report.latencies_ms, 0.50)
+    report.p99_ms = percentile(report.latencies_ms, 0.99)
+    report.max_ms = max(report.latencies_ms, default=0.0)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: drive a live server and print the report."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="load-generate against a repro.service server"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--workload", default="towers")
+    parser.add_argument("--engine", default="auto")
+    parser.add_argument("--unique", type=int, default=8,
+                        help="distinct seeds (cold requests)")
+    parser.add_argument("--repeats", type=int, default=4,
+                        help="submissions per seed (warmth)")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--tenant", default=None)
+    args = parser.parse_args(argv)
+    jobs = job_stream(
+        workload=args.workload, engine=args.engine,
+        unique=args.unique, repeats=args.repeats,
+    )
+    report = run_load(
+        args.host, args.port, jobs, clients=args.clients, tenant=args.tenant
+    )
+    print(report.render())
+    return 1 if report.errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,311 @@
+"""Asyncio HTTP/1.1 front end for the execution scheduler.
+
+A deliberately small, dependency-free HTTP server over
+``asyncio.start_server`` streams (no ``http.server``, no third-party
+frameworks): request-line + headers + ``Content-Length`` body in,
+canonical-JSON responses out, persistent connections per HTTP/1.1
+keep-alive semantics.  Routes:
+
+``POST /v1/jobs``
+    Submit a job document (see :meth:`repro.service.jobs.JobSpec.
+    from_request`); answers the :class:`~repro.service.scheduler.
+    ServiceResult` document.  The tenant is the ``x-tenant`` header
+    (default ``"default"``).  Statuses: 200 answered, 400 malformed,
+    413 oversized, 429 rate-limited (with ``retry-after``), 500
+    quarantined as INFRA_ERROR.
+``GET /v1/healthz``
+    Liveness + live worker count.
+``GET /v1/stats``
+    Metrics registry snapshot, store counters, worker PIDs.
+``GET /v1/engines``
+    The engine registry's capability matrix.
+
+:func:`serve_in_thread` runs the whole stack (scheduler + server) on a
+background thread with its own event loop - the harness tests,
+benchmarks, and the CI gate all drive a real TCP port through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.service.jobs import JobError, JobSpec
+from repro.service.scheduler import (
+    ExecutionScheduler,
+    InfraError,
+    RateLimitedError,
+)
+
+__all__ = ["ServiceServer", "ServiceHandle", "serve_in_thread"]
+
+#: Largest accepted request body (Mini-C sources are small).
+MAX_BODY_BYTES = 1 << 20
+#: Per-line read limit (request line / one header line).
+MAX_LINE_BYTES = 1 << 16
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class _BadRequest(Exception):
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+class ServiceServer:
+    """One listening socket bound to one :class:`ExecutionScheduler`."""
+
+    def __init__(
+        self,
+        scheduler: ExecutionScheduler,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind and start serving; resolves ``self.port`` when 0."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        """Parse one request; returns (method, path, headers, body) or
+        ``None`` when the peer closed the connection cleanly."""
+        try:
+            line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("ascii").split()
+        except ValueError:
+            raise _BadRequest(400, "malformed request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _BadRequest(400, "malformed header line")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _BadRequest(400, "malformed content-length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _BadRequest(413, f"body larger than {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, target.split("?", 1)[0], headers, body
+
+    @staticmethod
+    def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        doc: dict,
+        *,
+        keep_alive: bool,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(doc, sort_keys=True).encode()
+        headers = {
+            "content-type": "application/json",
+            "content-length": str(len(body)),
+            "connection": "keep-alive" if keep_alive else "close",
+        }
+        if extra_headers:
+            headers.update(extra_headers)
+        head = f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        head += "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+        writer.write(head.encode("ascii") + b"\r\n" + body)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as error:
+                    self._respond(
+                        writer, error.status, {"error": error.detail},
+                        keep_alive=False,
+                    )
+                    break
+                except (asyncio.IncompleteReadError, ValueError):
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                status, doc, extra = await self._route(method, path, headers, body)
+                self._respond(
+                    writer, status, doc,
+                    keep_alive=keep_alive, extra_headers=extra,
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- routing -------------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, headers: dict, body: bytes
+    ) -> tuple[int, dict, dict | None]:
+        if path == "/v1/jobs":
+            if method != "POST":
+                return 405, {"error": "POST required"}, None
+            return await self._submit(headers, body)
+        if method != "GET":
+            return 405, {"error": "GET required"}, None
+        if path == "/v1/healthz":
+            return 200, {
+                "ok": True,
+                "workers": len(self.scheduler.worker_pids()),
+            }, None
+        if path == "/v1/stats":
+            store = self.scheduler.store
+            return 200, {
+                "metrics": self.scheduler.registry.as_dict(),
+                "store": store.stats() if store is not None else None,
+                "worker_pids": self.scheduler.worker_pids(),
+            }, None
+        if path == "/v1/engines":
+            from repro.cpu.engines import capability_matrix
+
+            return 200, {"engines": capability_matrix()}, None
+        return 404, {"error": f"no route {path!r}"}, None
+
+    async def _submit(
+        self, headers: dict, body: bytes
+    ) -> tuple[int, dict, dict | None]:
+        tenant = headers.get("x-tenant", "default")
+        try:
+            doc = json.loads(body.decode() or "null")
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"error": "body must be a JSON document"}, None
+        try:
+            job = JobSpec.from_request(doc)
+            result = await self.scheduler.submit(job, tenant=tenant)
+        except JobError as error:
+            return 400, {"error": error.detail}, None
+        except RateLimitedError as error:
+            return 429, {
+                "error": str(error),
+                "retry_after_s": round(error.retry_after_s, 3),
+            }, {"retry-after": str(max(1, round(error.retry_after_s)))}
+        except InfraError as error:
+            return 500, {
+                "error": error.detail,
+                "outcome": "INFRA_ERROR",
+                "attempts": error.attempts,
+            }, None
+        return 200, result.response_doc(), None
+
+
+class ServiceHandle:
+    """A running service on a background thread (tests, benchmarks, CI).
+
+    Exposes the bound ``port``, the live ``scheduler`` (for
+    introspection like worker PIDs), and :meth:`stop`.
+    """
+
+    def __init__(self) -> None:
+        self.port: int = 0
+        self.scheduler: ExecutionScheduler | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    def stop(self) -> None:
+        """Shut the server and scheduler down and join the thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+
+def serve_in_thread(
+    *, host: str = "127.0.0.1", port: int = 0, **scheduler_kwargs
+) -> ServiceHandle:
+    """Start scheduler + server on a fresh thread; returns its handle.
+
+    Keyword arguments are forwarded to :class:`ExecutionScheduler`.
+    Blocks until the socket is bound, so ``handle.port`` is valid on
+    return.
+    """
+    handle = ServiceHandle()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    async def _main() -> None:
+        scheduler = ExecutionScheduler(**scheduler_kwargs)
+        server = ServiceServer(scheduler, host=host, port=port)
+        try:
+            await server.start()
+        except BaseException as error:
+            failure.append(error)
+            started.set()
+            raise
+        handle.port = server.port
+        handle.scheduler = scheduler
+        handle._loop = asyncio.get_running_loop()
+        handle._stop = asyncio.Event()
+        started.set()
+        try:
+            await handle._stop.wait()
+        finally:
+            await server.stop()
+            scheduler.shutdown()
+
+    def _runner() -> None:
+        try:
+            asyncio.run(_main())
+        except BaseException as error:  # noqa: BLE001 - surfaced via failure
+            if not failure:
+                failure.append(error)
+            started.set()
+
+    thread = threading.Thread(target=_runner, name="repro-service", daemon=True)
+    handle._thread = thread
+    thread.start()
+    started.wait(timeout=30)
+    if failure:
+        raise RuntimeError(f"service failed to start: {failure[0]}")
+    return handle

@@ -96,7 +96,8 @@ class RunManifest:
     entry: int = 0
     #: campaign linkage (seed, injections, fingerprint), when applicable
     campaign: dict | None = None
-    #: host facts (wall_seconds); excluded from every canonical form
+    #: host facts (wall_seconds, compile_cache counters); excluded from
+    #: every canonical form
     host: dict = field(default_factory=dict)
 
     # -- serialisation -------------------------------------------------------
@@ -413,6 +414,14 @@ def capture_manifest(
         wall_seconds = getattr(machine, "last_run_wall_seconds", None)
     if wall_seconds is not None:
         host["wall_seconds"] = wall_seconds
+    # Compile-cache counters make warm-process reuse (a service worker
+    # serving its Nth job) measurable per run.  They describe the host
+    # process, not the simulated run, so they live in the host section:
+    # two engines - or a cold and a warm worker - still agree on every
+    # canonical byte.
+    from repro.workloads.cache import compile_cache_info
+
+    host["compile_cache"] = compile_cache_info()
     return RunManifest(
         workload=workload,
         engine=engine_name,

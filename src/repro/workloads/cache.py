@@ -26,6 +26,13 @@ the *pipeline*, not the cache - either per-process via the
 ``REPRO_NO_COMPILE_CACHE`` environment variable (any non-empty value) or
 in code with :func:`set_cache_enabled` / the :func:`compile_cache_disabled`
 context manager.
+
+:func:`compile_cache_info` reports hit/miss/store counters alongside
+size and enablement.  The counters are process-lifetime operational
+facts (a long-lived service worker shows hits accumulating as it stays
+warm), which is why run manifests surface them in the non-canonical
+``host`` section: they describe the process that happened to serve a
+compile, never the compiled artifact.
 """
 
 from __future__ import annotations
@@ -42,6 +49,9 @@ ENV_DISABLE = "REPRO_NO_COMPILE_CACHE"
 
 _CACHE: dict[tuple[str, bool, bool, bool, int], "CompiledRisc"] = {}
 _enabled = True
+_hits = 0
+_misses = 0
+_stores = 0
 
 
 def _codegen_version() -> int:
@@ -75,15 +85,32 @@ def compile_cache_disabled() -> Iterator[None]:
 
 
 def clear_compile_cache() -> int:
-    """Drop every cached compile; returns how many entries were dropped."""
+    """Drop every cached compile (and reset the hit/miss/store counters);
+    returns how many entries were dropped."""
+    global _hits, _misses, _stores
     dropped = len(_CACHE)
     _CACHE.clear()
+    _hits = _misses = _stores = 0
     return dropped
 
 
 def compile_cache_info() -> dict[str, int | bool]:
-    """Size and enablement of the in-process compile cache."""
-    return {"entries": len(_CACHE), "enabled": cache_enabled()}
+    """Size, enablement, and hit/miss/store counters of the compile cache.
+
+    ``hits`` counts lookups served from the cache, ``misses`` lookups
+    that ran the full pipeline while the cache was enabled, and
+    ``stores`` the subset of misses whose result was retained (always
+    equal to ``misses`` today, but kept separate so an eviction policy
+    cannot silently skew the ratio).  Bypassed compiles (cache disabled)
+    touch no counter.
+    """
+    return {
+        "entries": len(_CACHE),
+        "enabled": cache_enabled(),
+        "hits": _hits,
+        "misses": _misses,
+        "stores": _stores,
+    }
 
 
 def compile_cached(
@@ -94,6 +121,7 @@ def compile_cached(
     optimize_ir: bool = True,
 ) -> "CompiledRisc":
     """Compile *source* for RISC I, memoized on (source, codegen flags)."""
+    global _hits, _misses, _stores
     from repro.cc import compile_for_risc
 
     if not cache_enabled():
@@ -112,6 +140,7 @@ def compile_cached(
     )
     compiled = _CACHE.get(key)
     if compiled is None:
+        _misses += 1
         compiled = compile_for_risc(
             source,
             use_windows=use_windows,
@@ -119,4 +148,7 @@ def compile_cached(
             optimize_ir=optimize_ir,
         )
         _CACHE[key] = compiled
+        _stores += 1
+    else:
+        _hits += 1
     return compiled

@@ -1,0 +1,413 @@
+"""Execution-service behaviour: scheduler, HTTP stack, chaos.
+
+Covers the service guarantees the docs promise: single-flight
+deduplication (N identical concurrent submissions -> exactly one
+simulation), byte-identical warm responses, per-tenant rate limiting,
+deadline preemption (and the never-cache rule for wall-clock halts),
+and worker-death survival (SIGKILL mid-job -> pool rebuild -> every
+in-flight session still answered).  The HTTP tests drive a real TCP
+port through :func:`repro.service.server.serve_in_thread` and the
+blocking :class:`repro.service.client.ServiceClient`.
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+import pytest
+
+from repro.service.jobs import JobError, JobSpec
+from repro.service.scheduler import (
+    ExecutionScheduler,
+    RateLimitedError,
+    TokenBucket,
+)
+from repro.service.server import serve_in_thread
+from repro.service.client import ServiceClient
+from repro.service.loadgen import job_stream, run_load
+from repro.service.store import ManifestStore
+
+# Small and fast on every engine.
+SOURCE = """
+int main(void) {
+    int total;
+    int index;
+    total = 0;
+    for (index = 0; index < 25; index = index + 1) {
+        total = total + index;
+    }
+    return total;
+}
+"""
+
+# ~1s on the reference engine: long enough to SIGKILL mid-run.
+SLOW_SOURCE = """
+int main(void) {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 20000; i = i + 1) {
+        acc = acc + i;
+    }
+    return acc;
+}
+"""
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _counter(scheduler, name):
+    metric = scheduler.registry.as_dict().get(f"service.{name}")
+    return 0 if metric is None else metric["value"]
+
+
+# -- scheduler semantics -----------------------------------------------------
+
+
+def test_single_flight_collapses_identical_submissions(tmp_path):
+    """N concurrent identical jobs -> exactly one simulation."""
+    store = ManifestStore(str(tmp_path))
+    scheduler = ExecutionScheduler(store=store, workers=2)
+    job = JobSpec(workload="adhoc", source=SOURCE, engine="reference")
+
+    async def _submit_many():
+        try:
+            return await asyncio.gather(
+                *[scheduler.submit(job) for _ in range(8)]
+            )
+        finally:
+            scheduler.shutdown()
+
+    results = _run(_submit_many())
+    assert len(results) == 8
+    assert sorted(r.cache for r in results) == ["coalesced"] * 7 + ["miss"]
+    assert len({r.manifest.fingerprint() for r in results}) == 1
+    assert _counter(scheduler, "cache_misses") == 1  # one simulation
+    assert _counter(scheduler, "single_flight") == 7
+    assert store.stats()["stores"] == 1
+
+
+def test_warm_submission_is_a_byte_identical_hit(tmp_path):
+    scheduler = ExecutionScheduler(
+        store=ManifestStore(str(tmp_path)), workers=1
+    )
+    job = JobSpec(workload="adhoc", source=SOURCE, engine="reference")
+
+    async def _twice():
+        try:
+            first = await scheduler.submit(job)
+            second = await scheduler.submit(job)
+            return first, second
+        finally:
+            scheduler.shutdown()
+
+    first, second = _run(_twice())
+    assert (first.cache, second.cache) == ("miss", "hit")
+    assert second.manifest.canonical_json() == first.manifest.canonical_json()
+    assert second.manifest.fingerprint() == first.manifest.fingerprint()
+    assert first.manifest.result == 300  # sum(range(25))
+
+
+def test_bad_source_is_a_job_error_not_a_retry(tmp_path):
+    scheduler = ExecutionScheduler(store=None, workers=1)
+    job = JobSpec(workload="adhoc", source="int main(void) { returns 1 }")
+
+    async def _submit():
+        try:
+            await scheduler.submit(job)
+        finally:
+            scheduler.shutdown()
+
+    with pytest.raises(JobError):
+        _run(_submit())
+    assert _counter(scheduler, "job_errors") == 1
+    assert _counter(scheduler, "retries") == 0  # client fault, no retry
+
+
+def test_deadline_preemption_is_never_cached(tmp_path):
+    """A wall-clock-preempted run answers but must not poison the store."""
+    store = ManifestStore(str(tmp_path))
+    scheduler = ExecutionScheduler(
+        store=store, workers=1, deadline_s=0.05
+    )
+    job = JobSpec(
+        workload="adhoc", source=SLOW_SOURCE, engine="reference"
+    )
+
+    async def _submit():
+        try:
+            return await scheduler.submit(job)
+        finally:
+            scheduler.shutdown()
+
+    result = _run(_submit())
+    assert result.preempted
+    assert result.manifest.halt == "WALL_CLOCK_LIMIT"
+    assert store.entry_count() == 0  # host-dependent halt: uncacheable
+    assert _counter(scheduler, "preempted") == 1
+
+
+def test_step_limit_preemption_is_deterministic_and_cached(tmp_path):
+    """STEP_LIMIT halts are pure functions of the inputs: cacheable."""
+    store = ManifestStore(str(tmp_path))
+    scheduler = ExecutionScheduler(store=store, workers=1, deadline_s=None)
+    job = JobSpec(
+        workload="adhoc", source=SLOW_SOURCE, engine="reference",
+        max_steps=5000,
+    )
+
+    async def _twice():
+        try:
+            return (await scheduler.submit(job), await scheduler.submit(job))
+        finally:
+            scheduler.shutdown()
+
+    first, second = _run(_twice())
+    assert first.manifest.halt == "STEP_LIMIT"
+    assert first.preempted and second.preempted
+    assert (first.cache, second.cache) == ("miss", "hit")
+    assert second.manifest.fingerprint() == first.manifest.fingerprint()
+
+
+def test_rate_limit_rejects_over_burst():
+    scheduler = ExecutionScheduler(
+        store=None, workers=1, rate=0.001, burst=2
+    )
+    job = JobSpec(workload="adhoc", source=SOURCE, engine="reference")
+
+    async def _burst():
+        try:
+            await scheduler.submit(job, tenant="greedy")
+            await scheduler.submit(job, tenant="greedy")
+            with pytest.raises(RateLimitedError) as info:
+                await scheduler.submit(job, tenant="greedy")
+            assert info.value.retry_after_s > 0
+            # Buckets are per tenant: another tenant is unaffected.
+            await scheduler.submit(job, tenant="patient")
+        finally:
+            scheduler.shutdown()
+
+    _run(_burst())
+    assert _counter(scheduler, "rate_limited") == 1
+
+
+def test_token_bucket_refills_with_time():
+    now = [0.0]
+    bucket = TokenBucket(rate=2.0, burst=2, clock=lambda: now[0])
+    assert bucket.try_acquire() and bucket.try_acquire()
+    assert not bucket.try_acquire()
+    assert bucket.retry_after_s() == pytest.approx(0.5)
+    now[0] += 0.6  # 1.2 tokens refilled
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_worker_sigkill_mid_job_answers_every_session(tmp_path):
+    """Chaos: SIGKILL a pool worker mid-simulation.
+
+    The pool breaks for every in-flight future; the scheduler rebuilds
+    it once and retries each job, so all sessions still answer (the
+    acceptance criterion for worker-death survival).
+    """
+    store = ManifestStore(str(tmp_path))
+    scheduler = ExecutionScheduler(store=store, workers=2, deadline_s=30.0)
+    jobs = [
+        JobSpec(workload="adhoc", source=SLOW_SOURCE, engine="reference",
+                seed=seed)
+        for seed in range(4)
+    ]
+
+    async def _chaos():
+        async def _kill_soon():
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                pids = scheduler.worker_pids()
+                if pids:
+                    await asyncio.sleep(0.3)  # let jobs reach the workers
+                    os.kill(pids[0], signal.SIGKILL)
+                    return
+                await asyncio.sleep(0.01)
+            raise AssertionError("pool never started")
+
+        try:
+            results, _ = await asyncio.gather(
+                asyncio.gather(*[scheduler.submit(job) for job in jobs]),
+                _kill_soon(),
+            )
+            return results
+        finally:
+            scheduler.shutdown()
+
+    results = _run(_chaos())
+    assert len(results) == 4
+    assert all(r.manifest.halt == "RETURNED" for r in results)
+    # Distinct seeds -> distinct keys -> four stored entries.
+    assert store.entry_count() == 4
+    assert _counter(scheduler, "pool_restarts") >= 1
+    assert _counter(scheduler, "retries") >= 1
+
+
+def test_batch_engine_coalesces_lanes_bit_identical_to_scalar(tmp_path):
+    """Same-workload batch jobs run as one lockstep call, scalar-identical."""
+    pytest.importorskip("numpy")
+    store = ManifestStore(str(tmp_path))
+    scheduler = ExecutionScheduler(store=store, workers=1, coalesce_s=0.05)
+    jobs = [
+        JobSpec(workload="adhoc", source=SOURCE, engine="batch", seed=seed)
+        for seed in range(3)
+    ]
+    scalar = JobSpec(workload="adhoc", source=SOURCE, engine="reference",
+                     seed=0)
+
+    async def _submit_all():
+        try:
+            batched = await asyncio.gather(
+                *[scheduler.submit(job) for job in jobs]
+            )
+            reference = await scheduler.submit(scalar)
+            return batched, reference
+        finally:
+            scheduler.shutdown()
+
+    batched, reference = _run(_submit_all())
+    assert all(r.manifest.engine == "batch" for r in batched)
+    assert _counter(scheduler, "batched_jobs") == 3
+    # Lane 0 shares the scalar run's inputs: identical shared sections,
+    # and the store keeps both engines' sections under one key.
+    assert batched[0].manifest.fingerprint() == reference.manifest.fingerprint()
+    assert reference.cache == "miss"  # engine section absent until now
+    assert store.engines(jobs[0].key()) == ("batch", "reference")
+
+
+# -- HTTP end to end ---------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("manifest-store")
+    handle = serve_in_thread(
+        store=ManifestStore(str(store_dir)), workers=2
+    )
+    yield handle
+    handle.stop()
+
+
+def test_http_cold_then_warm_is_fingerprint_identical(service):
+    with ServiceClient("127.0.0.1", service.port) as client:
+        status, cold = client.submit(
+            {"source": SOURCE, "engine": "reference", "seed": 11}
+        )
+        assert status == 200 and cold["cache"] == "miss"
+        status, warm = client.submit(
+            {"source": SOURCE, "engine": "reference", "seed": 11}
+        )
+    assert status == 200 and warm["cache"] == "hit"
+    assert warm["fingerprint"] == cold["fingerprint"]
+    assert warm["manifest"] == cold["manifest"]  # byte-identical payload
+    assert warm["key"] == cold["key"]
+
+
+def test_http_benchmark_job_and_auto_engine(service):
+    with ServiceClient("127.0.0.1", service.port) as client:
+        status, doc = client.submit({"workload": "towers"})
+    assert status == 200
+    assert doc["manifest"]["run"]["workload"] == "towers"
+    assert doc["manifest"]["run"]["result"] == 1023  # 2**10 - 1 moves
+    assert doc["engine"] != "auto"  # resolved to a concrete tier
+
+
+def test_http_rejects_malformed_jobs(service):
+    with ServiceClient("127.0.0.1", service.port) as client:
+        status, doc = client.submit({"workload": "no-such-benchmark"})
+        assert status == 400 and "unknown workload" in doc["error"]
+        status, doc = client.submit({"source": "int main(void) { ?! }"})
+        assert status == 400
+        status, doc = client.request("GET", "/v1/nowhere")
+        assert status == 404
+        status, doc = client.request("PUT", "/v1/jobs")
+        assert status == 405
+
+
+def test_http_healthz_stats_engines(service):
+    with ServiceClient("127.0.0.1", service.port) as client:
+        health = client.healthz()
+        assert health["ok"]
+        stats = client.stats()
+        assert stats["store"]["stores"] >= 1
+        assert any(
+            name.startswith("service.") for name in stats["metrics"]
+        )
+        status, engines = client.request("GET", "/v1/engines")
+        assert status == 200
+        names = {row["name"] for row in engines["engines"]}
+        assert {"reference", "fast"} <= names
+
+
+def test_http_rate_limited_tenant_gets_429():
+    handle = serve_in_thread(store=None, workers=1, rate=0.001, burst=1)
+    try:
+        with ServiceClient("127.0.0.1", handle.port) as client:
+            status, _ = client.submit(
+                {"source": SOURCE, "engine": "reference"}, tenant="noisy"
+            )
+            assert status == 200
+            status, doc = client.submit(
+                {"source": SOURCE, "engine": "reference"}, tenant="noisy"
+            )
+            assert status == 429
+            assert doc["retry_after_s"] > 0
+    finally:
+        handle.stop()
+
+
+def test_http_concurrent_load_mixed_cold_warm(service):
+    """The loadgen harness against a live server: all 200s, warmth seen."""
+    jobs = job_stream(
+        workload="towers", engine="reference", unique=2, repeats=3,
+        seed_base=100,
+    )
+    report = run_load("127.0.0.1", service.port, jobs, clients=3)
+    assert report.requests == 6
+    assert report.errors == 0
+    assert set(report.by_status) == {200}
+    served = sum(report.by_cache.values())
+    assert served == 6
+    # 2 unique seeds -> exactly 2 simulations; the rest were warm.
+    warm = report.by_cache.get("hit", 0) + report.by_cache.get("coalesced", 0)
+    assert warm == 4
+
+
+# -- run_all --store reuse (satellite) ---------------------------------------
+
+
+def test_run_all_manifest_reuses_store(tmp_path):
+    from repro.evaluation.run_all import write_manifest
+
+    store_dir = str(tmp_path / "store")
+    out1, out2 = str(tmp_path / "m1.json"), str(tmp_path / "m2.json")
+    names = ("towers",)
+    write_manifest(out1, names, engine="fast", store=store_dir)
+
+    # Preload proof: the store now answers the exact service job key.
+    spec = JobSpec(
+        workload="towers",
+        source=__import__("repro.workloads", fromlist=["benchmark"])
+        .benchmark("towers").source,
+    )
+    store = ManifestStore(store_dir)
+    assert store.get(spec.key(), "fast") is not None
+
+    # mtimes unchanged across the second run -> no re-simulation.
+    paths = {}
+    for root, _dirs, files in os.walk(store_dir):
+        for name in files:
+            path = os.path.join(root, name)
+            paths[path] = os.stat(path).st_mtime_ns
+    write_manifest(out2, names, engine="fast", store=store_dir)
+    for path, mtime in paths.items():
+        assert os.stat(path).st_mtime_ns == mtime
+    with open(out1, "rb") as a, open(out2, "rb") as b:
+        assert a.read() == b.read()

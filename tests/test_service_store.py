@@ -1,0 +1,303 @@
+"""Store-key correctness: keys agree iff shared fingerprints agree.
+
+The manifest store's whole correctness argument is that the
+``risc1-repro/job-key/v1`` input key and the PR 5 shared-section
+fingerprint are two names for the same equivalence class: simulation is
+a deterministic function of the key's inputs, so two jobs share a store
+key iff their runs' shared sections are byte-identical.  These tests
+pin both directions - on the pure key function (property-based) and on
+real simulations across engines (concrete) - plus the store mechanics
+(atomic layout, shared-byte verification, eviction, corruption) and the
+compile-cache counters that satellite the service work.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.jobs import JobError, JobSpec
+from repro.service.store import ManifestStore, StoreIntegrityError
+from repro.workloads import benchmark
+from repro.workloads.cache import (
+    clear_compile_cache,
+    compile_cache_info,
+    compile_cached,
+)
+
+# A tiny fast workload for the concrete simulation tests.
+SOURCE = """
+int main(void) {
+    int total;
+    int index;
+    total = 0;
+    for (index = 0; index < 10; index = index + 1) {
+        total = total + index;
+    }
+    return total;
+}
+"""
+
+
+def _simulate(spec: JobSpec, engine: str):
+    """Run *spec* on *engine* exactly the way the service workers do."""
+    compiled = compile_cached(spec.source, use_windows=spec.use_windows)
+    machine = compiled.make_machine(
+        num_windows=spec.num_windows,
+        memory_size=spec.memory_size,
+        engine=engine,
+    )
+    machine.run(compiled.program.entry, max_steps=spec.max_steps)
+    return machine.run_manifest(
+        workload=spec.workload, seed=spec.seed, entry=compiled.program.entry
+    )
+
+
+# -- the key <-> fingerprint property ----------------------------------------
+
+# The key inputs a client can vary; drawing pairs of these and comparing
+# keys checks both directions of the iff on the pure function.
+_spec_inputs = st.fixed_dictionaries({
+    "workload": st.sampled_from(["alpha", "beta"]),
+    "source": st.sampled_from([SOURCE, SOURCE + "\n"]),
+    "seed": st.one_of(st.none(), st.integers(0, 3)),
+    "num_windows": st.sampled_from([4, 8]),
+    "memory_size": st.sampled_from([1 << 18, 1 << 20]),
+    "max_steps": st.sampled_from([1000, 20_000_000]),
+    "use_windows": st.booleans(),
+})
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=_spec_inputs, b=_spec_inputs)
+def test_key_agrees_iff_inputs_agree(a, b):
+    """Two jobs share a store key iff every key input matches.
+
+    Determinism makes the runs a pure function of these inputs, so this
+    is exactly "key agrees iff shared fingerprints agree" without
+    paying for 400 simulations.
+    """
+    key_a = JobSpec(**a).key()
+    key_b = JobSpec(**b).key()
+    assert (key_a == key_b) == (a == b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(inputs=_spec_inputs, engine_a=st.sampled_from(["reference", "fast"]),
+       engine_b=st.sampled_from(["reference", "fast"]))
+def test_key_is_engine_independent(inputs, engine_a, engine_b):
+    """The engine never enters the key: shared sections are per-inputs."""
+    spec_a = JobSpec(**inputs, engine=engine_a)
+    spec_b = JobSpec(**inputs, engine=engine_b)
+    assert spec_a.key() == spec_b.key()
+
+
+@pytest.mark.parametrize("variant", [
+    {"seed": 7},
+    {"num_windows": 4},
+    {"max_steps": 500_000},
+    {"workload": "other", "source": SOURCE + "\n"},
+])
+def test_different_inputs_are_store_misses(tmp_path, variant):
+    """Different seed/config/workload -> different key -> store miss."""
+    base = JobSpec(workload="adhoc", source=SOURCE)
+    other = JobSpec(**{**base.__dict__, **variant})
+    store = ManifestStore(str(tmp_path))
+    store.put(base.key(), _simulate(base, "reference"))
+    assert base.key() != other.key()
+    assert store.get(other.key(), "reference") is None
+    assert store.stats()["misses"] == 1
+
+
+def test_key_equality_matches_fingerprint_equality_end_to_end():
+    """The iff, on real runs: vary one input, fingerprints diverge too."""
+    base = JobSpec(workload="adhoc", source=SOURCE)
+    reseeded = JobSpec(workload="adhoc", source=SOURCE, seed=3)
+    rewindowed = JobSpec(workload="adhoc", source=SOURCE, num_windows=4)
+    fp = {
+        "base": _simulate(base, "reference").fingerprint(),
+        "base2": _simulate(base, "fast").fingerprint(),
+        "reseeded": _simulate(reseeded, "reference").fingerprint(),
+        "rewindowed": _simulate(rewindowed, "reference").fingerprint(),
+    }
+    # same key (engine excluded) -> same fingerprint ...
+    assert base.key() == base.key()
+    assert fp["base"] == fp["base2"]
+    # ... different key -> different fingerprint
+    assert len({base.key(), reseeded.key(), rewindowed.key()}) == 3
+    assert len({fp["base"], fp["reseeded"], fp["rewindowed"]}) == 3
+
+
+# -- cross-engine sharing ----------------------------------------------------
+
+
+def test_second_engine_is_shared_hit_with_separate_sections(tmp_path):
+    """Same inputs on another engine: one shared.json, two engine files.
+
+    The lookup before the second engine's section exists is a
+    *shared hit* (architectural result proven, engine counters absent);
+    after both puts the entry serves both engines from one shared
+    document with byte-identical shared sections.
+    """
+    spec = JobSpec(workload="adhoc", source=SOURCE)
+    key = spec.key()
+    store = ManifestStore(str(tmp_path))
+
+    store.put(key, _simulate(spec, "reference"))
+    assert store.get(key, "fast") is None  # engine section missing
+    assert store.stats()["shared_hits"] == 1
+    assert store.has_shared(key)
+
+    store.put(key, _simulate(spec, "fast"))
+    assert store.engines(key) == ("fast", "reference")
+    assert store.entry_count() == 1  # one key, not one per engine
+
+    ref = store.get(key, "reference")
+    fast = store.get(key, "fast")
+    assert ref.shared_json() == fast.shared_json()
+    assert ref.fingerprint() == store.shared_fingerprint(key)
+    assert ref.engine == "reference" and fast.engine == "fast"
+    assert ref.decode_cache != {} or fast.decode_cache != {}
+
+
+def test_put_verifies_shared_bytes(tmp_path):
+    """A put whose shared sections disagree with disk raises loudly."""
+    spec = JobSpec(workload="adhoc", source=SOURCE)
+    store = ManifestStore(str(tmp_path))
+    store.put(spec.key(), _simulate(spec, "reference"))
+    impostor = _simulate(
+        JobSpec(workload="adhoc", source=SOURCE, seed=99), "reference"
+    )
+    with pytest.raises(StoreIntegrityError):
+        store.put(spec.key(), impostor)
+    assert store.stats()["integrity_errors"] == 1
+
+
+def test_corrupt_entry_reads_as_miss(tmp_path):
+    spec = JobSpec(workload="adhoc", source=SOURCE)
+    key = spec.key()
+    store = ManifestStore(str(tmp_path))
+    store.put(key, _simulate(spec, "reference"))
+    entry_dir = os.path.join(str(tmp_path), key[:2], key)
+    with open(os.path.join(entry_dir, "shared.json"), "w") as handle:
+        handle.write("{not json")
+    assert store.get(key, "reference") is None
+    assert store.stats()["integrity_errors"] == 1
+
+
+def test_eviction_is_oldest_first_and_never_the_fresh_key(tmp_path):
+    store = ManifestStore(str(tmp_path), max_entries=2)
+    specs = [
+        JobSpec(workload="adhoc", source=SOURCE, seed=seed)
+        for seed in range(3)
+    ]
+    manifests = [_simulate(spec, "reference") for spec in specs]
+    evicted = []
+    for spec, manifest in zip(specs, manifests):
+        evicted += store.put(spec.key(), manifest)
+    assert evicted == [specs[0].key()]  # oldest out
+    assert store.entry_count() == 2
+    assert store.get(specs[2].key(), "reference") is not None
+    assert store.stats()["evictions"] == 1
+
+
+def test_stored_files_are_canonical_json(tmp_path):
+    """Stored bytes are the canonical serialisations, byte for byte."""
+    spec = JobSpec(workload="adhoc", source=SOURCE)
+    key = spec.key()
+    manifest = _simulate(spec, "reference")
+    store = ManifestStore(str(tmp_path))
+    store.put(key, manifest)
+    entry_dir = os.path.join(str(tmp_path), key[:2], key)
+    with open(os.path.join(entry_dir, "shared.json")) as handle:
+        assert handle.read() == manifest.shared_json()
+    with open(os.path.join(entry_dir, "engine-reference.json")) as handle:
+        section = json.load(handle)
+    assert section["engine"] == "reference"
+    assert section["decode_cache"] == manifest.decode_cache
+
+
+def test_store_rejects_bad_keys_and_engine_names(tmp_path):
+    store = ManifestStore(str(tmp_path))
+    with pytest.raises(ValueError):
+        store.get("deadbeef", "reference")  # not 64 hex chars
+    with pytest.raises(ValueError):
+        store.get("g" * 64, "reference")
+    with pytest.raises(ValueError):
+        store.get("0" * 64, "../escape")
+
+
+# -- JobSpec validation ------------------------------------------------------
+
+
+def test_from_request_resolves_benchmarks_and_validates():
+    spec = JobSpec.from_request({"workload": "towers", "seed": 1})
+    assert spec.source == benchmark("towers").source
+    assert spec.seed == 1 and spec.engine == "auto"
+    for bad in [
+        [],                                        # not an object
+        {},                                        # neither workload nor source
+        {"workload": "towers", "source": "x"},     # both
+        {"workload": "nope"},                      # unknown benchmark
+        {"source": "   "},                         # empty source
+        {"workload": "towers", "engine": "nope"},  # unknown engine
+        {"workload": "towers", "seed": "one"},     # bad seed
+        {"workload": "towers", "config": {"num_windows": 1}},   # range
+        {"workload": "towers", "config": {"mystery": True}},    # unknown
+    ]:
+        with pytest.raises(JobError):
+            JobSpec.from_request(bad)
+
+
+def test_codegen_version_invalidates_workload_fingerprint(monkeypatch):
+    """A codegen bump must miss every stored entry, like the compile cache."""
+    import repro.cpu.traceengine as traceengine
+
+    spec = JobSpec(workload="adhoc", source=SOURCE)
+    before = spec.key()
+    monkeypatch.setattr(
+        traceengine, "TRACE_CODEGEN_VERSION",
+        traceengine.TRACE_CODEGEN_VERSION + 1,
+    )
+    assert spec.key() != before
+
+
+# -- compile-cache counters (satellite) --------------------------------------
+
+
+def test_compile_cache_counters_track_hits_misses_stores():
+    clear_compile_cache()
+    info = compile_cache_info()
+    assert (info["hits"], info["misses"], info["stores"]) == (0, 0, 0)
+
+    compile_cached(SOURCE)
+    info = compile_cache_info()
+    assert info["misses"] == 1 and info["stores"] == 1 and info["hits"] == 0
+
+    compile_cached(SOURCE)
+    info = compile_cache_info()
+    assert info["hits"] == 1 and info["misses"] == 1  # warm reuse
+
+    compile_cached(SOURCE, use_windows=False)  # different cache key
+    assert compile_cache_info()["misses"] == 2
+    clear_compile_cache()
+    assert compile_cache_info()["hits"] == 0
+
+
+def test_manifest_host_section_carries_compile_cache_counters():
+    clear_compile_cache()
+    spec = JobSpec(workload="adhoc", source=SOURCE)
+    from repro.telemetry.manifest import capture_manifest
+
+    compiled = compile_cached(spec.source)
+    machine = compiled.make_machine()
+    machine.run(compiled.program.entry)
+    manifest = capture_manifest(machine, workload="adhoc")
+    cache = manifest.host["compile_cache"]
+    assert cache["entries"] >= 1 and cache["stores"] >= 1
+    # Host facts never enter the canonical/fingerprinted forms.
+    assert "host" not in json.loads(manifest.shared_json())
+    assert "host" not in json.loads(manifest.canonical_json())
+    assert "host" in manifest.as_dict(include_host=True)
