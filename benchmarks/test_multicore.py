@@ -1,0 +1,67 @@
+"""Multicore performance: tier speedups and interrupt-latency cost.
+
+Two benchmark families, both shapes for ``ci/check_perf.py`` ratios
+(absolute times vary across hosts; same-process ratios do not):
+
+* the 4-core ``producer_consumer`` run - the lock-contention workload -
+  timed on the reference, fast, and block tiers.  The compiled tiers
+  must keep their speedup even though every slice re-enters the engine
+  through the interleaver (the ratio floor catches an accidentally
+  quadratic slice restart);
+* the 4-core ``timer_ticks`` run - the interrupt-latency workload -
+  timed on reference and fast.  Interrupt-pending fallback forces
+  reference stepping, so fast may not *beat* reference here; the entry
+  gates that delivery machinery never makes it pathologically slower.
+
+The latency shape assertions are architectural, not timed: every
+boundary-to-boundary sample is bounded by the scheduler quantum, which
+is the delivery-granularity guarantee ``docs/MULTICORE.md`` documents.
+"""
+
+import pytest
+
+from repro.multicore import DEFAULT_QUANTUM, build_scenario, run_scenario
+from repro.multicore.scenarios import scenario
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_images():
+    """Compile scenario images once so timing excludes the compiler."""
+    build_scenario("producer_consumer")
+    build_scenario("timer_ticks")
+
+
+def _contention(engine):
+    sim = run_scenario("producer_consumer", num_cores=4, engine=engine)
+    assert not sim.watchdog_expired
+    assert not scenario("producer_consumer").validate(sim.results, 4)
+    return sim
+
+
+def _interrupts(engine):
+    sim = run_scenario("timer_ticks", num_cores=4, engine=engine)
+    assert sim.device.interrupts_delivered == 16
+    samples = sim.device.latency_samples
+    assert len(samples) == 16
+    assert all(0 < sample <= DEFAULT_QUANTUM for sample in samples)
+    return sim
+
+
+def test_multicore_reference_contention(once):
+    once(_contention, "reference")
+
+
+def test_multicore_fast_contention(once):
+    once(_contention, "fast")
+
+
+def test_multicore_block_contention(once):
+    once(_contention, "block")
+
+
+def test_multicore_interrupt_latency_reference(once):
+    once(_interrupts, "reference")
+
+
+def test_multicore_interrupt_latency_fast(once):
+    once(_interrupts, "fast")

@@ -14,6 +14,10 @@ never drift from it:
   the ``lint-catalog:begin`` / ``lint-catalog:end`` markers — is
   ``repro.analysis.lints.catalog_table()`` rendered from
   ``LINT_CATALOG``.
+* The MMIO register map in ``docs/MULTICORE.md`` — the region between
+  the ``register-map:begin`` / ``register-map:end`` markers — is
+  ``repro.multicore.device.register_table()`` rendered from the
+  device's ``REGISTERS`` source of truth.
 
 Without flags the script regenerates both in memory, diffs them against
 the committed files, and exits 1 on any drift (printing a unified
@@ -32,9 +36,12 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 
 ISA_PATH = os.path.join(REPO, "docs", "ISA.md")
 ANALYSIS_PATH = os.path.join(REPO, "docs", "ANALYSIS.md")
+MULTICORE_PATH = os.path.join(REPO, "docs", "MULTICORE.md")
 
 BEGIN_MARK = "<!-- lint-catalog:begin"
 END_MARK = "<!-- lint-catalog:end -->"
+REGMAP_BEGIN = "<!-- register-map:begin"
+REGMAP_END = "<!-- register-map:end -->"
 
 
 def expected_isa() -> str:
@@ -43,25 +50,38 @@ def expected_isa() -> str:
     return render_reference() + "\n"
 
 
+def _with_region(
+    path: str, current: str, begin_mark: str, end_mark: str, generated: str
+) -> str:
+    """*current* with the marked region replaced by *generated*."""
+    begin = current.find(begin_mark)
+    end = current.find(end_mark)
+    if begin < 0 or end < 0 or end < begin:
+        raise SystemExit(
+            f"error: {path} is missing the generated-region markers "
+            f"({begin_mark} ... {end_mark})"
+        )
+    # Keep the begin-marker line itself; replace everything between the
+    # end of that line and the end marker with the generated text.
+    begin_line_end = current.index("\n", begin) + 1
+    return current[:begin_line_end] + generated + "\n" + current[end:]
+
+
 def expected_analysis(current: str) -> str:
     """*current* with the marked lint-catalog region regenerated."""
     from repro.analysis.lints import catalog_table
 
-    begin = current.find(BEGIN_MARK)
-    end = current.find(END_MARK)
-    if begin < 0 or end < 0 or end < begin:
-        raise SystemExit(
-            f"error: {ANALYSIS_PATH} is missing the lint-catalog markers "
-            f"({BEGIN_MARK} ... {END_MARK})"
-        )
-    # Keep the begin-marker line itself; replace everything between the
-    # end of that line and the end marker with the generated table.
-    begin_line_end = current.index("\n", begin) + 1
-    return (
-        current[:begin_line_end]
-        + catalog_table()
-        + "\n"
-        + current[end:]
+    return _with_region(
+        ANALYSIS_PATH, current, BEGIN_MARK, END_MARK, catalog_table()
+    )
+
+
+def expected_multicore(current: str) -> str:
+    """*current* with the marked MMIO register map regenerated."""
+    from repro.multicore.device import register_table
+
+    return _with_region(
+        MULTICORE_PATH, current, REGMAP_BEGIN, REGMAP_END, register_table()
     )
 
 
@@ -95,9 +115,14 @@ def main(argv: list[str] | None = None) -> int:
     write = "--write" in args
     with open(ANALYSIS_PATH) as handle:
         analysis_current = handle.read()
+    with open(MULTICORE_PATH) as handle:
+        multicore_current = handle.read()
     fresh = check(ISA_PATH, expected_isa(), write=write)
     fresh &= check(
         ANALYSIS_PATH, expected_analysis(analysis_current), write=write
+    )
+    fresh &= check(
+        MULTICORE_PATH, expected_multicore(multicore_current), write=write
     )
     if not fresh:
         print("\nrun `python ci/check_docs.py --write` and commit the result")

@@ -21,9 +21,18 @@ sections): :func:`~repro.telemetry.manifest.validate_campaign_manifest`
 must pass and its key structure must match the schema file's
 ``campaign_paths``.
 
+A third document gets the same treatment: the **composed multicore
+manifest** (``risc1-repro/multicore-manifest/v1``, from
+``MulticoreSimulator.manifest()``).  A 2-core scenario runs on two SMP
+tiers, the composed fingerprints (which exclude the engine-dependent
+``simulation`` section) must agree, and the key structure must match
+the schema file's ``multicore_paths``.  Per-core sections live in
+lists, which ``schema_paths`` deliberately does not flatten - their
+inner shape is already pinned by the run-manifest ``paths``.
+
 ``--write`` regenerates ``ci/manifest_schema.json`` from the reference
-engine's manifest and the campaign manifest; commit the result
-alongside the code change that motivated it.
+engine's manifest, the campaign manifest, and the multicore manifest;
+commit the result alongside the code change that motivated it.
 """
 
 from __future__ import annotations
@@ -66,6 +75,23 @@ def capture_campaign() -> dict:
     return run_campaign(config, stream=True, shards=2).manifest()
 
 
+def capture_multicore() -> dict[str, dict]:
+    """Composed multicore manifests from two SMP tiers (2-core run).
+
+    Small on purpose: ``timer_ticks`` exercises the whole composition
+    (per-core sections, schedule, device counters, interrupt delivery)
+    in a fraction of a second per tier.
+    """
+    from repro.multicore import run_scenario
+
+    return {
+        engine: run_scenario(
+            "timer_ticks", num_cores=2, engine=engine
+        ).manifest(workload="timer_ticks")
+        for engine in ("reference", "fast")
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
     from repro.telemetry.manifest import (
@@ -87,6 +113,21 @@ def main(argv: list[str] | None = None) -> int:
     for problem in validate_campaign_manifest(campaign_doc):
         failures.append(f"campaign: invalid manifest: {problem}")
 
+    multicore_docs = capture_multicore()
+    multicore_doc = multicore_docs["reference"]
+    from repro.multicore import MULTICORE_SCHEMA
+
+    if multicore_doc.get("schema") != MULTICORE_SCHEMA:
+        failures.append(
+            f"multicore: unexpected schema tag {multicore_doc.get('schema')!r}"
+        )
+    composed = {e: d["fingerprint"] for e, d in multicore_docs.items()}
+    if len(set(composed.values())) != 1:
+        failures.append(
+            "multicore: composed fingerprints differ across SMP tiers: "
+            + ", ".join(f"{e}={fp[:16]}" for e, fp in sorted(composed.items()))
+        )
+
     shared = {engine: m.shared_json() for engine, m in manifests.items()}
     reference = shared["reference"]
     for engine in ENGINES[1:]:
@@ -100,6 +141,9 @@ def main(argv: list[str] | None = None) -> int:
 
     paths = schema_paths(manifests["reference"].as_dict())
     campaign_paths = schema_paths(campaign_doc, leaves=CAMPAIGN_LEAVES)
+    # Every dict key of the multicore document is schema (the data-keyed
+    # shapes all live inside lists, where schema_paths stops anyway).
+    multicore_paths = schema_paths(multicore_doc, leaves=frozenset())
     if "--write" in args:
         with open(SCHEMA_PATH, "w") as handle:
             json.dump(
@@ -107,13 +151,15 @@ def main(argv: list[str] | None = None) -> int:
                     "workload": WORKLOAD,
                     "paths": paths,
                     "campaign_paths": campaign_paths,
+                    "multicore_paths": multicore_paths,
                 },
                 handle, indent=2,
             )
             handle.write("\n")
         print(
             f"wrote {SCHEMA_PATH}: {len(paths)} run + "
-            f"{len(campaign_paths)} campaign schema path(s)"
+            f"{len(campaign_paths)} campaign + "
+            f"{len(multicore_paths)} multicore schema path(s)"
         )
         return 0
 
@@ -122,16 +168,19 @@ def main(argv: list[str] | None = None) -> int:
             schema_doc = json.load(handle)
         committed = schema_doc["paths"]
         committed_campaign = schema_doc.get("campaign_paths", [])
+        committed_multicore = schema_doc.get("multicore_paths", [])
     except FileNotFoundError:
         failures.append(
             f"{SCHEMA_PATH} missing - run `python ci/check_manifest.py --write`"
         )
         committed = paths
         committed_campaign = campaign_paths
+        committed_multicore = multicore_paths
     drift = False
     for label, current, pinned in (
         ("manifest", paths, committed),
         ("campaign-manifest", campaign_paths, committed_campaign),
+        ("multicore-manifest", multicore_paths, committed_multicore),
     ):
         added = sorted(set(current) - set(pinned))
         removed = sorted(set(pinned) - set(current))
@@ -154,8 +203,8 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"ok: {WORKLOAD} manifest valid on {len(ENGINES)} engine(s), shared "
         f"fingerprint {manifests['reference'].fingerprint()[:16]}, "
-        f"{len(paths)} run + {len(campaign_paths)} campaign schema path(s) "
-        "stable"
+        f"{len(paths)} run + {len(campaign_paths)} campaign + "
+        f"{len(multicore_paths)} multicore schema path(s) stable"
     )
     return 0
 

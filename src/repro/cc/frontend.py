@@ -157,6 +157,9 @@ class FunctionLowerer:
             if self._is_builtin_putchar(expr.func):
                 self._emit_putchar(self.rvalue(expr.args[0]))
                 return
+            if self._is_builtin_mmio(expr.func):
+                self._emit_mmio(expr)
+                return
             args = [self.rvalue(arg) for arg in expr.args]
             self.emit(Call(dst=None, func=expr.func, args=args))
         else:
@@ -173,6 +176,30 @@ class FunctionLowerer:
         result = self.new_temp()
         self.emit(Bin("&", result, value, Const(0xFF)))
         return result
+
+    def _is_builtin_mmio(self, name: str) -> bool:
+        return (
+            name in ("mmio_read", "mmio_write")
+            and name not in self.checked.functions
+        )
+
+    def _emit_mmio(self, expr: ast.Call) -> Operand:
+        """Lower the mmio_read/mmio_write builtins to volatile word accesses.
+
+        ``volatile`` keeps the optimiser from dead-code-eliminating the
+        load: device registers (and RAM mailboxes written by interrupt
+        handlers or other cores) change behind the compiler's back, so
+        every access the guest wrote must reach memory.
+        """
+        if expr.func == "mmio_read":
+            addr = self.rvalue(expr.args[0])
+            dst = self.new_temp()
+            self.emit(Load(dst, addr, size=4, volatile=True))
+            return dst
+        addr = self.rvalue(expr.args[0])
+        value = self.rvalue(expr.args[1])
+        self.emit(Store(addr=addr, src=value, size=4))
+        return value
 
     def _declaration(self, node: ast.Declaration) -> None:
         symbol = node.symbol
@@ -387,6 +414,8 @@ class FunctionLowerer:
         if isinstance(expr, ast.Call):
             if self._is_builtin_putchar(expr.func):
                 return self._emit_putchar(self.rvalue(expr.args[0]))
+            if self._is_builtin_mmio(expr.func):
+                return self._emit_mmio(expr)
             args = [self.operand_value(arg) for arg in expr.args]
             dst = self.new_temp()
             self.emit(Call(dst=dst, func=expr.func, args=args))

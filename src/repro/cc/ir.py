@@ -132,11 +132,18 @@ class BoolCmp(Ins):
 
 @dataclass
 class Load(Ins):
-    """dst = memory[addr], size bytes (1 or 4, unsigned byte loads)."""
+    """dst = memory[addr], size bytes (1 or 4, unsigned byte loads).
+
+    ``volatile`` marks loads whose memory may change behind the
+    compiler's back (MMIO device registers, mailboxes written by
+    interrupt handlers or other cores); the optimiser must never
+    eliminate them even when ``dst`` is otherwise dead.
+    """
 
     dst: Temp
     addr: Operand
     size: int = 4
+    volatile: bool = False
 
     def defs(self):
         return [self.dst]
@@ -145,7 +152,8 @@ class Load(Ins):
         return _temps(self.addr)
 
     def __str__(self) -> str:
-        return f"  {self.dst} = M{self.size}[{self.addr}]"
+        marker = "v" if self.volatile else ""
+        return f"  {self.dst} = {marker}M{self.size}[{self.addr}]"
 
 
 @dataclass

@@ -134,6 +134,9 @@ def eliminate_dead_code(func: IrFunction) -> bool:
             if isinstance(ins, Bin) and ins.op in ("/", "%"):
                 kept.append(ins)  # may trap on zero: observable, keep it
                 continue
+            if isinstance(ins, Load) and ins.volatile:
+                kept.append(ins)  # MMIO / mailbox read: observable, keep it
+                continue
             defs = ins.defs()
             if defs and all(temp.index not in used for temp in defs):
                 changed = True
@@ -151,6 +154,8 @@ def _removable(ins) -> bool:
         return False
     if isinstance(ins, Bin) and ins.op in ("/", "%"):
         return False  # may trap on zero: observable
+    if isinstance(ins, Load) and ins.volatile:
+        return False  # MMIO / mailbox read: observable
     return bool(ins.defs())
 
 

@@ -97,6 +97,16 @@ class Memory:
         # case; store paths pay one identity test per write).
         self._exec_watch: dict | None = None
         self._exec_listener = None
+        # Additional compiled-code listeners beyond the primary one -
+        # used when several cores' engines share one memory (see
+        # repro.multicore).  Empty in the single-core common case, so
+        # the store paths pay one truthiness test per write.
+        self._extra_exec_listeners: list = []
+        # Optional memory-mapped device region (see Memory.map_mmio).
+        # ``None`` keeps every access on the plain-RAM fast path.
+        self._mmio = None
+        self._mmio_base = 0
+        self._mmio_limit = 0
 
     @property
     def console_output(self) -> str:
@@ -131,6 +141,11 @@ class Memory:
                 self.stats.data_reads += 1
             return 0  # console status: always ready
         self._check(address, 1, 1)
+        if self._mmio is not None and self._mmio_base <= address < self._mmio_limit:
+            raise MemoryFaultError(
+                f"byte access to word-only MMIO register at {address:#x}",
+                address=address, kind="mmio_width",
+            )
         if count:
             self.stats.data_reads += 1
         value = self._bytes[address]
@@ -140,6 +155,11 @@ class Memory:
 
     def load_half(self, address: int, *, signed: bool = False, count: bool = True) -> int:
         self._check(address, HALF_BYTES, HALF_BYTES)
+        if self._mmio is not None and self._mmio_base <= address < self._mmio_limit:
+            raise MemoryFaultError(
+                f"halfword access to word-only MMIO register at {address:#x}",
+                address=address, kind="mmio_width",
+            )
         if count:
             self.stats.data_reads += 1
         value = int.from_bytes(self._bytes[address : address + HALF_BYTES], "big")
@@ -154,6 +174,11 @@ class Memory:
                 self.stats.data_reads += 1
             return 0
         self._check(address, WORD_BYTES, WORD_BYTES)
+        mmio = self._mmio
+        if mmio is not None and self._mmio_base <= address < self._mmio_limit:
+            if count:
+                self.stats.data_reads += 1
+            return mmio.read(address) & 0xFFFFFFFF
         if count:
             self.stats.data_reads += 1
         return int.from_bytes(self._bytes[address : address + WORD_BYTES], "big")
@@ -171,6 +196,11 @@ class Memory:
             self.console.append(chr(value & 0xFF))
             return
         self._check(address, 1, 1)
+        if self._mmio is not None and self._mmio_base <= address < self._mmio_limit:
+            raise MemoryFaultError(
+                f"byte access to word-only MMIO register at {address:#x}",
+                address=address, kind="mmio_width",
+            )
         if count:
             self.stats.data_writes += 1
         if self._journal is not None:
@@ -179,9 +209,16 @@ class Memory:
         watch = self._exec_watch
         if watch is not None and (address >> 2) in watch:
             self._exec_listener.invalidate_code(address)
+        if self._extra_exec_listeners:
+            self._notify_extra_listeners(address)
 
     def store_half(self, address: int, value: int, *, count: bool = True) -> None:
         self._check(address, HALF_BYTES, HALF_BYTES)
+        if self._mmio is not None and self._mmio_base <= address < self._mmio_limit:
+            raise MemoryFaultError(
+                f"halfword access to word-only MMIO register at {address:#x}",
+                address=address, kind="mmio_width",
+            )
         if count:
             self.stats.data_writes += 1
         if self._journal is not None:
@@ -190,6 +227,8 @@ class Memory:
         watch = self._exec_watch
         if watch is not None and (address >> 2) in watch:
             self._exec_listener.invalidate_code(address)
+        if self._extra_exec_listeners:
+            self._notify_extra_listeners(address)
 
     def store_word(self, address: int, value: int, *, count: bool = True) -> None:
         if address == CONSOLE_ADDRESS:
@@ -198,6 +237,12 @@ class Memory:
             self.console.append(chr(value & 0xFF))
             return
         self._check(address, WORD_BYTES, WORD_BYTES)
+        mmio = self._mmio
+        if mmio is not None and self._mmio_base <= address < self._mmio_limit:
+            if count:
+                self.stats.data_writes += 1
+            mmio.write(address, value & 0xFFFFFFFF)
+            return
         if count:
             self.stats.data_writes += 1
         if self._journal is not None:
@@ -206,8 +251,40 @@ class Memory:
         watch = self._exec_watch
         if watch is not None and (address >> 2) in watch:
             self._exec_listener.invalidate_code(address)
+        if self._extra_exec_listeners:
+            self._notify_extra_listeners(address)
+
+    # -- memory-mapped devices ----------------------------------------------
+
+    def map_mmio(self, device) -> None:
+        """Map (or unmap, with ``None``) a word-addressed device region.
+
+        *device* must expose ``base`` and ``limit`` byte addresses (the
+        half-open window ``[base, limit)``), plus ``read(address) -> int``
+        and ``write(address, value)`` handlers for aligned word accesses.
+        Word loads and stores inside the window are routed to the device
+        instead of RAM; byte and halfword accesses inside the window
+        raise :class:`~repro.errors.MemoryFaultError` (``kind
+        "mmio_width"``) because device registers have no sub-word
+        semantics.  Instruction fetches are never routed - code cannot
+        execute out of device registers.
+        """
+        if device is None:
+            self._mmio = None
+            self._mmio_base = self._mmio_limit = 0
+            return
+        self._mmio = device
+        self._mmio_base = device.base
+        self._mmio_limit = device.limit
 
     # -- compiled-code write watch ------------------------------------------
+
+    def _notify_extra_listeners(self, address: int) -> None:
+        """Propagate a store to every non-primary compiled-code watch."""
+        word = address >> 2
+        for listener in self._extra_exec_listeners:
+            if word in listener.code_words:
+                listener.invalidate_code(address)
 
     def set_exec_listener(self, listener) -> None:
         """Install (or clear, with ``None``) a compiled-code write watch.
@@ -220,6 +297,22 @@ class Memory:
         """
         self._exec_listener = listener
         self._exec_watch = listener.code_words if listener is not None else None
+
+    def attach_exec_listener(self, listener) -> None:
+        """Add a compiled-code write watch without displacing existing ones.
+
+        Multi-core safe variant of :meth:`set_exec_listener`: the first
+        listener becomes the primary fast-path watch, later ones join
+        ``_extra_exec_listeners`` so several block-compiling engines over
+        one shared memory each see cross-core code writes.  Attaching a
+        listener that is already installed is a no-op.
+        """
+        if listener is self._exec_listener or listener in self._extra_exec_listeners:
+            return
+        if self._exec_listener is None:
+            self.set_exec_listener(listener)
+        else:
+            self._extra_exec_listeners.append(listener)
 
     # -- checkpoint / rollback ---------------------------------------------
 
@@ -257,8 +350,14 @@ class Memory:
             journal.clear()
         self.stats.inst_reads, self.stats.data_reads, self.stats.data_writes = cp.stats
         del self.console[cp.console_len :]
+        self._flush_exec_listeners()
+
+    def _flush_exec_listeners(self) -> None:
+        """Drop all compiled code after a wholesale image rewrite."""
         if self._exec_listener is not None:
             self._exec_listener.flush_code()
+        for listener in self._extra_exec_listeners:
+            listener.flush_code()
 
     def stop_tracking(self) -> None:
         """Drop the delta journal (delta checkpoints become unusable)."""
@@ -278,8 +377,7 @@ class Memory:
     def load_program(self, words: list[int], base: int = 0) -> None:
         """Copy an encoded program image into memory starting at *base*."""
         self.store_words(base, words)
-        if self._exec_listener is not None:
-            self._exec_listener.flush_code()
+        self._flush_exec_listeners()
 
     def read_cstring(self, address: int, limit: int = 4096) -> str:
         """Read a NUL-terminated byte string (for the sed-style workloads)."""

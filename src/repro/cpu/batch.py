@@ -396,10 +396,10 @@ class BatchExecutor:
         memory.stats.inst_reads = self._mem_stats[0]
         memory.stats.data_reads = self._mem_stats[1]
         memory.stats.data_writes = self._mem_stats[2]
-        if memory._exec_listener is not None:
+        if memory._exec_listener is not None or memory._extra_exec_listeners:
             # The vector path bypassed the SMC write watch; compiled code
             # on the scalar engine may be stale.  Flush, like restore().
-            memory._exec_listener.flush_code()
+            memory._flush_exec_listeners()
         recorder = m._call_recorder
         if recorder is not None and self.call_trace is not None:
             recorder.trace[:] = self.call_trace

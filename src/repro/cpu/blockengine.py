@@ -890,8 +890,10 @@ class BlockEngine:
     ) -> None:
         """Dispatch compiled superblocks until halt or a budget expires."""
         mem = m.memory
-        if mem._exec_listener is not self:
-            mem.set_exec_listener(self)
+        # attach (not set): multicore runs share one memory between
+        # several block-compiling engines, each of which must keep
+        # seeing cross-core code writes.
+        mem.attach_exec_listener(self)
         if not self._halt_known or m.halt_address != self._halt_addr:
             # halt_address is baked into block endings; recompile.
             if self._blocks or self._nocompile:

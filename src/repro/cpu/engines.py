@@ -58,6 +58,15 @@ class EngineSpec:
       :mod:`repro.analysis.fusion`) and reports ``fused_dispatches``.
       Fusion never changes architectural results on any tier; this flag
       records which tiers attribute fused dispatches.
+    * ``supports_smp`` - legal as a per-core engine under the multicore
+      interleaver (see :mod:`repro.multicore`): every data access goes
+      through the :class:`~repro.common.memory.Memory` accessors (so
+      MMIO devices are honoured) and the tier shares a memory with
+      other cores' engines via ``attach_exec_listener``.  The trace
+      tier inlines RAM fast paths into generated source and installs an
+      exclusive write watch, and the batch executor steps private
+      per-lane images - neither can share a live device-mapped memory,
+      so both are flagged ``False``.
     * ``requires`` - name of an optional third-party dependency the
       tier needs (``None`` for the pure-python tiers).  Use
       :func:`available` to probe.
@@ -71,6 +80,7 @@ class EngineSpec:
     supports_observers: bool = False
     supports_batch: bool = False
     supports_fusion: bool = False
+    supports_smp: bool = False
     requires: str | None = None
 
     def available(self) -> bool:
@@ -91,6 +101,7 @@ class EngineSpec:
             "supports_observers": self.supports_observers,
             "supports_batch": self.supports_batch,
             "supports_fusion": self.supports_fusion,
+            "supports_smp": self.supports_smp,
             "requires": self.requires,
             "available": self.available(),
         }
@@ -134,6 +145,7 @@ _SPECS: tuple[EngineSpec, ...] = (
         tier=0,
         description="instruction-at-a-time oracle interpreter",
         supports_observers=True,
+        supports_smp=True,
     ),
     EngineSpec(
         name="fast",
@@ -141,6 +153,7 @@ _SPECS: tuple[EngineSpec, ...] = (
         tier=1,
         description="pre-decoded per-instruction closures",
         supports_fusion=True,
+        supports_smp=True,
     ),
     EngineSpec(
         name="block",
@@ -148,6 +161,7 @@ _SPECS: tuple[EngineSpec, ...] = (
         tier=2,
         description="CFG basic blocks compiled to single closures",
         supports_fusion=True,
+        supports_smp=True,
     ),
     EngineSpec(
         name="trace",
@@ -207,6 +221,16 @@ def default_sweep_engines() -> tuple[str, ...]:
     rest are diffed against.
     """
     return engine_names(scalar_only=True)
+
+
+def smp_engine_names() -> tuple[str, ...]:
+    """Engines legal as per-core tiers under the multicore interleaver.
+
+    Tier order, oracle first - the multicore equivalence sweep diffs the
+    rest against the first name, mirroring :func:`default_sweep_engines`.
+    """
+    specs = sorted(REGISTRY.values(), key=lambda spec: spec.tier)
+    return tuple(spec.name for spec in specs if spec.supports_smp)
 
 
 def fastest_scalar_engine() -> str:

@@ -58,6 +58,8 @@ class TrapCause(enum.IntEnum):
     WINDOW_UNDERFLOW_EMPTY = 5
     RET_NO_FRAME = 6
     ARITHMETIC_OVERFLOW = 7
+    TIMER_INTERRUPT = 8
+    DOORBELL_INTERRUPT = 9
 
     def describe(self) -> str:
         """Human-readable one-line description of the trap cause."""
@@ -72,6 +74,8 @@ _TRAP_DESCRIPTIONS = {
     TrapCause.WINDOW_UNDERFLOW_EMPTY: "window underflow with empty save stack",
     TrapCause.RET_NO_FRAME: "RET with no active procedure frame",
     TrapCause.ARITHMETIC_OVERFLOW: "signed arithmetic overflow",
+    TrapCause.TIMER_INTERRUPT: "timer device interrupt (asynchronous)",
+    TrapCause.DOORBELL_INTERRUPT: "inter-core doorbell interrupt (asynchronous)",
 }
 
 

@@ -19,6 +19,9 @@ E1        two-stage vs three-stage pipeline timing
 M1        dynamic instruction mix on RISC I
 M2        executed instruction counts relative to VAX
 R1        fault-injection campaign rates (robustness)
+S1        static program analysis (lint/CFG/dataflow)
+S3        macro-op fusion: ISA bloat recovered
+S4        multicore: interrupts, locks, core scaling
 ========  =====================================================
 
 Each module exposes ``run(...)`` returning :class:`repro.evaluation.tables.Table`

@@ -43,6 +43,7 @@ from repro.evaluation import (
     r1_fault_campaign,
     s1_static_analysis,
     s3_fusion,
+    s4_multicore,
     f1_formats,
     f2_windows,
     f3_delayed_branch,
@@ -90,6 +91,9 @@ _SECTIONS: dict = {
     "m2": lambda names: m2_instruction_counts.run(names).render(),
     "s1": lambda names: s1_static_analysis.run(names).render(),
     "s3": lambda names: s3_fusion.run(names).render(),
+    # The multicore sweep runs fixed scenarios, not the benchmark suite;
+    # the subset restriction does not apply.
+    "s4": lambda names: s4_multicore.run().render(),
     # A small deterministic campaign; the full 1000-injection run is
     # available via ``python -m repro.faults.campaign``.
     "r1": lambda names: r1_fault_campaign.run(injections=120).render(),

@@ -348,6 +348,25 @@ class Analyzer:
             if arg_type.pointer > 0:
                 raise SemanticError("putchar expects an integer", expr.line)
             return INT
+        if info is None and expr.func == "mmio_read":
+            # builtin volatile word load: mmio_read(int addr) -> int
+            if len(expr.args) != 1:
+                raise SemanticError("mmio_read expects one argument", expr.line)
+            arg_type = self._expr(expr.args[0], scope).decay()
+            if arg_type.pointer > 0:
+                raise SemanticError("mmio_read expects an integer address", expr.line)
+            return INT
+        if info is None and expr.func == "mmio_write":
+            # builtin volatile word store: mmio_write(int addr, int value) -> int
+            if len(expr.args) != 2:
+                raise SemanticError("mmio_write expects two arguments", expr.line)
+            for arg in expr.args:
+                arg_type = self._expr(arg, scope).decay()
+                if arg_type.pointer > 0:
+                    raise SemanticError(
+                        "mmio_write expects integer arguments", expr.line
+                    )
+            return INT
         if info is None:
             raise SemanticError(f"call to undefined function {expr.func!r}", expr.line)
         params = info.node.params

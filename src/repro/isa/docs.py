@@ -130,6 +130,49 @@ def traps_section() -> str:
             "(`machine.trap_on_overflow`); RISC I itself had no overflow",
             "exception.  See `docs/FAULTS.md` for how fault-injection",
             "campaigns exercise these paths.",
+            "",
+            "### Asynchronous interrupts",
+            "",
+            "`TIMER_INTERRUPT` and `DOORBELL_INTERRUPT` are *asynchronous*:",
+            "they are latched by the multicore platform device",
+            "(`request_interrupt`) rather than raised by a faulting",
+            "instruction, and the latch is drained at the next instruction",
+            "boundary where interrupts are enabled and the previous",
+            "instruction was not a taken transfer - an interrupt is never",
+            "taken between a delayed jump and its delay slot.  Taking one is",
+            "the same forced CALL as a vectored trap (fresh window,",
+            "interrupts disabled, interrupted PC in the last-PC latch for",
+            "`gtlpc`); the handler resumes with `retint`, which re-enables",
+            "interrupts.  The cause is read from the device's `IRQ_CAUSE`",
+            "register, not from `r17`.  See `docs/MULTICORE.md` for the",
+            "delivery pipeline and the handler discipline.",
+        ]
+    )
+
+
+def mmio_section() -> str:
+    """The memory-mapped I/O section of the reference."""
+    # Imported here for the same reason as trap_table: the isa package
+    # must stay importable without the multicore platform.
+    from repro.multicore.device import MMIO_BASE, MMIO_LIMIT
+
+    return "\n".join(
+        [
+            "## Memory-mapped I/O",
+            "",
+            "`ldl`/`stl` are the only I/O instructions.  Two regions of the",
+            "address space have device semantics:",
+            "",
+            "* the console byte (`0xF0000`): a byte store prints its value;",
+            "* the multicore platform window",
+            f"  (`{MMIO_BASE:#x}`-`{MMIO_LIMIT:#x}`, exclusive): word-only",
+            "  access to the timer/doorbell/lock/console registers of the",
+            "  platform device when one is mapped.  Sub-word access to the",
+            "  window traps with `OUT_OF_RANGE_ACCESS`, and a word *load*",
+            "  may have side effects (the lock bank's test-and-set cells).",
+            "",
+            "The full register map is generated into `docs/MULTICORE.md`",
+            "from `repro.multicore.device.REGISTERS`.",
         ]
     )
 
@@ -158,6 +201,8 @@ def render_reference() -> str:
         condition_table(),
         "",
         traps_section(),
+        "",
+        mmio_section(),
         "",
         "## Notes",
         "",

@@ -1,0 +1,92 @@
+"""Multiprocessor RISC I: N cores, shared memory, MMIO, interrupts.
+
+The 1981 paper argues the reduced ISA by single-core cost; this package
+asks how far the same ISA stretches when cores multiply (cf. the
+multi-processor minimal-ISA literature in PAPERS.md).  It composes the
+existing layers rather than re-implementing them:
+
+* each core is a :class:`~repro.cpu.machine.RiscMachine` - own windows,
+  PSW, decode cache, and per-core engine instance - over **one** shared
+  :class:`~repro.common.memory.Memory`;
+* the :class:`~repro.multicore.device.PlatformDevice` (timers,
+  doorbells, test-and-set locks, console) is mapped through the
+  memory's word-addressed MMIO hook;
+* interrupts ride the PR 1 precise-trap architecture
+  (:meth:`~repro.cpu.state.ArchState.request_interrupt`, ``gtlpc`` /
+  ``retint``), delivered only at deterministic slice boundaries;
+* guests are Mini-C programs using the ``mmio_read``/``mmio_write``
+  builtins plus the runtime in :mod:`repro.multicore.runtime`
+  (spinlocks, cooperative scheduler, timer/doorbell helpers);
+* the round-robin interleaver in
+  :class:`~repro.multicore.simulator.MulticoreSimulator` makes runs
+  byte-reproducible and composes per-core
+  :class:`~repro.telemetry.manifest.RunManifest` sections into one
+  fingerprinted multicore manifest.
+
+See ``docs/MULTICORE.md`` for the memory model, the device register
+map, interrupt delivery semantics, and the guest runtime API.
+"""
+
+from repro.multicore.device import (
+    MMIO_BASE,
+    MMIO_LIMIT,
+    NUM_LOCKS,
+    MmioRegister,
+    PlatformDevice,
+    REGISTERS,
+    register_address,
+    register_table,
+)
+from repro.multicore.equivalence import (
+    MulticoreDifferentialResult,
+    assert_multicore_equivalent,
+    run_differential_multicore,
+)
+from repro.multicore.runtime import (
+    MAILBOX_BASE,
+    build_guest_source,
+    interrupt_handler_asm,
+    tick_mailbox_address,
+)
+from repro.multicore.scenarios import (
+    SCENARIOS,
+    Scenario,
+    build_scenario,
+    run_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.multicore.simulator import (
+    DEFAULT_QUANTUM,
+    MULTICORE_SCHEMA,
+    MulticoreSimulator,
+    compose_fingerprint,
+)
+
+__all__ = [
+    "MMIO_BASE",
+    "MMIO_LIMIT",
+    "NUM_LOCKS",
+    "MAILBOX_BASE",
+    "DEFAULT_QUANTUM",
+    "MULTICORE_SCHEMA",
+    "MmioRegister",
+    "MulticoreDifferentialResult",
+    "PlatformDevice",
+    "REGISTERS",
+    "Scenario",
+    "SCENARIOS",
+    "MulticoreSimulator",
+    "assert_multicore_equivalent",
+    "build_guest_source",
+    "build_scenario",
+    "compose_fingerprint",
+    "interrupt_handler_asm",
+    "register_address",
+    "register_table",
+    "run_differential_multicore",
+    "run_scenario",
+    "scenario",
+    "scenario_names",
+    "tick_mailbox_address",
+]

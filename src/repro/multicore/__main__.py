@@ -1,0 +1,5 @@
+"""``python -m repro.multicore``: the multicore equivalence sweep CLI."""
+
+from repro.multicore.equivalence import main
+
+raise SystemExit(main())

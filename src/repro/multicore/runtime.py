@@ -1,0 +1,159 @@
+"""Guest-side runtime for multicore scenarios: handler, locks, scheduler.
+
+Three pieces, all textual (the build pipeline stays: Mini-C source ->
+IR -> RISC I assembly -> one shared image every core executes):
+
+* :func:`interrupt_handler_asm` - a hand-written RISC I interrupt
+  handler appended after the compiled program's ``__text_end``.  It
+  follows the PR 1 precise-trap discipline: ``gtlpc`` first (``lpc``
+  holds the interrupted PC only until the handler's first instruction
+  retires), ``getpsw`` to capture flags, acknowledge through the device's
+  ``IRQ_ACK`` register, bump the core's tick mailbox in RAM,
+  ``putpsw`` *before* ``retint`` (the delay slot must stay a ``nop`` -
+  anything after ``retint`` executes with the restored context), and
+  ``retint`` to resume (which re-enables interrupts).
+* :data:`RUNTIME_SOURCE` - Mini-C helpers every scenario links in:
+  MMIO-backed spinlocks over the device's test-and-set lock bank,
+  core identity, one-shot timer arming, and tick-mailbox reads.
+* :data:`SCHEDULER_SOURCE` - a tiny cooperative scheduler:
+  ``sched_run(n)`` round-robins ``task_step(t)`` (supplied by the
+  scenario; returns nonzero once task *t* is finished) until every
+  task reports done.  Cooperative = a task yields by returning from
+  ``task_step``; the scheduler never preempts.
+
+Addresses are injected as *decimal* literals (the Mini-C grammar has
+no int-to-pointer casts and no hex guarantee), all derived from the
+source-of-truth register map in :mod:`repro.multicore.device`.
+"""
+
+from __future__ import annotations
+
+from repro.multicore.device import register_address
+
+__all__ = [
+    "MAILBOX_BASE",
+    "tick_mailbox_address",
+    "interrupt_handler_asm",
+    "RUNTIME_SOURCE",
+    "SCHEDULER_SOURCE",
+    "build_guest_source",
+]
+
+#: Base of the per-core tick mailboxes: word *i* counts interrupts the
+#: handler has serviced on core *i*.  Plain RAM (not MMIO) above the
+#: guest stacks and below the console byte, so volatile ``mmio_read``
+#: is required on the guest side (the handler mutates it behind the
+#: compiler's back).
+MAILBOX_BASE = 0xE0000
+
+
+def tick_mailbox_address(core_id: int) -> int:
+    """RAM address of core *core_id*'s interrupt tick counter."""
+    return MAILBOX_BASE + 4 * core_id
+
+
+def interrupt_handler_asm(label: str = "__irq_handler") -> str:
+    """The shared interrupt handler, as assembly source.
+
+    Register discipline: an interrupt forces a CALL into a fresh
+    window, so r16-r25 (LOCAL) are private to the handler; r26-r31
+    (HIGH) alias the interrupted frame's r10-r15 and r0-r9 are global -
+    the handler touches neither.  No ``.s``-suffixed ALU op is used, so
+    the condition codes survive even without the PSW round-trip; the
+    ``getpsw``/``putpsw`` pair keeps the handler correct if it ever
+    grows one.
+    """
+    mmio = register_address("CORE_ID")  # == MMIO_BASE
+    cause_off = register_address("IRQ_CAUSE") - mmio
+    ack_off = register_address("IRQ_ACK") - mmio
+    return f"""
+{label}:
+    gtlpc r17             ; interrupted PC, for retint (must be first:
+                          ; executing any instruction overwrites lpc)
+    getpsw r16            ; capture PSW (flags + window pointers)
+    li r18, {mmio}
+    ldl r19, r18, {cause_off}  ; pending cause bits
+    stl r19, r18, {ack_off}    ; acknowledge everything pending
+    ldl r20, r18, 0       ; CORE_ID
+    sll r20, r20, #2
+    li r21, {MAILBOX_BASE}
+    add r21, r21, r20
+    ldl r22, r21, 0       ; ticks[core] += 1
+    add r22, r22, #1
+    stl r22, r21, 0
+    putpsw r16, 0         ; restore PSW before leaving the handler
+    retint r17, 0         ; resume + re-enable interrupts
+    nop                   ; retint delay slot: must not touch state
+"""
+
+
+def _runtime_source() -> str:
+    lock0 = register_address("LOCK")
+    timer_compare = register_address("TIMER_COMPARE")
+    timer_count = register_address("TIMER_COUNT")
+    core_id = register_address("CORE_ID")
+    num_cores = register_address("NUM_CORES")
+    doorbell = register_address("DOORBELL")
+    return f"""
+int core_id() {{ return mmio_read({core_id}); }}
+
+int num_cores() {{ return mmio_read({num_cores}); }}
+
+int lock_acquire(int index) {{
+    while (mmio_read({lock0} + index * 4) != 0) {{ }}
+    return 0;
+}}
+
+int lock_release(int index) {{
+    mmio_write({lock0} + index * 4, 0);
+    return 0;
+}}
+
+int timer_arm(int after) {{
+    mmio_write({timer_compare}, mmio_read({timer_count}) + after);
+    return 0;
+}}
+
+int doorbell_ring(int target) {{
+    mmio_write({doorbell}, target);
+    return 0;
+}}
+
+int ticks_seen(int core) {{
+    return mmio_read({MAILBOX_BASE} + core * 4);
+}}
+"""
+
+
+#: Mini-C runtime helpers prepended to every scenario's source.
+RUNTIME_SOURCE = _runtime_source()
+
+#: The cooperative scheduler; requires the scenario to define
+#: ``int task_step(int t)`` returning nonzero when task *t* is done.
+SCHEDULER_SOURCE = """
+int sched_run(int ntasks) {
+    int done;
+    int t;
+    int finished;
+    done = 0;
+    while (done < ntasks) {
+        done = 0;
+        t = 0;
+        while (t < ntasks) {
+            finished = task_step(t);
+            if (finished != 0) { done = done + 1; }
+            t = t + 1;
+        }
+    }
+    return done;
+}
+"""
+
+
+def build_guest_source(body: str, *, scheduler: bool = False) -> str:
+    """Full Mini-C source of a guest: runtime + optional scheduler + body."""
+    parts = [RUNTIME_SOURCE]
+    if scheduler:
+        parts.append(SCHEDULER_SOURCE)
+    parts.append(body)
+    return "\n".join(parts)

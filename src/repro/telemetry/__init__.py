@@ -34,6 +34,7 @@ from repro.telemetry.events import (
     events_from_injections,
     events_from_journal,
     events_from_profile,
+    events_from_schedule,
     events_from_trace,
     read_events,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "events_from_injections",
     "events_from_journal",
     "events_from_profile",
+    "events_from_schedule",
     "events_from_trace",
     "read_events",
     "schema_paths",

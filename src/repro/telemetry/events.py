@@ -51,6 +51,7 @@ __all__ = [
     "events_from_injections",
     "events_from_journal",
     "events_from_profile",
+    "events_from_schedule",
     "events_from_trace",
     "read_events",
 ]
@@ -73,6 +74,7 @@ EVENT_KINDS = (
     "trial",       # a campaign trial completed (distributed runner)
     "retry",       # a trial attempt was re-dispatched (supervisor)
     "resume",      # a journal was recovered (distributed runner)
+    "slice",       # one scheduler slice (adapter: multicore schedule log)
     # execution-service kinds (repro.service; see docs/SERVICE.md)
     "request",       # a job submission was accepted for scheduling
     "response",      # a job submission was answered (any status)
@@ -299,6 +301,20 @@ def events_from_call_trace(trace: list[int]) -> list[dict]:
             "depth": depth,
         })
     return events
+
+
+def events_from_schedule(schedule: Iterable[tuple[int, int, int]]) -> list[dict]:
+    """Convert a multicore slice log (``MulticoreSimulator.schedule``,
+    ``(core, start-count, length)`` tuples) to ``slice`` events."""
+    return [
+        {
+            "event": "slice",
+            "core": core,
+            "start": start,
+            "instructions": executed,
+        }
+        for core, start, executed in schedule
+    ]
 
 
 def events_from_injections(log) -> list[dict]:

@@ -17,10 +17,37 @@ from repro.workloads.cache import (
 from repro.workloads.programs import BENCHMARKS, Benchmark, benchmark, expected_results
 from repro.workloads.traces import synthetic_call_trace
 
+#: Multicore scenario names re-exported lazily (the scenarios are
+#: first-class workloads, but importing them pulls in the whole
+#: :mod:`repro.multicore` platform, which single-core users never need).
+_MULTICORE_EXPORTS = (
+    "MULTICORE_SCENARIOS",
+    "multicore_scenario",
+    "run_multicore_scenario",
+)
+
+
+def __getattr__(name: str):
+    if name in _MULTICORE_EXPORTS:
+        from repro.multicore import scenarios as _scenarios
+
+        value = {
+            "MULTICORE_SCENARIOS": _scenarios.SCENARIOS,
+            "multicore_scenario": _scenarios.scenario,
+            "run_multicore_scenario": _scenarios.run_scenario,
+        }[name]
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BENCHMARKS",
     "Benchmark",
+    "MULTICORE_SCENARIOS",
     "benchmark",
+    "multicore_scenario",
+    "run_multicore_scenario",
     "clear_compile_cache",
     "compile_cache_disabled",
     "compile_cache_info",

@@ -175,3 +175,39 @@ class TestRegalloc:
         # a and b are simultaneously live; they must not share a register
         regs = list(alloc.registers.values())
         assert len(regs) == len(set(regs)) or not alloc.spills
+
+
+class TestMmioBuiltins:
+    def test_mmio_read_lowers_to_volatile_load(self):
+        func = ir_for("int main() { return mmio_read(987136); }")
+        loads = ops_of(func, Load)
+        assert loads and loads[0].volatile
+        assert loads[0].addr == Const(987136)
+
+    def test_plain_loads_are_not_volatile(self):
+        program = compile_to_ir("int g; int main() { return g; }")
+        loads = ops_of(program.functions["main"], Load)
+        assert loads and not loads[0].volatile
+
+    def test_mmio_write_lowers_to_store(self):
+        func = ir_for("int main() { mmio_write(987148, 7); return 0; }")
+        stores = ops_of(func, Store)
+        assert len(stores) == 1
+        assert stores[0].addr == Const(987148)
+        assert stores[0].src == Const(7)
+
+    def test_mmio_builtins_compose_in_expressions(self):
+        func = ir_for(
+            "int main() { return mmio_read(987144) + mmio_read(987148); }"
+        )
+        assert len([l for l in ops_of(func, Load) if l.volatile]) == 2
+
+    def test_user_definition_overrides_the_builtin(self):
+        source = """
+        int mmio_read(int a) { return a + 1; }
+        int main() { return mmio_read(41); }
+        """
+        func = ir_for(source)
+        calls = ops_of(func, Call)
+        assert calls and calls[0].func == "mmio_read"
+        assert not ops_of(func, Load)

@@ -132,3 +132,22 @@ class TestEndToEnd:
         on = compile_for_risc(source, optimize_ir=True)
         off = compile_for_risc(source, optimize_ir=False)
         assert on.code_size_bytes <= off.code_size_bytes
+
+
+class TestVolatileLoads:
+    def test_volatile_load_survives_dce(self):
+        # A bare mmio_read in statement position has an unused result;
+        # the access itself is the point (device reads have effects).
+        func = ir_for("int main() { mmio_read(987144); return 0; }")
+        assert any(isinstance(ins, Load) and ins.volatile for ins in func.body)
+
+    def test_volatile_spin_loop_reloads_every_iteration(self):
+        source = """
+        int main() {
+            while (mmio_read(987168) != 0) { }
+            return 1;
+        }
+        """
+        func = ir_for(source)
+        loads = [ins for ins in func.body if isinstance(ins, Load)]
+        assert loads and all(load.volatile for load in loads)
